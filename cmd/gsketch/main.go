@@ -1,0 +1,61 @@
+// Command gsketch runs the experiment suite that regenerates every figure-
+// and theorem-level claim of the paper (see DESIGN.md for the index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	gsketch list              enumerate experiments
+//	gsketch all               run everything (several minutes)
+//	gsketch <id>...           run specific experiments, e.g. gsketch e4 e9
+//	gsketch run <sketch>      sketch a stream from stdin (text format:
+//	                          "n <vertices>" header, then "u v [delta]")
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"graphsketch/internal/experiments"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "run":
+		runCommand(args[1:])
+	case "list":
+		ids := make([]string, 0, len(experiments.Registry))
+		for id := range experiments.Registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	case "all":
+		start := time.Now()
+		for _, tb := range experiments.All() {
+			fmt.Println(tb.Format())
+		}
+		fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	default:
+		for _, id := range args {
+			tb, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try `gsketch list`)\n", id)
+				os.Exit(2)
+			}
+			fmt.Println(tb.Format())
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch>")
+}

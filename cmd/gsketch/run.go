@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"graphsketch"
+	"graphsketch/internal/stream"
+)
+
+// runSketch implements `gsketch run <sketch> [< stream.txt]`: reads a
+// dynamic graph stream in the text format (see internal/stream codec docs:
+// "n <vertices>" header, then "u v [delta]" lines) and answers the query
+// with the corresponding sketch.
+func runSketch(kind string, in io.Reader, out io.Writer) error {
+	st, err := stream.Read(in)
+	if err != nil {
+		return err
+	}
+	const seed = 0xD15C
+	switch kind {
+	case "connectivity":
+		sk := graphsketch.NewConnectivitySketch(st.N, seed)
+		sk.Ingest(st)
+		fmt.Fprintf(out, "connected=%v components=%d\n", sk.Connected(), sk.Components())
+	case "bipartite":
+		sk := graphsketch.NewBipartitenessSketch(st.N, seed)
+		sk.Ingest(st)
+		fmt.Fprintf(out, "bipartite=%v\n", sk.Bipartite())
+	case "mincut":
+		sk := graphsketch.NewMinCutSketch(st.N, 0.5, seed)
+		sk.Ingest(st)
+		res, err := sk.MinCut()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mincut=%d level=%d\n", res.Value, res.Level)
+	case "triangles":
+		sk := graphsketch.NewSubgraphSketch(st.N, 3, 200, seed)
+		sk.Ingest(st)
+		gamma, eff := sk.Gamma(graphsketch.PatternTriangle)
+		fmt.Fprintf(out, "gamma=%.4f samples=%d count~%.0f\n",
+			gamma, eff, sk.Count(graphsketch.PatternTriangle))
+	case "mst":
+		maxW := int64(1)
+		for _, up := range st.Updates {
+			w := up.Delta
+			if w < 0 {
+				w = -w
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		sk := graphsketch.NewMSTSketch(st.N, maxW, seed)
+		sk.Ingest(st)
+		forest, total := sk.ApproxMSF()
+		fmt.Fprintf(out, "msf-edges=%d msf-weight=%d\n", len(forest), total)
+	case "sparsify":
+		sk := graphsketch.NewSparsifier(st.N, 0.5, seed)
+		sk.Ingest(st)
+		h, err := sk.Sparsify()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# sparsifier: %d edges (weighted)\n", h.NumEdges())
+		for _, e := range h.Edges() {
+			fmt.Fprintf(out, "%d %d %d\n", e.U, e.V, e.W)
+		}
+	default:
+		return fmt.Errorf("unknown sketch %q (want connectivity|bipartite|mincut|triangles|mst|sparsify)", kind)
+	}
+	return nil
+}
+
+func runCommand(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gsketch run <connectivity|bipartite|mincut|triangles|mst|sparsify> < stream.txt")
+		os.Exit(2)
+	}
+	if err := runSketch(args[0], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gsketch:", err)
+		os.Exit(1)
+	}
+}

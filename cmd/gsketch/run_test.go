@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, kind, in string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := runSketch(kind, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return out.String()
+}
+
+func TestRunConnectivity(t *testing.T) {
+	got := run(t, "connectivity", "n 4\n0 1\n2 3\n")
+	if !strings.Contains(got, "connected=false") || !strings.Contains(got, "components=2") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRunBipartite(t *testing.T) {
+	got := run(t, "bipartite", "n 3\n0 1\n1 2\n2 0\n")
+	if !strings.Contains(got, "bipartite=false") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRunMinCutWithDeletion(t *testing.T) {
+	// Square plus diagonal, then delete the diagonal: min cut 2.
+	got := run(t, "mincut", "n 4\n0 1\n1 2\n2 3\n3 0\n0 2\n0 2 -1\n")
+	if !strings.Contains(got, "mincut=2") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRunTrianglesOnClique(t *testing.T) {
+	got := run(t, "triangles", "n 4\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n")
+	if !strings.Contains(got, "gamma=1.0000") {
+		t.Fatalf("K4 triples are all triangles: got %q", got)
+	}
+}
+
+func TestRunMST(t *testing.T) {
+	got := run(t, "mst", "n 3\n0 1 1\n1 2 1\n0 2 8\n")
+	if !strings.Contains(got, "msf-edges=2 msf-weight=2") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRunSparsify(t *testing.T) {
+	got := run(t, "sparsify", "n 4\n0 1\n1 2\n2 3\n")
+	if !strings.Contains(got, "# sparsifier: 3 edges") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRunUnknownSketch(t *testing.T) {
+	var out bytes.Buffer
+	if err := runSketch("nope", strings.NewReader("n 2\n0 1\n"), &out); err == nil {
+		t.Fatal("unknown sketch must error")
+	}
+}
+
+func TestRunBadStream(t *testing.T) {
+	var out bytes.Buffer
+	if err := runSketch("connectivity", strings.NewReader("0 1\n"), &out); err == nil {
+		t.Fatal("missing header must error")
+	}
+}

@@ -1,0 +1,73 @@
+package graphsketch_test
+
+import (
+	"fmt"
+
+	"graphsketch"
+)
+
+// Connectivity of a dynamic stream: the deletion disconnects the path.
+func ExampleConnectivitySketch() {
+	sk := graphsketch.NewConnectivitySketch(4, 1)
+	sk.Update(0, 1, 1)
+	sk.Update(1, 2, 1)
+	sk.Update(2, 3, 1)
+	fmt.Println("connected:", sk.Connected())
+	sk.Update(1, 2, -1) // delete the middle edge
+	fmt.Println("after delete:", sk.Connected(), "components:", sk.Components())
+	// Output:
+	// connected: true
+	// after delete: false components: 2
+}
+
+// Minimum cut of two cliques joined by one bridge.
+func ExampleMinCutSketch() {
+	st := graphsketch.Barbell(16, 1)
+	sk := graphsketch.NewMinCutSketchK(16, 8, 42)
+	sk.Ingest(st)
+	res, err := sk.MinCut()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("min cut:", res.Value)
+	// Output:
+	// min cut: 1
+}
+
+// Distributed merging: two sites, one stream, identical answers.
+func ExampleConnectivitySketch_distributed() {
+	st := graphsketch.Cycle(10)
+	parts := st.Partition(2, 7)
+	merged := graphsketch.NewConnectivitySketch(10, 3)
+	for _, p := range parts {
+		site := graphsketch.NewConnectivitySketch(10, 3) // same seed!
+		site.Ingest(p)
+		merged.Add(site)
+	}
+	fmt.Println("merged sees connected cycle:", merged.Connected())
+	// Output:
+	// merged sees connected cycle: true
+}
+
+// Triangle fraction of a clique: every non-empty triple is a triangle.
+func ExampleSubgraphSketch() {
+	sk := graphsketch.NewSubgraphSketch(6, 3, 50, 5)
+	sk.Ingest(graphsketch.Complete(6))
+	gamma, _ := sk.Gamma(graphsketch.PatternTriangle)
+	fmt.Printf("gamma_triangle(K6) = %.1f\n", gamma)
+	// Output:
+	// gamma_triangle(K6) = 1.0
+}
+
+// An approximate minimum spanning forest avoids the heavy chord.
+func ExampleMSTSketch() {
+	sk := graphsketch.NewMSTSketch(4, 8, 9)
+	sk.Update(0, 1, 1)
+	sk.Update(1, 2, 1)
+	sk.Update(2, 3, 1)
+	sk.Update(0, 3, 8) // heavy chord, not needed
+	_, total := sk.ApproxMSF()
+	fmt.Println("forest weight:", total)
+	// Output:
+	// forest weight: 3
+}

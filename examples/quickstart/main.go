@@ -1,0 +1,60 @@
+// Quickstart: sketch a dynamic graph stream once, then answer
+// connectivity, min-cut, sparsification, and triangle-density queries from
+// the sketches alone — without ever storing the graph.
+package main
+
+import (
+	"fmt"
+
+	"graphsketch"
+)
+
+func main() {
+	const n = 24
+	const seed = 42
+
+	// A dynamic stream: two communities, a few bridges, plus 2000
+	// insert-then-delete churn pairs that cancel out.
+	st := graphsketch.PlantedPartition(n, 2, 0.7, 0.0, seed)
+	st.Updates = append(st.Updates,
+		graphsketch.Update{U: 0, V: 12, Delta: 1},
+		graphsketch.Update{U: 5, V: 18, Delta: 1},
+	)
+	st = st.WithChurn(2000, seed+1)
+	fmt.Printf("stream: %d updates over %d vertices (incl. churn)\n", st.Len(), n)
+
+	// One pass: feed every sketch simultaneously.
+	conn := graphsketch.NewConnectivitySketch(n, seed)
+	mc := graphsketch.NewMinCutSketchK(n, 8, seed)
+	sp := graphsketch.NewSparsifier(n, 0.5, seed)
+	tri := graphsketch.NewSubgraphSketch(n, 3, 100, seed)
+	for _, up := range st.Updates {
+		conn.Update(up.U, up.V, up.Delta)
+		mc.Update(up.U, up.V, up.Delta)
+		sp.Update(up.U, up.V, up.Delta)
+		tri.Update(up.U, up.V, up.Delta)
+	}
+
+	// Ground truth for comparison.
+	g := graphsketch.FromStream(st)
+	exactCut, _ := g.StoerWagner()
+
+	fmt.Printf("connected: %v (components: %d)\n", conn.Connected(), conn.Components())
+
+	res, err := mc.MinCut()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("min cut:   sketch %d | exact %d (from level %d)\n", res.Value, exactCut, res.Level)
+
+	h, err := sp.Sparsify()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sparsifier: %d of %d edges, max cut error %.3f\n",
+		h.NumEdges(), g.NumEdges(), graphsketch.MaxCutError(g, h, 50, seed))
+
+	gamma, eff := tri.Gamma(graphsketch.PatternTriangle)
+	fmt.Printf("triangles: gamma=%.3f (%d samples) | estimated count %.0f | exact %d\n",
+		gamma, eff, tri.Count(graphsketch.PatternTriangle), graphsketch.ExactTriangles(g))
+}

@@ -1,0 +1,53 @@
+// Spanner: approximate shortest-path distances on a social-style graph
+// (preferential attachment: hubs and a heavy tail) from a compressed
+// subgraph built by adaptive sketches — the Section 5 constructions.
+//
+// Compares the two paper algorithms head to head:
+//   - Baswana-Sen emulation: k passes, stretch <= 2k-1;
+//   - RECURSECONNECT:        ~log2(k) passes, stretch <= k^{log2 5}-1.
+//
+// The tradeoff the paper proves is passes vs stretch; sizes are similar.
+package main
+
+import (
+	"fmt"
+
+	"graphsketch"
+)
+
+const (
+	n    = 80
+	seed = 2025
+)
+
+func main() {
+	st := graphsketch.PreferentialAttachment(n, 4, seed)
+	g := graphsketch.FromStream(st)
+	fmt.Printf("social graph: %d vertices, %d edges, diameter %d\n",
+		n, g.NumEdges(), g.Diameter())
+
+	fmt.Printf("\n%-18s %7s %7s %9s %9s\n", "algorithm", "passes", "edges", "stretch", "bound")
+	for _, k := range []int{2, 3, 4, 8} {
+		bs := graphsketch.BaswanaSenSpanner(st, k, seed)
+		fmt.Printf("%-18s %7d %7d %9.2f %9.0f\n",
+			fmt.Sprintf("baswana-sen k=%d", k), bs.Passes, bs.Spanner.NumEdges(),
+			graphsketch.MeasureStretch(g, bs.Spanner, 16, seed), bs.StretchBound)
+	}
+	for _, k := range []int{4, 8, 16} {
+		rc := graphsketch.RecurseConnectSpanner(st, k, seed)
+		fmt.Printf("%-18s %7d %7d %9.2f %9.1f\n",
+			fmt.Sprintf("recurse-conn k=%d", k), rc.Passes, rc.Spanner.NumEdges(),
+			graphsketch.MeasureStretch(g, rc.Spanner, 16, seed), rc.StretchBound)
+	}
+
+	// Distance queries through the k=3 Baswana-Sen spanner.
+	bs := graphsketch.BaswanaSenSpanner(st, 3, seed)
+	fmt.Printf("\nsample distance queries (k=3 spanner, %d of %d edges):\n",
+		bs.Spanner.NumEdges(), g.NumEdges())
+	pairs := [][2]int{{0, n - 1}, {1, n - 2}, {5, 70}, {12, 63}}
+	for _, p := range pairs {
+		dg := g.Distance(p[0], p[1])
+		dh := bs.Spanner.Distance(p[0], p[1])
+		fmt.Printf("  d(%2d,%2d): exact %d, spanner %d\n", p[0], p[1], dg, dh)
+	}
+}

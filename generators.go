@@ -1,0 +1,54 @@
+package graphsketch
+
+import "graphsketch/internal/stream"
+
+// Workload generators re-exported for examples and downstream users. All
+// return replayable dynamic streams (see Stream).
+
+// GNP returns an Erdos-Renyi G(n, p) insertion stream.
+func GNP(n int, p float64, seed uint64) *Stream { return stream.GNP(n, p, seed) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Stream { return stream.Complete(n) }
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Stream { return stream.Cycle(n) }
+
+// Path returns the n-path.
+func Path(n int) *Stream { return stream.Path(n) }
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Stream { return stream.Grid(rows, cols) }
+
+// Barbell returns two cliques joined by `bridges` edges (min cut exactly
+// bridges).
+func Barbell(n, bridges int) *Stream { return stream.Barbell(n, bridges) }
+
+// PlantedPartition returns a k-community graph with edge probability pIn
+// inside communities and pOut across.
+func PlantedPartition(n, k int, pIn, pOut float64, seed uint64) *Stream {
+	return stream.PlantedPartition(n, k, pIn, pOut, seed)
+}
+
+// PreferentialAttachment returns a Barabasi-Albert style graph (m edges per
+// new node).
+func PreferentialAttachment(n, m int, seed uint64) *Stream {
+	return stream.PreferentialAttachment(n, m, seed)
+}
+
+// WeightedGNP returns a G(n, p) stream whose update deltas are uniform
+// weights in [1, maxW].
+func WeightedGNP(n int, p float64, maxW int64, seed uint64) *Stream {
+	return stream.WeightedGNP(n, p, maxW, seed)
+}
+
+// Star returns the star graph with center 0.
+func Star(n int) *Stream { return stream.Star(n) }
+
+// DisjointCliques returns k disjoint cliques of size n/k.
+func DisjointCliques(n, k int) *Stream { return stream.DisjointCliques(n, k) }
+
+// BipartiteRandom returns a random bipartite graph with edge probability p.
+func BipartiteRandom(n int, p float64, seed uint64) *Stream {
+	return stream.BipartiteRandom(n, p, seed)
+}

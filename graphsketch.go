@@ -1,0 +1,344 @@
+// Package graphsketch is a Go implementation of the graph sketching
+// algorithms of Ahn, Guha, and McGregor, "Graph Sketches: Sparsification,
+// Spanners, and Subgraphs" (PODS 2012).
+//
+// A graph sketch is a small linear projection of a graph's edge-multiplicity
+// vector. Linearity buys three things at once (Sec. 1.1 of the paper):
+//
+//   - dynamic streams: deletions are negative updates that cancel
+//     insertions inside the sketch;
+//   - distributed streams: sketches of partial streams add up to the
+//     sketch of the union;
+//   - composability: summing per-node sketches over a vertex set yields a
+//     sketch of exactly the edges crossing the set's boundary.
+//
+// The package exposes one sketch type per result in the paper:
+//
+//   - ConnectivitySketch / BipartitenessSketch — the [4] primitives the
+//     paper builds on (spanning forests via l0-sampling).
+//   - MinCutSketch — Fig 1, a single-pass (1+eps) minimum cut.
+//   - SimpleSparsifier / Sparsifier / WeightedSparsifier — Figs 2-3 and
+//     Sec. 3.5: (1+eps) cut sparsifiers in one pass.
+//   - SubgraphSketch — Fig 4: additive-eps estimates of the fraction of
+//     order-k induced subgraphs matching a pattern (triangles, wedges,
+//     4-cliques, ...).
+//   - BaswanaSenSpanner / RecurseConnectSpanner — Sec. 5's adaptive
+//     (multi-pass) spanner constructions.
+//
+// Every constructor takes an explicit seed; two sketches built with the
+// same parameters and seed are mergeable with Add and behave identically on
+// identical final graphs regardless of update order.
+package graphsketch
+
+import (
+	"graphsketch/internal/agm"
+	"graphsketch/internal/core/mincut"
+	"graphsketch/internal/core/spanner"
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/subgraph"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+// Graph is a weighted undirected graph; the output type of sparsifiers,
+// spanners, and witnesses, with exact-algorithm methods (BFS, StoerWagner,
+// GomoryHu, CutValue, ...) for verification.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge with U < V.
+type Edge = graph.Edge
+
+// NewGraph creates an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Stream is a replayable dynamic graph stream (Definition 1).
+type Stream = stream.Stream
+
+// Update is one stream element: Delta applied to edge {U, V}.
+type Update = stream.Update
+
+// FromStream materializes a stream's final graph (exact baseline).
+func FromStream(s *Stream) *Graph { return graph.FromStream(s) }
+
+// ---------------------------------------------------------------------------
+// Connectivity & bipartiteness (the [4] primitives, Theorem 2.3 substrate)
+// ---------------------------------------------------------------------------
+
+// ConnectivitySketch answers connectivity queries about a dynamic graph
+// stream using O(n polylog n) space.
+type ConnectivitySketch struct{ fs *agm.ForestSketch }
+
+// NewConnectivitySketch creates a connectivity sketch for n vertices.
+func NewConnectivitySketch(n int, seed uint64) *ConnectivitySketch {
+	return &ConnectivitySketch{fs: agm.NewForestSketch(n, seed)}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (c *ConnectivitySketch) Update(u, v int, delta int64) { c.fs.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (c *ConnectivitySketch) Ingest(s *Stream) { c.fs.Ingest(s) }
+
+// Add merges a sketch built with the same (n, seed).
+func (c *ConnectivitySketch) Add(other *ConnectivitySketch) { c.fs.Add(other.fs) }
+
+// Connected reports whether the sketched graph is connected.
+func (c *ConnectivitySketch) Connected() bool { return c.fs.IsConnected() }
+
+// Components returns the number of connected components.
+func (c *ConnectivitySketch) Components() int { return c.fs.ComponentCount() }
+
+// SpanningForest extracts a spanning forest (edges carry multiplicities).
+func (c *ConnectivitySketch) SpanningForest() []Edge { return c.fs.SpanningForest() }
+
+// BipartitenessSketch decides bipartiteness of a dynamic graph stream via
+// the double-cover reduction.
+type BipartitenessSketch struct{ bs *agm.BipartitenessSketch }
+
+// NewBipartitenessSketch creates a bipartiteness sketch for n vertices.
+func NewBipartitenessSketch(n int, seed uint64) *BipartitenessSketch {
+	return &BipartitenessSketch{bs: agm.NewBipartitenessSketch(n, seed)}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (b *BipartitenessSketch) Update(u, v int, delta int64) { b.bs.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (b *BipartitenessSketch) Ingest(s *Stream) { b.bs.Ingest(s) }
+
+// Bipartite reports whether the sketched graph is bipartite.
+func (b *BipartitenessSketch) Bipartite() bool { return b.bs.IsBipartite() }
+
+// MSTSketch approximates a minimum-weight spanning forest of a weighted
+// dynamic stream (|delta| carries the edge weight) — the remaining [4]
+// primitive. The weight is within a factor 2 of optimal (powers-of-two
+// class granularity); sampled edges report their true weights.
+type MSTSketch struct{ sk *agm.MSTSketch }
+
+// NewMSTSketch creates an MST sketch for weights in [1, maxWeight].
+func NewMSTSketch(n int, maxWeight int64, seed uint64) *MSTSketch {
+	return &MSTSketch{sk: agm.NewMSTSketch(n, maxWeight, seed)}
+}
+
+// Update applies a signed weighted change to edge {u, v}.
+func (m *MSTSketch) Update(u, v int, delta int64) { m.sk.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (m *MSTSketch) Ingest(s *Stream) { m.sk.Ingest(s) }
+
+// Add merges a sketch built with the same parameters and seed.
+func (m *MSTSketch) Add(other *MSTSketch) { m.sk.Add(other.sk) }
+
+// ApproxMSF extracts the approximate minimum spanning forest and its
+// total weight.
+func (m *MSTSketch) ApproxMSF() ([]Edge, int64) { return m.sk.ApproxMSF() }
+
+// ---------------------------------------------------------------------------
+// Minimum cut (Fig 1, Theorem 3.2)
+// ---------------------------------------------------------------------------
+
+// MinCutSketch is the single-pass (1+eps)-approximate minimum cut sketch.
+type MinCutSketch struct{ sk *mincut.Sketch }
+
+// MinCutResult reports the estimate and diagnostics.
+type MinCutResult = mincut.Result
+
+// NewMinCutSketch creates a min-cut sketch for n vertices targeting
+// relative error eps (eps <= 0 defaults to 0.5).
+func NewMinCutSketch(n int, eps float64, seed uint64) *MinCutSketch {
+	return &MinCutSketch{sk: mincut.New(mincut.Config{N: n, Epsilon: eps, Seed: seed})}
+}
+
+// NewMinCutSketchK creates a min-cut sketch with an explicit connectivity
+// parameter k (the witness keeps all cuts of size < k exact).
+func NewMinCutSketchK(n, k int, seed uint64) *MinCutSketch {
+	return &MinCutSketch{sk: mincut.New(mincut.Config{N: n, K: k, Seed: seed})}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (m *MinCutSketch) Update(u, v int, delta int64) { m.sk.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (m *MinCutSketch) Ingest(s *Stream) { m.sk.Ingest(s) }
+
+// Add merges a sketch built with the same parameters and seed.
+func (m *MinCutSketch) Add(other *MinCutSketch) { m.sk.Add(other.sk) }
+
+// MinCut runs the Fig 1 post-processing. Consumes the sketch; call once.
+func (m *MinCutSketch) MinCut() (MinCutResult, error) { return m.sk.MinCut() }
+
+// Words reports the sketch size in 64-bit words.
+func (m *MinCutSketch) Words() int { return m.sk.Words() }
+
+// ---------------------------------------------------------------------------
+// Sparsification (Figs 2-3, Sec. 3.5)
+// ---------------------------------------------------------------------------
+
+// SimpleSparsifier is SIMPLE-SPARSIFICATION (Fig 2, Theorem 3.3).
+type SimpleSparsifier struct{ sk *sparsify.Simple }
+
+// NewSimpleSparsifier creates a Fig 2 sketch targeting cut error eps.
+func NewSimpleSparsifier(n int, eps float64, seed uint64) *SimpleSparsifier {
+	return &SimpleSparsifier{sk: sparsify.NewSimple(sparsify.SimpleConfig{N: n, Epsilon: eps, Seed: seed})}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (s *SimpleSparsifier) Update(u, v int, delta int64) { s.sk.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (s *SimpleSparsifier) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// Add merges a sketch built with the same parameters and seed.
+func (s *SimpleSparsifier) Add(other *SimpleSparsifier) { s.sk.Add(other.sk) }
+
+// Sparsify extracts the weighted sparsifier. Consumes the sketch.
+func (s *SimpleSparsifier) Sparsify() (*Graph, error) { return s.sk.Sparsify() }
+
+// Words reports the sketch size in 64-bit words.
+func (s *SimpleSparsifier) Words() int { return s.sk.Words() }
+
+// Sparsifier is SPARSIFICATION (Fig 3, Theorem 3.4): rough sparsifier +
+// Gomory-Hu guided sparse recovery. The paper's headline construction.
+type Sparsifier struct{ sk *sparsify.Sketch }
+
+// NewSparsifier creates a Fig 3 sketch targeting cut error eps.
+func NewSparsifier(n int, eps float64, seed uint64) *Sparsifier {
+	return &Sparsifier{sk: sparsify.New(sparsify.Config{N: n, Epsilon: eps, Seed: seed})}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (s *Sparsifier) Update(u, v int, delta int64) { s.sk.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (s *Sparsifier) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// Add merges a sketch built with the same parameters and seed.
+func (s *Sparsifier) Add(other *Sparsifier) { s.sk.Add(other.sk) }
+
+// Sparsify extracts the weighted sparsifier. Consumes the sketch.
+func (s *Sparsifier) Sparsify() (*Graph, error) { return s.sk.Sparsify() }
+
+// Words reports the sketch size in 64-bit words.
+func (s *Sparsifier) Words() int { return s.sk.Words() }
+
+// WeightedSparsifier sparsifies weighted graphs by powers-of-two weight
+// classes (Sec. 3.5, Theorem 3.8). |delta| of each update is the edge's
+// weight.
+type WeightedSparsifier struct{ sk *sparsify.Weighted }
+
+// NewWeightedSparsifier creates a weighted sparsifier for weights in
+// [1, maxWeight].
+func NewWeightedSparsifier(n int, eps float64, maxWeight int64, seed uint64) *WeightedSparsifier {
+	return &WeightedSparsifier{sk: sparsify.NewWeighted(sparsify.WeightedConfig{
+		N: n, Epsilon: eps, MaxWeight: maxWeight, Seed: seed,
+	})}
+}
+
+// Update applies a signed weighted change to edge {u, v}.
+func (w *WeightedSparsifier) Update(u, v int, delta int64) { w.sk.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (w *WeightedSparsifier) Ingest(st *Stream) { w.sk.Ingest(st) }
+
+// Sparsify extracts the weighted sparsifier. Consumes the sketch.
+func (w *WeightedSparsifier) Sparsify() (*Graph, error) { return w.sk.Sparsify() }
+
+// MaxCutError measures the worst relative cut error of h against g over
+// singleton cuts and `random` pseudorandom bisections — the sparsifier
+// quality metric used throughout the benches.
+func MaxCutError(g, h *Graph, random int, seed uint64) float64 {
+	return sparsify.MaxCutError(g, h, random, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Subgraph counting (Fig 4, Theorem 4.1)
+// ---------------------------------------------------------------------------
+
+// Pattern bitmaps for SubgraphSketch (see internal/core/subgraph for the
+// pair-position encoding).
+const (
+	// PatternTriangle is K3 (order 3).
+	PatternTriangle = subgraph.Triangle
+	// PatternWedge is the 2-edge path on 3 vertices.
+	PatternWedge = subgraph.Wedge
+	// PatternFourClique is K4 (order 4).
+	PatternFourClique = subgraph.FourClique
+	// PatternFourCycle is C4 (order 4).
+	PatternFourCycle = subgraph.FourCycle
+	// PatternFourPath is P4 (order 4).
+	PatternFourPath = subgraph.FourPath
+	// PatternFourStar is K1,3 (order 4).
+	PatternFourStar = subgraph.FourStar
+)
+
+// SubgraphSketch estimates gamma_H(G): the fraction of non-empty order-k
+// induced subgraphs isomorphic to a pattern H, to additive eps with
+// samples = ceil(1/eps^2).
+type SubgraphSketch struct{ sk *subgraph.Sketch }
+
+// NewSubgraphSketch creates a sketch for order-k patterns (2 <= k <= 5)
+// drawing `samples` independent l0-samples of squash(X_G).
+func NewSubgraphSketch(n, k, samples int, seed uint64) *SubgraphSketch {
+	return &SubgraphSketch{sk: subgraph.New(n, k, samples, seed)}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (s *SubgraphSketch) Update(u, v int, delta int64) { s.sk.Update(u, v, delta) }
+
+// Ingest replays a whole stream.
+func (s *SubgraphSketch) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// Add merges a sketch built with the same parameters and seed.
+func (s *SubgraphSketch) Add(other *SubgraphSketch) { s.sk.Add(other.sk) }
+
+// Gamma estimates gamma_H for a pattern bitmap; effective is the number of
+// usable samples.
+func (s *SubgraphSketch) Gamma(pattern uint64) (gamma float64, effective int) {
+	return s.sk.GammaEstimate(pattern)
+}
+
+// Count estimates the absolute number of induced subgraphs isomorphic to
+// the pattern.
+func (s *SubgraphSketch) Count(pattern uint64) float64 { return s.sk.CountEstimate(pattern) }
+
+// NonEmpty estimates the number of non-empty order-k induced subgraphs.
+func (s *SubgraphSketch) NonEmpty() float64 { return s.sk.NonEmptyEstimate() }
+
+// Words reports the sketch size in 64-bit words.
+func (s *SubgraphSketch) Words() int { return s.sk.Words() }
+
+// ExactTriangles counts triangles exactly (ground-truth baseline).
+func ExactTriangles(g *Graph) int64 { return subgraph.CountTriangles(g) }
+
+// ---------------------------------------------------------------------------
+// Spanners (Sec. 5, adaptive sketches)
+// ---------------------------------------------------------------------------
+
+// SpannerResult reports a spanner with construction diagnostics.
+type SpannerResult struct {
+	// Spanner is the subgraph H with d_H <= stretch * d_G.
+	Spanner *Graph
+	// Passes is the number of stream passes (sketch batches) used.
+	Passes int
+	// StretchBound is the construction's guarantee.
+	StretchBound float64
+}
+
+// BaswanaSenSpanner builds a (2k-1)-spanner in k passes over the stream.
+func BaswanaSenSpanner(st *Stream, k int, seed uint64) SpannerResult {
+	r := spanner.BaswanaSen(st, k, seed)
+	return SpannerResult{Spanner: r.Spanner, Passes: r.Passes, StretchBound: float64(r.StretchBound)}
+}
+
+// RecurseConnectSpanner builds a (k^{log2 5}-1)-spanner in ~log2(k) passes
+// (Theorem 5.1).
+func RecurseConnectSpanner(st *Stream, k int, seed uint64) SpannerResult {
+	r := spanner.RecurseConnect(st, k, seed)
+	return SpannerResult{Spanner: r.Spanner, Passes: r.Passes, StretchBound: r.StretchBound}
+}
+
+// MeasureStretch returns the worst observed distance ratio d_H/d_G over
+// BFS from `sources` random roots (+Inf if H fails to span G).
+func MeasureStretch(g, h *Graph, sources int, seed uint64) float64 {
+	return spanner.MeasureStretch(g, h, sources, seed)
+}

@@ -1,0 +1,176 @@
+// Package agm implements the linear graph sketches of Ahn, Guha, and
+// McGregor's earlier paper [4] ("Analyzing graph structure via linear
+// measurements", SODA 2012) that this paper builds on:
+//
+//   - node-incidence vectors x^u (Eq. 1 of Sec. 3.3): for edge (v,w) with
+//     v < w, x^u[(v,w)] = +1 if u = v, -1 if u = w. The key identity is
+//     support(sum_{u in A} x^u) = E(A, V\A): summing node sketches over any
+//     vertex set leaves exactly the crossing edges (internal edges cancel).
+//   - spanning-forest extraction by Boruvka over l0-samplers, using a fresh
+//     bank of samplers per round so that conditioning on earlier samples
+//     never poisons later ones;
+//   - connectivity and component counting;
+//   - bipartiteness via the double cover (G is bipartite iff its double
+//     cover has exactly twice as many components);
+//   - k-EDGECONNECT (Theorem 2.3): k edge-disjoint spanning forests peeled
+//     out of k sketch banks by linearity; their union is a witness H that
+//     contains every edge crossing any cut of size <= k.
+package agm
+
+import (
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/stream"
+)
+
+// samplerReps is the per-sampler repetition count used inside
+// ForestSketch. Boruvka only needs each component's sample to succeed with
+// constant probability per round (failed components retry next round with
+// the slack rounds of boruvkaRounds), so this is deliberately leaner than
+// l0.DefaultReps. Ablated in BenchmarkAblationBoruvkaReps.
+const samplerReps = 4
+
+// ForestSketch maintains, for every vertex, one l0-sampler of its incidence
+// vector per Boruvka round. Linear: supports edge inserts and deletes.
+type ForestSketch struct {
+	n      int
+	rounds int
+	seed   uint64
+	node   [][]*l0.Sampler // [round][vertex]
+}
+
+// boruvkaRounds returns the number of independent sampler banks: Boruvka
+// halves the component count each successful round, so log2(n) + slack.
+func boruvkaRounds(n int) int {
+	r := 4 // slack: unproductive rounds retry with fresh samplers
+	for m := 1; m < n; m <<= 1 {
+		r++
+	}
+	return r
+}
+
+// NewForestSketch creates a sketch for graphs on n vertices.
+func NewForestSketch(n int, seed uint64) *ForestSketch {
+	fs := &ForestSketch{n: n, rounds: boruvkaRounds(n), seed: seed}
+	universe := uint64(n) * uint64(n)
+	fs.node = make([][]*l0.Sampler, fs.rounds)
+	for r := 0; r < fs.rounds; r++ {
+		bank := make([]*l0.Sampler, n)
+		rs := hashing.DeriveSeed(seed, uint64(r))
+		for v := 0; v < n; v++ {
+			// All samplers in one round share a seed so they are mergeable;
+			// different rounds are independent.
+			bank[v] = l0.NewWithReps(universe, rs, samplerReps)
+		}
+		fs.node[r] = bank
+	}
+	return fs
+}
+
+// N returns the vertex count.
+func (fs *ForestSketch) N() int { return fs.n }
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (fs *ForestSketch) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	idx := stream.EdgeIndex(u, v, fs.n)
+	for r := 0; r < fs.rounds; r++ {
+		fs.node[r][u].Update(idx, delta)
+		fs.node[r][v].Update(idx, -delta)
+	}
+}
+
+// Ingest replays a whole stream into the sketch.
+func (fs *ForestSketch) Ingest(s *stream.Stream) {
+	for _, up := range s.Updates {
+		fs.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Add merges another ForestSketch (same n and seed required): the
+// distributed-streams operation of Sec. 1.1.
+func (fs *ForestSketch) Add(other *ForestSketch) {
+	if fs.n != other.n || fs.seed != other.seed || fs.rounds != other.rounds {
+		panic("agm: merging incompatible forest sketches")
+	}
+	for r := 0; r < fs.rounds; r++ {
+		for v := 0; v < fs.n; v++ {
+			fs.node[r][v].Add(other.node[r][v])
+		}
+	}
+}
+
+// SpanningForest extracts a spanning forest of the sketched graph via
+// Boruvka: each round, every component samples one outgoing edge from the
+// sum of its members' samplers. Returns forest edges with the multiplicity
+// observed in the sample. The sketch is not modified.
+func (fs *ForestSketch) SpanningForest() []graph.Edge {
+	return fs.SpanningForestFrom(graph.NewDSU(fs.n))
+}
+
+// SpanningForestFrom runs the Boruvka extraction starting from an existing
+// partition: only edges joining distinct dsu components are added, and dsu
+// is advanced in place. The MST sketch uses this to refine a partition
+// class by weight class.
+func (fs *ForestSketch) SpanningForestFrom(dsu *graph.DSU) []graph.Edge {
+	var forest []graph.Edge
+	for r := 0; r < fs.rounds && dsu.Count() > 1; r++ {
+		// Aggregate this round's samplers by component.
+		aggs := make(map[int]*l0.Sampler)
+		for v := 0; v < fs.n; v++ {
+			root := dsu.Find(v)
+			if agg, ok := aggs[root]; ok {
+				agg.Add(fs.node[r][v])
+			} else {
+				aggs[root] = fs.node[r][v].Clone()
+			}
+		}
+		// A round where every component's sample fails is not terminal:
+		// later rounds retry with fresh, independent samplers. (An empty
+		// sketch — true isolated components — also lands here; the loop
+		// simply exhausts its rounds.)
+		for _, agg := range aggs {
+			idx, w, ok := agg.Sample()
+			if !ok {
+				continue
+			}
+			u, v := stream.EdgeFromIndex(idx, fs.n)
+			mult := w
+			if mult < 0 {
+				mult = -mult
+			}
+			if dsu.Union(u, v) {
+				forest = append(forest, graph.Edge{U: u, V: v, W: mult})
+			}
+		}
+	}
+	return forest
+}
+
+// ComponentCount returns the number of connected components, counting
+// isolated vertices as their own components.
+func (fs *ForestSketch) ComponentCount() int {
+	return fs.n - len(fs.SpanningForest())
+}
+
+// IsConnected reports whether the sketched graph is connected.
+func (fs *ForestSketch) IsConnected() bool {
+	return fs.ComponentCount() <= 1
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (fs *ForestSketch) Words() int {
+	w := 0
+	for r := range fs.node {
+		for v := range fs.node[r] {
+			w += fs.node[r][v].Words()
+		}
+	}
+	return w
+}

@@ -1,0 +1,295 @@
+package agm
+
+import (
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func forestFromStream(s *stream.Stream, seed uint64) []graph.Edge {
+	fs := NewForestSketch(s.N, seed)
+	fs.Ingest(s)
+	return fs.SpanningForest()
+}
+
+func TestSpanningForestConnectedGraph(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		s := stream.GNP(40, 0.2, seed)
+		g := graph.FromStream(s)
+		_, cc := g.Components()
+		forest := forestFromStream(s, seed+100)
+		if len(forest) != 40-cc {
+			t.Fatalf("seed %d: forest has %d edges, want n-cc = %d", seed, len(forest), 40-cc)
+		}
+		// Every forest edge must be a real edge, and the forest is acyclic.
+		dsu := graph.NewDSU(40)
+		for _, e := range forest {
+			if !g.HasEdge(e.U, e.V) {
+				t.Fatalf("forest edge (%d,%d) not in graph", e.U, e.V)
+			}
+			if !dsu.Union(e.U, e.V) {
+				t.Fatalf("forest has a cycle at (%d,%d)", e.U, e.V)
+			}
+		}
+	}
+}
+
+func TestSpanningForestDisconnected(t *testing.T) {
+	s := stream.DisjointCliques(30, 3)
+	forest := forestFromStream(s, 7)
+	if len(forest) != 27 {
+		t.Fatalf("3 cliques of 10: want 27 forest edges, got %d", len(forest))
+	}
+	dsu := graph.NewDSU(30)
+	for _, e := range forest {
+		if e.U/10 != e.V/10 {
+			t.Fatal("forest edge crosses cliques — impossible")
+		}
+		dsu.Union(e.U, e.V)
+	}
+	if dsu.Count() != 3 {
+		t.Fatalf("forest components = %d, want 3", dsu.Count())
+	}
+}
+
+func TestComponentCount(t *testing.T) {
+	cases := []struct {
+		s    *stream.Stream
+		want int
+	}{
+		{stream.Cycle(20), 1},
+		{stream.DisjointCliques(40, 4), 4},
+		{stream.Path(15), 1},
+		{&stream.Stream{N: 10}, 10}, // empty graph
+	}
+	for i, c := range cases {
+		fs := NewForestSketch(c.s.N, uint64(i)+50)
+		fs.Ingest(c.s)
+		if got := fs.ComponentCount(); got != c.want {
+			t.Errorf("case %d: components = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestConnectivityUnderDeletions(t *testing.T) {
+	// Cycle stays connected when one edge is deleted, splits with two.
+	s := stream.Cycle(16)
+	s.Updates = append(s.Updates, stream.Update{U: 0, V: 1, Delta: -1})
+	fs := NewForestSketch(16, 3)
+	fs.Ingest(s)
+	if !fs.IsConnected() {
+		t.Fatal("cycle minus one edge is still connected (a path)")
+	}
+	s.Updates = append(s.Updates, stream.Update{U: 8, V: 9, Delta: -1})
+	fs2 := NewForestSketch(16, 4)
+	fs2.Ingest(s)
+	if got := fs2.ComponentCount(); got != 2 {
+		t.Fatalf("cycle minus two edges: components = %d, want 2", got)
+	}
+}
+
+func TestConnectivityWithChurn(t *testing.T) {
+	s := stream.GNP(30, 0.15, 9).WithChurn(2000, 10)
+	g := graph.FromStream(s)
+	_, want := g.Components()
+	fs := NewForestSketch(30, 11)
+	fs.Ingest(s)
+	if got := fs.ComponentCount(); got != want {
+		t.Fatalf("churned stream: components = %d, want %d", got, want)
+	}
+}
+
+func TestForestSketchMergeDistributed(t *testing.T) {
+	s := stream.GNP(30, 0.2, 13)
+	parts := s.Partition(4, 5)
+	merged := NewForestSketch(30, 21)
+	for _, p := range parts {
+		site := NewForestSketch(30, 21)
+		site.Ingest(p)
+		merged.Add(site)
+	}
+	whole := NewForestSketch(30, 21)
+	whole.Ingest(s)
+	if merged.ComponentCount() != whole.ComponentCount() {
+		t.Fatal("merged sketch decision differs from whole-stream sketch")
+	}
+	g := graph.FromStream(s)
+	_, want := g.Components()
+	if merged.ComponentCount() != want {
+		t.Fatalf("merged components = %d, want %d", merged.ComponentCount(), want)
+	}
+}
+
+func TestMultigraphMultiplicities(t *testing.T) {
+	// Edge with multiplicity 3, partially deleted, still connects.
+	s := &stream.Stream{N: 3, Updates: []stream.Update{
+		{U: 0, V: 1, Delta: 3},
+		{U: 0, V: 1, Delta: -2},
+		{U: 1, V: 2, Delta: 1},
+	}}
+	fs := NewForestSketch(3, 8)
+	fs.Ingest(s)
+	if !fs.IsConnected() {
+		t.Fatal("multigraph with surviving multiplicity should be connected")
+	}
+}
+
+func TestWitnessCapturesSmallCuts(t *testing.T) {
+	// Theorem 2.3's witness property, checked exactly: every edge crossing
+	// a cut of size <= k must be in H. The barbell's bridge cut is the
+	// minimum cut; all its bridges must appear.
+	for _, bridges := range []int{1, 2, 3} {
+		s := stream.Barbell(16, bridges)
+		k := 4
+		ec := NewEdgeConnectSketch(16, k, uint64(bridges)*31)
+		ec.Ingest(s)
+		h := ec.Witness()
+		g := graph.FromStream(s)
+		side := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			side[i] = true
+		}
+		for _, e := range g.Edges() {
+			if side[e.U] != side[e.V] { // bridge edge
+				if !h.HasEdge(e.U, e.V) {
+					t.Fatalf("bridges=%d: witness missing bridge (%d,%d)", bridges, e.U, e.V)
+				}
+			}
+		}
+		// Witness min cut must equal the true min cut (both < k).
+		wantCut, _ := g.StoerWagner()
+		gotCut, _ := h.StoerWagner()
+		if gotCut != wantCut {
+			t.Fatalf("bridges=%d: witness min cut %d, want %d", bridges, gotCut, wantCut)
+		}
+	}
+}
+
+func TestWitnessEdgeBudget(t *testing.T) {
+	// |H| <= k * n (k forests of < n edges each).
+	s := stream.GNP(32, 0.5, 3)
+	k := 3
+	ec := NewEdgeConnectSketch(32, k, 77)
+	ec.Ingest(s)
+	h := ec.Witness()
+	if h.NumEdges() > k*32 {
+		t.Fatalf("witness has %d edges, budget %d", h.NumEdges(), k*32)
+	}
+}
+
+func TestWitnessPreservesMinCutRandom(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		s := stream.GNP(24, 0.25, seed)
+		g := graph.FromStream(s)
+		if !g.IsConnected() {
+			continue
+		}
+		want, _ := g.StoerWagner()
+		if want >= 8 {
+			continue // need min cut < k for exact preservation
+		}
+		ec := NewEdgeConnectSketch(24, 8, seed+200)
+		ec.Ingest(s)
+		h := ec.Witness()
+		got, _ := h.StoerWagner()
+		if got != want {
+			t.Fatalf("seed %d: witness min cut %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestIsKConnected(t *testing.T) {
+	// K6 is 5-edge-connected.
+	ec := NewEdgeConnectSketch(6, 3, 5)
+	ec.Ingest(stream.Complete(6))
+	if !ec.IsKConnected() {
+		t.Fatal("K6 should be 3-edge-connected")
+	}
+	// A path is not 2-edge-connected.
+	ec2 := NewEdgeConnectSketch(6, 2, 6)
+	ec2.Ingest(stream.Path(6))
+	if ec2.IsKConnected() {
+		t.Fatal("path is not 2-edge-connected")
+	}
+}
+
+func TestEdgeConnectMerge(t *testing.T) {
+	s := stream.Barbell(12, 2)
+	parts := s.Partition(3, 9)
+	merged := NewEdgeConnectSketch(12, 4, 55)
+	for _, p := range parts {
+		site := NewEdgeConnectSketch(12, 4, 55)
+		site.Ingest(p)
+		merged.Add(site)
+	}
+	h := merged.Witness()
+	got, _ := h.StoerWagner()
+	if got != 2 {
+		t.Fatalf("merged witness min cut = %d, want 2", got)
+	}
+}
+
+func TestBipartiteness(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *stream.Stream
+		want bool
+	}{
+		{"grid", stream.Grid(4, 4), true},
+		{"even cycle", stream.Cycle(12), true},
+		{"odd cycle", stream.Cycle(13), false},
+		{"K4", stream.Complete(4), false},
+		{"random bipartite", stream.BipartiteRandom(20, 0.4, 3), true},
+		{"path", stream.Path(9), true},
+	}
+	for _, c := range cases {
+		bs := NewBipartitenessSketch(c.s.N, 17)
+		bs.Ingest(c.s)
+		if got := bs.IsBipartite(); got != c.want {
+			t.Errorf("%s: IsBipartite = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBipartitenessUnderDeletions(t *testing.T) {
+	// Odd cycle becomes bipartite (a path) when an edge is deleted.
+	s := stream.Cycle(9)
+	bs := NewBipartitenessSketch(9, 23)
+	bs.Ingest(s)
+	if bs.IsBipartite() {
+		t.Fatal("odd cycle is not bipartite")
+	}
+	s.Updates = append(s.Updates, stream.Update{U: 0, V: 1, Delta: -1})
+	bs2 := NewBipartitenessSketch(9, 24)
+	bs2.Ingest(s)
+	if !bs2.IsBipartite() {
+		t.Fatal("odd cycle minus an edge is a path: bipartite")
+	}
+}
+
+func TestWordsScale(t *testing.T) {
+	small := NewForestSketch(16, 1).Words()
+	big := NewForestSketch(64, 1).Words()
+	if big <= small {
+		t.Fatal("sketch must grow with n")
+	}
+}
+
+func BenchmarkForestSketchUpdate(b *testing.B) {
+	fs := NewForestSketch(256, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs.Update(i%255, (i+1)%255+1, 1)
+	}
+}
+
+func BenchmarkSpanningForestN64(b *testing.B) {
+	s := stream.GNP(64, 0.2, 1)
+	fs := NewForestSketch(64, 1)
+	fs.Ingest(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.SpanningForest()
+	}
+}

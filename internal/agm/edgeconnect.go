@@ -1,0 +1,153 @@
+package agm
+
+import (
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/stream"
+)
+
+// EdgeConnectSketch implements k-EDGECONNECT (Theorem 2.3): a linear sketch
+// from which a subgraph H with O(kn) edges can be extracted such that every
+// edge that participates in a cut of size <= k in the input graph belongs
+// to H.
+//
+// Construction: k independent ForestSketch banks. In post-processing,
+// extract a spanning forest F_1 from bank 1; subtract F_1's edges (by
+// linearity) from banks 2..k; extract F_2 from bank 2; and so on. The union
+// F_1 ∪ ... ∪ F_k is the witness: any cut with c <= k crossing edges has
+// all of them picked up, because each F_i either contains a crossing edge
+// not in F_1..F_{i-1} or the remaining graph no longer connects across the
+// cut — and a cut of size <= k is exhausted within k forests.
+type EdgeConnectSketch struct {
+	n     int
+	k     int
+	seed  uint64
+	banks []*ForestSketch
+}
+
+// NewEdgeConnectSketch creates a sketch for parameter k on n vertices.
+func NewEdgeConnectSketch(n, k int, seed uint64) *EdgeConnectSketch {
+	if k < 1 {
+		k = 1
+	}
+	ec := &EdgeConnectSketch{n: n, k: k, seed: seed}
+	ec.banks = make([]*ForestSketch, k)
+	for i := 0; i < k; i++ {
+		ec.banks[i] = NewForestSketch(n, hashing.DeriveSeed(seed, 0xec00+uint64(i)))
+	}
+	return ec
+}
+
+// K returns the connectivity parameter.
+func (ec *EdgeConnectSketch) K() int { return ec.k }
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (ec *EdgeConnectSketch) Update(u, v int, delta int64) {
+	for _, b := range ec.banks {
+		b.Update(u, v, delta)
+	}
+}
+
+// Ingest replays a whole stream.
+func (ec *EdgeConnectSketch) Ingest(s *stream.Stream) {
+	for _, up := range s.Updates {
+		ec.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Add merges another EdgeConnectSketch (same n, k, seed).
+func (ec *EdgeConnectSketch) Add(other *EdgeConnectSketch) {
+	if ec.n != other.n || ec.k != other.k || ec.seed != other.seed {
+		panic("agm: merging incompatible edge-connect sketches")
+	}
+	for i := range ec.banks {
+		ec.banks[i].Add(other.banks[i])
+	}
+}
+
+// Witness extracts the subgraph H = F_1 ∪ ... ∪ F_k. The extraction
+// mutates later banks (it subtracts earlier forests), so Witness should be
+// called once, after the stream is consumed. Edges carry their sampled
+// multiplicities.
+func (ec *EdgeConnectSketch) Witness() *graph.Graph {
+	h := graph.New(ec.n)
+	for i := 0; i < ec.k; i++ {
+		forest := ec.banks[i].SpanningForest()
+		for _, e := range forest {
+			h.AddEdge(e.U, e.V, e.W)
+			// Remove this edge entirely from all later banks so forest
+			// i+1 is edge-disjoint from F_1..F_i.
+			for j := i + 1; j < ec.k; j++ {
+				ec.banks[j].Update(e.U, e.V, -e.W)
+			}
+		}
+	}
+	return h
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (ec *EdgeConnectSketch) Words() int {
+	w := 0
+	for _, b := range ec.banks {
+		w += b.Words()
+	}
+	return w
+}
+
+// IsKConnected reports whether the sketched graph is k-edge-connected,
+// judged from the witness: the witness preserves all cuts of size < k
+// exactly, so its min cut is < k iff the graph's is. Call once (consumes
+// the sketch like Witness).
+func (ec *EdgeConnectSketch) IsKConnected() bool {
+	h := ec.Witness()
+	if !h.IsConnected() {
+		return false
+	}
+	// The witness contains every edge of every cut of size <= k, and at
+	// least k edges of every larger cut, so mincut(H) >= k iff
+	// mincut(G) >= k.
+	val, _ := h.StoerWagner()
+	return val >= int64(ec.k)
+}
+
+// BipartitenessSketch tests bipartiteness via the double cover D(G):
+// each vertex v becomes v0 = v and v1 = v + n; each edge {u,v} becomes
+// {u0, v1} and {u1, v0}. G is bipartite iff cc(D(G)) == 2*cc(G).
+type BipartitenessSketch struct {
+	n      int
+	base   *ForestSketch // sketch of G
+	double *ForestSketch // sketch of D(G)
+}
+
+// NewBipartitenessSketch creates the paired sketches.
+func NewBipartitenessSketch(n int, seed uint64) *BipartitenessSketch {
+	return &BipartitenessSketch{
+		n:      n,
+		base:   NewForestSketch(n, hashing.DeriveSeed(seed, 0xb1)),
+		double: NewForestSketch(2*n, hashing.DeriveSeed(seed, 0xb2)),
+	}
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (bs *BipartitenessSketch) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	bs.base.Update(u, v, delta)
+	bs.double.Update(u, v+bs.n, delta)
+	bs.double.Update(u+bs.n, v, delta)
+}
+
+// Ingest replays a whole stream.
+func (bs *BipartitenessSketch) Ingest(s *stream.Stream) {
+	for _, up := range s.Updates {
+		bs.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// IsBipartite decides bipartiteness of the sketched graph.
+func (bs *BipartitenessSketch) IsBipartite() bool {
+	ccG := bs.base.ComponentCount()
+	ccD := bs.double.ComponentCount()
+	return ccD == 2*ccG
+}

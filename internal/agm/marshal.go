@@ -1,0 +1,78 @@
+package agm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+var fsMagic = [4]byte{'A', 'G', 'M', '1'}
+
+// ErrBadEncoding is returned for corrupt or incompatible encodings.
+var ErrBadEncoding = errors.New("agm: bad encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler for ForestSketch.
+// Format: magic, (n, seed, rounds) u64 LE, then rounds*n length-prefixed
+// l0-sampler encodings. This is the payload a distributed site ships to
+// the coordinator (Sec. 1.1).
+func (fs *ForestSketch) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, fsMagic[:]...)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(fs.n))
+	binary.LittleEndian.PutUint64(hdr[8:], fs.seed)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(fs.rounds))
+	buf = append(buf, hdr[:]...)
+	for r := 0; r < fs.rounds; r++ {
+		for v := 0; v < fs.n; v++ {
+			enc, err := fs.node[r][v].MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			var l [8]byte
+			binary.LittleEndian.PutUint64(l[:], uint64(len(enc)))
+			buf = append(buf, l[:]...)
+			buf = append(buf, enc...)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (fs *ForestSketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 28 || [4]byte(data[0:4]) != fsMagic {
+		return ErrBadEncoding
+	}
+	n := int(binary.LittleEndian.Uint64(data[4:]))
+	seed := binary.LittleEndian.Uint64(data[12:])
+	rounds := int(binary.LittleEndian.Uint64(data[20:]))
+	if n < 1 || n > 1<<24 || rounds < 1 || rounds > 128 {
+		return fmt.Errorf("%w: implausible shape n=%d rounds=%d", ErrBadEncoding, n, rounds)
+	}
+	fresh := NewForestSketch(n, seed)
+	if fresh.rounds != rounds {
+		return fmt.Errorf("%w: round count mismatch for n=%d", ErrBadEncoding, n)
+	}
+	rest := data[28:]
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			if len(rest) < 8 {
+				return ErrBadEncoding
+			}
+			l := binary.LittleEndian.Uint64(rest[:8])
+			rest = rest[8:]
+			if uint64(len(rest)) < l {
+				return ErrBadEncoding
+			}
+			if err := fresh.node[r][v].UnmarshalBinary(rest[:l]); err != nil {
+				return err
+			}
+			rest = rest[l:]
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*fs = *fresh
+	return nil
+}

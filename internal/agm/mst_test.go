@@ -1,0 +1,109 @@
+package agm
+
+import (
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func TestExactMSFKruskal(t *testing.T) {
+	// Triangle with weights 1, 2, 10: MST keeps {1, 2}.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 10)
+	forest, total := g.MinimumSpanningForest()
+	if len(forest) != 2 || total != 3 {
+		t.Fatalf("MST = %v (total %d), want weight 3", forest, total)
+	}
+}
+
+func TestMSTSketchAvoidsHeavyEdge(t *testing.T) {
+	// Cycle of weight-1 edges plus one weight-8 chord: the spanning tree
+	// must avoid the chord (it can break the cycle instead).
+	st := &stream.Stream{N: 8}
+	for i := 0; i < 8; i++ {
+		st.Updates = append(st.Updates, stream.Update{U: i, V: (i + 1) % 8, Delta: 1})
+	}
+	st.Updates = append(st.Updates, stream.Update{U: 0, V: 4, Delta: 8})
+	m := NewMSTSketch(8, 8, 3)
+	m.Ingest(st)
+	forest, total := m.ApproxMSF()
+	if len(forest) != 7 {
+		t.Fatalf("spanning tree needs 7 edges, got %d", len(forest))
+	}
+	if total != 7 {
+		t.Fatalf("tree weight %d, want 7 (all unit edges)", total)
+	}
+}
+
+func TestMSTSketchMatchesKruskalShape(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		st := stream.WeightedGNP(24, 0.3, 16, seed)
+		g := graph.FromStream(st)
+		_, exact := g.MinimumSpanningForest()
+		if exact == 0 {
+			continue
+		}
+		m := NewMSTSketch(24, 16, seed+50)
+		m.Ingest(st)
+		forest, total := m.ApproxMSF()
+		// Spanning: same component structure as g.
+		dsu := graph.NewDSU(24)
+		for _, e := range forest {
+			if !g.HasEdge(e.U, e.V) {
+				t.Fatalf("seed %d: tree edge (%d,%d) not in graph", seed, e.U, e.V)
+			}
+			if g.Weight(e.U, e.V) != e.W {
+				t.Fatalf("seed %d: sampled weight %d != true weight %d", seed, e.W, g.Weight(e.U, e.V))
+			}
+			dsu.Union(e.U, e.V)
+		}
+		_, cc := g.Components()
+		if dsu.Count() != cc {
+			t.Fatalf("seed %d: forest has %d components, graph has %d", seed, dsu.Count(), cc)
+		}
+		// Weight within the class-granularity factor 2 of optimal.
+		if total > 2*exact {
+			t.Fatalf("seed %d: approx MSF weight %d > 2x exact %d", seed, total, exact)
+		}
+		if total < exact {
+			t.Fatalf("seed %d: approx %d below exact %d — impossible", seed, total, exact)
+		}
+	}
+}
+
+func TestMSTSketchDeletions(t *testing.T) {
+	// Insert a cheap bridge, delete it: the tree must fall back to the
+	// expensive one.
+	st := &stream.Stream{N: 2, Updates: []stream.Update{
+		{U: 0, V: 1, Delta: 4}, // heavy parallel edge (kept)
+	}}
+	m := NewMSTSketch(2, 8, 9)
+	m.Ingest(st)
+	m.Update(0, 1, 1)  // cheap edge appears...
+	m.Update(0, 1, -1) // ...and is deleted
+	forest, total := m.ApproxMSF()
+	if len(forest) != 1 || total != 4 {
+		t.Fatalf("got forest %v total %d, want the weight-4 edge", forest, total)
+	}
+}
+
+func TestMSTSketchDistributedMerge(t *testing.T) {
+	st := stream.WeightedGNP(16, 0.4, 8, 13)
+	parts := st.Partition(3, 17)
+	merged := NewMSTSketch(16, 8, 21)
+	for _, p := range parts {
+		site := NewMSTSketch(16, 8, 21)
+		site.Ingest(p)
+		merged.Add(site)
+	}
+	whole := NewMSTSketch(16, 8, 21)
+	whole.Ingest(st)
+	_, totalM := merged.ApproxMSF()
+	_, totalW := whole.ApproxMSF()
+	if totalM != totalW {
+		t.Fatalf("merged MSF weight %d != whole-stream %d", totalM, totalW)
+	}
+}

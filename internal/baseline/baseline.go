@@ -1,0 +1,204 @@
+// Package baseline implements the insert-only comparators the paper
+// positions its results against (Secs. 1.2 and 4):
+//
+//   - TriangleReservoir: a Buriol-et-al.-style one-pass sampling estimator
+//     for the triangle fraction. It is only correct for insert-only
+//     streams; a deletion invalidates its reservoir — the failure mode the
+//     E8 bench demonstrates and the paper's sketches fix.
+//   - GreedySpanner: the classic Althofer et al. offline/insert-only greedy
+//     (2k-1)-spanner (add an edge iff the current spanner distance between
+//     its endpoints exceeds 2k-1).
+//   - UniformCutSampler: Karger-style uniform edge sampling at a fixed
+//     probability p (Lemma 3.1) — the non-adaptive baseline whose k must be
+//     guessed in advance, unlike Fig 1's level search.
+package baseline
+
+import (
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/stream"
+)
+
+// TriangleReservoir estimates the fraction of "wedge or triangle" triples
+// that are triangles via sampled wedges, in one insert-only pass: sample s
+// uniform wedges (pairs of adjacent edges) by reservoir over the wedge
+// count, then check closure against edges seen later in the stream
+// (the Buriol et al. incidence-stream technique, adapted to edge streams).
+type TriangleReservoir struct {
+	n       int
+	s       int
+	rng     *hashing.RNG
+	adj     []map[int]bool // full adjacency (the baseline is not small-space for closure checking; it is a semantics baseline, not a space baseline)
+	wedges  int64
+	samples []wedgeSample
+	broken  bool // set if a deletion arrives
+}
+
+type wedgeSample struct {
+	a, b, c int // wedge b-a, b-c (center b); closed if edge {a,c} present
+}
+
+// NewTriangleReservoir creates an estimator with s wedge samples.
+func NewTriangleReservoir(n, s int, seed uint64) *TriangleReservoir {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	return &TriangleReservoir{n: n, s: s, rng: hashing.NewRNG(seed), adj: adj}
+}
+
+// Broken reports whether the stream contained a deletion (which this
+// insert-only baseline cannot handle).
+func (tr *TriangleReservoir) Broken() bool { return tr.broken }
+
+// Update consumes one stream element. Deletions mark the estimator broken.
+func (tr *TriangleReservoir) Update(u, v int, delta int64) {
+	if delta < 0 {
+		tr.broken = true
+		return
+	}
+	if u == v || tr.adj[u][v] {
+		return
+	}
+	// New wedges created by this edge: centered at u (with u's other
+	// neighbors) and centered at v.
+	for b, ends := range map[int][2]int{u: {v, 0}, v: {u, 0}} {
+		other := ends[0]
+		for w := range tr.adj[b] {
+			if w == other {
+				continue
+			}
+			tr.wedges++
+			// Reservoir-sample this wedge.
+			if len(tr.samples) < tr.s {
+				tr.samples = append(tr.samples, wedgeSample{a: other, b: b, c: w})
+			} else if int64(tr.rng.Intn(int(tr.wedges))) < int64(tr.s) {
+				tr.samples[tr.rng.Intn(tr.s)] = wedgeSample{a: other, b: b, c: w}
+			}
+		}
+	}
+	tr.adj[u][v] = true
+	tr.adj[v][u] = true
+}
+
+// Ingest consumes a whole stream.
+func (tr *TriangleReservoir) Ingest(st *stream.Stream) {
+	for _, up := range st.Updates {
+		tr.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// ClosedFraction estimates the transitivity: the probability a uniform
+// wedge is closed into a triangle. Multiply by wedges/3 for a triangle
+// count. Returns (estimate, sampleCount).
+func (tr *TriangleReservoir) ClosedFraction() (float64, int) {
+	if len(tr.samples) == 0 {
+		return 0, 0
+	}
+	closed := 0
+	for _, w := range tr.samples {
+		if tr.adj[w.a][w.c] {
+			closed++
+		}
+	}
+	return float64(closed) / float64(len(tr.samples)), len(tr.samples)
+}
+
+// TriangleEstimate returns the estimated triangle count:
+// wedges * closedFraction / 3 (each triangle contains 3 wedges).
+func (tr *TriangleReservoir) TriangleEstimate() float64 {
+	f, c := tr.ClosedFraction()
+	if c == 0 {
+		return 0
+	}
+	return f * float64(tr.wedges) / 3
+}
+
+// GreedySpanner builds the classic greedy (2k-1)-spanner offline: process
+// edges in arbitrary deterministic order; keep an edge iff the spanner-so-
+// far distance between its endpoints exceeds 2k-1. Size O(n^{1+1/k}) by the
+// girth argument; the quality baseline for E9/E10.
+func GreedySpanner(g *graph.Graph, k int) *graph.Graph {
+	h := graph.New(g.N())
+	bound := 2*k - 1
+	for _, e := range g.Edges() {
+		d := boundedDistance(h, e.U, e.V, bound)
+		if d > bound {
+			h.AddEdge(e.U, e.V, 1)
+		}
+	}
+	return h
+}
+
+// boundedDistance returns d_H(u,v) if <= bound, else bound+1 (BFS cut off
+// at depth bound).
+func boundedDistance(h *graph.Graph, u, v, bound int) int {
+	if u == v {
+		return 0
+	}
+	adj := h.Adjacency()
+	dist := map[int]int{u: 0}
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if dist[x] >= bound {
+			continue
+		}
+		for _, nb := range adj[x] {
+			if _, seen := dist[nb.To]; !seen {
+				dist[nb.To] = dist[x] + 1
+				if nb.To == v {
+					return dist[nb.To]
+				}
+				queue = append(queue, nb.To)
+			}
+		}
+	}
+	return bound + 1
+}
+
+// UniformCutSampler sparsifies by keeping each edge independently with
+// probability p and weight 1/p (Karger, Lemma 3.1), using a consistent hash
+// so dynamic streams work. Unlike Fig 1/2 it has no level search: p must be
+// guessed from the (unknown) min cut, the weakness the paper's adaptive
+// level structure removes.
+type UniformCutSampler struct {
+	n   int
+	p   float64
+	mix hashing.Mixer
+	g   *graph.Graph
+}
+
+// NewUniformCutSampler creates the sampler.
+func NewUniformCutSampler(n int, p float64, seed uint64) *UniformCutSampler {
+	return &UniformCutSampler{n: n, p: p, mix: hashing.NewMixer(seed), g: graph.New(n)}
+}
+
+// Update consumes one stream element (consistent keep decision per edge).
+func (us *UniformCutSampler) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	idx := stream.EdgeIndex(u, v, us.n)
+	if us.mix.Uniform01(idx) < us.p {
+		us.g.AddEdge(u, v, delta)
+	}
+}
+
+// Ingest consumes a whole stream.
+func (us *UniformCutSampler) Ingest(st *stream.Stream) {
+	for _, up := range st.Updates {
+		us.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Sparsifier returns the weighted sample: kept edges scaled by 1/p.
+func (us *UniformCutSampler) Sparsifier() *graph.Graph {
+	out := graph.New(us.n)
+	scale := int64(1.0/us.p + 0.5)
+	for _, e := range us.g.Edges() {
+		out.AddEdge(e.U, e.V, e.W*scale)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"graphsketch/internal/core/spanner"
+	"graphsketch/internal/core/subgraph"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func TestTriangleReservoirOnClique(t *testing.T) {
+	// Every wedge in a clique is closed.
+	tr := NewTriangleReservoir(12, 50, 1)
+	tr.Ingest(stream.Complete(12))
+	f, c := tr.ClosedFraction()
+	if c == 0 {
+		t.Fatal("no samples")
+	}
+	if f != 1.0 {
+		t.Fatalf("clique closure fraction %v, want 1", f)
+	}
+}
+
+func TestTriangleReservoirOnStar(t *testing.T) {
+	// A star has wedges but no triangles.
+	tr := NewTriangleReservoir(12, 50, 2)
+	tr.Ingest(stream.Star(12))
+	f, c := tr.ClosedFraction()
+	if c == 0 {
+		t.Fatal("no samples")
+	}
+	if f != 0 {
+		t.Fatalf("star closure fraction %v, want 0", f)
+	}
+}
+
+func TestTriangleReservoirEstimateAccuracy(t *testing.T) {
+	st := stream.GNP(40, 0.3, 3)
+	g := graph.FromStream(st)
+	want := float64(subgraph.CountTriangles(g))
+	if want < 20 {
+		t.Skip("too few triangles")
+	}
+	tr := NewTriangleReservoir(40, 400, 5)
+	tr.Ingest(st)
+	got := tr.TriangleEstimate()
+	if math.Abs(got-want)/want > 0.5 {
+		t.Fatalf("triangle estimate %v, exact %v", got, want)
+	}
+}
+
+func TestTriangleReservoirBreaksOnDeletions(t *testing.T) {
+	// The documented failure mode: deletions invalidate the baseline,
+	// while the paper's sketch handles them (E8 bench).
+	st := stream.Complete(10)
+	st.Updates = append(st.Updates, stream.Update{U: 0, V: 1, Delta: -1})
+	tr := NewTriangleReservoir(10, 20, 7)
+	tr.Ingest(st)
+	if !tr.Broken() {
+		t.Fatal("deletion must mark the insert-only baseline broken")
+	}
+}
+
+func TestGreedySpannerStretch(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		g := graph.FromStream(stream.GNP(50, 0.3, 11))
+		h := GreedySpanner(g, k)
+		s := spanner.MeasureStretch(g, h, 10, 13)
+		if s > float64(2*k-1) {
+			t.Fatalf("k=%d: greedy stretch %.2f exceeds %d", k, s, 2*k-1)
+		}
+		if h.NumEdges() > g.NumEdges() {
+			t.Fatal("spanner bigger than graph")
+		}
+	}
+}
+
+func TestGreedySpannerCompresses(t *testing.T) {
+	g := graph.FromStream(stream.GNP(60, 0.5, 17))
+	h := GreedySpanner(g, 3)
+	if h.NumEdges() >= g.NumEdges()/2 {
+		t.Fatalf("greedy k=3 kept %d of %d edges", h.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestUniformCutSamplerPreservesLargeCuts(t *testing.T) {
+	st := stream.Complete(40)
+	g := graph.FromStream(st)
+	us := NewUniformCutSampler(40, 0.5, 19)
+	us.Ingest(st)
+	sp := us.Sparsifier()
+	side := make([]bool, 40)
+	for i := 0; i < 20; i++ {
+		side[i] = true
+	}
+	gv, hv := g.CutValue(side), sp.CutValue(side)
+	rel := math.Abs(float64(hv-gv)) / float64(gv)
+	if rel > 0.25 {
+		t.Fatalf("bisection cut error %.3f (exact %d, sampled %d)", rel, gv, hv)
+	}
+}
+
+func TestUniformCutSamplerConsistentUnderDeletion(t *testing.T) {
+	// Insert then delete an edge: must vanish from the sample regardless
+	// of the keep decision (consistency of the hash).
+	us := NewUniformCutSampler(10, 1.0, 23)
+	us.Update(1, 2, 1)
+	us.Update(1, 2, -1)
+	if us.Sparsifier().NumEdges() != 0 {
+		t.Fatal("deleted edge survived in uniform sampler")
+	}
+}
+
+func BenchmarkGreedySpannerN60(b *testing.B) {
+	g := graph.FromStream(stream.GNP(60, 0.3, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedySpanner(g, 3)
+	}
+}

@@ -1,0 +1,192 @@
+// Package mincut implements the MINCUT algorithm of Fig 1 (Theorem 3.2):
+// a single-pass, sketch-based (1+eps)-approximation of the global minimum
+// cut in the dynamic graph stream model.
+//
+// The stream is consumed once into a family of nested subsampled graphs
+// G = G_0 ⊇ G_1 ⊇ G_2 ⊇ ... (edge e survives to level i iff its consistent
+// hash level is >= i, so deletions cancel insertions at every level), each
+// summarized by a k-EDGECONNECT sketch. Post-processing finds
+// j = min{i : lambda(H_i) < k} and returns 2^j * lambda(H_j): by Karger's
+// uniform sampling lemma (Lemma 3.1), level j's min cut rescales to a
+// (1 +/- eps) estimate of lambda(G) when k = Theta(eps^-2 log n).
+package mincut
+
+import (
+	"errors"
+
+	"graphsketch/internal/agm"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/stream"
+)
+
+// Config parameterizes the sketch. Zero values get sensible defaults.
+type Config struct {
+	// N is the number of vertices (required).
+	N int
+	// Epsilon is the target relative error; used to derive K when K == 0.
+	Epsilon float64
+	// K overrides the edge-connectivity parameter k = O(eps^-2 log n).
+	// The theoretical constant (6, Lemma 3.1) is scaled down for
+	// laptop-scale graphs; see DESIGN.md "Parameter conventions".
+	K int
+	// Levels overrides the number of subsampling levels
+	// (default log2(N)+3; the paper allows up to 2 log N).
+	Levels int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.5
+	}
+	if c.K == 0 {
+		ln := 0.0
+		for m := 1; m < c.N; m <<= 1 {
+			ln++
+		}
+		k := int(2.0*ln/(c.Epsilon*c.Epsilon)) + 2
+		if k < 4 {
+			k = 4
+		}
+		c.K = k
+	}
+	if c.Levels == 0 {
+		l := 3
+		for m := 1; m < c.N; m <<= 1 {
+			l++
+		}
+		c.Levels = l
+	}
+}
+
+// Sketch is the single-pass MINCUT sketch.
+type Sketch struct {
+	cfg      Config
+	levelMix hashing.Mixer
+	ecs      []*agm.EdgeConnectSketch
+}
+
+// New creates a MINCUT sketch.
+func New(cfg Config) *Sketch {
+	cfg.fill()
+	s := &Sketch{cfg: cfg, levelMix: hashing.NewMixer(hashing.DeriveSeed(cfg.Seed, 0x717))}
+	s.ecs = make([]*agm.EdgeConnectSketch, cfg.Levels)
+	for i := range s.ecs {
+		s.ecs[i] = agm.NewEdgeConnectSketch(cfg.N, cfg.K, hashing.DeriveSeed(cfg.Seed, uint64(i)))
+	}
+	return s
+}
+
+// K returns the derived edge-connectivity parameter.
+func (s *Sketch) K() int { return s.cfg.K }
+
+// Levels returns the number of subsampling levels.
+func (s *Sketch) Levels() int { return s.cfg.Levels }
+
+// Update applies a signed multiplicity change to edge {u, v}. The edge's
+// subsampling level is a consistent hash, so an insert and a later delete
+// land in exactly the same G_i's.
+func (s *Sketch) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	idx := stream.EdgeIndex(u, v, s.cfg.N)
+	l := s.levelMix.Level(idx)
+	if l >= s.cfg.Levels {
+		l = s.cfg.Levels - 1
+	}
+	for i := 0; i <= l; i++ {
+		s.ecs[i].Update(u, v, delta)
+	}
+}
+
+// Ingest replays a whole stream.
+func (s *Sketch) Ingest(st *stream.Stream) {
+	for _, up := range st.Updates {
+		s.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Add merges another sketch built with an identical Config: the
+// distributed-stream operation.
+func (s *Sketch) Add(other *Sketch) {
+	if s.cfg != other.cfg {
+		panic("mincut: merging incompatible sketches")
+	}
+	for i := range s.ecs {
+		s.ecs[i].Add(other.ecs[i])
+	}
+}
+
+// Result reports the min-cut estimate and diagnostics.
+type Result struct {
+	// Value is the estimate 2^Level * lambda(H_Level).
+	Value int64
+	// Level is the subsampling level j the estimate came from (0 = exact
+	// witness, no subsampling variance).
+	Level int
+	// WitnessCut is lambda(H_Level) before rescaling.
+	WitnessCut int64
+	// WitnessEdges is the size of the witness subgraph used.
+	WitnessEdges int
+}
+
+// ErrAllLevelsSaturated is returned when every level's witness still has a
+// min cut >= k; the configuration had too few levels for the graph's
+// connectivity.
+var ErrAllLevelsSaturated = errors.New("mincut: all subsampling levels saturated (increase Levels or K)")
+
+// MinCut runs Fig 1's post-processing. It consumes the sketch (witness
+// extraction peels forests in place); call once.
+func (s *Sketch) MinCut() (Result, error) {
+	for i := 0; i < s.cfg.Levels; i++ {
+		h := s.ecs[i].Witness()
+		val, _ := h.StoerWagner()
+		if val < int64(s.cfg.K) {
+			return Result{
+				Value:        val << uint(i),
+				Level:        i,
+				WitnessCut:   val,
+				WitnessEdges: h.NumEdges(),
+			}, nil
+		}
+	}
+	return Result{}, ErrAllLevelsSaturated
+}
+
+// MinCutWithSide additionally returns the cut side (in the witness graph)
+// realizing the estimate.
+func (s *Sketch) MinCutWithSide() (Result, []bool, error) {
+	for i := 0; i < s.cfg.Levels; i++ {
+		h := s.ecs[i].Witness()
+		val, side := h.StoerWagner()
+		if val < int64(s.cfg.K) {
+			return Result{
+				Value:        val << uint(i),
+				Level:        i,
+				WitnessCut:   val,
+				WitnessEdges: h.NumEdges(),
+			}, side, nil
+		}
+	}
+	return Result{}, nil, ErrAllLevelsSaturated
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (s *Sketch) Words() int {
+	w := 0
+	for _, ec := range s.ecs {
+		w += ec.Words()
+	}
+	return w
+}
+
+// Exact computes the exact min cut of the graph defined by a stream
+// (baseline; Stoer-Wagner on the materialized graph).
+func Exact(st *stream.Stream) int64 {
+	g := graph.FromStream(st)
+	val, _ := g.StoerWagner()
+	return val
+}

@@ -1,0 +1,190 @@
+package mincut
+
+import (
+	"math"
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+func TestExactOnSmallCuts(t *testing.T) {
+	// When lambda < k, level 0's witness preserves the min cut exactly:
+	// the estimate must be exact, not approximate.
+	cases := []struct {
+		name string
+		s    *stream.Stream
+		want int64
+	}{
+		{"barbell-1", stream.Barbell(16, 1), 1},
+		{"barbell-3", stream.Barbell(16, 3), 3},
+		{"cycle", stream.Cycle(20), 2},
+		{"path", stream.Path(12), 1},
+		{"grid", stream.Grid(4, 4), 2},
+	}
+	for _, c := range cases {
+		sk := New(Config{N: c.s.N, K: 8, Seed: 42})
+		sk.Ingest(c.s)
+		res, err := sk.MinCut()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Value != c.want {
+			t.Errorf("%s: estimate %d, want %d (level %d)", c.name, res.Value, c.want, res.Level)
+		}
+		if res.Level != 0 {
+			t.Errorf("%s: lambda < k must resolve at level 0, got %d", c.name, res.Level)
+		}
+	}
+}
+
+func TestDisconnectedIsZero(t *testing.T) {
+	sk := New(Config{N: 20, K: 4, Seed: 1})
+	sk.Ingest(stream.DisjointCliques(20, 2))
+	res, err := sk.MinCut()
+	if err != nil || res.Value != 0 {
+		t.Fatalf("disconnected: got (%v, %v), want 0", res.Value, err)
+	}
+}
+
+func TestDeletionsChangeCut(t *testing.T) {
+	// Barbell with 3 bridges, then delete 2 of them: min cut becomes 1.
+	s := stream.Barbell(16, 3)
+	s.Updates = append(s.Updates,
+		stream.Update{U: 1, V: 9, Delta: -1},
+		stream.Update{U: 2, V: 10, Delta: -1},
+	)
+	want := Exact(s)
+	if want != 1 {
+		t.Fatalf("test setup wrong: exact = %d", want)
+	}
+	sk := New(Config{N: 16, K: 8, Seed: 7})
+	sk.Ingest(s)
+	res, err := sk.MinCut()
+	if err != nil || res.Value != 1 {
+		t.Fatalf("after deletions: got (%d, %v), want 1", res.Value, err)
+	}
+}
+
+func TestChurnDoesNotPerturb(t *testing.T) {
+	s := stream.Barbell(16, 2).WithChurn(3000, 5)
+	sk := New(Config{N: 16, K: 8, Seed: 9})
+	sk.Ingest(s)
+	res, err := sk.MinCut()
+	if err != nil || res.Value != 2 {
+		t.Fatalf("churned barbell: got (%d, %v), want 2", res.Value, err)
+	}
+}
+
+func TestSubsampledApproximation(t *testing.T) {
+	// K24: lambda = 23 >= k = 8, so level 0 saturates and the estimate
+	// comes from a subsampled level. Check the multiplicative error over
+	// seeds: the shape claim of Theorem 3.2.
+	const n = 24
+	want := float64(n - 1)
+	bad := 0
+	const trials = 10
+	for seed := uint64(0); seed < trials; seed++ {
+		sk := New(Config{N: n, K: 8, Seed: seed})
+		sk.Ingest(stream.Complete(n))
+		res, err := sk.MinCut()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Level == 0 {
+			t.Fatalf("seed %d: expected subsampling (lambda=%d >= k=8)", seed, n-1)
+		}
+		rel := math.Abs(float64(res.Value)-want) / want
+		if rel > 0.75 {
+			bad++
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("subsampled estimate badly off in %d/%d trials", bad, trials)
+	}
+}
+
+func TestMergeDistributedSites(t *testing.T) {
+	s := stream.Barbell(16, 2)
+	parts := s.Partition(4, 3)
+	merged := New(Config{N: 16, K: 8, Seed: 11})
+	for _, p := range parts {
+		site := New(Config{N: 16, K: 8, Seed: 11})
+		site.Ingest(p)
+		merged.Add(site)
+	}
+	res, err := merged.MinCut()
+	if err != nil || res.Value != 2 {
+		t.Fatalf("merged: got (%d, %v), want 2", res.Value, err)
+	}
+}
+
+func TestMinCutWithSideRealizesCut(t *testing.T) {
+	s := stream.Barbell(16, 2)
+	sk := New(Config{N: 16, K: 8, Seed: 13})
+	sk.Ingest(s)
+	res, side, err := sk.MinCutWithSide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Fatalf("value %d, want 2", res.Value)
+	}
+	// The returned side must realize a cut of the estimated value in G.
+	g := s.Multiplicities()
+	var crossing int64
+	for idx, w := range g {
+		u, v := stream.EdgeFromIndex(idx, 16)
+		if side[u] != side[v] {
+			crossing += w
+		}
+	}
+	if crossing != 2 {
+		t.Fatalf("returned side cuts %d edges in G, want 2", crossing)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sk := New(Config{N: 64, Seed: 1})
+	if sk.K() < 4 {
+		t.Fatalf("derived K too small: %d", sk.K())
+	}
+	if sk.Levels() < 8 {
+		t.Fatalf("derived Levels too small: %d", sk.Levels())
+	}
+}
+
+func TestIncompatibleMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := New(Config{N: 16, K: 4, Seed: 1})
+	b := New(Config{N: 16, K: 8, Seed: 1})
+	a.Add(b)
+}
+
+func TestWordsReported(t *testing.T) {
+	if New(Config{N: 16, K: 4, Seed: 1}).Words() <= 0 {
+		t.Fatal("Words must be positive")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	sk := New(Config{N: 64, K: 8, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk.Update(i%63, (i+1)%63+1, 1)
+	}
+}
+
+func BenchmarkMinCutBarbell32(b *testing.B) {
+	s := stream.Barbell(32, 2)
+	for i := 0; i < b.N; i++ {
+		sk := New(Config{N: 32, K: 8, Seed: uint64(i)})
+		sk.Ingest(s)
+		if _, err := sk.MinCut(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package spanner
+
+import (
+	"math"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/stream"
+)
+
+// BSResult reports a spanner and construction diagnostics.
+type BSResult struct {
+	Spanner *graph.Graph
+	Passes  int
+	// StretchBound is the guarantee 2k-1.
+	StretchBound int
+}
+
+// BaswanaSen builds a (2k-1)-spanner of the graph defined by the dynamic
+// stream st, in k passes (the Sec. 5 "Part 1 / Part 2" emulation). Each
+// pass i knows the clustering from pass i-1 and builds two sketch families:
+//
+//   - per live vertex, an l0-sampler over its edges into *sampled* trees
+//     (case: vertex joins a tree, contributing one tree edge);
+//   - per live vertex, a GroupSampler over its edges grouped by the far
+//     endpoint's tree (case: vertex has no sampled neighbor, stores one
+//     edge per adjacent tree — the set L(u) — and retires).
+//
+// The final pass adds, for every surviving vertex, one edge to every
+// adjacent T_{k-1} tree.
+func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
+	n := st.N
+	if k < 1 {
+		k = 1
+	}
+	spanner := graph.New(n)
+	// member[v] = root of the tree containing v, or -1 if v has retired.
+	member := make([]int, n)
+	for v := range member {
+		member[v] = v // phase 0: every vertex is its own tree T_0[v] = {v}
+	}
+	isRoot := make([]bool, n)
+	for v := range isRoot {
+		isRoot[v] = true
+	}
+	sampleProb := math.Pow(float64(n), -1.0/float64(k))
+	rng := hashing.NewRNG(hashing.DeriveSeed(seed, 0xb5))
+	groupBudget := int(math.Ceil(4*math.Pow(float64(n), 1.0/float64(k)))) + 4
+
+	passes := 0
+	for phase := 1; phase <= k-1; phase++ {
+		// Sample the surviving roots.
+		selected := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if isRoot[v] && rng.Float64() < sampleProb {
+				selected[v] = true
+			}
+		}
+		// ---- one pass over the stream with adaptive sketches ----
+		passSeed := hashing.DeriveSeed(seed, uint64(phase))
+		joinSamp := make([]*l0.Sampler, n)
+		groupSamp := make([]*GroupSampler, n)
+		for v := 0; v < n; v++ {
+			if member[v] == -1 {
+				continue
+			}
+			joinSamp[v] = l0.New(uint64(n), hashing.DeriveSeed(passSeed, uint64(v)))
+			groupSamp[v] = NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, 0x10000+uint64(v)))
+		}
+		for _, up := range st.Updates {
+			if up.U == up.V {
+				continue
+			}
+			feed := func(a, b int) {
+				if member[a] == -1 || member[b] == -1 {
+					return // edges at retired vertices are out of play
+				}
+				if member[a] == member[b] {
+					return // intra-tree edge
+				}
+				if selected[member[b]] {
+					joinSamp[a].Update(uint64(b), up.Delta)
+				}
+				groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
+			}
+			feed(up.U, up.V)
+			feed(up.V, up.U)
+		}
+		passes++
+		// ---- post-pass: apply the Baswana-Sen phase ----
+		newMember := make([]int, n)
+		copy(newMember, member)
+		for v := 0; v < n; v++ {
+			if member[v] == -1 {
+				continue
+			}
+			if selected[member[v]] {
+				continue // v's tree survives; v stays in it
+			}
+			if w, _, ok := joinSamp[v].Sample(); ok {
+				// Join the sampled tree through neighbor w.
+				spanner.AddEdge(v, int(w), 1)
+				newMember[v] = member[w]
+				continue
+			}
+			// No sampled neighbor: store one edge per adjacent tree (L(v)),
+			// then retire.
+			addedTo := map[int]bool{}
+			for _, item := range groupSamp[v].Collect() {
+				w := int(item)
+				g := member[w]
+				if g == -1 || g == member[v] || addedTo[g] {
+					continue
+				}
+				addedTo[g] = true
+				spanner.AddEdge(v, w, 1)
+			}
+			newMember[v] = -1
+		}
+		member = newMember
+		for v := range isRoot {
+			isRoot[v] = isRoot[v] && selected[v]
+		}
+		// Vertices of dead trees have moved or retired; roots of dead trees
+		// were handled like everyone else.
+	}
+
+	// ---- final clean-up pass: one edge to every adjacent tree ----
+	passSeed := hashing.DeriveSeed(seed, 0xf1a1)
+	groupSamp := make([]*GroupSampler, n)
+	for v := 0; v < n; v++ {
+		if member[v] != -1 {
+			groupSamp[v] = NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, uint64(v)))
+		}
+	}
+	for _, up := range st.Updates {
+		if up.U == up.V {
+			continue
+		}
+		feed := func(a, b int) {
+			if member[a] == -1 || member[b] == -1 || member[a] == member[b] {
+				return
+			}
+			groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
+		}
+		feed(up.U, up.V)
+		feed(up.V, up.U)
+	}
+	passes++
+	for v := 0; v < n; v++ {
+		if member[v] == -1 {
+			continue
+		}
+		addedTo := map[int]bool{}
+		for _, item := range groupSamp[v].Collect() {
+			w := int(item)
+			g := member[w]
+			if g == -1 || g == member[v] || addedTo[g] {
+				continue
+			}
+			addedTo[g] = true
+			spanner.AddEdge(v, w, 1)
+		}
+	}
+	return BSResult{Spanner: spanner, Passes: passes, StretchBound: 2*k - 1}
+}
+
+// MeasureStretch returns the maximum over sampled vertex pairs of
+// d_H(u,v) / d_G(u,v), using BFS ground truth. Pairs unreachable in G are
+// skipped; a pair reachable in G but not H yields +Inf (spanner broken).
+func MeasureStretch(g, h *graph.Graph, sources int, seed uint64) float64 {
+	n := g.N()
+	if sources > n {
+		sources = n
+	}
+	r := hashing.NewRNG(seed)
+	worst := 1.0
+	for s := 0; s < sources; s++ {
+		src := r.Intn(n)
+		dg := g.BFS(src)
+		dh := h.BFS(src)
+		for v := 0; v < n; v++ {
+			if v == src || dg[v] <= 0 {
+				continue
+			}
+			if dh[v] < 0 {
+				return math.Inf(1)
+			}
+			if ratio := float64(dh[v]) / float64(dg[v]); ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	return worst
+}

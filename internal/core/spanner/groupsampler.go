@@ -1,0 +1,99 @@
+// Package spanner implements Section 5: adaptive sketches (linear
+// measurements in batches, one batch per stream pass) for spanner
+// construction in dynamic graph streams.
+//
+//   - BaswanaSen emulates the Baswana-Sen clustering algorithm with
+//     l0-sampling primitives: k passes, stretch 2k-1, size O~(n^{1+1/k}).
+//   - RecurseConnect is the paper's main Section 5 contribution
+//     (Theorem 5.1): log k passes at the price of stretch k^{log2 5} - 1,
+//     by contracting low-diameter clusters around high-degree centers that
+//     are independent in H^2.
+//
+// Both consume a replayable stream.Stream; each pass builds fresh sketches
+// whose measurements depend on the state computed from previous passes —
+// exactly the r-adaptive sketching model of Definition 2.
+package spanner
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+)
+
+// GroupSampler samples, from a dynamically updated edge set, one item per
+// distinct "group" (both spanner algorithms group a vertex's incident edges
+// by the cluster/supernode of the far endpoint). It hashes groups into
+// buckets across independent repetitions and keeps one l0-sampler of the
+// items per bucket: any group isolated in some bucket of some repetition
+// surfaces one of its items.
+type GroupSampler struct {
+	universe uint64
+	reps     int
+	buckets  int
+	hash     []hashing.Mixer
+	cells    [][]*l0.Sampler // [rep][bucket]
+}
+
+// groupSamplerReps balances isolation probability against space; each
+// repetition re-scatters the groups.
+const groupSamplerReps = 4
+
+// NewGroupSampler creates a sampler for items in [0, universe) that aims to
+// surface up to `budget` distinct groups.
+func NewGroupSampler(universe uint64, budget int, seed uint64) *GroupSampler {
+	if budget < 1 {
+		budget = 1
+	}
+	gs := &GroupSampler{
+		universe: universe,
+		reps:     groupSamplerReps,
+		buckets:  2*budget + 4,
+	}
+	gs.hash = make([]hashing.Mixer, gs.reps)
+	gs.cells = make([][]*l0.Sampler, gs.reps)
+	for r := 0; r < gs.reps; r++ {
+		gs.hash[r] = hashing.NewMixer(hashing.DeriveSeed(seed, 0x95+uint64(r)))
+		row := make([]*l0.Sampler, gs.buckets)
+		for b := range row {
+			row[b] = l0.NewWithReps(universe, hashing.DeriveSeed(seed, uint64(r)<<20|uint64(b)), 3)
+		}
+		gs.cells[r] = row
+	}
+	return gs
+}
+
+// Update adds delta to item, which belongs to group.
+func (gs *GroupSampler) Update(group uint64, item uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	for r := 0; r < gs.reps; r++ {
+		b := gs.hash[r].Bounded(group, uint64(gs.buckets))
+		gs.cells[r][b].Update(item, delta)
+	}
+}
+
+// Collect returns one sampled item per non-empty (rep, bucket) cell. The
+// caller deduplicates by group (it can recompute an item's group). Items
+// may repeat across repetitions.
+func (gs *GroupSampler) Collect() []uint64 {
+	var out []uint64
+	for r := 0; r < gs.reps; r++ {
+		for b := 0; b < gs.buckets; b++ {
+			if idx, _, ok := gs.cells[r][b].Sample(); ok {
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (gs *GroupSampler) Words() int {
+	w := 0
+	for r := range gs.cells {
+		for b := range gs.cells[r] {
+			w += gs.cells[r][b].Words()
+		}
+	}
+	return w
+}

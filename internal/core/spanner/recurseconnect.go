@@ -1,0 +1,226 @@
+package spanner
+
+import (
+	"math"
+	"sort"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/stream"
+)
+
+// RCResult reports the RECURSECONNECT spanner and diagnostics.
+type RCResult struct {
+	Spanner *graph.Graph
+	Passes  int
+	// StretchBound is the Theorem 5.1 guarantee k^{log2 5} - 1.
+	StretchBound float64
+	// SupernodeHistory records |G~_i| after each contraction pass.
+	SupernodeHistory []int
+}
+
+// RecurseConnect builds a spanner in ~log2(k) passes (Theorem 5.1). Pass i
+// works on the contracted graph G~_i (supernodes are merged vertex sets):
+//
+//  1. For each supernode, sample up to d_i = n^{2^i/k} distinct neighboring
+//     supernodes, one witness edge each (GroupSampler over original edges
+//     grouped by far-endpoint supernode). Supernodes whose full neighbor
+//     list fits under d_i are "low degree": all their edges surface.
+//  2. The sampled edges form H_i. Centers C_i: a maximal subset of the
+//     high-degree supernodes that is independent in H_i^2 (greedy, distance
+//     >= 3 in H_i). Neighbors of a center are assigned to it; remaining
+//     high-degree supernodes have a center within 2 hops (by maximality)
+//     and are assigned along that path; remaining low-degree supernodes
+//     contribute all their sampled edges to the spanner and retire.
+//  3. Assigned groups collapse into their center: G~_{i+1}, with
+//     |G~_{i+1}| <= |G~_i| / d_i.
+//
+// A final pass recovers one original edge per pair of adjacent surviving
+// supernodes. All sampled H_i edges enter the spanner, so every contraction
+// has an explicit low-diameter witness tree (the a_i <= 5 a_{i-1} + 4
+// recursion of Lemma 5.1).
+func RecurseConnect(st *stream.Stream, k int, seed uint64) RCResult {
+	n := st.N
+	if k < 2 {
+		k = 2
+	}
+	spanner := graph.New(n)
+	// sn[v] = supernode id of v, or -1 once v's supernode has retired.
+	sn := make([]int, n)
+	for v := range sn {
+		sn[v] = v
+	}
+	numSuper := n
+	passes := 0
+	var history []int
+
+	maxPasses := int(math.Ceil(math.Log2(float64(k))))
+	for i := 0; i < maxPasses && numSuper > 1; i++ {
+		di := int(math.Ceil(math.Pow(float64(n), math.Pow(2, float64(i))/float64(k))))
+		if di < 2 {
+			di = 2
+		}
+		// ---- pass: per-supernode distinct-neighbor sampling ----
+		live := liveSupernodes(sn, n)
+		if len(live) <= 1 {
+			break
+		}
+		samp := make(map[int]*GroupSampler, len(live))
+		passSeed := hashing.DeriveSeed(seed, 0x2c00+uint64(i))
+		for _, p := range live {
+			samp[p] = NewGroupSampler(uint64(n)*uint64(n), di, hashing.DeriveSeed(passSeed, uint64(p)))
+		}
+		for _, up := range st.Updates {
+			if up.U == up.V {
+				continue
+			}
+			pu, pv := sn[up.U], sn[up.V]
+			if pu == -1 || pv == -1 || pu == pv {
+				continue
+			}
+			idx := stream.EdgeIndex(up.U, up.V, n)
+			samp[pu].Update(uint64(pv), idx, up.Delta)
+			samp[pv].Update(uint64(pu), idx, up.Delta)
+		}
+		passes++
+
+		// ---- build H_i on supernodes with witness edges ----
+		type witness struct{ u, v int } // original endpoints
+		hAdj := make(map[int]map[int]witness, len(live))
+		for _, p := range live {
+			hAdj[p] = map[int]witness{}
+		}
+		for _, p := range live {
+			for _, item := range samp[p].Collect() {
+				u, v := stream.EdgeFromIndex(item, n)
+				pu, pv := sn[u], sn[v]
+				if pu == -1 || pv == -1 || pu == pv {
+					continue
+				}
+				hAdj[pu][pv] = witness{u, v}
+				hAdj[pv][pu] = witness{u, v}
+			}
+		}
+		// All sampled edges join the spanner (bounded by reps*buckets per
+		// supernode ~ O(d_i) each).
+		for p, nbrs := range hAdj {
+			for q, w := range nbrs {
+				if p < q {
+					spanner.AddEdge(w.u, w.v, 1)
+				}
+			}
+		}
+
+		// ---- choose centers: maximal independent set in H_i^2 among
+		// high-degree supernodes ----
+		high := make([]int, 0, len(live))
+		for _, p := range live {
+			if len(hAdj[p]) >= di {
+				high = append(high, p)
+			}
+		}
+		sort.Ints(high) // deterministic
+		centers := map[int]bool{}
+		assigned := map[int]int{} // supernode -> center
+		for _, q := range high {
+			if _, done := assigned[q]; done {
+				continue
+			}
+			// q is at distance >= 3 from every center (otherwise it would
+			// have been assigned): make it a center.
+			centers[q] = true
+			assigned[q] = q
+			for nb := range hAdj[q] {
+				if _, done := assigned[nb]; !done {
+					assigned[nb] = q
+				}
+			}
+			// 2-hop: neighbors' neighbors that are high-degree get q too
+			// (this realizes "within 2 hops" assignment).
+			for nb := range hAdj[q] {
+				for nb2 := range hAdj[nb] {
+					if _, done := assigned[nb2]; !done && len(hAdj[nb2]) >= di {
+						assigned[nb2] = q
+					}
+				}
+			}
+		}
+
+		// ---- collapse ----
+		newID := map[int]int{}
+		for c := range centers {
+			newID[c] = len(newID)
+		}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			p := sn[v]
+			if p == -1 {
+				next[v] = -1
+				continue
+			}
+			if c, ok := assigned[p]; ok {
+				next[v] = newID[c]
+				continue
+			}
+			// Unassigned: low-degree supernode, fully recovered. Its edges
+			// are already in the spanner; it retires from contraction.
+			next[v] = -1
+		}
+		sn = next
+		numSuper = len(newID)
+		history = append(history, numSuper)
+	}
+
+	// ---- final pass: one edge per adjacent pair of surviving supernodes,
+	// plus one edge from every retired vertex region is already recorded.
+	live := liveSupernodes(sn, n)
+	if len(live) > 1 {
+		passSeed := hashing.DeriveSeed(seed, 0x2cff)
+		samp := make(map[int]*GroupSampler, len(live))
+		for _, p := range live {
+			samp[p] = NewGroupSampler(uint64(n)*uint64(n), len(live), hashing.DeriveSeed(passSeed, uint64(p)))
+		}
+		for _, up := range st.Updates {
+			if up.U == up.V {
+				continue
+			}
+			pu, pv := sn[up.U], sn[up.V]
+			if pu == -1 || pv == -1 || pu == pv {
+				continue
+			}
+			idx := stream.EdgeIndex(up.U, up.V, n)
+			samp[pu].Update(uint64(pv), idx, up.Delta)
+			samp[pv].Update(uint64(pu), idx, up.Delta)
+		}
+		passes++
+		for _, p := range live {
+			for _, item := range samp[p].Collect() {
+				u, v := stream.EdgeFromIndex(item, n)
+				spanner.AddEdge(u, v, 1)
+			}
+		}
+	}
+
+	// Edges between retired regions and live ones, and between two retired
+	// regions, were captured when the regions retired (all their edges had
+	// surfaced) or by earlier H_i edges.
+	return RCResult{
+		Spanner:          spanner,
+		Passes:           passes,
+		StretchBound:     math.Pow(float64(k), math.Log2(5)) - 1,
+		SupernodeHistory: history,
+	}
+}
+
+func liveSupernodes(sn []int, n int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for v := 0; v < n; v++ {
+		if sn[v] != -1 && !seen[sn[v]] {
+			seen[sn[v]] = true
+			out = append(out, sn[v])
+		}
+	}
+	sort.Ints(out)
+	return out
+}

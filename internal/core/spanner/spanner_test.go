@@ -1,0 +1,227 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func TestBaswanaSenStretchWithinBound(t *testing.T) {
+	cases := []struct {
+		name string
+		st   *stream.Stream
+		k    int
+	}{
+		{"gnp-k2", stream.GNP(60, 0.15, 1), 2},
+		{"gnp-k3", stream.GNP(60, 0.15, 2), 3},
+		{"grid-k2", stream.Grid(6, 8), 2},
+		{"pa-k3", stream.PreferentialAttachment(60, 3, 3), 3},
+	}
+	for _, c := range cases {
+		g := graph.FromStream(c.st)
+		res := BaswanaSen(c.st, c.k, 99)
+		if res.Passes != c.k {
+			t.Errorf("%s: passes = %d, want k = %d", c.name, res.Passes, c.k)
+		}
+		stretch := MeasureStretch(g, res.Spanner, 12, 5)
+		if stretch > float64(res.StretchBound) {
+			t.Errorf("%s: stretch %.2f exceeds bound %d", c.name, stretch, res.StretchBound)
+		}
+	}
+}
+
+func TestBaswanaSenK1IsWholeGraph(t *testing.T) {
+	st := stream.GNP(30, 0.2, 7)
+	g := graph.FromStream(st)
+	res := BaswanaSen(st, 1, 3)
+	if res.Spanner.NumEdges() != g.NumEdges() {
+		t.Fatalf("k=1 spanner must keep all %d edges, got %d", g.NumEdges(), res.Spanner.NumEdges())
+	}
+	if s := MeasureStretch(g, res.Spanner, 10, 7); s != 1.0 {
+		t.Fatalf("k=1 stretch = %v, want 1", s)
+	}
+}
+
+func TestBaswanaSenCompressesDenseGraph(t *testing.T) {
+	st := stream.GNP(64, 0.6, 11)
+	g := graph.FromStream(st)
+	res := BaswanaSen(st, 3, 13)
+	if res.Spanner.NumEdges() >= g.NumEdges()/2 {
+		t.Fatalf("k=3 spanner should compress: %d of %d edges kept",
+			res.Spanner.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestBaswanaSenSubsetOfG(t *testing.T) {
+	st := stream.GNP(40, 0.2, 17)
+	g := graph.FromStream(st)
+	res := BaswanaSen(st, 2, 19)
+	for _, e := range res.Spanner.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("spanner edge (%d,%d) not in G", e.U, e.V)
+		}
+	}
+}
+
+func TestBaswanaSenDynamicDeletions(t *testing.T) {
+	// Delete half the edges; the spanner must span the surviving graph.
+	st := stream.GNP(40, 0.4, 23)
+	kept := stream.GNP(40, 0.4, 23) // same edges
+	r := 0
+	for _, up := range kept.Updates {
+		if r%2 == 0 {
+			st.Updates = append(st.Updates, stream.Update{U: up.U, V: up.V, Delta: -1})
+		}
+		r++
+	}
+	g := graph.FromStream(st)
+	res := BaswanaSen(st, 2, 29)
+	for _, e := range res.Spanner.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("spanner contains deleted edge (%d,%d)", e.U, e.V)
+		}
+	}
+	if s := MeasureStretch(g, res.Spanner, 10, 31); s > 3 {
+		t.Fatalf("stretch %.2f exceeds 3 after deletions", s)
+	}
+}
+
+func TestRecurseConnectStretchWithinBound(t *testing.T) {
+	cases := []struct {
+		name string
+		st   *stream.Stream
+		k    int
+	}{
+		{"gnp-k4", stream.GNP(60, 0.2, 37), 4},
+		{"dense-k4", stream.GNP(48, 0.5, 41), 4},
+		{"pa-k8", stream.PreferentialAttachment(64, 4, 43), 8},
+	}
+	for _, c := range cases {
+		g := graph.FromStream(c.st)
+		res := RecurseConnect(c.st, c.k, 47)
+		stretch := MeasureStretch(g, res.Spanner, 12, 53)
+		if stretch > res.StretchBound {
+			t.Errorf("%s: stretch %.2f exceeds bound %.2f", c.name, stretch, res.StretchBound)
+		}
+		wantPasses := int(math.Ceil(math.Log2(float64(c.k)))) + 1 // + final recovery
+		if res.Passes > wantPasses {
+			t.Errorf("%s: %d passes, want <= log2(k)+1 = %d", c.name, res.Passes, wantPasses)
+		}
+	}
+}
+
+func TestRecurseConnectFewerPassesThanBaswanaSen(t *testing.T) {
+	// The paper's tradeoff: at k = 8, BS takes 8 passes, RECURSECONNECT
+	// takes ceil(log2 8) + 1 = 4.
+	st := stream.GNP(48, 0.3, 59)
+	bs := BaswanaSen(st, 8, 61)
+	rc := RecurseConnect(st, 8, 67)
+	if rc.Passes >= bs.Passes {
+		t.Fatalf("RECURSECONNECT passes %d should beat Baswana-Sen %d", rc.Passes, bs.Passes)
+	}
+}
+
+func TestRecurseConnectSubsetOfG(t *testing.T) {
+	st := stream.GNP(40, 0.3, 71)
+	g := graph.FromStream(st)
+	res := RecurseConnect(st, 4, 73)
+	for _, e := range res.Spanner.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("spanner edge (%d,%d) not in G", e.U, e.V)
+		}
+	}
+}
+
+func TestRecurseConnectSparseGraphNearExact(t *testing.T) {
+	// On a sparse graph every supernode is low-degree: all edges surface
+	// and the spanner is the whole graph (stretch 1).
+	st := stream.Cycle(32)
+	g := graph.FromStream(st)
+	res := RecurseConnect(st, 4, 79)
+	if s := MeasureStretch(g, res.Spanner, 8, 83); s != 1.0 {
+		t.Fatalf("cycle spanner stretch %v, want 1 (all edges surface)", s)
+	}
+}
+
+func TestRecurseConnectDeletions(t *testing.T) {
+	st := stream.GNP(40, 0.4, 89).WithChurn(2000, 97)
+	g := graph.FromStream(st)
+	res := RecurseConnect(st, 4, 101)
+	for _, e := range res.Spanner.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("spanner contains churned-away edge (%d,%d)", e.U, e.V)
+		}
+	}
+	if s := MeasureStretch(g, res.Spanner, 10, 103); math.IsInf(s, 1) {
+		t.Fatal("spanner disconnected under churn")
+	}
+}
+
+func TestGroupSamplerIsolatesGroups(t *testing.T) {
+	gs := NewGroupSampler(1<<16, 8, 1)
+	// 6 groups, a few items each.
+	want := map[uint64]bool{}
+	for g := uint64(0); g < 6; g++ {
+		for j := uint64(0); j < 3; j++ {
+			gs.Update(g, g*100+j, 1)
+		}
+		want[g] = true
+	}
+	found := map[uint64]bool{}
+	for _, item := range gs.Collect() {
+		found[item/100] = true
+	}
+	for g := range want {
+		if !found[g] {
+			t.Fatalf("group %d not surfaced", g)
+		}
+	}
+}
+
+func TestGroupSamplerDeletions(t *testing.T) {
+	gs := NewGroupSampler(1<<16, 4, 3)
+	gs.Update(1, 100, 1)
+	gs.Update(2, 200, 1)
+	gs.Update(1, 100, -1)
+	found := map[uint64]bool{}
+	for _, item := range gs.Collect() {
+		found[item] = true
+	}
+	if found[100] {
+		t.Fatal("deleted item surfaced")
+	}
+	if !found[200] {
+		t.Fatal("surviving item missing")
+	}
+}
+
+func TestMeasureStretchIdentical(t *testing.T) {
+	g := graph.FromStream(stream.GNP(20, 0.3, 107))
+	if s := MeasureStretch(g, g, 5, 109); s != 1.0 {
+		t.Fatalf("identical graphs: stretch %v", s)
+	}
+}
+
+func TestMeasureStretchDisconnectedSpanner(t *testing.T) {
+	g := graph.FromStream(stream.Path(5))
+	h := graph.New(5) // empty spanner
+	if s := MeasureStretch(g, h, 3, 113); !math.IsInf(s, 1) {
+		t.Fatalf("broken spanner must give +Inf, got %v", s)
+	}
+}
+
+func BenchmarkBaswanaSenK3N64(b *testing.B) {
+	st := stream.GNP(64, 0.3, 1)
+	for i := 0; i < b.N; i++ {
+		BaswanaSen(st, 3, uint64(i))
+	}
+}
+
+func BenchmarkRecurseConnectK4N64(b *testing.B) {
+	st := stream.GNP(64, 0.3, 1)
+	for i := 0; i < b.N; i++ {
+		RecurseConnect(st, 4, uint64(i))
+	}
+}

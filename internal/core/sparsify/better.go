@@ -1,0 +1,229 @@
+package sparsify
+
+import (
+	"math"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/sparserec"
+	"graphsketch/internal/stream"
+)
+
+// Config parameterizes SPARSIFICATION (Fig 3).
+type Config struct {
+	// N is the number of vertices (required).
+	N int
+	// Epsilon is the target cut error.
+	Epsilon float64
+	// RecoveryK is the k-RECOVERY budget per (node, level) sketch,
+	// k = O(eps^-2 log^2 n) in the paper. Derived from Epsilon when 0.
+	RecoveryK int
+	// RoughK overrides the K of the rough (1 +/- 1/2) Simple sparsifier.
+	RoughK int
+	// Levels is the number of subsampling levels (default log2(N)+3).
+	Levels int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.5
+	}
+	lg := 0
+	for m := 1; m < c.N; m <<= 1 {
+		lg++
+	}
+	if c.RecoveryK == 0 {
+		k := int(4.0*float64(lg)/(c.Epsilon*c.Epsilon)) + 8
+		c.RecoveryK = k
+	}
+	if c.Levels == 0 {
+		c.Levels = lg + 3
+	}
+}
+
+// Sketch is the Fig 3 sketch: a rough sparsifier plus per-(node, level)
+// sparse-recovery sketches of the incidence vectors x^{u,i} of Eq. 1.
+type Sketch struct {
+	cfg      Config
+	rough    *Simple
+	levelMix hashing.Mixer
+	nodeRec  [][]*sparserec.Sketch // [level][node]
+	lgN      float64
+}
+
+// New creates a SPARSIFICATION sketch.
+func New(cfg Config) *Sketch {
+	cfg.fill()
+	s := &Sketch{cfg: cfg, levelMix: hashing.NewMixer(hashing.DeriveSeed(cfg.Seed, 0xbe7))}
+	s.rough = NewSimple(SimpleConfig{
+		N:       cfg.N,
+		Epsilon: 0.5,
+		K:       cfg.RoughK, // 0 => derived for eps=1/2
+		Levels:  cfg.Levels,
+		Seed:    hashing.DeriveSeed(cfg.Seed, 0xf0),
+	})
+	s.nodeRec = make([][]*sparserec.Sketch, cfg.Levels)
+	for i := range s.nodeRec {
+		row := make([]*sparserec.Sketch, cfg.N)
+		seed := hashing.DeriveSeed(cfg.Seed, 0xbe70+uint64(i))
+		for u := range row {
+			// All node sketches at one level share a seed: summing them
+			// over a vertex set A must be meaningful (Fig 3 step 4c).
+			row[u] = sparserec.New(cfg.RecoveryK, seed)
+		}
+		s.nodeRec[i] = row
+	}
+	s.lgN = math.Log2(float64(cfg.N)) + 1
+	return s
+}
+
+// Config returns the filled configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// Update applies a signed multiplicity change to edge {u, v}. Both the
+// rough sparsifier and the x^{u,i} recovery sketches see the update; the
+// incidence convention is x^u[(a,b)] = +delta at the lower endpoint and
+// -delta at the higher, so summing over a set cancels internal edges.
+func (s *Sketch) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	s.rough.Update(u, v, delta)
+	if u > v {
+		u, v = v, u
+	}
+	idx := stream.EdgeIndex(u, v, s.cfg.N)
+	l := s.levelMix.Level(idx)
+	if l >= s.cfg.Levels {
+		l = s.cfg.Levels - 1
+	}
+	for i := 0; i <= l; i++ {
+		s.nodeRec[i][u].Update(idx, delta)
+		s.nodeRec[i][v].Update(idx, -delta)
+	}
+}
+
+// Ingest replays a whole stream.
+func (s *Sketch) Ingest(st *stream.Stream) {
+	for _, up := range st.Updates {
+		s.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Add merges another sketch built with an identical config.
+func (s *Sketch) Add(other *Sketch) {
+	if s.cfg != other.cfg {
+		panic("sparsify: merging incompatible sketches")
+	}
+	s.rough.Add(other.rough)
+	for i := range s.nodeRec {
+		for u := range s.nodeRec[i] {
+			s.nodeRec[i][u].Add(other.nodeRec[i][u])
+		}
+	}
+}
+
+// levelFor implements Fig 3 step 4b: j = floor(log(max(w * eps^2 / log n, 1))),
+// with an engineering damping constant so the expected number of
+// subsampled crossing edges stays a factor ~4 under RecoveryK.
+func (s *Sketch) levelFor(w int64) int {
+	x := float64(w) * s.cfg.Epsilon * s.cfg.Epsilon / (4 * s.lgN)
+	if x < 1 {
+		return 0
+	}
+	j := int(math.Floor(math.Log2(x)))
+	if j >= s.cfg.Levels {
+		j = s.cfg.Levels - 1
+	}
+	return j
+}
+
+// Sparsify runs Fig 3 step 4. It consumes the sketch; call once.
+func (s *Sketch) Sparsify() (*graph.Graph, error) {
+	rough, err := s.rough.Sparsify()
+	if err != nil {
+		return nil, err
+	}
+	spars := graph.New(s.cfg.N)
+	if rough.NumEdges() == 0 {
+		return spars, nil
+	}
+	t := rough.GomoryHu()
+	for v := 0; v < s.cfg.N; v++ {
+		if t.Parent[v] == -1 {
+			continue
+		}
+		w := t.Weight[v]
+		if w == 0 {
+			continue // tree edge spanning disconnected pieces: no crossing edges
+		}
+		side := t.CutSide(v)
+		j := s.levelFor(w)
+		// Fig 3 step 4c: sum the level-j node sketches over the cut side;
+		// by linearity the sum sketches exactly the crossing edges of G_j.
+		// If decoding fails (more survivors than RecoveryK — the w.h.p.
+		// failure case of Theorem 2.2), retry one level up, where half as
+		// many edges survive; the weight scaling stays consistent because
+		// subsampling is nested.
+		for jj := j; jj < s.cfg.Levels; jj++ {
+			agg := s.sumSide(jj, side)
+			items, ok := agg.Decode()
+			if !ok {
+				continue
+			}
+			for _, it := range items {
+				a, b := stream.EdgeFromIndex(it.Index, s.cfg.N)
+				// Step 4d: assign the edge to the minimum tree edge on its
+				// path; include it only while processing that tree edge.
+				if t.MinCutEdgeBetween(a, b) != v {
+					continue
+				}
+				mult := it.Weight
+				if mult < 0 {
+					mult = -mult
+				}
+				spars.AddEdge(a, b, mult<<uint(jj))
+			}
+			break
+		}
+	}
+	return spars, nil
+}
+
+// sumSide returns the sum of level-i node sketches over side.
+func (s *Sketch) sumSide(i int, side []bool) *sparserec.Sketch {
+	var agg *sparserec.Sketch
+	for u, in := range side {
+		if !in {
+			continue
+		}
+		if agg == nil {
+			agg = s.nodeRec[i][u].Clone()
+		} else {
+			agg.Add(s.nodeRec[i][u])
+		}
+	}
+	return agg
+}
+
+// Words returns the memory footprint in 64-bit words (rough + recovery).
+func (s *Sketch) Words() int {
+	w := s.rough.Words()
+	for i := range s.nodeRec {
+		for u := range s.nodeRec[i] {
+			w += s.nodeRec[i][u].Words()
+		}
+	}
+	return w
+}
+
+// Words returns the memory footprint of the Simple sketch in 64-bit words.
+func (s *Simple) Words() int {
+	w := 0
+	for _, ec := range s.ecs {
+		w += ec.Words()
+	}
+	return w
+}

@@ -1,0 +1,121 @@
+package sparsify
+
+import (
+	"math/bits"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/stream"
+)
+
+// Weighted implements Sec. 3.5 / Theorem 3.8: sparsification of graphs with
+// polynomially bounded edge weights by decomposing the input into O(log W)
+// weight classes [2^c, 2^{c+1}), sparsifying each class independently, and
+// merging the class sparsifiers.
+//
+// Streaming semantics: every update's |delta| is the edge's weight, so an
+// insert (+w) and its delete (-w) land in the same class sketch and cancel
+// there. Within a class, weights span a factor of at most 2 (the L of
+// Lemma 3.6), which the class sketch absorbs by thresholding *weighted*
+// connectivity at K*2^{c+1} while peeling 2*K forests.
+type Weighted struct {
+	n       int
+	classes int
+	ws      []*Simple
+}
+
+// WeightedConfig parameterizes the weighted sparsifier.
+type WeightedConfig struct {
+	// N is the number of vertices (required).
+	N int
+	// Epsilon is the per-class target cut error.
+	Epsilon float64
+	// MaxWeight bounds edge weights; classes cover [1, MaxWeight].
+	MaxWeight int64
+	// K overrides the per-class base connectivity threshold.
+	K int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// NewWeighted creates the per-class sketches.
+func NewWeighted(cfg WeightedConfig) *Weighted {
+	if cfg.MaxWeight < 1 {
+		cfg.MaxWeight = 1
+	}
+	classes := bits.Len64(uint64(cfg.MaxWeight))
+	w := &Weighted{n: cfg.N, classes: classes}
+	w.ws = make([]*Simple, classes)
+	for c := 0; c < classes; c++ {
+		base := SimpleConfig{
+			N:       cfg.N,
+			Epsilon: cfg.Epsilon,
+			Seed:    hashing.DeriveSeed(cfg.Seed, 0x3e0+uint64(c)),
+		}
+		base.fill()
+		if cfg.K != 0 {
+			base.K = cfg.K
+		}
+		// Lemma 3.6: weights in [2^c, 2^{c+1}) = L factor 2 above the class
+		// floor. Threshold weighted cuts at K * 2^{c+1}; peel 2K forests so
+		// up to 2K distinct crossing edges are captured.
+		kf := 2 * base.K
+		kw := base.K << uint(c+1)
+		w.ws[c] = NewSimple(SimpleConfig{
+			N:        cfg.N,
+			Epsilon:  cfg.Epsilon,
+			K:        kw,
+			KForests: kf,
+			Levels:   base.Levels,
+			Seed:     base.Seed,
+		})
+	}
+	return w
+}
+
+// Update routes an update to its weight class, keyed by |delta|.
+func (w *Weighted) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	mag := delta
+	if mag < 0 {
+		mag = -mag
+	}
+	c := bits.Len64(uint64(mag)) - 1
+	if c >= w.classes {
+		c = w.classes - 1
+	}
+	w.ws[c].Update(u, v, delta)
+}
+
+// Ingest replays a whole stream.
+func (w *Weighted) Ingest(st *stream.Stream) {
+	for _, up := range st.Updates {
+		w.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Sparsify merges the per-class sparsifiers. Consumes the sketch.
+func (w *Weighted) Sparsify() (*graph.Graph, error) {
+	out := graph.New(w.n)
+	for _, s := range w.ws {
+		sp, err := s.Sparsify()
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range sp.Edges() {
+			out.AddEdge(e.U, e.V, e.W)
+		}
+	}
+	return out, nil
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (w *Weighted) Words() int {
+	t := 0
+	for _, s := range w.ws {
+		t += s.Words()
+	}
+	return t
+}

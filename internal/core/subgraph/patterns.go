@@ -1,0 +1,230 @@
+// Package subgraph implements Section 4 (Fig 4, Theorem 4.1): estimating
+// gamma_H(G), the fraction of non-empty order-k induced subgraphs of G
+// isomorphic to a pattern H, with O(eps^-2) linear measurements.
+//
+// The linear encoding is squash(X_G): one vector coordinate per k-subset of
+// vertices, whose value encodes the induced subgraph's edge set as a bitmap
+// (adding 1 to matrix entry (p, S) adds 2^p to coordinate S, where p is the
+// index of the vertex pair within S). l0-samples of this vector are uniform
+// non-empty induced subgraphs; the fraction whose bitmap lies in the
+// isomorphism class A_H estimates gamma_H to additive eps with 1/eps^2
+// samples (Chernoff).
+package subgraph
+
+import (
+	"sort"
+
+	"graphsketch/internal/graph"
+)
+
+// PatternSpace holds the combinatorial machinery for order-k patterns:
+// pair-position numbering within a k-subset and isomorphism
+// canonicalization of edge bitmaps.
+type PatternSpace struct {
+	k      int
+	npairs int
+	perms  [][]int        // all permutations of [k]
+	pairAt [][2]int       // position -> (i, j), i < j, lexicographic
+	posOf  map[[2]int]int // (i, j) -> position
+}
+
+// NewPatternSpace builds the space for subgraphs of order k (2 <= k <= 5;
+// larger k would need >64-bit bitmaps and is outside the paper's "small
+// constant k" regime).
+func NewPatternSpace(k int) *PatternSpace {
+	if k < 2 || k > 5 {
+		panic("subgraph: order k must be in [2,5]")
+	}
+	ps := &PatternSpace{k: k, posOf: map[[2]int]int{}}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			ps.posOf[[2]int{i, j}] = len(ps.pairAt)
+			ps.pairAt = append(ps.pairAt, [2]int{i, j})
+		}
+	}
+	ps.npairs = len(ps.pairAt)
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	var gen func(i int)
+	gen = func(i int) {
+		if i == k {
+			cp := make([]int, k)
+			copy(cp, perm)
+			ps.perms = append(ps.perms, cp)
+			return
+		}
+		for j := i; j < k; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			gen(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	gen(0)
+	return ps
+}
+
+// K returns the pattern order.
+func (ps *PatternSpace) K() int { return ps.k }
+
+// NumPairs returns C(k, 2).
+func (ps *PatternSpace) NumPairs() int { return ps.npairs }
+
+// PairPos returns the bitmap position of the pair (i, j) of subset-local
+// vertex indices (order-insensitive).
+func (ps *PatternSpace) PairPos(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return ps.posOf[[2]int{i, j}]
+}
+
+// Apply relabels a bitmap by a vertex permutation.
+func (ps *PatternSpace) apply(mask uint64, perm []int) uint64 {
+	var out uint64
+	for p, pair := range ps.pairAt {
+		if mask&(1<<uint(p)) != 0 {
+			out |= 1 << uint(ps.PairPos(perm[pair[0]], perm[pair[1]]))
+		}
+	}
+	return out
+}
+
+// Canonical returns the lexicographically smallest bitmap isomorphic to
+// mask: the isomorphism-class representative (the A_H membership test).
+func (ps *PatternSpace) Canonical(mask uint64) uint64 {
+	best := mask
+	for _, perm := range ps.perms {
+		if m := ps.apply(mask, perm); m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+// SameClass reports whether two bitmaps encode isomorphic subgraphs.
+func (ps *PatternSpace) SameClass(a, b uint64) bool {
+	return ps.Canonical(a) == ps.Canonical(b)
+}
+
+// ClassSize returns |A_H|: the number of distinct bitmaps isomorphic to mask.
+func (ps *PatternSpace) ClassSize(mask uint64) int {
+	seen := map[uint64]bool{}
+	for _, perm := range ps.perms {
+		seen[ps.apply(mask, perm)] = true
+	}
+	return len(seen)
+}
+
+// Common pattern bitmaps. Positions follow lexicographic pair order:
+// k=3: (0,1)=bit0, (0,2)=bit1, (1,2)=bit2.
+// k=4: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3) = bits 0..5.
+const (
+	// Triangle is K3 (k = 3).
+	Triangle uint64 = 0b111
+	// Wedge is the 2-edge path on 3 vertices (k = 3).
+	Wedge uint64 = 0b011
+	// SingleEdge3 is one edge plus an isolated vertex (k = 3).
+	SingleEdge3 uint64 = 0b001
+	// FourClique is K4 (k = 4).
+	FourClique uint64 = 0b111111
+	// FourCycle is C4: edges (0,1),(1,2),(2,3),(0,3) (k = 4).
+	FourCycle uint64 = 0b100101 | 0b001000 // (0,1)+(0,3)+(2,3) + (1,2)
+	// FourPath is P4: edges (0,1),(1,2),(2,3) (k = 4).
+	FourPath uint64 = 0b101001
+	// FourStar is K1,3: edges (0,1),(0,2),(0,3) (k = 4).
+	FourStar uint64 = 0b000111
+)
+
+// Census is an exact enumeration of order-k induced subgraphs, grouped by
+// canonical bitmap. The ground truth for Theorem 4.1.
+type Census struct {
+	K        int
+	NonEmpty int64
+	Total    int64
+	Counts   map[uint64]int64 // canonical bitmap -> count
+}
+
+// Gamma returns gamma_H(G) for pattern H given by mask: the fraction of
+// non-empty induced order-k subgraphs isomorphic to H.
+func (c Census) Gamma(ps *PatternSpace, mask uint64) float64 {
+	if c.NonEmpty == 0 {
+		return 0
+	}
+	return float64(c.Counts[ps.Canonical(mask)]) / float64(c.NonEmpty)
+}
+
+// ExactCensus enumerates all C(n,k) induced subgraphs of g. O(n^k); for
+// ground truth at test scale only.
+func ExactCensus(g *graph.Graph, k int) Census {
+	ps := NewPatternSpace(k)
+	c := Census{K: k, Counts: map[uint64]int64{}}
+	n := g.N()
+	subset := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			var mask uint64
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if g.HasEdge(subset[i], subset[j]) {
+						mask |= 1 << uint(ps.PairPos(i, j))
+					}
+				}
+			}
+			c.Total++
+			if mask != 0 {
+				c.NonEmpty++
+				c.Counts[ps.Canonical(mask)]++
+			}
+			return
+		}
+		for v := start; v < n; v++ {
+			subset[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return c
+}
+
+// CountTriangles returns the exact triangle count (specialized fast path).
+func CountTriangles(g *graph.Graph) int64 {
+	adj := g.Adjacency()
+	n := g.N()
+	var count int64
+	neighbors := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		neighbors[v] = make(map[int]bool, len(adj[v]))
+		for _, nb := range adj[v] {
+			neighbors[v][nb.To] = true
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, nb := range adj[u] {
+			v := nb.To
+			if v <= u {
+				continue
+			}
+			for _, nb2 := range adj[v] {
+				w := nb2.To
+				if w <= v {
+					continue
+				}
+				if neighbors[u][w] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// sortedCopy returns a sorted copy of xs (helper for subset handling).
+func sortedCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}

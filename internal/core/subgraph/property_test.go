@@ -1,0 +1,115 @@
+package subgraph
+
+// Property-based tests for the pattern machinery the gamma_H estimator
+// relies on.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func TestPropertyCanonicalIdempotent(t *testing.T) {
+	ps := NewPatternSpace(4)
+	f := func(maskRaw uint8) bool {
+		mask := uint64(maskRaw) & 0x3f // 6 pair bits for k=4
+		c := ps.Canonical(mask)
+		return ps.Canonical(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCanonicalInvariantUnderPermutation(t *testing.T) {
+	ps := NewPatternSpace(4)
+	f := func(maskRaw uint8, permIdx uint8) bool {
+		mask := uint64(maskRaw) & 0x3f
+		perm := ps.perms[int(permIdx)%len(ps.perms)]
+		return ps.Canonical(ps.apply(mask, perm)) == ps.Canonical(mask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCanonicalPreservesEdgeCount(t *testing.T) {
+	ps := NewPatternSpace(4)
+	f := func(maskRaw uint8) bool {
+		mask := uint64(maskRaw) & 0x3f
+		c := ps.Canonical(mask)
+		return popcount(c) == popcount(mask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestPropertyCensusTotals(t *testing.T) {
+	// Census counts must sum to NonEmpty and Total must be C(n,3).
+	for seed := uint64(0); seed < 8; seed++ {
+		g := graph.FromStream(stream.GNP(14, 0.3, seed))
+		c := ExactCensus(g, 3)
+		var sum int64
+		for _, v := range c.Counts {
+			sum += v
+		}
+		if sum != c.NonEmpty {
+			t.Fatalf("seed %d: class counts %d != non-empty %d", seed, sum, c.NonEmpty)
+		}
+		want := int64(14 * 13 * 12 / 6)
+		if c.Total != want {
+			t.Fatalf("seed %d: total %d != C(14,3) = %d", seed, c.Total, want)
+		}
+	}
+}
+
+func TestPropertyGammaSumsToOne(t *testing.T) {
+	// Over all isomorphism classes, gamma values sum to exactly 1.
+	g := graph.FromStream(stream.GNP(14, 0.4, 3))
+	c := ExactCensus(g, 3)
+	if c.NonEmpty == 0 {
+		t.Skip("empty graph")
+	}
+	total := 0.0
+	ps := NewPatternSpace(3)
+	for mask := range c.Counts {
+		total += c.Gamma(ps, mask)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("gamma sum %v != 1", total)
+	}
+}
+
+func TestPropertyCensusComplementDuality(t *testing.T) {
+	// gamma_H(G) for the k=3 full clique equals gamma_{empty-complement}
+	// on the complement graph restricted to non-empty triples... simpler
+	// robust check: triangles of G = independent triples of complement.
+	g := graph.FromStream(stream.GNP(12, 0.5, 7))
+	comp := graph.New(12)
+	for u := 0; u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			if !g.HasEdge(u, v) {
+				comp.AddEdge(u, v, 1)
+			}
+		}
+	}
+	cG := ExactCensus(g, 3)
+	cC := ExactCensus(comp, 3)
+	ps := NewPatternSpace(3)
+	triG := cG.Counts[ps.Canonical(Triangle)]
+	emptyC := cC.Total - cC.NonEmpty // triples with no complement edges
+	if triG != emptyC {
+		t.Fatalf("triangles in G (%d) != empty triples in complement (%d)", triG, emptyC)
+	}
+}

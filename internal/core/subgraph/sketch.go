@@ -1,0 +1,214 @@
+package subgraph
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/l0norm"
+	"graphsketch/internal/stream"
+)
+
+// Sketch is the Sec. 4 linear sketch of squash(X_G). It holds `samples`
+// independent l0-samplers (each yields one uniform non-empty induced
+// subgraph) and one support-size estimator (the denominator of gamma_H and
+// the bridge from fractions to absolute counts).
+//
+// Space is O(samples * log C(n,k)) words = O~(eps^-2) for
+// samples = 1/eps^2, matching Theorem 4.1.
+type Sketch struct {
+	n, k     int
+	samples  int
+	ps       *PatternSpace
+	binom    [][]int64
+	samplers []*l0.Sampler
+	norm     *l0norm.Estimator
+}
+
+// samplerRepsSubgraph is the per-sampler repetition count: a failed sampler
+// just reduces the effective sample size, so moderate reps suffice.
+const samplerRepsSubgraph = 6
+
+// New creates a sketch for order-k subgraphs (2 <= k <= 5) of graphs on n
+// vertices, drawing the given number of samples (use ceil(1/eps^2) for an
+// additive-eps estimate of gamma_H).
+func New(n, k, samples int, seed uint64) *Sketch {
+	if samples < 1 {
+		samples = 1
+	}
+	s := &Sketch{n: n, k: k, samples: samples, ps: NewPatternSpace(k)}
+	s.binom = binomialTable(n+1, k+1)
+	universe := uint64(s.binom[n][k]) // C(n, k) columns
+	if universe == 0 {
+		universe = 1
+	}
+	s.samplers = make([]*l0.Sampler, samples)
+	for i := range s.samplers {
+		s.samplers[i] = l0.NewWithReps(universe, hashing.DeriveSeed(seed, uint64(i)+1), samplerRepsSubgraph)
+	}
+	s.norm = l0norm.New(universe, hashing.DeriveSeed(seed, 0x4077))
+	return s
+}
+
+// binomialTable returns Pascal's triangle up to C(n-1, k-1).
+func binomialTable(n, k int) [][]int64 {
+	t := make([][]int64, n)
+	for i := range t {
+		t[i] = make([]int64, k)
+		t[i][0] = 1
+		for j := 1; j < k && j <= i; j++ {
+			t[i][j] = t[i-1][j-1]
+			if j <= i-1 {
+				t[i][j] += t[i-1][j]
+			}
+		}
+	}
+	return t
+}
+
+// rank returns the colexicographic rank of a sorted k-subset: the column
+// index of squash(X_G).
+func (s *Sketch) rank(subset []int) uint64 {
+	var r int64
+	for i, v := range subset {
+		r += s.binom[v][i+1]
+	}
+	return uint64(r)
+}
+
+// Update applies a signed multiplicity change to edge {u, v}: for every
+// k-subset S containing both endpoints, coordinate S gains delta * 2^p
+// where p is the pair's position within S (the squash encoding of Fig 4).
+// Cost: C(n-2, k-2) coordinate updates per sampler.
+func (s *Sketch) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	rest := make([]int, 0, s.k-2)
+	subset := make([]int, s.k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(rest) == s.k-2 {
+			s.applyColumn(u, v, rest, subset, delta)
+			return
+		}
+		for w := start; w < s.n; w++ {
+			if w == u || w == v {
+				continue
+			}
+			rest = append(rest, w)
+			rec(w + 1)
+			rest = rest[:len(rest)-1]
+		}
+	}
+	rec(0)
+}
+
+// applyColumn updates the coordinate for the subset {u, v} ∪ rest.
+func (s *Sketch) applyColumn(u, v int, rest, subset []int, delta int64) {
+	// Merge {u,v} and rest (both sorted) into subset.
+	i, j := 0, 0
+	for idx := 0; idx < s.k; idx++ {
+		switch {
+		case i < 2 && (j >= len(rest) || pick(u, v, i) < rest[j]):
+			subset[idx] = pick(u, v, i)
+			i++
+		default:
+			subset[idx] = rest[j]
+			j++
+		}
+	}
+	// Locate u, v within the subset.
+	var pu, pv int
+	for idx, x := range subset {
+		if x == u {
+			pu = idx
+		}
+		if x == v {
+			pv = idx
+		}
+	}
+	col := s.rank(subset)
+	val := delta << uint(s.ps.PairPos(pu, pv))
+	for _, smp := range s.samplers {
+		smp.Update(col, val)
+	}
+	s.norm.Update(col, val)
+}
+
+func pick(u, v int, i int) int {
+	if i == 0 {
+		return u
+	}
+	return v
+}
+
+// Ingest replays a whole stream.
+func (s *Sketch) Ingest(st *stream.Stream) {
+	for _, up := range st.Updates {
+		s.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// Add merges another sketch (same n, k, samples, seed construction).
+func (s *Sketch) Add(other *Sketch) {
+	if s.n != other.n || s.k != other.k || s.samples != other.samples {
+		panic("subgraph: merging incompatible sketches")
+	}
+	for i := range s.samplers {
+		s.samplers[i].Add(other.samplers[i])
+	}
+	s.norm.Add(other.norm)
+}
+
+// GammaEstimate estimates gamma_H for the pattern bitmap (see the exported
+// pattern constants). Returns the estimate and the number of samplers that
+// produced a usable sample (the effective sample size).
+func (s *Sketch) GammaEstimate(pattern uint64) (gamma float64, effective int) {
+	target := s.ps.Canonical(pattern)
+	match := 0
+	for _, smp := range s.samplers {
+		_, val, ok := smp.Sample()
+		if !ok {
+			continue
+		}
+		effective++
+		if val > 0 && uint64(val) < (1<<uint(s.ps.npairs)) && s.ps.Canonical(uint64(val)) == target {
+			match++
+		}
+	}
+	if effective == 0 {
+		return 0, 0
+	}
+	return float64(match) / float64(effective), effective
+}
+
+// NonEmptyEstimate estimates the number of non-empty order-k induced
+// subgraphs (the support size of squash(X_G)).
+func (s *Sketch) NonEmptyEstimate() float64 {
+	return s.norm.Estimate()
+}
+
+// CountEstimate estimates the absolute number of induced subgraphs
+// isomorphic to the pattern: gamma_H * ||squash||_0.
+func (s *Sketch) CountEstimate(pattern uint64) float64 {
+	gamma, eff := s.GammaEstimate(pattern)
+	if eff == 0 {
+		return 0
+	}
+	return gamma * s.NonEmptyEstimate()
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (s *Sketch) Words() int {
+	w := s.norm.Words()
+	for _, smp := range s.samplers {
+		w += smp.Words()
+	}
+	return w
+}
+
+// PatternSpace exposes the sketch's pattern machinery (shared with census
+// ground truth).
+func (s *Sketch) PatternSpace() *PatternSpace { return s.ps }

@@ -1,0 +1,280 @@
+package subgraph
+
+import (
+	"math"
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func TestPatternSpacePairPositions(t *testing.T) {
+	ps := NewPatternSpace(3)
+	if ps.NumPairs() != 3 {
+		t.Fatalf("C(3,2) = %d", ps.NumPairs())
+	}
+	if ps.PairPos(0, 1) != 0 || ps.PairPos(0, 2) != 1 || ps.PairPos(1, 2) != 2 {
+		t.Fatal("pair positions wrong for k=3")
+	}
+	if ps.PairPos(2, 1) != ps.PairPos(1, 2) {
+		t.Fatal("PairPos must be symmetric")
+	}
+	ps4 := NewPatternSpace(4)
+	if ps4.NumPairs() != 6 {
+		t.Fatalf("C(4,2) = %d", ps4.NumPairs())
+	}
+}
+
+func TestCanonicalInvariantUnderRelabeling(t *testing.T) {
+	ps := NewPatternSpace(3)
+	// Wedge centered at 0 ({01,02}), at 1 ({01,12}), at 2 ({02,12}).
+	masks := []uint64{0b011, 0b101, 0b110}
+	for _, m := range masks {
+		if ps.Canonical(m) != ps.Canonical(Wedge) {
+			t.Fatalf("mask %b should be a wedge", m)
+		}
+	}
+	// Triangle is alone in its class; single edges form another class.
+	if ps.SameClass(Triangle, Wedge) {
+		t.Fatal("triangle != wedge")
+	}
+	if !ps.SameClass(0b001, 0b100) {
+		t.Fatal("single edges are isomorphic")
+	}
+}
+
+func TestClassSizes(t *testing.T) {
+	ps := NewPatternSpace(3)
+	if ps.ClassSize(Triangle) != 1 {
+		t.Fatalf("triangle class size %d, want 1", ps.ClassSize(Triangle))
+	}
+	if ps.ClassSize(Wedge) != 3 {
+		t.Fatalf("wedge class size %d, want 3", ps.ClassSize(Wedge))
+	}
+	if ps.ClassSize(SingleEdge3) != 3 {
+		t.Fatalf("edge class size %d, want 3", ps.ClassSize(SingleEdge3))
+	}
+	ps4 := NewPatternSpace(4)
+	if ps4.ClassSize(FourClique) != 1 {
+		t.Fatal("K4 class size must be 1")
+	}
+	if ps4.ClassSize(FourCycle) != 3 {
+		t.Fatalf("C4 class size %d, want 3", ps4.ClassSize(FourCycle))
+	}
+}
+
+func TestExactCensusK4(t *testing.T) {
+	g := graph.FromStream(stream.Complete(4))
+	c := ExactCensus(g, 3)
+	// All 4 triples are triangles.
+	if c.Total != 4 || c.NonEmpty != 4 {
+		t.Fatalf("census totals wrong: %+v", c)
+	}
+	ps := NewPatternSpace(3)
+	if got := c.Gamma(ps, Triangle); got != 1.0 {
+		t.Fatalf("gamma_triangle(K4) = %v, want 1", got)
+	}
+}
+
+func TestExactCensusStar(t *testing.T) {
+	// Star K1,4: triples containing the center form wedges; others empty.
+	g := graph.FromStream(stream.Star(5))
+	c := ExactCensus(g, 3)
+	ps := NewPatternSpace(3)
+	// Triples with center 0 and two leaves: C(4,2)=6 wedges.
+	// Triples of three leaves: C(4,3)=4, all empty.
+	if c.NonEmpty != 6 {
+		t.Fatalf("non-empty = %d, want 6", c.NonEmpty)
+	}
+	if got := c.Gamma(ps, Wedge); got != 1.0 {
+		t.Fatalf("gamma_wedge(star) = %v, want 1", got)
+	}
+	if got := c.Gamma(ps, Triangle); got != 0 {
+		t.Fatalf("gamma_triangle(star) = %v, want 0", got)
+	}
+}
+
+func TestCountTrianglesMatchesCensus(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := graph.FromStream(stream.GNP(20, 0.3, seed))
+		c := ExactCensus(g, 3)
+		ps := NewPatternSpace(3)
+		fast := CountTriangles(g)
+		slow := c.Counts[ps.Canonical(Triangle)]
+		if fast != slow {
+			t.Fatalf("seed %d: fast %d != census %d", seed, fast, slow)
+		}
+	}
+}
+
+func TestSketchExactOnTinyGraph(t *testing.T) {
+	// K4: every sampled column must decode to a triangle bitmap.
+	s := stream.Complete(4)
+	sk := New(4, 3, 20, 7)
+	sk.Ingest(s)
+	gamma, eff := sk.GammaEstimate(Triangle)
+	if eff == 0 {
+		t.Fatal("no effective samples")
+	}
+	if gamma != 1.0 {
+		t.Fatalf("gamma_triangle(K4) estimate %v, want exactly 1", gamma)
+	}
+}
+
+func TestSketchGammaAccuracy(t *testing.T) {
+	// Additive error vs exact census on a random graph.
+	st := stream.GNP(24, 0.35, 3)
+	g := graph.FromStream(st)
+	census := ExactCensus(g, 3)
+	ps := NewPatternSpace(3)
+	for _, pattern := range []uint64{Triangle, Wedge, SingleEdge3} {
+		want := census.Gamma(ps, pattern)
+		sk := New(24, 3, 150, 11)
+		sk.Ingest(st)
+		got, eff := sk.GammaEstimate(pattern)
+		if eff < 100 {
+			t.Fatalf("pattern %b: only %d effective samples", pattern, eff)
+		}
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("pattern %b: estimate %.3f, exact %.3f", pattern, got, want)
+		}
+	}
+}
+
+func TestSketchK4Patterns(t *testing.T) {
+	st := stream.GNP(16, 0.5, 13)
+	g := graph.FromStream(st)
+	census := ExactCensus(g, 4)
+	ps := NewPatternSpace(4)
+	sk := New(16, 4, 150, 17)
+	sk.Ingest(st)
+	for _, pattern := range []uint64{FourClique, FourCycle, FourPath, FourStar} {
+		want := census.Gamma(ps, pattern)
+		got, eff := sk.GammaEstimate(pattern)
+		if eff < 100 {
+			t.Fatalf("only %d effective samples", eff)
+		}
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("k4 pattern %b: estimate %.3f, exact %.3f", pattern, got, want)
+		}
+	}
+}
+
+func TestSketchDeletionsMatter(t *testing.T) {
+	// Build K5 then delete edges to leave a star: triangles vanish.
+	st := stream.Complete(5)
+	for u := 1; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			st.Updates = append(st.Updates, stream.Update{U: u, V: v, Delta: -1})
+		}
+	}
+	sk := New(5, 3, 40, 19)
+	sk.Ingest(st)
+	gamma, eff := sk.GammaEstimate(Triangle)
+	if eff == 0 {
+		t.Fatal("no samples")
+	}
+	if gamma != 0 {
+		t.Fatalf("star has no triangles, estimate %v", gamma)
+	}
+	if w, _ := sk.GammaEstimate(Wedge); w != 1.0 {
+		t.Fatalf("all non-empty triples in a star are wedges, got %v", w)
+	}
+}
+
+func TestNonEmptyEstimate(t *testing.T) {
+	st := stream.GNP(24, 0.3, 23)
+	g := graph.FromStream(st)
+	census := ExactCensus(g, 3)
+	sk := New(24, 3, 10, 29)
+	sk.Ingest(st)
+	got := sk.NonEmptyEstimate()
+	want := float64(census.NonEmpty)
+	if math.Abs(got-want)/want > 0.35 {
+		t.Fatalf("non-empty estimate %v, exact %v", got, want)
+	}
+}
+
+func TestCountEstimateTriangles(t *testing.T) {
+	st := stream.GNP(20, 0.4, 31)
+	g := graph.FromStream(st)
+	want := float64(CountTriangles(g))
+	if want < 10 {
+		t.Skip("unlucky seed: too few triangles")
+	}
+	sk := New(20, 3, 200, 37)
+	sk.Ingest(st)
+	got := sk.CountEstimate(Triangle)
+	if math.Abs(got-want)/want > 0.5 {
+		t.Fatalf("triangle count estimate %v, exact %v", got, want)
+	}
+}
+
+func TestSketchMergeDistributed(t *testing.T) {
+	st := stream.GNP(16, 0.4, 41)
+	parts := st.Partition(4, 43)
+	merged := New(16, 3, 60, 47)
+	for _, p := range parts {
+		site := New(16, 3, 60, 47)
+		site.Ingest(p)
+		merged.Add(site)
+	}
+	whole := New(16, 3, 60, 47)
+	whole.Ingest(st)
+	gm, _ := merged.GammaEstimate(Triangle)
+	gw, _ := whole.GammaEstimate(Triangle)
+	if gm != gw {
+		t.Fatalf("merged gamma %v != whole gamma %v (same seeds, same vector)", gm, gw)
+	}
+}
+
+func TestRankBijective(t *testing.T) {
+	sk := New(10, 3, 1, 1)
+	seen := map[uint64]bool{}
+	count := 0
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			for c := b + 1; c < 10; c++ {
+				r := sk.rank([]int{a, b, c})
+				if r >= 120 { // C(10,3)
+					t.Fatalf("rank %d out of range", r)
+				}
+				if seen[r] {
+					t.Fatalf("rank collision at {%d,%d,%d}", a, b, c)
+				}
+				seen[r] = true
+				count++
+			}
+		}
+	}
+	if count != 120 {
+		t.Fatalf("enumerated %d subsets", count)
+	}
+}
+
+func TestWordsIndependentOfN(t *testing.T) {
+	// Theorem 4.1's point: space ~ samples * polylog, not ~ n.
+	small := New(16, 3, 50, 1).Words()
+	big := New(64, 3, 50, 1).Words()
+	if float64(big) > 2.5*float64(small) {
+		t.Fatalf("space should grow only logarithmically with n: %d vs %d", small, big)
+	}
+}
+
+func BenchmarkUpdateK3N32(b *testing.B) {
+	sk := New(32, 3, 100, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk.Update(i%31, (i+1)%31+1, 1)
+	}
+}
+
+func BenchmarkGammaEstimate(b *testing.B) {
+	st := stream.GNP(24, 0.3, 1)
+	sk := New(24, 3, 100, 1)
+	sk.Ingest(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.GammaEstimate(Triangle)
+	}
+}

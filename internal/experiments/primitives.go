@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"graphsketch/internal/agm"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/sparserec"
+	"graphsketch/internal/stream"
+)
+
+// E1L0Sampler validates Theorem 2.1's primitive: l0-sampling success rate
+// and near-uniformity across support sizes, with O(log^2)-word space.
+func E1L0Sampler() Table {
+	t := Table{
+		ID:     "E1",
+		Title:  "l0-sampler (Thm 2.1): success rate, uniformity, space",
+		Header: []string{"support", "trials", "success", "chi2(31dof)", "words"},
+	}
+	for _, support := range []int{1, 10, 100, 1000} {
+		const trials = 200
+		success := 0
+		var words int
+		for seed := uint64(0); seed < trials; seed++ {
+			s := l0.New(1<<24, hashing.DeriveSeed(uint64(support), seed))
+			words = s.Words()
+			r := hashing.NewRNG(seed)
+			seen := map[uint64]bool{}
+			for len(seen) < support {
+				idx := uint64(r.Intn(1 << 24))
+				if !seen[idx] {
+					seen[idx] = true
+					s.Update(idx, 1)
+				}
+			}
+			if _, _, ok := s.Sample(); ok {
+				success++
+			}
+		}
+		// Uniformity at 32-element support (chi-square over 3200 draws).
+		chi2 := 0.0
+		if support == 100 {
+			counts := map[uint64]int{}
+			const draws = 3200
+			for seed := uint64(0); seed < draws; seed++ {
+				s := l0.New(1<<20, seed*7+1)
+				for i := uint64(0); i < 32; i++ {
+					s.Update(i*1009+11, 1)
+				}
+				if idx, _, ok := s.Sample(); ok {
+					counts[idx]++
+				}
+			}
+			want := float64(draws) / 32
+			for i := uint64(0); i < 32; i++ {
+				got := float64(counts[i*1009+11])
+				chi2 += (got - want) * (got - want) / want
+			}
+		}
+		row := []string{d(support), d(200), f3(float64(success) / 200)}
+		if support == 100 {
+			row = append(row, f1(chi2))
+		} else {
+			row = append(row, "-")
+		}
+		row = append(row, d(words))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "success should be ~1.0 at every support size; chi2 near 31 means uniform")
+	return t
+}
+
+// E2SparseRecovery validates Theorem 2.2: exact recovery at sparsity <= k,
+// detected failure above k.
+func E2SparseRecovery() Table {
+	t := Table{
+		ID:     "E2",
+		Title:  "k-RECOVERY (Thm 2.2): exact recovery below k, declared FAIL above",
+		Header: []string{"k", "load", "exact-recovery", "false-decode", "words"},
+	}
+	for _, k := range []int{4, 16, 64} {
+		for _, load := range []int{k / 2, k, 4 * k} {
+			if load == 0 {
+				load = 1
+			}
+			const trials = 100
+			exact, falseDecode := 0, 0
+			var words int
+			for seed := uint64(0); seed < trials; seed++ {
+				s := sparserec.New(k, hashing.DeriveSeed(uint64(k*1000+load), seed))
+				words = s.Words()
+				want := map[uint64]int64{}
+				r := hashing.NewRNG(seed + 7)
+				for len(want) < load {
+					idx := uint64(r.Intn(1 << 28))
+					if _, dup := want[idx]; dup {
+						continue
+					}
+					want[idx] = int64(r.Intn(9)) + 1
+					s.Update(idx, want[idx])
+				}
+				items, ok := s.Decode()
+				if !ok {
+					continue
+				}
+				good := len(items) == len(want)
+				for _, it := range items {
+					if want[it.Index] != it.Weight {
+						good = false
+					}
+				}
+				if good {
+					exact++
+				} else {
+					falseDecode++
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				d(k), d(load), f3(float64(exact) / trials), f3(float64(falseDecode) / trials), d(words),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"load <= k rows should recover ~1.0; load = 4k rows should recover 0.0 with false-decode 0.0 (FAIL is declared, never silent)")
+	return t
+}
+
+// E3EdgeConnect validates Theorem 2.3: the k-EDGECONNECT witness captures
+// every edge of every cut of size <= k within an O(kn) edge budget.
+func E3EdgeConnect() Table {
+	t := Table{
+		ID:     "E3",
+		Title:  "k-EDGECONNECT (Thm 2.3): witness captures all small-cut edges",
+		Header: []string{"graph", "k", "minCut", "witnessCut", "bridges-captured", "edges", "budget(kn)"},
+	}
+	for _, bridges := range []int{1, 2, 4} {
+		n, k := 20, 6
+		st := stream.Barbell(n, bridges)
+		g := graph.FromStream(st)
+		ec := agm.NewEdgeConnectSketch(n, k, uint64(bridges)*17)
+		ec.Ingest(st)
+		h := ec.Witness()
+		captured := 0
+		side := make([]bool, n)
+		for i := 0; i < n/2; i++ {
+			side[i] = true
+		}
+		for _, e := range g.Edges() {
+			if side[e.U] != side[e.V] && h.HasEdge(e.U, e.V) {
+				captured++
+			}
+		}
+		exact, _ := g.StoerWagner()
+		wcut, _ := h.StoerWagner()
+		t.Rows = append(t.Rows, []string{
+			"barbell-" + d(bridges), d(k), d64(exact), d64(wcut),
+			d(captured) + "/" + d(bridges), d(h.NumEdges()), d(k * n),
+		})
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		n, k := 24, 8
+		st := stream.GNP(n, 0.25, seed)
+		g := graph.FromStream(st)
+		ec := agm.NewEdgeConnectSketch(n, k, seed+100)
+		ec.Ingest(st)
+		h := ec.Witness()
+		exact, _ := g.StoerWagner()
+		wcut, _ := h.StoerWagner()
+		t.Rows = append(t.Rows, []string{
+			"gnp-" + d(int(seed)), d(k), d64(exact), d64(wcut), "-", d(h.NumEdges()), d(k * n),
+		})
+	}
+	t.Notes = append(t.Notes, "witnessCut must equal minCut whenever minCut < k; edges stay under the kn budget")
+	return t
+}

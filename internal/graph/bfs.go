@@ -1,0 +1,97 @@
+package graph
+
+// Unreachable is the distance reported for vertices not connected to the
+// BFS source.
+const Unreachable = -1
+
+// BFS returns hop distances from src to every vertex (Unreachable if
+// disconnected). Edge weights are ignored: spanner guarantees in Sec. 5 are
+// stated for hop distance on unweighted graphs.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	adj := g.Adjacency()
+	queue := make([]int, 0, g.n)
+	dist[src] = 0
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[u] {
+			if dist[nb.To] == Unreachable {
+				dist[nb.To] = dist[u] + 1
+				queue = append(queue, nb.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the hop distance between u and v (Unreachable if
+// disconnected).
+func (g *Graph) Distance(u, v int) int {
+	return g.BFS(u)[v]
+}
+
+// Components returns a component id per vertex and the component count.
+func (g *Graph) Components() ([]int, int) {
+	d := NewDSU(g.n)
+	for idx := range g.w {
+		u := int(idx / uint64(g.n))
+		v := int(idx % uint64(g.n))
+		d.Union(u, v)
+	}
+	return d.Components(), d.Count()
+}
+
+// IsConnected reports whether the graph has one component (true for n<=1).
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// Diameter returns the maximum finite hop distance (0 for empty graphs).
+// O(n * m): BFS from every vertex; use on small graphs only.
+func (g *Graph) Diameter() int {
+	max := 0
+	for s := 0; s < g.n; s++ {
+		for _, d := range g.BFS(s) {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// IsBipartite reports whether the graph is 2-colorable, with a witness
+// coloring when it is. Exact baseline for the bipartiteness sketch.
+func (g *Graph) IsBipartite() (bool, []int) {
+	color := make([]int, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	adj := g.Adjacency()
+	for s := 0; s < g.n; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[u] {
+				if color[nb.To] == -1 {
+					color[nb.To] = 1 - color[u]
+					queue = append(queue, nb.To)
+				} else if color[nb.To] == color[u] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, color
+}

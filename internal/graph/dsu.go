@@ -1,0 +1,70 @@
+package graph
+
+// DSU is a disjoint-set union (union-find) with path compression and union
+// by size. Used by Boruvka-style forest extraction (internal/agm) and by
+// connectivity checks.
+type DSU struct {
+	parent []int
+	size   []int
+	count  int
+}
+
+// NewDSU creates n singleton sets.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), size: make([]int, n), count: n}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; returns false if already joined.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.count--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Count returns the number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// SizeOf returns the size of x's set.
+func (d *DSU) SizeOf(x int) int { return d.size[d.Find(x)] }
+
+// Components returns, for each vertex, a component id in [0, Count()),
+// numbered by first appearance.
+func (d *DSU) Components() []int {
+	id := make(map[int]int)
+	out := make([]int, len(d.parent))
+	for v := range d.parent {
+		r := d.Find(v)
+		c, ok := id[r]
+		if !ok {
+			c = len(id)
+			id[r] = c
+		}
+		out[v] = c
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package graph
+
+import "sort"
+
+// MinimumSpanningForest returns an exact minimum-weight spanning forest
+// (Kruskal) and its total weight. Ground truth for the MST sketch.
+func (g *Graph) MinimumSpanningForest() ([]Edge, int64) {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].W < edges[j].W })
+	dsu := NewDSU(g.n)
+	var forest []Edge
+	var total int64
+	for _, e := range edges {
+		if dsu.Union(e.U, e.V) {
+			forest = append(forest, e)
+			total += e.W
+		}
+	}
+	return forest, total
+}

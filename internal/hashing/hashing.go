@@ -1,0 +1,227 @@
+// Package hashing provides the random-hash substrate used by every sketch in
+// this repository.
+//
+// The paper (Sec. 3) first assumes a "random oracle" — a fully independent
+// random hash function — and then removes the assumption with Nisan's
+// pseudorandom generator (see internal/prg). We mirror that structure:
+//
+//   - Mixer is a keyed 64-bit finalizer-style mixer used as the random
+//     oracle stand-in. It is deterministic given (seed, key), so the
+//     "consistent sampling" the paper needs (an edge hashes the same way
+//     every time it is inserted or deleted) holds by construction.
+//   - PolyHash is a k-wise independent polynomial hash over GF(2^61-1) for
+//     the places where the analysis only needs limited independence
+//     (fingerprints, bucket hashing in sparse recovery).
+//
+// All hash families here are allocation-free on the query path.
+package hashing
+
+import "math/bits"
+
+// MersennePrime61 is 2^61 - 1, the modulus for polynomial hashing and
+// fingerprint arithmetic throughout the repository.
+const MersennePrime61 = (1 << 61) - 1
+
+// Mix64 is an unkeyed 64-bit finalizer (splitmix64 finalizer constants).
+// It is a bijection on uint64.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mixer is a keyed hash used as the repository's random oracle. Distinct
+// seeds behave as independent hash functions.
+type Mixer struct {
+	seed uint64
+}
+
+// NewMixer returns a Mixer for the given seed.
+func NewMixer(seed uint64) Mixer {
+	// Pre-mix the seed so that adjacent seeds (0,1,2,...) act independently.
+	return Mixer{seed: Mix64(seed ^ 0x9e3779b97f4a7c15)}
+}
+
+// Hash returns a 64-bit hash of key.
+func (m Mixer) Hash(key uint64) uint64 {
+	x := key ^ m.seed
+	x = Mix64(x)
+	x ^= m.seed >> 32
+	return Mix64(x + 0x9e3779b97f4a7c15)
+}
+
+// HashPair hashes a pair of keys (used for (node, level) style domains).
+func (m Mixer) HashPair(a, b uint64) uint64 {
+	return m.Hash(Mix64(a^0x2545f4914f6cdd1d) + b)
+}
+
+// Bit returns a single pseudorandom bit for key, suitable for the
+// h_i : E -> {0,1} functions of Figures 1-3.
+func (m Mixer) Bit(key uint64) uint64 {
+	return m.Hash(key) & 1
+}
+
+// Level returns the subsampling level of key: the number of leading
+// consecutive 1-bits won by key, i.e. Level(key) >= i with probability
+// 2^-i. It equals min{i : bit_i(h(key)) == 0} and is capped at 63.
+//
+// Figures 1-3 keep an edge e in G_i iff prod_{j<=i} h_j(e) = 1, which is the
+// event Level(e) >= i; the nesting G_0 ⊇ G_1 ⊇ ... is automatic.
+func (m Mixer) Level(key uint64) int {
+	h := m.Hash(key)
+	return bits.TrailingZeros64(^h) // index of lowest 0-bit
+}
+
+// Uniform01 maps key to a float64 in [0,1). Used for probability-p keeps.
+func (m Mixer) Uniform01(key uint64) float64 {
+	return float64(m.Hash(key)>>11) / float64(1<<53)
+}
+
+// Bounded returns a hash of key in [0, n). n must be > 0. Uses the
+// multiply-shift range reduction, which is unbiased enough for bucketing.
+func (m Mixer) Bounded(key uint64, n uint64) uint64 {
+	hi, _ := bits.Mul64(m.Hash(key), n)
+	return hi
+}
+
+// DeriveSeed derives the i-th child seed from a parent seed. Sketches use
+// this to fan out into independent sub-sketches reproducibly.
+func DeriveSeed(parent uint64, i uint64) uint64 {
+	return Mix64(Mix64(parent+0x8e9f0c1b2a3d4e5f) ^ (i * 0xd6e8feb86659fd93))
+}
+
+// mulmod61 returns a*b mod 2^61-1 using a 128-bit intermediate.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo. 2^64 = 8 mod p, so fold: (hi<<3 | lo>>61) + (lo & p)
+	folded := (hi << 3) | (lo >> 61)
+	res := (lo & MersennePrime61) + folded
+	if res >= MersennePrime61 {
+		res -= MersennePrime61
+	}
+	return res
+}
+
+// MulMod61 is the exported modular multiply over GF(2^61-1).
+func MulMod61(a, b uint64) uint64 { return mulmod61(a, b) }
+
+// AddMod61 returns a+b mod 2^61-1 for a,b < 2^61-1.
+func AddMod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// SubMod61 returns a-b mod 2^61-1 for a,b < 2^61-1.
+func SubMod61(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + MersennePrime61 - b
+}
+
+// PowMod61 returns base^exp mod 2^61-1.
+func PowMod61(base, exp uint64) uint64 {
+	base %= MersennePrime61
+	result := uint64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulmod61(result, base)
+		}
+		base = mulmod61(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+// InvMod61 returns the multiplicative inverse of a mod 2^61-1 (a != 0).
+// p is prime so a^(p-2) = a^-1.
+func InvMod61(a uint64) uint64 {
+	return PowMod61(a, MersennePrime61-2)
+}
+
+// PolyHash is a k-wise independent hash family: h(x) = sum c_j x^j mod p.
+// With k coefficients it is k-wise independent over [0, p).
+type PolyHash struct {
+	coeffs []uint64
+}
+
+// NewPolyHash builds a k-wise independent hash with coefficients derived
+// from seed. k must be >= 1.
+func NewPolyHash(seed uint64, k int) PolyHash {
+	if k < 1 {
+		k = 1
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		coeffs[i] = DeriveSeed(seed, uint64(i)) % MersennePrime61
+	}
+	// Leading coefficient must be non-zero for full independence.
+	if coeffs[k-1] == 0 {
+		coeffs[k-1] = 1
+	}
+	return PolyHash{coeffs: coeffs}
+}
+
+// Hash evaluates the polynomial at x via Horner's rule, returning a value
+// in [0, 2^61-1).
+func (p PolyHash) Hash(x uint64) uint64 {
+	x %= MersennePrime61
+	acc := uint64(0)
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc = AddMod61(mulmod61(acc, x), p.coeffs[i])
+	}
+	return acc
+}
+
+// Bounded evaluates the polynomial and reduces into [0, n).
+func (p PolyHash) Bounded(x, n uint64) uint64 {
+	return p.Hash(x) % n
+}
+
+// RNG is a small deterministic splitmix64 stream, used by workload
+// generators (never by sketches, which hash keys directly so that identical
+// edges hash identically across inserts and deletes).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return Mix64(r.state)
+}
+
+// Intn returns a value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	hi, _ := bits.Mul64(r.Next(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Perm returns a pseudorandom permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

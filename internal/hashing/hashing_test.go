@@ -1,0 +1,244 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a window plus quick-check determinism.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d) == %d", i, prev, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMixerDeterministic(t *testing.T) {
+	m1 := NewMixer(42)
+	m2 := NewMixer(42)
+	for i := uint64(0); i < 1000; i++ {
+		if m1.Hash(i) != m2.Hash(i) {
+			t.Fatalf("same seed must give same hash at key %d", i)
+		}
+	}
+}
+
+func TestMixerSeedsIndependent(t *testing.T) {
+	m1 := NewMixer(1)
+	m2 := NewMixer(2)
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if m1.Hash(i) == m2.Hash(i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided on %d/1000 keys", same)
+	}
+}
+
+func TestMixerBitBalance(t *testing.T) {
+	m := NewMixer(7)
+	ones := 0
+	const trials = 20000
+	for i := uint64(0); i < trials; i++ {
+		ones += int(m.Bit(i))
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("bit bias: got %.4f ones, want ~0.5", frac)
+	}
+}
+
+func TestMixerLevelGeometric(t *testing.T) {
+	m := NewMixer(11)
+	const trials = 100000
+	counts := make([]int, 20)
+	for i := uint64(0); i < trials; i++ {
+		l := m.Level(i)
+		if l < len(counts) {
+			counts[l]++
+		}
+	}
+	// P(Level == i) = 2^-(i+1).
+	for i := 0; i < 6; i++ {
+		want := float64(trials) / math.Pow(2, float64(i+1))
+		got := float64(counts[i])
+		if math.Abs(got-want) > 5*math.Sqrt(want) {
+			t.Errorf("level %d: got %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestMixerBoundedRange(t *testing.T) {
+	m := NewMixer(3)
+	f := func(key uint64, n uint32) bool {
+		nn := uint64(n%1000) + 1
+		return m.Bounded(key, nn) < nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixerBoundedUniform(t *testing.T) {
+	m := NewMixer(5)
+	const buckets = 16
+	const trials = 64000
+	counts := make([]int, buckets)
+	for i := uint64(0); i < trials; i++ {
+		counts[m.Bounded(i, buckets)]++
+	}
+	want := float64(trials) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for p := uint64(0); p < 10; p++ {
+		for i := uint64(0); i < 100; i++ {
+			s := DeriveSeed(p, i)
+			if seen[s] {
+				t.Fatalf("derived seed collision at parent=%d i=%d", p, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestMulMod61(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{1, 1, 1},
+		{MersennePrime61 - 1, 1, MersennePrime61 - 1},
+		{MersennePrime61 - 1, MersennePrime61 - 1, 1}, // (-1)*(-1) = 1
+		{2, 1 << 60, 1}, // 2^61 mod (2^61-1) = 1
+	}
+	for _, c := range cases {
+		if got := MulMod61(c.a, c.b); got != c.want {
+			t.Errorf("MulMod61(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulMod61MatchesBigIntSemantics(t *testing.T) {
+	// Cross-check against the naive mod-multiply via 128-bit decomposition
+	// using smaller operands where a*b fits in uint64.
+	f := func(a, b uint32) bool {
+		aa, bb := uint64(a), uint64(b)
+		return MulMod61(aa, bb) == (aa*bb)%MersennePrime61
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubMod61Inverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		aa := a % MersennePrime61
+		bb := b % MersennePrime61
+		return SubMod61(AddMod61(aa, bb), bb) == aa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowInvMod61(t *testing.T) {
+	for _, a := range []uint64{1, 2, 3, 1234567, MersennePrime61 - 1} {
+		inv := InvMod61(a)
+		if MulMod61(a, inv) != 1 {
+			t.Errorf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+	if PowMod61(2, 61) != 1 {
+		t.Errorf("2^61 mod (2^61-1) should be 1, got %d", PowMod61(2, 61))
+	}
+}
+
+func TestPolyHashRange(t *testing.T) {
+	h := NewPolyHash(99, 4)
+	for i := uint64(0); i < 10000; i++ {
+		if h.Hash(i) >= MersennePrime61 {
+			t.Fatalf("hash out of range at %d", i)
+		}
+	}
+}
+
+func TestPolyHashPairwiseCollisions(t *testing.T) {
+	// For a pairwise-independent family, collision probability into m
+	// buckets is ~1/m. Count collisions among 2000 keys into 1<<20 buckets:
+	// expected pairs*1/m ≈ 2e6/1e6 ≈ 1.9. Allow generous slack.
+	h := NewPolyHash(123, 2)
+	const n = 2000
+	const m = 1 << 20
+	seen := make(map[uint64]int)
+	collisions := 0
+	for i := uint64(0); i < n; i++ {
+		b := h.Bounded(i, m)
+		collisions += seen[b]
+		seen[b]++
+	}
+	if collisions > 30 {
+		t.Fatalf("too many collisions for pairwise family: %d", collisions)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(1)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func BenchmarkMixerHash(b *testing.B) {
+	m := NewMixer(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkPolyHash4Wise(b *testing.B) {
+	h := NewPolyHash(1, 4)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Hash(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,175 @@
+// Package l0 implements l0-sampling (Theorem 2.1, after Jowhari, Saglam,
+// and Tardos [31]): a linear sketch of a vector x in Z^U from which one can
+// draw a (near-)uniform element of support(x) = {i : x_i != 0}, or FAIL
+// with small probability.
+//
+// Construction: R independent repetitions. Each repetition assigns every
+// index i a geometric level L(i) (P[L(i) >= j] = 2^-j, fixed by a seeded
+// hash so inserts and deletes of the same index always agree) and keeps one
+// 1-sparse recovery cell per level j summarizing {i in support : L(i) >= j}.
+// At the level where roughly one support element survives, the cell decodes
+// and yields the sample. Scanning levels from most-subsampled downward and
+// returning the first decode is correct because level sets are nested: if a
+// level holds >= 2 support elements, so do all lower levels.
+//
+// The sketch is linear (Add/Sub merge streams), which is the property every
+// algorithm in the paper leans on: summing the node-incidence sketches of a
+// vertex set A yields a sketch of exactly the edges crossing (A, V \ A)
+// (Sec. 3.3), and deletions cancel insertions (Sec. 1.1).
+package l0
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/onesparse"
+)
+
+// DefaultReps is the default number of independent repetitions. Each
+// repetition succeeds with constant probability; failures across
+// repetitions are independent, so the FAIL rate decays as c^R.
+const DefaultReps = 8
+
+// Sampler is an l0-sampling sketch over the universe [0, U). Samplers are
+// mergeable iff built with identical (universe, reps, seed).
+type Sampler struct {
+	universe uint64
+	levels   int
+	reps     int
+	seed     uint64
+	mix      []hashing.Mixer    // per-rep level hash
+	cells    [][]onesparse.Cell // reps x levels
+}
+
+// New creates a sampler for indices in [0, universe) with DefaultReps
+// repetitions.
+func New(universe uint64, seed uint64) *Sampler {
+	return NewWithReps(universe, seed, DefaultReps)
+}
+
+// NewWithReps creates a sampler with an explicit repetition count
+// (more repetitions = lower FAIL probability, linearly more space).
+func NewWithReps(universe uint64, seed uint64, reps int) *Sampler {
+	if reps < 1 {
+		reps = 1
+	}
+	levels := 1
+	for u := universe; u > 1; u >>= 1 {
+		levels++
+	}
+	levels++ // slack level so singleton survival is visible even at U close to 2^k
+	s := &Sampler{universe: universe, levels: levels, reps: reps, seed: seed}
+	s.mix = make([]hashing.Mixer, reps)
+	s.cells = make([][]onesparse.Cell, reps)
+	cellSeed := hashing.DeriveSeed(seed, 0xce11)
+	for r := 0; r < reps; r++ {
+		s.mix[r] = hashing.NewMixer(hashing.DeriveSeed(seed, uint64(r)+1))
+		row := make([]onesparse.Cell, levels)
+		for j := range row {
+			row[j] = onesparse.NewCell(cellSeed)
+		}
+		s.cells[r] = row
+	}
+	return s
+}
+
+// Universe returns the universe size the sampler was built for.
+func (s *Sampler) Universe() uint64 { return s.universe }
+
+// Update adds delta to coordinate index. Cost: expected O(1) cell updates
+// per repetition (the level distribution is geometric).
+func (s *Sampler) Update(index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	for r := 0; r < s.reps; r++ {
+		l := s.mix[r].Level(index)
+		if l >= s.levels {
+			l = s.levels - 1
+		}
+		row := s.cells[r]
+		for j := 0; j <= l; j++ {
+			row[j].Update(index, delta)
+		}
+	}
+}
+
+// Add merges other into s (vector addition). Shapes and seeds must match.
+func (s *Sampler) Add(other *Sampler) {
+	s.mustMatch(other)
+	for r := 0; r < s.reps; r++ {
+		for j := 0; j < s.levels; j++ {
+			s.cells[r][j].Add(&other.cells[r][j])
+		}
+	}
+}
+
+// Sub subtracts other from s (vector subtraction).
+func (s *Sampler) Sub(other *Sampler) {
+	s.mustMatch(other)
+	for r := 0; r < s.reps; r++ {
+		for j := 0; j < s.levels; j++ {
+			s.cells[r][j].Sub(&other.cells[r][j])
+		}
+	}
+}
+
+func (s *Sampler) mustMatch(other *Sampler) {
+	if s.universe != other.universe || s.reps != other.reps ||
+		s.levels != other.levels || s.seed != other.seed {
+		panic("l0: merging incompatible samplers")
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Sampler) Clone() *Sampler {
+	c := &Sampler{universe: s.universe, levels: s.levels, reps: s.reps, seed: s.seed, mix: s.mix}
+	c.cells = make([][]onesparse.Cell, s.reps)
+	for r := range s.cells {
+		row := make([]onesparse.Cell, s.levels)
+		copy(row, s.cells[r])
+		c.cells[r] = row
+	}
+	return c
+}
+
+// Sample returns (index, weight, true) for an element drawn near-uniformly
+// from the support of the summarized vector, or ok=false if the sketch is
+// empty or every repetition fails.
+func (s *Sampler) Sample() (index uint64, weight int64, ok bool) {
+	for r := 0; r < s.reps; r++ {
+		row := s.cells[r]
+		// Scan from the most subsampled level down; nested level sets make
+		// the first non-empty level the decisive one for this repetition.
+		for j := s.levels - 1; j >= 0; j-- {
+			if row[j].IsZero() {
+				continue
+			}
+			if idx, w, decOK := row[j].Decode(); decOK {
+				return idx, w, true
+			}
+			break // >=2 survivors here, so >=2 at every lower level too
+		}
+	}
+	return 0, 0, false
+}
+
+// IsZero reports whether the summarized vector is (w.h.p.) the zero vector.
+// Level 0 of every repetition summarizes the whole vector, so this is a
+// fingerprint test with R independent witnesses.
+func (s *Sampler) IsZero() bool {
+	for r := 0; r < s.reps; r++ {
+		if !s.cells[r][0].IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalWeight returns sum_i x_i (exact, from the level-0 aggregate).
+func (s *Sampler) TotalWeight() int64 {
+	return s.cells[0][0].Weight()
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (s *Sampler) Words() int {
+	return s.reps * s.levels * 4
+}

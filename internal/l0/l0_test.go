@@ -1,0 +1,260 @@
+package l0
+
+import (
+	"testing"
+
+	"graphsketch/internal/hashing"
+)
+
+func TestEmptySamplerFails(t *testing.T) {
+	s := New(1000, 1)
+	if _, _, ok := s.Sample(); ok {
+		t.Fatal("empty sampler must not produce a sample")
+	}
+	if !s.IsZero() {
+		t.Fatal("empty sampler should be zero")
+	}
+}
+
+func TestSingletonAlwaysRecovered(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := New(1<<20, seed)
+		s.Update(12345, 3)
+		idx, w, ok := s.Sample()
+		if !ok || idx != 12345 || w != 3 {
+			t.Fatalf("seed %d: got (%d,%d,%v)", seed, idx, w, ok)
+		}
+	}
+}
+
+func TestSampleFromSupport(t *testing.T) {
+	support := map[uint64]int64{}
+	s := New(1<<24, 7)
+	r := hashing.NewRNG(3)
+	for len(support) < 500 {
+		idx := uint64(r.Intn(1 << 24))
+		if _, dup := support[idx]; dup {
+			continue
+		}
+		w := int64(r.Intn(10) + 1)
+		support[idx] = w
+		s.Update(idx, w)
+	}
+	idx, w, ok := s.Sample()
+	if !ok {
+		t.Fatal("sample failed on 500-element support")
+	}
+	if want, in := support[idx]; !in || want != w {
+		t.Fatalf("sampled (%d,%d) not in support", idx, w)
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	// FAIL probability must be small across seeds and support sizes.
+	for _, supportSize := range []int{1, 2, 5, 50, 1000} {
+		failures := 0
+		const trials = 100
+		for seed := uint64(0); seed < trials; seed++ {
+			s := New(1<<24, hashing.DeriveSeed(uint64(supportSize), seed))
+			r := hashing.NewRNG(seed * 7)
+			seen := map[uint64]bool{}
+			for len(seen) < supportSize {
+				idx := uint64(r.Intn(1 << 24))
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				s.Update(idx, 1)
+			}
+			if _, _, ok := s.Sample(); !ok {
+				failures++
+			}
+		}
+		if failures > 2 {
+			t.Errorf("support=%d: %d/%d FAILs", supportSize, failures, trials)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Draw one sample per seed over a fixed 32-element support and check
+	// the histogram is flat-ish. Theorem 2.1 promises uniform over support;
+	// the single-cell-per-level design is near-uniform, so the tolerance is
+	// statistical, not exact.
+	const supportSize = 32
+	const trials = 6400
+	counts := map[uint64]int{}
+	for seed := uint64(0); seed < trials; seed++ {
+		s := New(1<<20, seed)
+		for i := uint64(0); i < supportSize; i++ {
+			s.Update(i*1009+11, 1)
+		}
+		if idx, _, ok := s.Sample(); ok {
+			counts[idx]++
+		}
+	}
+	want := float64(trials) / supportSize
+	chi2 := 0.0
+	for i := uint64(0); i < supportSize; i++ {
+		got := float64(counts[i*1009+11])
+		chi2 += (got - want) * (got - want) / want
+	}
+	// chi-square with 31 dof: mean 31, sd ~7.9. Allow a wide margin
+	// (slight non-uniformity of min-level selection is expected).
+	if chi2 > 150 {
+		t.Fatalf("uniformity chi2 = %.1f too large (counts %v)", chi2, counts)
+	}
+}
+
+func TestDeletionsCancel(t *testing.T) {
+	s := New(1<<16, 5)
+	for i := uint64(0); i < 100; i++ {
+		s.Update(i, 1)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if i != 42 {
+			s.Update(i, -1)
+		}
+	}
+	idx, w, ok := s.Sample()
+	if !ok || idx != 42 || w != 1 {
+		t.Fatalf("got (%d,%d,%v), want (42,1,true)", idx, w, ok)
+	}
+}
+
+func TestFullCancellationIsZero(t *testing.T) {
+	s := New(1<<16, 6)
+	for i := uint64(0); i < 64; i++ {
+		s.Update(i*3, 2)
+	}
+	for i := uint64(0); i < 64; i++ {
+		s.Update(i*3, -2)
+	}
+	if !s.IsZero() {
+		t.Fatal("fully canceled sketch should be zero")
+	}
+	if _, _, ok := s.Sample(); ok {
+		t.Fatal("zero sketch must not sample")
+	}
+}
+
+func TestSignedWeightsCancelOnMerge(t *testing.T) {
+	// The AGM pattern: x^u has +1 for (u,v) with u the lower endpoint and
+	// -1 when u is the higher endpoint; summing across a component cancels
+	// internal edges. Simulate with two samplers sharing a seed.
+	a := New(1<<16, 9)
+	b := New(1<<16, 9)
+	// Internal edge index 500: +1 in a, -1 in b.
+	a.Update(500, 1)
+	b.Update(500, -1)
+	// Boundary edge 900 only in a.
+	a.Update(900, 1)
+	a.Add(b)
+	idx, w, ok := a.Sample()
+	if !ok || idx != 900 || w != 1 {
+		t.Fatalf("got (%d,%d,%v), want (900,1,true)", idx, w, ok)
+	}
+}
+
+func TestSubInverseOfAdd(t *testing.T) {
+	a := New(1<<16, 11)
+	b := New(1<<16, 11)
+	for i := uint64(0); i < 30; i++ {
+		a.Update(i*7, int64(i+1))
+		b.Update(i*13, int64(i+2))
+	}
+	sum := a.Clone()
+	sum.Add(b)
+	sum.Sub(b)
+	sum.Sub(a)
+	if !sum.IsZero() {
+		t.Fatal("a + b - b - a should be zero")
+	}
+}
+
+func TestMergeEqualsWholeStream(t *testing.T) {
+	whole := New(1<<20, 13)
+	parts := make([]*Sampler, 4)
+	for p := range parts {
+		parts[p] = New(1<<20, 13)
+	}
+	r := hashing.NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		idx := uint64(r.Intn(1 << 20))
+		d := int64(r.Intn(5) - 2)
+		whole.Update(idx, d)
+		parts[i%4].Update(idx, d)
+	}
+	merged := parts[0].Clone()
+	for p := 1; p < 4; p++ {
+		merged.Add(parts[p])
+	}
+	merged.Sub(whole)
+	if !merged.IsZero() {
+		t.Fatal("merged per-site sketches differ from whole-stream sketch")
+	}
+}
+
+func TestIncompatibleMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := New(100, 1)
+	b := New(200, 1)
+	a.Add(b)
+}
+
+func TestTotalWeight(t *testing.T) {
+	s := New(1<<10, 21)
+	s.Update(3, 5)
+	s.Update(9, -2)
+	if got := s.TotalWeight(); got != 3 {
+		t.Fatalf("TotalWeight = %d, want 3", got)
+	}
+}
+
+func TestWordsGrowsLogarithmically(t *testing.T) {
+	small := New(1<<10, 1).Words()
+	big := New(1<<40, 1).Words()
+	if big <= small {
+		t.Fatal("more levels must cost more words")
+	}
+	if big > small*8 {
+		t.Fatalf("space should be O(log U): %d vs %d", small, big)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := New(1<<40, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkSampleSupport1000(b *testing.B) {
+	s := New(1<<30, 1)
+	for i := uint64(0); i < 1000; i++ {
+		s.Update(i*997, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x := New(1<<30, 1)
+	y := New(1<<30, 1)
+	for i := uint64(0); i < 100; i++ {
+		x.Update(i, 1)
+		y.Update(i+1000, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.Add(y)
+	}
+}

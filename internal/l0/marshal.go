@@ -1,0 +1,68 @@
+package l0
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format: magic "L0S1", universe, seed, reps, levels (u64 LE each),
+// then reps*levels fixed-size cells. The level hashes are reconstructed
+// from the seed, so the encoding carries only state, not configuration
+// redundancy beyond what integrity checking needs.
+
+var l0Magic = [4]byte{'L', '0', 'S', '1'}
+
+// ErrBadEncoding is returned for corrupt or incompatible encodings.
+var ErrBadEncoding = errors.New("l0: bad encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sampler) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4*8+s.reps*s.levels*32)
+	buf = append(buf, l0Magic[:]...)
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], s.universe)
+	binary.LittleEndian.PutUint64(hdr[8:], s.seed)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.reps))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(s.levels))
+	buf = append(buf, hdr[:]...)
+	for r := 0; r < s.reps; r++ {
+		for j := 0; j < s.levels; j++ {
+			buf = s.cells[r][j].AppendBinary(buf)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, reconstructing a
+// sampler equivalent to the encoded one (including mergeability).
+func (s *Sampler) UnmarshalBinary(data []byte) error {
+	if len(data) < 36 || [4]byte(data[0:4]) != l0Magic {
+		return ErrBadEncoding
+	}
+	universe := binary.LittleEndian.Uint64(data[4:])
+	seed := binary.LittleEndian.Uint64(data[12:])
+	reps := int(binary.LittleEndian.Uint64(data[20:]))
+	levels := int(binary.LittleEndian.Uint64(data[28:]))
+	if reps < 1 || reps > 1<<10 || levels < 1 || levels > 1<<10 {
+		return fmt.Errorf("%w: implausible shape reps=%d levels=%d", ErrBadEncoding, reps, levels)
+	}
+	fresh := NewWithReps(universe, seed, reps)
+	if fresh.levels != levels {
+		return fmt.Errorf("%w: levels %d inconsistent with universe %d", ErrBadEncoding, levels, universe)
+	}
+	rest := data[36:]
+	var err error
+	for r := 0; r < reps; r++ {
+		for j := 0; j < levels; j++ {
+			if rest, err = fresh.cells[r][j].DecodeBinary(rest); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*s = *fresh
+	return nil
+}

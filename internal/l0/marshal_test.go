@@ -1,0 +1,64 @@
+package l0
+
+import "testing"
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(1<<20, 5)
+	for i := uint64(0); i < 40; i++ {
+		s.Update(i*31, int64(i%5)+1)
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sampler
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	// Equivalence check: subtracting the original leaves zero.
+	back.Sub(s)
+	if !back.IsZero() {
+		t.Fatal("decoded sampler differs from original")
+	}
+}
+
+func TestDecodedSamplerStillMergeable(t *testing.T) {
+	a := New(1<<16, 9)
+	b := New(1<<16, 9)
+	a.Update(100, 1)
+	b.Update(200, 1)
+	enc, _ := a.MarshalBinary()
+	var shipped Sampler
+	if err := shipped.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	shipped.Add(b)
+	found := map[uint64]bool{}
+	// The merged sketch holds {100, 200}; one sample must be one of them.
+	idx, _, ok := shipped.Sample()
+	if !ok {
+		t.Fatal("sample failed")
+	}
+	found[idx] = true
+	if !found[100] && !found[200] {
+		t.Fatalf("sampled %d not in merged support", idx)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	s := New(1<<10, 1)
+	s.Update(5, 1)
+	enc, _ := s.MarshalBinary()
+	var back Sampler
+	if err := back.UnmarshalBinary(enc[:10]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] ^= 0xff // break magic
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := back.UnmarshalBinary(append(enc, 1, 2, 3)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

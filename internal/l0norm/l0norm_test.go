@@ -1,0 +1,130 @@
+package l0norm
+
+import (
+	"math"
+	"testing"
+
+	"graphsketch/internal/hashing"
+)
+
+func TestZeroVector(t *testing.T) {
+	e := New(1<<20, 1)
+	if got := e.Estimate(); got != 0 {
+		t.Fatalf("zero vector estimate = %v, want 0", got)
+	}
+}
+
+func TestSmallSupportExact(t *testing.T) {
+	// Below the threshold the level-0 sketch decodes exactly.
+	e := New(1<<20, 2)
+	for i := uint64(0); i < 10; i++ {
+		e.Update(i*101, 1)
+	}
+	if got := e.Estimate(); got != 10 {
+		t.Fatalf("small support: got %v, want exactly 10", got)
+	}
+}
+
+func TestAccuracySweep(t *testing.T) {
+	for _, n := range []int{100, 1000, 20000} {
+		e := New(1<<30, uint64(n))
+		r := hashing.NewRNG(uint64(n) + 5)
+		seen := map[uint64]bool{}
+		for len(seen) < n {
+			idx := uint64(r.Intn(1 << 30))
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			e.Update(idx, 1)
+		}
+		got := e.Estimate()
+		rel := math.Abs(got-float64(n)) / float64(n)
+		if rel > 0.35 {
+			t.Errorf("n=%d: estimate %v, relative error %.2f too large", n, got, rel)
+		}
+	}
+}
+
+func TestDeletionsShrinkSupport(t *testing.T) {
+	e := New(1<<24, 7)
+	for i := uint64(0); i < 5000; i++ {
+		e.Update(i*3+1, 1)
+	}
+	for i := uint64(0); i < 4990; i++ {
+		e.Update(i*3+1, -1)
+	}
+	got := e.Estimate()
+	if got != 10 {
+		t.Fatalf("after deletions: got %v, want exactly 10 (below threshold)", got)
+	}
+}
+
+func TestMergeMatchesWhole(t *testing.T) {
+	whole := New(1<<24, 9)
+	a := New(1<<24, 9)
+	b := New(1<<24, 9)
+	for i := uint64(0); i < 2000; i++ {
+		idx := i * 13
+		whole.Update(idx, 1)
+		if i%2 == 0 {
+			a.Update(idx, 1)
+		} else {
+			b.Update(idx, 1)
+		}
+	}
+	a.Add(b)
+	if a.Estimate() != whole.Estimate() {
+		t.Fatalf("merged estimate %v != whole estimate %v", a.Estimate(), whole.Estimate())
+	}
+}
+
+func TestHigherThresholdTighter(t *testing.T) {
+	// Ablation invariant: larger T should not be (systematically) worse.
+	// Compare average relative error across seeds.
+	const n = 5000
+	errAt := func(threshold int) float64 {
+		total := 0.0
+		for seed := uint64(0); seed < 5; seed++ {
+			e := NewWithParams(1<<30, seed, threshold, 5)
+			r := hashing.NewRNG(seed + 31)
+			seen := map[uint64]bool{}
+			for len(seen) < n {
+				idx := uint64(r.Intn(1 << 30))
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				e.Update(idx, 1)
+			}
+			total += math.Abs(e.Estimate()-n) / n
+		}
+		return total / 5
+	}
+	loose := errAt(16)
+	tight := errAt(128)
+	if tight > loose+0.10 {
+		t.Errorf("T=128 avg error %.3f much worse than T=16 %.3f", tight, loose)
+	}
+	if tight > 0.25 {
+		t.Errorf("T=128 avg error %.3f too large", tight)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	e := New(1<<30, 1)
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	e := New(1<<30, 1)
+	for i := uint64(0); i < 10000; i++ {
+		e.Update(i*7, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Estimate()
+	}
+}

@@ -1,0 +1,36 @@
+package onesparse
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// CellWireSize is the encoded size of a Cell in bytes.
+const CellWireSize = 32
+
+// ErrShortBuffer is returned when decoding from a truncated buffer.
+var ErrShortBuffer = errors.New("onesparse: short buffer")
+
+// AppendBinary appends the cell's 32-byte wire form to buf. Cells are
+// fixed-size records: (w, s, f, z) little-endian. The fingerprint base z
+// is included so a decoded cell remains mergeable with its peers.
+func (c *Cell) AppendBinary(buf []byte) []byte {
+	var tmp [CellWireSize]byte
+	binary.LittleEndian.PutUint64(tmp[0:], uint64(c.w))
+	binary.LittleEndian.PutUint64(tmp[8:], uint64(c.s))
+	binary.LittleEndian.PutUint64(tmp[16:], c.f)
+	binary.LittleEndian.PutUint64(tmp[24:], c.z)
+	return append(buf, tmp[:]...)
+}
+
+// DecodeBinary reads a cell from the front of buf and returns the rest.
+func (c *Cell) DecodeBinary(buf []byte) ([]byte, error) {
+	if len(buf) < CellWireSize {
+		return nil, ErrShortBuffer
+	}
+	c.w = int64(binary.LittleEndian.Uint64(buf[0:]))
+	c.s = int64(binary.LittleEndian.Uint64(buf[8:]))
+	c.f = binary.LittleEndian.Uint64(buf[16:])
+	c.z = binary.LittleEndian.Uint64(buf[24:])
+	return buf[CellWireSize:], nil
+}

@@ -1,0 +1,105 @@
+// Package onesparse implements exact 1-sparse recovery, the leaf primitive
+// under both the l0-sampler (Theorem 2.1) and k-sparse recovery
+// (Theorem 2.2).
+//
+// A Cell summarizes a vector x in Z^U with three linear aggregates:
+//
+//	w  = sum_i x_i                 (total weight)
+//	s  = sum_i i * x_i             (index-weighted sum)
+//	f  = sum_i x_i * z^i  mod p    (polynomial fingerprint, random z)
+//
+// If x has exactly one non-zero coordinate (i, x_i) then w = x_i,
+// s = i * x_i, and f = x_i * z^i, so the coordinate is recovered as
+// (s/w, w) and verified against the fingerprint. The fingerprint makes a
+// false positive (declaring 1-sparse when x is not) happen with probability
+// at most U/p over the choice of z — negligible for p = 2^61-1.
+//
+// All operations are linear: cells support Add (merge) and Sub, which is
+// what lets sketches of partial streams combine, and what lets
+// k-EDGECONNECT peel already-extracted forests out of a sketch (Sec. 3).
+package onesparse
+
+import "graphsketch/internal/hashing"
+
+// Cell is a 1-sparse recovery summary. The zero value of Cell is NOT ready
+// to use; construct with NewCell so the fingerprint base is set.
+type Cell struct {
+	w int64  // sum of weights
+	s int64  // sum of index*weight (may overflow for adversarial inputs; fingerprint catches it)
+	f uint64 // fingerprint sum_i x_i z^i mod p
+	z uint64 // fingerprint base, shared across mergeable cells
+}
+
+// NewCell creates an empty cell whose fingerprint base is derived from seed.
+// Cells that are to be merged must be created with the same seed.
+func NewCell(seed uint64) Cell {
+	z := hashing.DeriveSeed(seed, 0xf1e2)%(hashing.MersennePrime61-2) + 2
+	return Cell{z: z}
+}
+
+// signedMod maps a signed weight into GF(p).
+func signedMod(v int64) uint64 {
+	if v >= 0 {
+		return uint64(v) % hashing.MersennePrime61
+	}
+	m := uint64(-v) % hashing.MersennePrime61
+	return hashing.MersennePrime61 - m
+}
+
+// Update adds delta to coordinate index.
+func (c *Cell) Update(index uint64, delta int64) {
+	c.w += delta
+	c.s += int64(index) * delta
+	term := hashing.MulMod61(signedMod(delta), hashing.PowMod61(c.z, index))
+	c.f = hashing.AddMod61(c.f, term)
+}
+
+// Add merges other into c (vector addition). Both cells must share a seed.
+func (c *Cell) Add(other *Cell) {
+	c.w += other.w
+	c.s += other.s
+	c.f = hashing.AddMod61(c.f, other.f)
+}
+
+// Sub subtracts other from c (vector subtraction).
+func (c *Cell) Sub(other *Cell) {
+	c.w -= other.w
+	c.s -= other.s
+	c.f = hashing.SubMod61(c.f, other.f)
+}
+
+// IsZero reports whether the summarized vector is (w.h.p.) the zero vector.
+func (c *Cell) IsZero() bool {
+	return c.w == 0 && c.s == 0 && c.f == 0
+}
+
+// Decode attempts 1-sparse recovery. If the summarized vector has exactly
+// one non-zero coordinate it returns (index, weight, true); otherwise it
+// returns (0, 0, false) with high probability.
+func (c *Cell) Decode() (index uint64, weight int64, ok bool) {
+	if c.w == 0 {
+		// Either zero vector or a cancellation (e.g. {+1 at i, -1 at j}).
+		// Not decodable as 1-sparse.
+		return 0, 0, false
+	}
+	if c.s%c.w != 0 {
+		return 0, 0, false
+	}
+	idx := c.s / c.w
+	if idx < 0 {
+		return 0, 0, false
+	}
+	// Verify fingerprint: f must equal w * z^idx.
+	want := hashing.MulMod61(signedMod(c.w), hashing.PowMod61(c.z, uint64(idx)))
+	if want != c.f {
+		return 0, 0, false
+	}
+	return uint64(idx), c.w, true
+}
+
+// Weight returns the total weight aggregate (sum of x_i). Useful to callers
+// that track support emptiness cheaply.
+func (c *Cell) Weight() int64 { return c.w }
+
+// Clone returns a deep copy of the cell.
+func (c *Cell) Clone() Cell { return *c }

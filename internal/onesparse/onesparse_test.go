@@ -1,0 +1,194 @@
+package onesparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyCell(t *testing.T) {
+	c := NewCell(1)
+	if !c.IsZero() {
+		t.Fatal("new cell should be zero")
+	}
+	if _, _, ok := c.Decode(); ok {
+		t.Fatal("empty cell must not decode")
+	}
+}
+
+func TestSingleItemDecode(t *testing.T) {
+	c := NewCell(1)
+	c.Update(42, 7)
+	idx, w, ok := c.Decode()
+	if !ok || idx != 42 || w != 7 {
+		t.Fatalf("got (%d,%d,%v), want (42,7,true)", idx, w, ok)
+	}
+}
+
+func TestSingleItemNegativeWeight(t *testing.T) {
+	c := NewCell(1)
+	c.Update(13, -5)
+	idx, w, ok := c.Decode()
+	if !ok || idx != 13 || w != -5 {
+		t.Fatalf("got (%d,%d,%v), want (13,-5,true)", idx, w, ok)
+	}
+}
+
+func TestInsertDeleteCancels(t *testing.T) {
+	c := NewCell(9)
+	c.Update(100, 1)
+	c.Update(200, 1)
+	c.Update(100, -1)
+	idx, w, ok := c.Decode()
+	if !ok || idx != 200 || w != 1 {
+		t.Fatalf("after cancel, got (%d,%d,%v), want (200,1,true)", idx, w, ok)
+	}
+	c.Update(200, -1)
+	if !c.IsZero() {
+		t.Fatal("fully canceled cell should be zero")
+	}
+}
+
+func TestTwoItemsRejected(t *testing.T) {
+	c := NewCell(3)
+	c.Update(5, 1)
+	c.Update(17, 1)
+	if _, _, ok := c.Decode(); ok {
+		t.Fatal("2-sparse vector must not decode as 1-sparse")
+	}
+}
+
+func TestManyItemsRejected(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		c := NewCell(seed)
+		for i := uint64(0); i < 50; i++ {
+			c.Update(i*3+1, int64(i%7)+1)
+		}
+		if _, _, ok := c.Decode(); ok {
+			t.Fatalf("seed %d: 50-sparse vector decoded as 1-sparse", seed)
+		}
+	}
+}
+
+// Adversarial case for the (w, s) aggregates alone: two items whose weighted
+// index sum mimics a single item. The fingerprint must reject it.
+func TestFingerprintCatchesAliasing(t *testing.T) {
+	misses := 0
+	for seed := uint64(0); seed < 100; seed++ {
+		c := NewCell(seed)
+		// x[10] = 1 and x[30] = 1: w=2, s=40, s/w=20 -> aliases index 20.
+		c.Update(10, 1)
+		c.Update(30, 1)
+		if _, _, ok := c.Decode(); ok {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Fatalf("fingerprint failed to reject aliasing in %d/100 seeds", misses)
+	}
+}
+
+func TestCancellationToNonZeroPair(t *testing.T) {
+	// w sums to zero but the vector {+1 at 3, -1 at 8} is not zero;
+	// Decode must say no, IsZero must say no.
+	c := NewCell(4)
+	c.Update(3, 1)
+	c.Update(8, -1)
+	if c.IsZero() {
+		t.Fatal("non-zero vector reported zero")
+	}
+	if _, _, ok := c.Decode(); ok {
+		t.Fatal("w==0 pair must not decode")
+	}
+}
+
+func TestAddMerge(t *testing.T) {
+	a := NewCell(7)
+	b := NewCell(7)
+	a.Update(11, 2)
+	b.Update(11, 3)
+	a.Add(&b)
+	idx, w, ok := a.Decode()
+	if !ok || idx != 11 || w != 5 {
+		t.Fatalf("merged cell: got (%d,%d,%v), want (11,5,true)", idx, w, ok)
+	}
+}
+
+func TestSubPeels(t *testing.T) {
+	a := NewCell(7)
+	a.Update(11, 2)
+	a.Update(29, 4)
+	peel := NewCell(7)
+	peel.Update(29, 4)
+	a.Sub(&peel)
+	idx, w, ok := a.Decode()
+	if !ok || idx != 11 || w != 2 {
+		t.Fatalf("after peel: got (%d,%d,%v), want (11,2,true)", idx, w, ok)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	// sketch(x) + sketch(y) == sketch(x+y) for random update sequences.
+	f := func(updates []struct {
+		Idx uint16
+		D   int8
+	}) bool {
+		whole := NewCell(5)
+		partA := NewCell(5)
+		partB := NewCell(5)
+		for i, u := range updates {
+			whole.Update(uint64(u.Idx), int64(u.D))
+			if i%2 == 0 {
+				partA.Update(uint64(u.Idx), int64(u.D))
+			} else {
+				partB.Update(uint64(u.Idx), int64(u.D))
+			}
+		}
+		partA.Add(&partB)
+		return partA.w == whole.w && partA.s == whole.s && partA.f == whole.f
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	f := func(idx uint32, wRaw int16) bool {
+		w := int64(wRaw)
+		if w == 0 {
+			return true
+		}
+		c := NewCell(8)
+		c.Update(uint64(idx), w)
+		gi, gw, ok := c.Decode()
+		return ok && gi == uint64(idx) && gw == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeIndices(t *testing.T) {
+	// Edge indices go up to n^2; exercise the top of that range (n = 2^20).
+	c := NewCell(2)
+	big := uint64(1) << 40
+	c.Update(big, 3)
+	idx, w, ok := c.Decode()
+	if !ok || idx != big || w != 3 {
+		t.Fatalf("large index: got (%d,%d,%v)", idx, w, ok)
+	}
+}
+
+func BenchmarkCellUpdate(b *testing.B) {
+	c := NewCell(1)
+	for i := 0; i < b.N; i++ {
+		c.Update(uint64(i)&0xfffff, 1)
+	}
+}
+
+func BenchmarkCellDecode(b *testing.B) {
+	c := NewCell(1)
+	c.Update(12345, 1)
+	for i := 0; i < b.N; i++ {
+		c.Decode()
+	}
+}

@@ -1,0 +1,73 @@
+// Package prg implements Nisan's pseudorandom generator for space-bounded
+// computation [39], used in Sec. 3.4 to replace the fully random hash
+// functions ("random oracle") the sparsification analysis assumes.
+//
+// Construction: a seed block x and t independent pairwise-independent hash
+// functions h_1..h_t generate R = 2^t blocks via the recursion
+//
+//	G_j(x) = G_{j-1}(x) || G_{j-1}(h_j(x)),   G_0(x) = x.
+//
+// The total seed is O(S log R) bits for block size S — exponentially less
+// randomness than the R blocks produced — yet no space-S one-way algorithm
+// can distinguish the output from uniform (Theorem 3.5).
+//
+// Block i is computable in O(t) time by walking i's bits, so sketches can
+// use the generator as a random-access hash source. The paper's argument
+// for why random access is legitimate (Nisan's guarantee is only for
+// one-way reads) is the sorted-stream + linearity trick of Sec. 3.4: a
+// linear sketch's output is invariant under stream reordering, so analyze
+// the algorithm on the sorted stream (where reads are one-way) and conclude
+// for every order. TestSketchOrderInvariance exercises exactly that
+// invariance.
+package prg
+
+import "graphsketch/internal/hashing"
+
+// Nisan is a random-access view of Nisan's generator with 61-bit blocks.
+type Nisan struct {
+	t  int
+	x  uint64
+	hs []hashing.PolyHash // h_1..h_t, pairwise independent
+}
+
+// New creates a generator producing at least numBlocks blocks.
+func New(seed uint64, numBlocks uint64) *Nisan {
+	t := 0
+	for b := uint64(1); b < numBlocks; b <<= 1 {
+		t++
+	}
+	g := &Nisan{t: t, x: hashing.DeriveSeed(seed, 0x715a) % hashing.MersennePrime61}
+	g.hs = make([]hashing.PolyHash, t)
+	for j := 0; j < t; j++ {
+		g.hs[j] = hashing.NewPolyHash(hashing.DeriveSeed(seed, uint64(j)+1), 2)
+	}
+	return g
+}
+
+// Blocks returns the number of blocks available (2^t).
+func (g *Nisan) Blocks() uint64 { return 1 << uint(g.t) }
+
+// SeedBits returns the seed length in bits: the O(S log R) of Theorem 3.5
+// (block + 2 coefficients per level, 61 bits each).
+func (g *Nisan) SeedBits() int { return 61 * (1 + 2*g.t) }
+
+// Block returns the i-th output block (i < Blocks()), a value in
+// [0, 2^61-1), in O(t) time.
+func (g *Nisan) Block(i uint64) uint64 {
+	x := g.x
+	// The recursion G_j(x) = G_{j-1}(x) || G_{j-1}(h_j(x)) means the top
+	// bit of i selects whether to route through h_t, and so on down.
+	for j := g.t; j >= 1; j-- {
+		half := uint64(1) << uint(j-1)
+		if i >= half {
+			x = g.hs[j-1].Hash(x)
+			i -= half
+		}
+	}
+	return x
+}
+
+// Bit returns one pseudorandom bit derived from block i.
+func (g *Nisan) Bit(i uint64) uint64 {
+	return g.Block(i) & 1
+}

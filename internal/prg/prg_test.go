@@ -1,0 +1,127 @@
+package prg
+
+import (
+	"math"
+	"testing"
+
+	"graphsketch/internal/agm"
+	"graphsketch/internal/stream"
+)
+
+func TestDeterministicAndDistinctSeeds(t *testing.T) {
+	a := New(1, 1024)
+	b := New(1, 1024)
+	c := New(2, 1024)
+	same, diff := 0, 0
+	for i := uint64(0); i < 1024; i++ {
+		if a.Block(i) != b.Block(i) {
+			t.Fatal("same seed must reproduce")
+		}
+		if a.Block(i) == c.Block(i) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide on %d blocks", same)
+	}
+}
+
+func TestBlocksCount(t *testing.T) {
+	g := New(3, 1000)
+	if g.Blocks() < 1000 {
+		t.Fatalf("want >= 1000 blocks, got %d", g.Blocks())
+	}
+}
+
+func TestSeedExponentiallySmallerThanOutput(t *testing.T) {
+	// The point of Theorem 3.5: O(S log R) seed bits for R blocks.
+	g := New(5, 1<<20)
+	outputBits := int64(g.Blocks()) * 61
+	if int64(g.SeedBits()) > outputBits/1000 {
+		t.Fatalf("seed %d bits not << output %d bits", g.SeedBits(), outputBits)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	g := New(7, 1<<16)
+	ones := 0
+	n := uint64(1 << 16)
+	for i := uint64(0); i < n; i++ {
+		ones += int(g.Bit(i))
+	}
+	frac := float64(ones) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("bit bias %f", frac)
+	}
+}
+
+func TestBlockValueDistribution(t *testing.T) {
+	// Bucket blocks into 16 ranges; counts should be near-uniform.
+	g := New(11, 1<<14)
+	const buckets = 16
+	counts := make([]int, buckets)
+	n := uint64(1 << 14)
+	for i := uint64(0); i < n; i++ {
+		counts[g.Block(i)%buckets]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 8*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d far from %f", b, c, want)
+		}
+	}
+}
+
+// TestSpaceBoundedWalkIndistinguishable runs a small-space statistic (a
+// bounded counter driven by one bit per block) under Nisan bits and checks
+// it lands where true-random bits land (mean ~0, |sum| = O(sqrt(R))) —
+// the qualitative content of Theorem 3.5.
+func TestSpaceBoundedWalkIndistinguishable(t *testing.T) {
+	const steps = 1 << 15
+	for seed := uint64(0); seed < 5; seed++ {
+		g := New(seed, steps)
+		sum := 0
+		for i := uint64(0); i < steps; i++ {
+			if g.Bit(i) == 1 {
+				sum++
+			} else {
+				sum--
+			}
+		}
+		// 6 sigma for a +/-1 random walk of `steps` steps.
+		if math.Abs(float64(sum)) > 6*math.Sqrt(steps) {
+			t.Fatalf("seed %d: walk endpoint %d too extreme", seed, sum)
+		}
+	}
+}
+
+// TestSketchOrderInvariance is the linchpin of the Sec. 3.4 derandomization
+// argument: a linear sketch's post-processing outcome depends only on the
+// final graph, not on the order updates arrived, so it suffices to analyze
+// the algorithm on a sorted stream (where random bits are read one-way,
+// making Nisan's theorem applicable).
+func TestSketchOrderInvariance(t *testing.T) {
+	base := stream.GNP(24, 0.2, 3)
+	fs := agm.NewForestSketch(24, 9)
+	fs.Ingest(base)
+	want := fs.ComponentCount()
+	for perm := uint64(0); perm < 5; perm++ {
+		shuffled := base.Shuffle(perm + 100)
+		fs2 := agm.NewForestSketch(24, 9) // same seed: same measurements
+		fs2.Ingest(shuffled)
+		if got := fs2.ComponentCount(); got != want {
+			t.Fatalf("order changed the sketch outcome: %d vs %d", got, want)
+		}
+	}
+}
+
+func BenchmarkBlock(b *testing.B) {
+	g := New(1, 1<<30)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.Block(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,63 @@
+package sparserec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+var srMagic = [4]byte{'S', 'R', 'K', '1'}
+
+// ErrBadEncoding is returned for corrupt or incompatible encodings.
+var ErrBadEncoding = errors.New("sparserec: bad encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler. Format: magic,
+// (k, seed, rows, m) u64 LE, then rows*m fixed-size cells.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4*8+s.rows*s.m*32)
+	buf = append(buf, srMagic[:]...)
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.k))
+	binary.LittleEndian.PutUint64(hdr[8:], s.seed)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.rows))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(s.m))
+	buf = append(buf, hdr[:]...)
+	for r := 0; r < s.rows; r++ {
+		for b := 0; b < s.m; b++ {
+			buf = s.cells[r][b].AppendBinary(buf)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 36 || [4]byte(data[0:4]) != srMagic {
+		return ErrBadEncoding
+	}
+	k := int(binary.LittleEndian.Uint64(data[4:]))
+	seed := binary.LittleEndian.Uint64(data[12:])
+	rows := int(binary.LittleEndian.Uint64(data[20:]))
+	m := int(binary.LittleEndian.Uint64(data[28:]))
+	if k < 1 || k > 1<<20 || rows < 1 || rows > 64 || m < 1 || m > 1<<24 {
+		return fmt.Errorf("%w: implausible shape k=%d rows=%d m=%d", ErrBadEncoding, k, rows, m)
+	}
+	fresh := New(k, seed)
+	if fresh.rows != rows || fresh.m != m {
+		return fmt.Errorf("%w: shape mismatch for k=%d", ErrBadEncoding, k)
+	}
+	rest := data[36:]
+	var err error
+	for r := 0; r < rows; r++ {
+		for b := 0; b < m; b++ {
+			if rest, err = fresh.cells[r][b].DecodeBinary(rest); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*s = *fresh
+	return nil
+}

@@ -1,0 +1,57 @@
+package sparserec
+
+import "testing"
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(8, 3)
+	for i := uint64(0); i < 6; i++ {
+		s.Update(i*101, int64(i)+1)
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sketch
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	items, ok := back.Decode()
+	if !ok || len(items) != 6 {
+		t.Fatalf("decoded sketch lost items: %v %v", items, ok)
+	}
+	back.Sub(s)
+	if !back.IsZero() {
+		t.Fatal("decoded sketch differs from original")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	s := New(4, 1)
+	enc, _ := s.MarshalBinary()
+	var back Sketch
+	if err := back.UnmarshalBinary(enc[:8]); err == nil {
+		t.Fatal("short accepted")
+	}
+	bad := append([]byte{}, enc...)
+	bad[1] ^= 0x55
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestShipAndMergeSparseRecovery(t *testing.T) {
+	a := New(8, 7)
+	b := New(8, 7)
+	a.Update(10, 1)
+	b.Update(20, 2)
+	wire, _ := a.MarshalBinary()
+	var shipped Sketch
+	if err := shipped.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	shipped.Add(b)
+	items, ok := shipped.Decode()
+	if !ok || len(items) != 2 {
+		t.Fatalf("merged shipped sketch wrong: %v %v", items, ok)
+	}
+}

@@ -1,0 +1,196 @@
+// Package sparserec implements k-RECOVERY (Theorem 2.2): a linear sketch
+// that recovers a vector x exactly with high probability when x has at most
+// k non-zero entries, and reports failure (it never silently lies, w.h.p.)
+// otherwise.
+//
+// Construction: an invertible lookup table of r hash rows, each with m
+// buckets, where every bucket is a 1-sparse recovery cell
+// (internal/onesparse). An index i is hashed into one bucket per row.
+// Decoding peels: while some bucket decodes as 1-sparse, subtract the
+// recovered item from all of its r buckets and repeat. For m >= c*k with
+// r >= 3 this succeeds w.h.p. for <=k non-zeros (hypergraph 2-core
+// argument), and each recovered item is individually verified by its cell
+// fingerprint so garbage is rejected.
+//
+// Space is O(k log n) words, matching Theorem 2.2, and the sketch is linear:
+// Add/Sub merge sketches of partial streams, which Figure 3 exploits by
+// summing the node sketches of one side of a cut.
+package sparserec
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/onesparse"
+)
+
+// DefaultRows is the number of hash rows. Three rows put the peeling
+// threshold near load 0.81; we use 4 for extra headroom at small k.
+const DefaultRows = 4
+
+// Sketch is a k-sparse recovery sketch. Construct with New; sketches are
+// mergeable iff created with identical (k, seed).
+type Sketch struct {
+	k     int
+	rows  int
+	m     int // buckets per row
+	seed  uint64
+	hash  []hashing.PolyHash // one per row
+	cells [][]onesparse.Cell // rows x m
+}
+
+// New creates a sketch that recovers up to k non-zero entries w.h.p.
+// k must be >= 1.
+func New(k int, seed uint64) *Sketch {
+	if k < 1 {
+		k = 1
+	}
+	rows := DefaultRows
+	// Peeling needs slack at small k; 2k+8 per row decodes <=k items with
+	// high probability for r=4 (ablated in BenchmarkAblationTableLoad).
+	m := 2*k + 8
+	s := &Sketch{k: k, rows: rows, m: m, seed: seed}
+	s.hash = make([]hashing.PolyHash, rows)
+	s.cells = make([][]onesparse.Cell, rows)
+	for r := 0; r < rows; r++ {
+		s.hash[r] = hashing.NewPolyHash(hashing.DeriveSeed(seed, uint64(r)+1), 4)
+		row := make([]onesparse.Cell, m)
+		for b := range row {
+			row[b] = onesparse.NewCell(hashing.DeriveSeed(seed, 0x5eed))
+		}
+		s.cells[r] = row
+	}
+	return s
+}
+
+// K returns the sparsity budget the sketch was built for.
+func (s *Sketch) K() int { return s.k }
+
+// Update adds delta to coordinate index.
+func (s *Sketch) Update(index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	for r := 0; r < s.rows; r++ {
+		b := s.hash[r].Bounded(index, uint64(s.m))
+		s.cells[r][b].Update(index, delta)
+	}
+}
+
+// Add merges other into s. Panics if shapes differ (programming error).
+func (s *Sketch) Add(other *Sketch) {
+	s.mustMatch(other)
+	for r := 0; r < s.rows; r++ {
+		for b := 0; b < s.m; b++ {
+			s.cells[r][b].Add(&other.cells[r][b])
+		}
+	}
+}
+
+// Sub subtracts other from s.
+func (s *Sketch) Sub(other *Sketch) {
+	s.mustMatch(other)
+	for r := 0; r < s.rows; r++ {
+		for b := 0; b < s.m; b++ {
+			s.cells[r][b].Sub(&other.cells[r][b])
+		}
+	}
+}
+
+func (s *Sketch) mustMatch(other *Sketch) {
+	if s.k != other.k || s.m != other.m || s.rows != other.rows || s.seed != other.seed {
+		panic("sparserec: merging incompatible sketches")
+	}
+}
+
+// Clone returns a deep copy (used when a decode must not destroy state).
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{k: s.k, rows: s.rows, m: s.m, seed: s.seed, hash: s.hash}
+	c.cells = make([][]onesparse.Cell, s.rows)
+	for r := range s.cells {
+		row := make([]onesparse.Cell, s.m)
+		copy(row, s.cells[r])
+		c.cells[r] = row
+	}
+	return c
+}
+
+// Item is a recovered (index, weight) pair.
+type Item struct {
+	Index  uint64
+	Weight int64
+}
+
+// Decode attempts exact recovery of the summarized vector. It returns the
+// non-zero coordinates and ok=true on success. ok=false means the vector
+// had more than k non-zeros (or an unlucky hash layout): the FAIL outcome
+// of Theorem 2.2. Decode does not modify the sketch.
+func (s *Sketch) Decode() ([]Item, bool) {
+	work := s.Clone()
+	return work.decodeDestructive()
+}
+
+// decodeDestructive peels items out of the sketch in place.
+func (w *Sketch) decodeDestructive() ([]Item, bool) {
+	var out []Item
+	// Queue of candidate (row, bucket) cells to try; seed with everything.
+	type rb struct{ r, b int }
+	queue := make([]rb, 0, w.rows*w.m)
+	for r := 0; r < w.rows; r++ {
+		for b := 0; b < w.m; b++ {
+			queue = append(queue, rb{r, b})
+		}
+	}
+	seen := make(map[uint64]bool)
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		cell := &w.cells[cur.r][cur.b]
+		idx, weight, ok := cell.Decode()
+		if !ok {
+			continue
+		}
+		if seen[idx] {
+			// Should have been fully peeled; fingerprint says 1-sparse with
+			// the same index again — duplicate peel means corruption.
+			return nil, false
+		}
+		seen[idx] = true
+		out = append(out, Item{Index: idx, Weight: weight})
+		if len(out) > w.k {
+			// More items than the budget: declare failure per the theorem
+			// contract (caller asked for at-most-k recovery).
+			return nil, false
+		}
+		// Subtract the item everywhere and requeue affected buckets.
+		for r := 0; r < w.rows; r++ {
+			b := int(w.hash[r].Bounded(idx, uint64(w.m)))
+			w.cells[r][b].Update(idx, -weight)
+			queue = append(queue, rb{r, b})
+		}
+	}
+	// Success iff every bucket is now empty.
+	for r := 0; r < w.rows; r++ {
+		for b := 0; b < w.m; b++ {
+			if !w.cells[r][b].IsZero() {
+				return nil, false
+			}
+		}
+	}
+	return out, true
+}
+
+// IsZero reports whether the summarized vector is (w.h.p.) zero.
+func (s *Sketch) IsZero() bool {
+	for r := range s.cells {
+		for b := range s.cells[r] {
+			if !s.cells[r][b].IsZero() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Words returns the memory footprint in 64-bit words (for space benches).
+func (s *Sketch) Words() int {
+	return s.rows * s.m * 4 // each cell: w, s, f, z
+}

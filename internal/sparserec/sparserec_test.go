@@ -1,0 +1,294 @@
+package sparserec
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphsketch/internal/hashing"
+)
+
+func decodeMap(t *testing.T, s *Sketch) map[uint64]int64 {
+	t.Helper()
+	items, ok := s.Decode()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	m := make(map[uint64]int64, len(items))
+	for _, it := range items {
+		m[it.Index] = it.Weight
+	}
+	return m
+}
+
+func TestEmptyDecodes(t *testing.T) {
+	s := New(8, 1)
+	items, ok := s.Decode()
+	if !ok || len(items) != 0 {
+		t.Fatalf("empty sketch: got (%v,%v)", items, ok)
+	}
+	if !s.IsZero() {
+		t.Fatal("empty sketch should be zero")
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	s := New(4, 2)
+	s.Update(77, 3)
+	m := decodeMap(t, s)
+	if len(m) != 1 || m[77] != 3 {
+		t.Fatalf("got %v", m)
+	}
+}
+
+func TestExactRecoveryAtK(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		k := 16
+		s := New(k, seed)
+		want := make(map[uint64]int64)
+		r := hashing.NewRNG(seed + 100)
+		for len(want) < k {
+			idx := uint64(r.Intn(1 << 30))
+			w := int64(r.Intn(9) - 4)
+			if w == 0 || want[idx] != 0 {
+				continue
+			}
+			want[idx] = w
+			s.Update(idx, w)
+		}
+		items, ok := s.Decode()
+		if !ok {
+			t.Fatalf("seed %d: decode failed at exactly k items", seed)
+		}
+		if len(items) != k {
+			t.Fatalf("seed %d: got %d items, want %d", seed, len(items), k)
+		}
+		for _, it := range items {
+			if want[it.Index] != it.Weight {
+				t.Fatalf("seed %d: item %v mismatches want %d", seed, it, want[it.Index])
+			}
+		}
+	}
+}
+
+func TestFailAboveK(t *testing.T) {
+	// With many more than k items, decode must report failure, not lie.
+	fails := 0
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		k := 8
+		s := New(k, seed)
+		for i := uint64(0); i < uint64(10*k); i++ {
+			s.Update(i*997+3, 1)
+		}
+		if _, ok := s.Decode(); !ok {
+			fails++
+		}
+	}
+	if fails != trials {
+		t.Fatalf("decode lied on overfull sketch in %d/%d trials", trials-fails, trials)
+	}
+}
+
+func TestDeletionsCancel(t *testing.T) {
+	s := New(8, 5)
+	// Insert 100 items, delete 95 of them; the 5 survivors must decode.
+	for i := uint64(0); i < 100; i++ {
+		s.Update(i, 1)
+	}
+	for i := uint64(0); i < 95; i++ {
+		s.Update(i, -1)
+	}
+	m := decodeMap(t, s)
+	if len(m) != 5 {
+		t.Fatalf("got %d items, want 5: %v", len(m), m)
+	}
+	for i := uint64(95); i < 100; i++ {
+		if m[i] != 1 {
+			t.Fatalf("missing survivor %d", i)
+		}
+	}
+}
+
+func TestMergeEqualsWhole(t *testing.T) {
+	a := New(8, 9)
+	b := New(8, 9)
+	whole := New(8, 9)
+	for i := uint64(0); i < 6; i++ {
+		idx := i * 31
+		if i%2 == 0 {
+			a.Update(idx, int64(i)+1)
+		} else {
+			b.Update(idx, int64(i)+1)
+		}
+		whole.Update(idx, int64(i)+1)
+	}
+	a.Add(b)
+	ma := decodeMap(t, a)
+	mw := decodeMap(t, whole)
+	if len(ma) != len(mw) {
+		t.Fatalf("merge mismatch: %v vs %v", ma, mw)
+	}
+	for k, v := range mw {
+		if ma[k] != v {
+			t.Fatalf("merge mismatch at %d: %d vs %d", k, ma[k], v)
+		}
+	}
+}
+
+func TestSubPeelsForest(t *testing.T) {
+	// The k-EDGECONNECT pattern: subtract an already-known subset, decode
+	// the remainder.
+	s := New(8, 11)
+	for i := uint64(0); i < 12; i++ {
+		s.Update(i*7, 1)
+	}
+	known := New(8, 11)
+	for i := uint64(0); i < 6; i++ {
+		known.Update(i*7, 1)
+	}
+	s.Sub(known)
+	m := decodeMap(t, s)
+	if len(m) != 6 {
+		t.Fatalf("got %d items after Sub, want 6", len(m))
+	}
+	for i := uint64(6); i < 12; i++ {
+		if m[i*7] != 1 {
+			t.Fatalf("missing %d", i*7)
+		}
+	}
+}
+
+func TestDecodeIsNonDestructive(t *testing.T) {
+	s := New(4, 3)
+	s.Update(10, 1)
+	s.Update(20, 2)
+	first := decodeMap(t, s)
+	second := decodeMap(t, s)
+	if len(first) != len(second) {
+		t.Fatal("decode mutated the sketch")
+	}
+	for k, v := range first {
+		if second[k] != v {
+			t.Fatal("decode mutated the sketch")
+		}
+	}
+}
+
+func TestIncompatibleMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on incompatible merge")
+		}
+	}()
+	a := New(4, 1)
+	b := New(8, 1)
+	a.Add(b)
+}
+
+func TestRecoveryRateSweep(t *testing.T) {
+	// Success rate at load <= k should be high across k values.
+	for _, k := range []int{1, 2, 4, 8, 32, 64} {
+		failures := 0
+		const trials = 40
+		for seed := uint64(0); seed < trials; seed++ {
+			s := New(k, hashing.DeriveSeed(uint64(k), seed))
+			r := hashing.NewRNG(seed)
+			used := map[uint64]bool{}
+			for j := 0; j < k; j++ {
+				idx := uint64(r.Intn(1 << 28))
+				if used[idx] {
+					continue
+				}
+				used[idx] = true
+				s.Update(idx, int64(r.Intn(100)+1))
+			}
+			if _, ok := s.Decode(); !ok {
+				failures++
+			}
+		}
+		if failures > 1 {
+			t.Errorf("k=%d: %d/%d decode failures at full load", k, failures, trials)
+		}
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	f := func(updates []struct {
+		Idx uint16
+		D   int8
+	}) bool {
+		a := New(4, 77)
+		b := New(4, 77)
+		whole := New(4, 77)
+		for i, u := range updates {
+			whole.Update(uint64(u.Idx), int64(u.D))
+			if i%2 == 0 {
+				a.Update(uint64(u.Idx), int64(u.D))
+			} else {
+				b.Update(uint64(u.Idx), int64(u.D))
+			}
+		}
+		a.Add(b)
+		// Compare raw cells via IsZero of difference.
+		a.Sub(whole)
+		return a.IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordsScalesWithK(t *testing.T) {
+	small := New(4, 1).Words()
+	big := New(64, 1).Words()
+	if big <= small {
+		t.Fatalf("space must grow with k: %d vs %d", small, big)
+	}
+	ratio := float64(big) / float64(small)
+	if ratio > 20 {
+		t.Fatalf("space should be O(k): ratio %f too large", ratio)
+	}
+}
+
+func TestItemsSorted(t *testing.T) {
+	// Not an API promise, but validate items are well formed and unique.
+	s := New(16, 13)
+	for i := uint64(0); i < 10; i++ {
+		s.Update(1000-i, 1)
+	}
+	items, ok := s.Decode()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	idxs := make([]uint64, len(items))
+	for i, it := range items {
+		idxs[i] = it.Index
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i] == idxs[i-1] {
+			t.Fatal("duplicate index in decode output")
+		}
+	}
+}
+
+func BenchmarkUpdateK16(b *testing.B) {
+	s := New(16, 1)
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i)&0xffffff, 1)
+	}
+}
+
+func BenchmarkDecodeK64Full(b *testing.B) {
+	s := New(64, 1)
+	for i := uint64(0); i < 64; i++ {
+		s.Update(i*911, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Decode(); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}

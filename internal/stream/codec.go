@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text codec for dynamic graph streams, used by `gsketch run` so external
+// tools can pipe update streams in.
+//
+// Format, one record per line:
+//
+//	n <vertices>        header (must come first)
+//	<u> <v> [delta]     update; delta defaults to +1
+//	# ...               comment, ignored
+//
+// Example:
+//
+//	n 4
+//	0 1
+//	1 2 1
+//	0 1 -1
+
+// WriteTo serializes the stream in the text format. Returns bytes written.
+func (s *Stream) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "n %d\n", s.N)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, up := range s.Updates {
+		if up.Delta == 1 {
+			n, err = fmt.Fprintf(bw, "%d %d\n", up.U, up.V)
+		} else {
+			n, err = fmt.Fprintf(bw, "%d %d %d\n", up.U, up.V, up.Delta)
+		}
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses a stream from the text format.
+func Read(r io.Reader) (*Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	st := &Stream{}
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if sawHeader {
+				return nil, fmt.Errorf("stream: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("stream: line %d: malformed header", lineNo)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &st.N); err != nil || st.N <= 0 {
+				return nil, fmt.Errorf("stream: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("stream: line %d: update before 'n <vertices>' header", lineNo)
+		}
+		var up Update
+		up.Delta = 1
+		switch len(fields) {
+		case 2:
+			if _, err := fmt.Sscanf(line, "%d %d", &up.U, &up.V); err != nil {
+				return nil, fmt.Errorf("stream: line %d: %v", lineNo, err)
+			}
+		case 3:
+			if _, err := fmt.Sscanf(line, "%d %d %d", &up.U, &up.V, &up.Delta); err != nil {
+				return nil, fmt.Errorf("stream: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("stream: line %d: want 'u v [delta]', got %q", lineNo, line)
+		}
+		if up.U < 0 || up.U >= st.N || up.V < 0 || up.V >= st.N {
+			return nil, fmt.Errorf("stream: line %d: vertex out of range [0,%d)", lineNo, st.N)
+		}
+		st.Updates = append(st.Updates, up)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("stream: missing 'n <vertices>' header")
+	}
+	return st, nil
+}

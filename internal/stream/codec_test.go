@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := GNP(20, 0.3, 1)
+	orig.Updates = append(orig.Updates, Update{U: 0, V: 1, Delta: -1}, Update{U: 2, V: 3, Delta: 5})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || back.Len() != orig.Len() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N, back.Len(), orig.N, orig.Len())
+	}
+	for i, up := range orig.Updates {
+		if back.Updates[i] != up {
+			t.Fatalf("update %d changed: %v vs %v", i, back.Updates[i], up)
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nn 3\n0 1\n# another\n1 2 -1\n"
+	st, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 || st.Len() != 2 || st.Updates[1].Delta != -1 {
+		t.Fatalf("parsed wrong: %+v", st)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"0 1\n",          // update before header
+		"n 0\n",          // bad vertex count
+		"n 3\nn 4\n",     // duplicate header
+		"n 3\n0 5\n",     // vertex out of range
+		"n 3\n0\n",       // malformed update
+		"n 3\n0 1 2 3\n", // too many fields
+		"n x\n",          // unparseable header
+		"",               // empty input
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteOmitsUnitDelta(t *testing.T) {
+	st := &Stream{N: 2, Updates: []Update{{U: 0, V: 1, Delta: 1}}}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(buf.String(), "\n")[1], " 1 1") {
+		t.Fatalf("unit delta should be omitted: %q", buf.String())
+	}
+}

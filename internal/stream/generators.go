@@ -1,0 +1,199 @@
+package stream
+
+import "graphsketch/internal/hashing"
+
+// GNP returns an Erdos-Renyi G(n, p) insertion stream.
+func GNP(n int, p float64, seed uint64) *Stream {
+	r := hashing.NewRNG(seed)
+	s := &Stream{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				s.Updates = append(s.Updates, Update{U: u, V: v, Delta: 1})
+			}
+		}
+	}
+	return s
+}
+
+// Complete returns the complete graph K_n as an insertion stream.
+func Complete(n int) *Stream {
+	s := &Stream{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			s.Updates = append(s.Updates, Update{U: u, V: v, Delta: 1})
+		}
+	}
+	return s
+}
+
+// Cycle returns the n-cycle 0-1-...-(n-1)-0.
+func Cycle(n int) *Stream {
+	s := &Stream{N: n}
+	for u := 0; u < n; u++ {
+		s.Updates = append(s.Updates, Update{U: u, V: (u + 1) % n, Delta: 1})
+	}
+	return s
+}
+
+// Path returns the n-path 0-1-...-(n-1).
+func Path(n int) *Stream {
+	s := &Stream{N: n}
+	for u := 0; u+1 < n; u++ {
+		s.Updates = append(s.Updates, Update{U: u, V: u + 1, Delta: 1})
+	}
+	return s
+}
+
+// Grid returns the rows x cols grid graph (node r*cols+c).
+func Grid(rows, cols int) *Stream {
+	s := &Stream{N: rows * cols}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				s.Updates = append(s.Updates, Update{U: id(r, c), V: id(r, c+1), Delta: 1})
+			}
+			if r+1 < rows {
+				s.Updates = append(s.Updates, Update{U: id(r, c), V: id(r+1, c), Delta: 1})
+			}
+		}
+	}
+	return s
+}
+
+// Barbell returns two K_{n/2} cliques joined by `bridges` edges. Its global
+// minimum cut is exactly `bridges`, making it the canonical min-cut
+// workload (Fig 1).
+func Barbell(n, bridges int) *Stream {
+	half := n / 2
+	s := &Stream{N: n}
+	add := func(u, v int) { s.Updates = append(s.Updates, Update{U: u, V: v, Delta: 1}) }
+	for u := 0; u < half; u++ {
+		for v := u + 1; v < half; v++ {
+			add(u, v)
+		}
+	}
+	for u := half; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			add(u, v)
+		}
+	}
+	for b := 0; b < bridges; b++ {
+		add(b%half, half+(b%(n-half)))
+	}
+	return s
+}
+
+// PlantedPartition returns a graph with `k` equal communities: edge
+// probability pIn inside a community, pOut across. Community cuts are the
+// natural "interesting" cuts for sparsifier accuracy (Figs 2-3).
+func PlantedPartition(n, k int, pIn, pOut float64, seed uint64) *Stream {
+	r := hashing.NewRNG(seed)
+	s := &Stream{N: n}
+	comm := func(u int) int { return u * k / n }
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if comm(u) == comm(v) {
+				p = pIn
+			}
+			if r.Float64() < p {
+				s.Updates = append(s.Updates, Update{U: u, V: v, Delta: 1})
+			}
+		}
+	}
+	return s
+}
+
+// PreferentialAttachment returns a Barabasi-Albert style graph: each new
+// node attaches m edges to existing nodes chosen proportional to degree.
+// Produces the skewed degree distributions of web/social graphs.
+func PreferentialAttachment(n, m int, seed uint64) *Stream {
+	if m < 1 {
+		m = 1
+	}
+	r := hashing.NewRNG(seed)
+	s := &Stream{N: n}
+	// targets holds one entry per edge endpoint, so uniform choice from it
+	// is degree-proportional.
+	targets := []int{0}
+	for u := 1; u < n; u++ {
+		added := map[int]bool{}
+		tries := 0
+		for len(added) < m && len(added) < u && tries < 10*m {
+			tries++
+			t := targets[r.Intn(len(targets))]
+			if t == u || added[t] {
+				continue
+			}
+			added[t] = true
+			s.Updates = append(s.Updates, Update{U: u, V: t, Delta: 1})
+		}
+		for t := range added {
+			targets = append(targets, t, u)
+		}
+		if len(added) == 0 {
+			targets = append(targets, u)
+		}
+	}
+	return s
+}
+
+// WeightedGNP returns a G(n,p) stream where each present edge carries a
+// multiplicity (weight) drawn uniformly from [1, maxW]. Used by the
+// weighted sparsification of Sec. 3.5.
+func WeightedGNP(n int, p float64, maxW int64, seed uint64) *Stream {
+	r := hashing.NewRNG(seed)
+	s := &Stream{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				w := int64(r.Intn(int(maxW))) + 1
+				s.Updates = append(s.Updates, Update{U: u, V: v, Delta: w})
+			}
+		}
+	}
+	return s
+}
+
+// Star returns the star graph with center 0.
+func Star(n int) *Stream {
+	s := &Stream{N: n}
+	for v := 1; v < n; v++ {
+		s.Updates = append(s.Updates, Update{U: 0, V: v, Delta: 1})
+	}
+	return s
+}
+
+// DisjointCliques returns `k` disjoint cliques of size n/k each —
+// a disconnected workload for connectivity testing.
+func DisjointCliques(n, k int) *Stream {
+	s := &Stream{N: n}
+	size := n / k
+	for c := 0; c < k; c++ {
+		base := c * size
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				s.Updates = append(s.Updates, Update{U: base + u, V: base + v, Delta: 1})
+			}
+		}
+	}
+	return s
+}
+
+// BipartiteRandom returns a random bipartite graph between [0,half) and
+// [half,n) with edge probability p. Used by the bipartiteness sketch.
+func BipartiteRandom(n int, p float64, seed uint64) *Stream {
+	r := hashing.NewRNG(seed)
+	half := n / 2
+	s := &Stream{N: n}
+	for u := 0; u < half; u++ {
+		for v := half; v < n; v++ {
+			if r.Float64() < p {
+				s.Updates = append(s.Updates, Update{U: u, V: v, Delta: 1})
+			}
+		}
+	}
+	return s
+}

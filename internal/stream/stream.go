@@ -1,0 +1,141 @@
+// Package stream implements the dynamic graph stream model of Definition 1:
+// a sequence of updates (i, j, +/-delta) over node set [n] defining a
+// multigraph whose edge multiplicities are the signed sums of updates.
+//
+// It also provides the workload generators used by tests, examples, and the
+// experiment harness — laptop-scale stand-ins for the massive web/IP/social
+// graphs the paper's introduction motivates (see DESIGN.md, substitutions
+// table) — plus the transformations the paper's models need: interleaved
+// insert/delete churn (dynamic streams, Sec. 1.1), random reordering
+// (derandomization argument, Sec. 3.4), and multi-site partitioning
+// (distributed streams, Sec. 1.1).
+package stream
+
+import "graphsketch/internal/hashing"
+
+// Update is one stream element: Delta (usually +1 or -1) applied to the
+// multiplicity of undirected edge {U, V}.
+type Update struct {
+	U, V  int
+	Delta int64
+}
+
+// Stream is a replayable dynamic graph stream on vertex set [0, N).
+// Replayability is what lets the r-adaptive sketches of Section 5 take r
+// passes.
+type Stream struct {
+	N       int
+	Updates []Update
+}
+
+// EdgeIndex maps an undirected edge {u, v} on n nodes to its canonical
+// index min*n + max in [0, n^2). Sketch universes for edge vectors use n^2.
+func EdgeIndex(u, v, n int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// EdgeFromIndex inverts EdgeIndex.
+func EdgeFromIndex(idx uint64, n int) (u, v int) {
+	return int(idx / uint64(n)), int(idx % uint64(n))
+}
+
+// Multiplicities replays the stream and returns the final edge
+// multiplicities A(i,j), keyed by canonical edge index. Zero entries are
+// removed. This is the exact ground truth for every sketch test.
+func (s *Stream) Multiplicities() map[uint64]int64 {
+	m := make(map[uint64]int64)
+	for _, up := range s.Updates {
+		if up.U == up.V {
+			continue // no self-loops, per Definition 1
+		}
+		idx := EdgeIndex(up.U, up.V, s.N)
+		m[idx] += up.Delta
+		if m[idx] == 0 {
+			delete(m, idx)
+		}
+	}
+	return m
+}
+
+// Len returns the number of stream updates.
+func (s *Stream) Len() int { return len(s.Updates) }
+
+// Clone returns a deep copy of the stream.
+func (s *Stream) Clone() *Stream {
+	ups := make([]Update, len(s.Updates))
+	copy(ups, s.Updates)
+	return &Stream{N: s.N, Updates: ups}
+}
+
+// Shuffle returns a copy of the stream with updates in pseudorandom order.
+// Sketch outputs must be invariant under this (they are linear); Sec. 3.4's
+// derandomization argument hinges on exactly that invariance.
+func (s *Stream) Shuffle(seed uint64) *Stream {
+	r := hashing.NewRNG(seed)
+	out := s.Clone()
+	for i := len(out.Updates) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out.Updates[i], out.Updates[j] = out.Updates[j], out.Updates[i]
+	}
+	return out
+}
+
+// Partition splits the stream across `sites` locations round-robin after a
+// pseudorandom shuffle, modeling the distributed stream setting of
+// Sec. 1.1 where per-site sketches are added together.
+func (s *Stream) Partition(sites int, seed uint64) []*Stream {
+	if sites < 1 {
+		sites = 1
+	}
+	shuffled := s.Shuffle(seed)
+	parts := make([]*Stream, sites)
+	for i := range parts {
+		parts[i] = &Stream{N: s.N}
+	}
+	for i, up := range shuffled.Updates {
+		p := parts[i%sites]
+		p.Updates = append(p.Updates, up)
+	}
+	return parts
+}
+
+// WithChurn interleaves `extra` insert-then-delete pairs of random edges
+// that do not survive, exercising the dynamic-graph code path where
+// deletions must cancel insertions exactly. The surviving graph is
+// unchanged, and multiplicities stay non-negative mid-stream (each churn
+// edge's insert precedes its delete) per Definition 1.
+func (s *Stream) WithChurn(extra int, seed uint64) *Stream {
+	r := hashing.NewRNG(seed)
+	final := s.Multiplicities()
+	churn := make([]Update, 0, 2*extra)
+	for i := 0; i < extra; i++ {
+		u := r.Intn(s.N)
+		v := r.Intn(s.N)
+		if u == v {
+			continue
+		}
+		if _, exists := final[EdgeIndex(u, v, s.N)]; exists {
+			continue // only churn edges absent from the final graph
+		}
+		churn = append(churn, Update{U: u, V: v, Delta: 1}, Update{U: u, V: v, Delta: -1})
+	}
+	// Random interleave (riffle) of base and churn sequences: each keeps
+	// its internal order, so every churn insert precedes its delete.
+	out := &Stream{N: s.N, Updates: make([]Update, 0, len(s.Updates)+len(churn))}
+	ia, ib := 0, 0
+	for ia < len(s.Updates) || ib < len(churn) {
+		takeBase := ib >= len(churn) ||
+			(ia < len(s.Updates) && r.Intn(len(s.Updates)+len(churn)-ia-ib) < len(s.Updates)-ia)
+		if takeBase {
+			out.Updates = append(out.Updates, s.Updates[ia])
+			ia++
+		} else {
+			out.Updates = append(out.Updates, churn[ib])
+			ib++
+		}
+	}
+	return out
+}

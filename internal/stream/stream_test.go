@@ -1,0 +1,270 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	f := func(u, v uint8, nRaw uint8) bool {
+		n := int(nRaw) + 2
+		uu, vv := int(u)%n, int(v)%n
+		if uu == vv {
+			return true
+		}
+		idx := EdgeIndex(uu, vv, n)
+		a, b := EdgeFromIndex(idx, n)
+		lo, hi := uu, vv
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return a == lo && b == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeIndexSymmetric(t *testing.T) {
+	if EdgeIndex(3, 7, 10) != EdgeIndex(7, 3, 10) {
+		t.Fatal("EdgeIndex must be orientation-invariant")
+	}
+}
+
+func TestEdgeIndexUnique(t *testing.T) {
+	n := 50
+	seen := map[uint64]bool{}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			idx := EdgeIndex(u, v, n)
+			if seen[idx] {
+				t.Fatalf("duplicate index for (%d,%d)", u, v)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestMultiplicitiesCancel(t *testing.T) {
+	s := &Stream{N: 5, Updates: []Update{
+		{0, 1, 1}, {1, 2, 1}, {0, 1, -1}, {3, 4, 2},
+	}}
+	m := s.Multiplicities()
+	if len(m) != 2 {
+		t.Fatalf("want 2 surviving edges, got %v", m)
+	}
+	if m[EdgeIndex(1, 2, 5)] != 1 || m[EdgeIndex(3, 4, 5)] != 2 {
+		t.Fatalf("wrong multiplicities: %v", m)
+	}
+}
+
+func TestMultiplicitiesIgnoreSelfLoops(t *testing.T) {
+	s := &Stream{N: 5, Updates: []Update{{2, 2, 1}, {0, 1, 1}}}
+	if len(s.Multiplicities()) != 1 {
+		t.Fatal("self-loop must be ignored")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := GNP(30, 0.3, 1)
+	sh := s.Shuffle(99)
+	if sh.Len() != s.Len() {
+		t.Fatal("shuffle changed length")
+	}
+	a, b := s.Multiplicities(), sh.Multiplicities()
+	if len(a) != len(b) {
+		t.Fatal("shuffle changed final graph")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("shuffle changed final graph")
+		}
+	}
+}
+
+func TestPartitionCoversStream(t *testing.T) {
+	s := GNP(30, 0.3, 2)
+	parts := s.Partition(4, 7)
+	if len(parts) != 4 {
+		t.Fatalf("want 4 parts, got %d", len(parts))
+	}
+	total := 0
+	merged := map[uint64]int64{}
+	for _, p := range parts {
+		total += p.Len()
+		for k, v := range p.Multiplicities() {
+			merged[k] += v
+		}
+	}
+	if total != s.Len() {
+		t.Fatalf("partition lost updates: %d vs %d", total, s.Len())
+	}
+	want := s.Multiplicities()
+	if len(merged) != len(want) {
+		t.Fatal("partition changed final graph")
+	}
+	for k, v := range want {
+		if merged[k] != v {
+			t.Fatal("partition changed final graph")
+		}
+	}
+}
+
+func TestWithChurnPreservesGraphAndNonNegativity(t *testing.T) {
+	s := GNP(40, 0.2, 3)
+	churned := s.WithChurn(500, 11)
+	if churned.Len() <= s.Len() {
+		t.Fatal("churn added no updates")
+	}
+	// Final graph unchanged.
+	a, b := s.Multiplicities(), churned.Multiplicities()
+	if len(a) != len(b) {
+		t.Fatalf("churn changed final graph: %d vs %d edges", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("churn changed final graph")
+		}
+	}
+	// Multiplicities stay >= 0 throughout (Definition 1).
+	running := map[uint64]int64{}
+	for _, up := range churned.Updates {
+		idx := EdgeIndex(up.U, up.V, churned.N)
+		running[idx] += up.Delta
+		if running[idx] < 0 {
+			t.Fatalf("negative multiplicity mid-stream on edge %d", idx)
+		}
+	}
+}
+
+func TestGNPEdgeCount(t *testing.T) {
+	n, p := 100, 0.3
+	s := GNP(n, p, 5)
+	want := p * float64(n*(n-1)/2)
+	got := float64(s.Len())
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("G(n,p) edge count %v far from expected %v", got, want)
+	}
+}
+
+func TestCompleteHasAllEdges(t *testing.T) {
+	s := Complete(20)
+	if s.Len() != 190 {
+		t.Fatalf("K_20 should have 190 edges, got %d", s.Len())
+	}
+}
+
+func TestCycleAndPath(t *testing.T) {
+	if Cycle(10).Len() != 10 {
+		t.Fatal("cycle edge count")
+	}
+	if Path(10).Len() != 9 {
+		t.Fatal("path edge count")
+	}
+}
+
+func TestGridEdgeCount(t *testing.T) {
+	// rows*(cols-1) + (rows-1)*cols
+	s := Grid(4, 5)
+	if s.Len() != 4*4+3*5 {
+		t.Fatalf("grid edges: got %d", s.Len())
+	}
+}
+
+func TestBarbellMinCutStructure(t *testing.T) {
+	s := Barbell(20, 3)
+	m := s.Multiplicities()
+	// Two K_10s plus 3 bridges.
+	if len(m) != 2*45+3 {
+		t.Fatalf("barbell edges: got %d, want %d", len(m), 2*45+3)
+	}
+	crossing := 0
+	for idx := range m {
+		u, v := EdgeFromIndex(idx, 20)
+		if (u < 10) != (v < 10) {
+			crossing++
+		}
+	}
+	if crossing != 3 {
+		t.Fatalf("bridges: got %d, want 3", crossing)
+	}
+}
+
+func TestPlantedPartitionDensity(t *testing.T) {
+	s := PlantedPartition(80, 4, 0.5, 0.02, 9)
+	in, out := 0, 0
+	comm := func(u int) int { return u * 4 / 80 }
+	for idx := range s.Multiplicities() {
+		u, v := EdgeFromIndex(idx, 80)
+		if comm(u) == comm(v) {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in <= out {
+		t.Fatalf("planted partition should be dense inside: in=%d out=%d", in, out)
+	}
+}
+
+func TestPreferentialAttachmentConnectedAndSkewed(t *testing.T) {
+	n := 200
+	s := PreferentialAttachment(n, 2, 13)
+	deg := make([]int, n)
+	for idx := range s.Multiplicities() {
+		u, v := EdgeFromIndex(idx, n)
+		deg[u]++
+		deg[v]++
+	}
+	max, sum := 0, 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	avg := float64(sum) / float64(n)
+	if float64(max) < 3*avg {
+		t.Errorf("PA graph should have hubs: max degree %d vs avg %.1f", max, avg)
+	}
+}
+
+func TestWeightedGNPWeightsInRange(t *testing.T) {
+	s := WeightedGNP(50, 0.3, 8, 17)
+	for _, w := range s.Multiplicities() {
+		if w < 1 || w > 8 {
+			t.Fatalf("weight %d out of [1,8]", w)
+		}
+	}
+}
+
+func TestDisjointCliquesComponents(t *testing.T) {
+	s := DisjointCliques(30, 3)
+	// 3 cliques of 10: 3*45 edges, no cross edges.
+	if len(s.Multiplicities()) != 135 {
+		t.Fatalf("got %d edges", len(s.Multiplicities()))
+	}
+	for idx := range s.Multiplicities() {
+		u, v := EdgeFromIndex(idx, 30)
+		if u/10 != v/10 {
+			t.Fatal("cross-clique edge found")
+		}
+	}
+}
+
+func TestBipartiteRandomIsBipartite(t *testing.T) {
+	s := BipartiteRandom(40, 0.3, 23)
+	for idx := range s.Multiplicities() {
+		u, v := EdgeFromIndex(idx, 40)
+		if (u < 20) == (v < 20) {
+			t.Fatal("same-side edge in bipartite generator")
+		}
+	}
+}
+
+func TestStarDegrees(t *testing.T) {
+	s := Star(10)
+	if s.Len() != 9 {
+		t.Fatalf("star edges: %d", s.Len())
+	}
+}
