@@ -8,10 +8,13 @@ package graphsketch
 // regenerates every number EXPERIMENTS.md records.
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"testing"
 
+	"graphsketch/internal/agm"
+	"graphsketch/internal/baseline"
 	"graphsketch/internal/experiments"
 )
 
@@ -202,5 +205,49 @@ func BenchmarkSparsifyEndToEndN24(b *testing.B) {
 		if _, err := sp.Sparsify(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- sampler-substrate benchmarks: arena vs pointer-per-sampler ----------
+
+// benchForestIngest measures whole-stream ingest (construction included,
+// amortized over the stream) and reports per-update cost.
+func benchForestIngest(b *testing.B, updates int, run func(st *Stream)) {
+	st := UniformUpdates(256, updates, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(st)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*updates), "ns/update")
+}
+
+// BenchmarkForestIngest is the arena-backed ForestSketch ingest path.
+func BenchmarkForestIngest(b *testing.B) {
+	benchForestIngest(b, 100_000, func(st *Stream) {
+		fs := agm.NewForestSketch(st.N, 1)
+		fs.Ingest(st)
+	})
+}
+
+// BenchmarkForestIngestPointerBaseline is the frozen pre-arena
+// implementation (one *l0.Sampler per round and vertex).
+func BenchmarkForestIngestPointerBaseline(b *testing.B) {
+	benchForestIngest(b, 100_000, func(st *Stream) {
+		fs := baseline.NewPointerForest(st.N, 1)
+		fs.Ingest(st)
+	})
+}
+
+// BenchmarkForestIngestParallel shards the stream across worker
+// goroutines; merged results are bit-identical to sequential ingest
+// (scaling requires GOMAXPROCS > 1).
+func BenchmarkForestIngestParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchForestIngest(b, 100_000, func(st *Stream) {
+				fs := agm.NewForestSketch(st.N, 1)
+				fs.IngestParallel(st, workers)
+			})
+		})
 	}
 }

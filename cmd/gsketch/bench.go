@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphsketch/internal/agm"
+	"graphsketch/internal/baseline"
+	"graphsketch/internal/stream"
+)
+
+// BenchResult is one measured configuration of the ingest benchmark.
+type BenchResult struct {
+	// Name identifies the code path: "pointer-baseline", "arena", or
+	// "arena-parallel".
+	Name string `json:"name"`
+	// Workers is the IngestParallel worker count (1 for sequential paths).
+	Workers int `json:"workers"`
+	// NsPerUpdate is wall time divided by stream length.
+	NsPerUpdate float64 `json:"ns_per_update"`
+	// WallMs is the total ingest wall time in milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Words is the sketch memory footprint in 64-bit words.
+	Words int `json:"words"`
+}
+
+// BenchReport is the machine-readable output of `gsketch bench`, consumed
+// by BENCH_*.json trackers so future PRs can follow the perf trajectory.
+type BenchReport struct {
+	N          int           `json:"n"`
+	Updates    int           `json:"updates"`
+	Seed       uint64        `json:"seed"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	GoVersion  string        `json:"go_version"`
+	UnixTime   int64         `json:"unix_time"`
+	Results    []BenchResult `json:"results"`
+	// ArenaSpeedup is pointer-baseline ns/update divided by arena
+	// ns/update (single-threaded locality win).
+	ArenaSpeedup float64 `json:"arena_speedup"`
+	// ParallelBitIdentical reports whether every parallel ingest produced
+	// state bit-identical to the sequential arena ingest.
+	ParallelBitIdentical bool `json:"parallel_bit_identical"`
+}
+
+// benchCommand implements `gsketch bench [-n N] [-updates M] [-workers
+// 1,2,4] [-seed S] [-baseline]`: measures forest-sketch ingest throughput
+// for the pointer-per-sampler baseline, the arena path, and sharded
+// parallel ingest, verifies merge bit-identity, and emits JSON.
+func benchCommand(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	n := fs.Int("n", 256, "vertex count")
+	updates := fs.Int("updates", 1_000_000, "stream length")
+	seed := fs.Uint64("seed", 1, "workload and sketch seed")
+	workersCSV := fs.String("workers", "1,2,4", "comma-separated IngestParallel worker counts")
+	runBaseline := fs.Bool("baseline", true, "also measure the pointer-per-sampler baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("-n must be >= 2, got %d", *n)
+	}
+	if *updates < 1 {
+		return fmt.Errorf("-updates must be >= 1, got %d", *updates)
+	}
+	var workers []int
+	for _, tok := range strings.Split(*workersCSV, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -workers entry %q", tok)
+		}
+		workers = append(workers, w)
+	}
+
+	st := stream.UniformUpdates(*n, *updates, *seed)
+	report := BenchReport{
+		N:          *n,
+		Updates:    *updates,
+		Seed:       *seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		UnixTime:   time.Now().Unix(),
+	}
+
+	measure := func(name string, w int, run func() int) {
+		start := time.Now()
+		words := run()
+		elapsed := time.Since(start)
+		report.Results = append(report.Results, BenchResult{
+			Name:        name,
+			Workers:     w,
+			NsPerUpdate: float64(elapsed.Nanoseconds()) / float64(*updates),
+			WallMs:      float64(elapsed.Microseconds()) / 1000.0,
+			Words:       words,
+		})
+	}
+
+	var baselineNs float64
+	if *runBaseline {
+		measure("pointer-baseline", 1, func() int {
+			sk := baseline.NewPointerForest(*n, *seed)
+			sk.Ingest(st)
+			return sk.Words()
+		})
+		baselineNs = report.Results[len(report.Results)-1].NsPerUpdate
+	}
+
+	// Construction stays inside every timed closure so all rows measure the
+	// same thing the pointer baseline does: build + ingest.
+	var seq *agm.ForestSketch
+	measure("arena", 1, func() int {
+		seq = agm.NewForestSketch(*n, *seed)
+		seq.Ingest(st)
+		return seq.Words()
+	})
+	arenaNs := report.Results[len(report.Results)-1].NsPerUpdate
+	if baselineNs > 0 {
+		report.ArenaSpeedup = baselineNs / arenaNs
+	}
+
+	report.ParallelBitIdentical = true
+	for _, w := range workers {
+		var par *agm.ForestSketch
+		measure("arena-parallel", w, func() int {
+			par = agm.NewForestSketch(*n, *seed)
+			par.IngestParallel(st, w)
+			return par.Words()
+		})
+		if !par.Equal(seq) {
+			report.ParallelBitIdentical = false
+		}
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

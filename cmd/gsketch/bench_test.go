@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestBenchCommandEmitsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := benchCommand([]string{"-n", "32", "-updates", "20000", "-workers", "1,2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bench output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Results) != 4 { // baseline, arena, parallel x2
+		t.Fatalf("want 4 results, got %d", len(rep.Results))
+	}
+	if !rep.ParallelBitIdentical {
+		t.Fatal("parallel ingest must be bit-identical to sequential")
+	}
+	if rep.ArenaSpeedup <= 1 {
+		t.Fatalf("arena should beat the pointer baseline, speedup = %.2f", rep.ArenaSpeedup)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerUpdate <= 0 || r.Words <= 0 {
+			t.Fatalf("implausible result row: %+v", r)
+		}
+	}
+}
+
+func TestBenchCommandRejectsBadWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := benchCommand([]string{"-workers", "0"}, &buf); err == nil {
+		t.Fatal("worker count 0 must be rejected")
+	}
+	if err := benchCommand([]string{"-workers", "x"}, &buf); err == nil {
+		t.Fatal("non-numeric workers must be rejected")
+	}
+}
+
+func TestBenchCommandRejectsBadSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := benchCommand([]string{"-n", "1"}, &buf); err == nil {
+		t.Fatal("-n 1 must be rejected")
+	}
+	if err := benchCommand([]string{"-updates", "0"}, &buf); err == nil {
+		t.Fatal("-updates 0 must be rejected")
+	}
+}

@@ -9,6 +9,9 @@
 //	gsketch <id>...           run specific experiments, e.g. gsketch e4 e9
 //	gsketch run <sketch>      sketch a stream from stdin (text format:
 //	                          "n <vertices>" header, then "u v [delta]")
+//	gsketch bench [flags]     measure forest-sketch ingest throughput
+//	                          (arena vs pointer baseline, parallel worker
+//	                          scaling) and emit machine-readable JSON
 package main
 
 import (
@@ -29,6 +32,11 @@ func main() {
 	switch args[0] {
 	case "run":
 		runCommand(args[1:])
+	case "bench":
+		if err := benchCommand(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gsketch:", err)
+			os.Exit(1)
+		}
 	case "list":
 		ids := make([]string, 0, len(experiments.Registry))
 		for id := range experiments.Registry {
@@ -57,5 +65,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch>")
+	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch> | bench [flags]")
 }

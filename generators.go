@@ -48,6 +48,11 @@ func Star(n int) *Stream { return stream.Star(n) }
 // DisjointCliques returns k disjoint cliques of size n/k.
 func DisjointCliques(n, k int) *Stream { return stream.DisjointCliques(n, k) }
 
+// UniformUpdates returns a length-m dynamic stream of uniform random edge
+// updates (~90% inserts, ~10% cancelling deletions) — the
+// ingest-throughput benchmark workload.
+func UniformUpdates(n, m int, seed uint64) *Stream { return stream.UniformUpdates(n, m, seed) }
+
 // BipartiteRandom returns a random bipartite graph with edge probability p.
 func BipartiteRandom(n int, p float64, seed uint64) *Stream {
 	return stream.BipartiteRandom(n, p, seed)

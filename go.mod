@@ -1,0 +1,3 @@
+module graphsketch
+
+go 1.24

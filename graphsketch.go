@@ -79,6 +79,10 @@ func (c *ConnectivitySketch) Update(u, v int, delta int64) { c.fs.Update(u, v, d
 // Ingest replays a whole stream.
 func (c *ConnectivitySketch) Ingest(s *Stream) { c.fs.Ingest(s) }
 
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (c *ConnectivitySketch) IngestParallel(s *Stream, workers int) { c.fs.IngestParallel(s, workers) }
+
 // Add merges a sketch built with the same (n, seed).
 func (c *ConnectivitySketch) Add(other *ConnectivitySketch) { c.fs.Add(other.fs) }
 
@@ -106,6 +110,10 @@ func (b *BipartitenessSketch) Update(u, v int, delta int64) { b.bs.Update(u, v, 
 // Ingest replays a whole stream.
 func (b *BipartitenessSketch) Ingest(s *Stream) { b.bs.Ingest(s) }
 
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (b *BipartitenessSketch) IngestParallel(s *Stream, workers int) { b.bs.IngestParallel(s, workers) }
+
 // Bipartite reports whether the sketched graph is bipartite.
 func (b *BipartitenessSketch) Bipartite() bool { return b.bs.IsBipartite() }
 
@@ -125,6 +133,10 @@ func (m *MSTSketch) Update(u, v int, delta int64) { m.sk.Update(u, v, delta) }
 
 // Ingest replays a whole stream.
 func (m *MSTSketch) Ingest(s *Stream) { m.sk.Ingest(s) }
+
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (m *MSTSketch) IngestParallel(s *Stream, workers int) { m.sk.IngestParallel(s, workers) }
 
 // Add merges a sketch built with the same parameters and seed.
 func (m *MSTSketch) Add(other *MSTSketch) { m.sk.Add(other.sk) }
@@ -161,6 +173,10 @@ func (m *MinCutSketch) Update(u, v int, delta int64) { m.sk.Update(u, v, delta) 
 // Ingest replays a whole stream.
 func (m *MinCutSketch) Ingest(s *Stream) { m.sk.Ingest(s) }
 
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (m *MinCutSketch) IngestParallel(s *Stream, workers int) { m.sk.IngestParallel(s, workers) }
+
 // Add merges a sketch built with the same parameters and seed.
 func (m *MinCutSketch) Add(other *MinCutSketch) { m.sk.Add(other.sk) }
 
@@ -188,6 +204,10 @@ func (s *SimpleSparsifier) Update(u, v int, delta int64) { s.sk.Update(u, v, del
 // Ingest replays a whole stream.
 func (s *SimpleSparsifier) Ingest(st *Stream) { s.sk.Ingest(st) }
 
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (s *SimpleSparsifier) IngestParallel(st *Stream, workers int) { s.sk.IngestParallel(st, workers) }
+
 // Add merges a sketch built with the same parameters and seed.
 func (s *SimpleSparsifier) Add(other *SimpleSparsifier) { s.sk.Add(other.sk) }
 
@@ -211,6 +231,10 @@ func (s *Sparsifier) Update(u, v int, delta int64) { s.sk.Update(u, v, delta) }
 
 // Ingest replays a whole stream.
 func (s *Sparsifier) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (s *Sparsifier) IngestParallel(st *Stream, workers int) { s.sk.IngestParallel(st, workers) }
 
 // Add merges a sketch built with the same parameters and seed.
 func (s *Sparsifier) Add(other *Sparsifier) { s.sk.Add(other.sk) }
@@ -240,8 +264,21 @@ func (w *WeightedSparsifier) Update(u, v int, delta int64) { w.sk.Update(u, v, d
 // Ingest replays a whole stream.
 func (w *WeightedSparsifier) Ingest(st *Stream) { w.sk.Ingest(st) }
 
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (w *WeightedSparsifier) IngestParallel(st *Stream, workers int) {
+	w.sk.IngestParallel(st, workers)
+}
+
+// Add merges a sketch built with the same parameters and seed: the
+// distributed-streams operation, classwise by linearity (Sec. 3.5).
+func (w *WeightedSparsifier) Add(other *WeightedSparsifier) { w.sk.Add(other.sk) }
+
 // Sparsify extracts the weighted sparsifier. Consumes the sketch.
 func (w *WeightedSparsifier) Sparsify() (*Graph, error) { return w.sk.Sparsify() }
+
+// Words reports the sketch size in 64-bit words.
+func (w *WeightedSparsifier) Words() int { return w.sk.Words() }
 
 // MaxCutError measures the worst relative cut error of h against g over
 // singleton cuts and `random` pseudorandom bisections — the sparsifier
@@ -287,6 +324,10 @@ func (s *SubgraphSketch) Update(u, v int, delta int64) { s.sk.Update(u, v, delta
 
 // Ingest replays a whole stream.
 func (s *SubgraphSketch) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// IngestParallel replays a stream sharded across worker goroutines and
+// merges by linearity; bit-identical to Ingest.
+func (s *SubgraphSketch) IngestParallel(st *Stream, workers int) { s.sk.IngestParallel(st, workers) }
 
 // Add merges a sketch built with the same parameters and seed.
 func (s *SubgraphSketch) Add(other *SubgraphSketch) { s.sk.Add(other.sk) }

@@ -15,12 +15,17 @@
 //   - k-EDGECONNECT (Theorem 2.3): k edge-disjoint spanning forests peeled
 //     out of k sketch banks by linearity; their union is a witness H that
 //     contains every edge crossing any cut of size <= k.
+//
+// The sampler state lives in internal/sketchcore arenas: one flat
+// struct-of-arrays bank per Boruvka round, so updates are contiguous,
+// merges are linear array passes, and Boruvka's per-component aggregation
+// reuses scratch buffers instead of cloning samplers into a map.
 package agm
 
 import (
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
-	"graphsketch/internal/l0"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -37,7 +42,7 @@ type ForestSketch struct {
 	n      int
 	rounds int
 	seed   uint64
-	node   [][]*l0.Sampler // [round][vertex]
+	banks  []*sketchcore.Arena // one shared-seed bank per round, n slots each
 }
 
 // boruvkaRounds returns the number of independent sampler banks: Boruvka
@@ -54,16 +59,16 @@ func boruvkaRounds(n int) int {
 func NewForestSketch(n int, seed uint64) *ForestSketch {
 	fs := &ForestSketch{n: n, rounds: boruvkaRounds(n), seed: seed}
 	universe := uint64(n) * uint64(n)
-	fs.node = make([][]*l0.Sampler, fs.rounds)
+	fs.banks = make([]*sketchcore.Arena, fs.rounds)
 	for r := 0; r < fs.rounds; r++ {
-		bank := make([]*l0.Sampler, n)
-		rs := hashing.DeriveSeed(seed, uint64(r))
-		for v := 0; v < n; v++ {
-			// All samplers in one round share a seed so they are mergeable;
-			// different rounds are independent.
-			bank[v] = l0.NewWithReps(universe, rs, samplerReps)
-		}
-		fs.node[r] = bank
+		// All samplers in one round share a seed so they are mergeable;
+		// different rounds are independent.
+		fs.banks[r] = sketchcore.New(sketchcore.Config{
+			Slots:    n,
+			Universe: universe,
+			Reps:     samplerReps,
+			Seed:     hashing.DeriveSeed(seed, uint64(r)),
+		})
 	}
 	return fs
 }
@@ -81,8 +86,7 @@ func (fs *ForestSketch) Update(u, v int, delta int64) {
 	}
 	idx := stream.EdgeIndex(u, v, fs.n)
 	for r := 0; r < fs.rounds; r++ {
-		fs.node[r][u].Update(idx, delta)
-		fs.node[r][v].Update(idx, -delta)
+		fs.banks[r].UpdateEdge(u, v, idx, delta)
 	}
 }
 
@@ -93,6 +97,15 @@ func (fs *ForestSketch) Ingest(s *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream with the given number of worker
+// goroutines: contiguous shards go into per-worker sketches that are merged
+// back by linearity, bit-identical to a sequential Ingest.
+func (fs *ForestSketch) IngestParallel(s *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(s.Updates, workers, fs,
+		func() *ForestSketch { return NewForestSketch(fs.n, fs.seed) },
+		func(sh *ForestSketch) { fs.Add(sh) })
+}
+
 // Add merges another ForestSketch (same n and seed required): the
 // distributed-streams operation of Sec. 1.1.
 func (fs *ForestSketch) Add(other *ForestSketch) {
@@ -100,10 +113,22 @@ func (fs *ForestSketch) Add(other *ForestSketch) {
 		panic("agm: merging incompatible forest sketches")
 	}
 	for r := 0; r < fs.rounds; r++ {
-		for v := 0; v < fs.n; v++ {
-			fs.node[r][v].Add(other.node[r][v])
+		fs.banks[r].Add(other.banks[r])
+	}
+}
+
+// Equal reports whether two sketches have identical parameters and
+// bit-identical sampler state (the merge-semantics test oracle).
+func (fs *ForestSketch) Equal(other *ForestSketch) bool {
+	if fs.n != other.n || fs.seed != other.seed || fs.rounds != other.rounds {
+		return false
+	}
+	for r := 0; r < fs.rounds; r++ {
+		if !fs.banks[r].Equal(other.banks[r]) {
+			return false
 		}
 	}
+	return true
 }
 
 // SpanningForest extracts a spanning forest of the sketched graph via
@@ -120,23 +145,18 @@ func (fs *ForestSketch) SpanningForest() []graph.Edge {
 // class by weight class.
 func (fs *ForestSketch) SpanningForestFrom(dsu *graph.DSU) []graph.Edge {
 	var forest []graph.Edge
+	agg := sketchcore.NewAggregator()
 	for r := 0; r < fs.rounds && dsu.Count() > 1; r++ {
-		// Aggregate this round's samplers by component.
-		aggs := make(map[int]*l0.Sampler)
-		for v := 0; v < fs.n; v++ {
-			root := dsu.Find(v)
-			if agg, ok := aggs[root]; ok {
-				agg.Add(fs.node[r][v])
-			} else {
-				aggs[root] = fs.node[r][v].Clone()
-			}
-		}
+		// Aggregate this round's samplers by component into scratch buffers
+		// (component ids are first-appearance order, so extraction is
+		// deterministic — unlike the old map-of-cloned-samplers walk).
+		ncomp := agg.Aggregate(fs.banks[r], dsu.Find)
 		// A round where every component's sample fails is not terminal:
 		// later rounds retry with fresh, independent samplers. (An empty
 		// sketch — true isolated components — also lands here; the loop
 		// simply exhausts its rounds.)
-		for _, agg := range aggs {
-			idx, w, ok := agg.Sample()
+		for c := 0; c < ncomp; c++ {
+			idx, w, ok := agg.Sample(c)
 			if !ok {
 				continue
 			}
@@ -167,10 +187,8 @@ func (fs *ForestSketch) IsConnected() bool {
 // Words returns the memory footprint in 64-bit words.
 func (fs *ForestSketch) Words() int {
 	w := 0
-	for r := range fs.node {
-		for v := range fs.node[r] {
-			w += fs.node[r][v].Words()
-		}
+	for _, b := range fs.banks {
+		w += b.Words()
 	}
 	return w
 }

@@ -1,0 +1,28 @@
+package agm
+
+import (
+	"testing"
+
+	"graphsketch/internal/baseline"
+	"graphsketch/internal/stream"
+)
+
+// TestArenaMatchesPointerBaseline: the arena-backed ForestSketch must make
+// exactly the same sampling decisions as the frozen pointer-per-sampler
+// baseline built from the same seed (the hash derivations are identical,
+// so component counts — and the underlying samples — must agree).
+func TestArenaMatchesPointerBaseline(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		st := stream.GNP(40, 0.15, seed).WithChurn(500, seed+1)
+		arena := NewForestSketch(40, seed+100)
+		arena.Ingest(st)
+		ptr := baseline.NewPointerForest(40, seed+100)
+		ptr.Ingest(st)
+		if got, want := arena.ComponentCount(), ptr.ComponentCount(); got != want {
+			t.Fatalf("seed %d: arena components = %d, pointer baseline = %d", seed, got, want)
+		}
+		if got, want := arena.Words(), ptr.Words(); got >= want {
+			t.Fatalf("seed %d: arena words %d not smaller than pointer baseline %d", seed, got, want)
+		}
+	}
+}

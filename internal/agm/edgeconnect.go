@@ -3,6 +3,7 @@ package agm
 import (
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -55,6 +56,14 @@ func (ec *EdgeConnectSketch) Ingest(s *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (ec *EdgeConnectSketch) IngestParallel(s *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(s.Updates, workers, ec,
+		func() *EdgeConnectSketch { return NewEdgeConnectSketch(ec.n, ec.k, ec.seed) },
+		func(sh *EdgeConnectSketch) { ec.Add(sh) })
+}
+
 // Add merges another EdgeConnectSketch (same n, k, seed).
 func (ec *EdgeConnectSketch) Add(other *EdgeConnectSketch) {
 	if ec.n != other.n || ec.k != other.k || ec.seed != other.seed {
@@ -63,6 +72,19 @@ func (ec *EdgeConnectSketch) Add(other *EdgeConnectSketch) {
 	for i := range ec.banks {
 		ec.banks[i].Add(other.banks[i])
 	}
+}
+
+// Equal reports parameter and bit-identical state equality.
+func (ec *EdgeConnectSketch) Equal(other *EdgeConnectSketch) bool {
+	if ec.n != other.n || ec.k != other.k || ec.seed != other.seed {
+		return false
+	}
+	for i := range ec.banks {
+		if !ec.banks[i].Equal(other.banks[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Witness extracts the subgraph H = F_1 ∪ ... ∪ F_k. The extraction
@@ -143,6 +165,22 @@ func (bs *BipartitenessSketch) Ingest(s *stream.Stream) {
 	for _, up := range s.Updates {
 		bs.Update(up.U, up.V, up.Delta)
 	}
+}
+
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (bs *BipartitenessSketch) IngestParallel(s *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(s.Updates, workers, bs,
+		func() *BipartitenessSketch {
+			sh := &BipartitenessSketch{n: bs.n}
+			sh.base = NewForestSketch(bs.n, bs.base.seed)
+			sh.double = NewForestSketch(2*bs.n, bs.double.seed)
+			return sh
+		},
+		func(sh *BipartitenessSketch) {
+			bs.base.Add(sh.base)
+			bs.double.Add(sh.double)
+		})
 }
 
 // IsBipartite decides bipartiteness of the sketched graph.

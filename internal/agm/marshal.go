@@ -6,34 +6,30 @@ import (
 	"fmt"
 )
 
-var fsMagic = [4]byte{'A', 'G', 'M', '1'}
+// Wire format (v2, arena-backed): magic "AGM2", (n, seed, rounds) u64 LE,
+// then per round the raw arena cell state (fixed size — the shape is fully
+// determined by n, so no per-sampler headers are needed). This is the
+// payload a distributed site ships to the coordinator (Sec. 1.1).
+var fsMagic = [4]byte{'A', 'G', 'M', '2'}
 
 // ErrBadEncoding is returned for corrupt or incompatible encodings.
 var ErrBadEncoding = errors.New("agm: bad encoding")
 
 // MarshalBinary implements encoding.BinaryMarshaler for ForestSketch.
-// Format: magic, (n, seed, rounds) u64 LE, then rounds*n length-prefixed
-// l0-sampler encodings. This is the payload a distributed site ships to
-// the coordinator (Sec. 1.1).
 func (fs *ForestSketch) MarshalBinary() ([]byte, error) {
-	var buf []byte
+	size := 4 + 24
+	for _, b := range fs.banks {
+		size += b.StateSize()
+	}
+	buf := make([]byte, 0, size)
 	buf = append(buf, fsMagic[:]...)
 	var hdr [24]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(fs.n))
 	binary.LittleEndian.PutUint64(hdr[8:], fs.seed)
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(fs.rounds))
 	buf = append(buf, hdr[:]...)
-	for r := 0; r < fs.rounds; r++ {
-		for v := 0; v < fs.n; v++ {
-			enc, err := fs.node[r][v].MarshalBinary()
-			if err != nil {
-				return nil, err
-			}
-			var l [8]byte
-			binary.LittleEndian.PutUint64(l[:], uint64(len(enc)))
-			buf = append(buf, l[:]...)
-			buf = append(buf, enc...)
-		}
+	for _, b := range fs.banks {
+		buf = b.AppendState(buf)
 	}
 	return buf, nil
 }
@@ -54,20 +50,10 @@ func (fs *ForestSketch) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: round count mismatch for n=%d", ErrBadEncoding, n)
 	}
 	rest := data[28:]
-	for r := 0; r < rounds; r++ {
-		for v := 0; v < n; v++ {
-			if len(rest) < 8 {
-				return ErrBadEncoding
-			}
-			l := binary.LittleEndian.Uint64(rest[:8])
-			rest = rest[8:]
-			if uint64(len(rest)) < l {
-				return ErrBadEncoding
-			}
-			if err := fresh.node[r][v].UnmarshalBinary(rest[:l]); err != nil {
-				return err
-			}
-			rest = rest[l:]
+	var err error
+	for _, b := range fresh.banks {
+		if rest, err = b.DecodeState(rest); err != nil {
+			return fmt.Errorf("%w: truncated arena state", ErrBadEncoding)
 		}
 	}
 	if len(rest) != 0 {

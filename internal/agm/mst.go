@@ -5,6 +5,7 @@ import (
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -32,7 +33,12 @@ func NewMSTSketch(n int, maxWeight int64, seed uint64) *MSTSketch {
 	if maxWeight < 1 {
 		maxWeight = 1
 	}
-	classes := bits.Len64(uint64(maxWeight))
+	return newMSTSketchClasses(n, bits.Len64(uint64(maxWeight)), seed)
+}
+
+// newMSTSketchClasses builds a sketch with an explicit class count (used to
+// spawn shard-identical siblings for parallel ingest).
+func newMSTSketchClasses(n, classes int, seed uint64) *MSTSketch {
 	m := &MSTSketch{n: n, classes: classes, seed: seed}
 	m.prefix = make([]*ForestSketch, classes)
 	for c := 0; c < classes; c++ {
@@ -68,6 +74,14 @@ func (m *MSTSketch) Ingest(st *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (m *MSTSketch) IngestParallel(st *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(st.Updates, workers, m,
+		func() *MSTSketch { return newMSTSketchClasses(m.n, m.classes, m.seed) },
+		func(sh *MSTSketch) { m.Add(sh) })
+}
+
 // Add merges another MSTSketch (same n, maxWeight, seed).
 func (m *MSTSketch) Add(other *MSTSketch) {
 	if m.n != other.n || m.classes != other.classes || m.seed != other.seed {
@@ -76,6 +90,19 @@ func (m *MSTSketch) Add(other *MSTSketch) {
 	for c := range m.prefix {
 		m.prefix[c].Add(other.prefix[c])
 	}
+}
+
+// Equal reports parameter and bit-identical state equality.
+func (m *MSTSketch) Equal(other *MSTSketch) bool {
+	if m.n != other.n || m.classes != other.classes || m.seed != other.seed {
+		return false
+	}
+	for c := range m.prefix {
+		if !m.prefix[c].Equal(other.prefix[c]) {
+			return false
+		}
+	}
+	return true
 }
 
 // ApproxMSF extracts the approximate minimum spanning forest: edges with

@@ -1,0 +1,72 @@
+package agm
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// TestForestIngestParallelBitIdentical: sharded parallel ingest + merge
+// must leave exactly the same sampler state as a sequential replay, for
+// every worker count (including degenerate ones).
+func TestForestIngestParallelBitIdentical(t *testing.T) {
+	st := stream.GNP(48, 0.25, 3).WithChurn(4000, 4)
+	seq := NewForestSketch(48, 9)
+	seq.Ingest(st)
+	for _, workers := range []int{0, 1, 2, 4, 9} {
+		par := NewForestSketch(48, 9)
+		par.IngestParallel(st, workers)
+		if !par.Equal(seq) {
+			t.Fatalf("workers=%d: parallel ingest state differs from sequential", workers)
+		}
+	}
+}
+
+// TestMSTIngestParallelBitIdentical: same property for the weighted
+// prefix-class sketch.
+func TestMSTIngestParallelBitIdentical(t *testing.T) {
+	st := stream.WeightedGNP(32, 0.3, 50, 5)
+	seq := NewMSTSketch(32, 50, 7)
+	seq.Ingest(st)
+	par := NewMSTSketch(32, 50, 7)
+	par.IngestParallel(st, 4)
+	if !par.Equal(seq) {
+		t.Fatal("parallel MST ingest state differs from sequential")
+	}
+	f1, w1 := seq.ApproxMSF()
+	f2, w2 := par.ApproxMSF()
+	if w1 != w2 || len(f1) != len(f2) {
+		t.Fatalf("extraction diverged: (%d edges, %d) vs (%d edges, %d)", len(f1), w1, len(f2), w2)
+	}
+}
+
+// TestEdgeConnectIngestParallelBitIdentical: same property for the
+// k-EDGECONNECT banks.
+func TestEdgeConnectIngestParallelBitIdentical(t *testing.T) {
+	st := stream.Barbell(16, 2).WithChurn(1000, 8)
+	seq := NewEdgeConnectSketch(16, 4, 13)
+	seq.Ingest(st)
+	par := NewEdgeConnectSketch(16, 4, 13)
+	par.IngestParallel(st, 4)
+	if !par.Equal(seq) {
+		t.Fatal("parallel edge-connect ingest state differs from sequential")
+	}
+}
+
+// TestBipartitenessIngestParallel: the paired double-cover sketches must
+// agree with sequential ingest on the decision.
+func TestBipartitenessIngestParallel(t *testing.T) {
+	for _, c := range []struct {
+		s    *stream.Stream
+		want bool
+	}{
+		{stream.Cycle(12), true},
+		{stream.Cycle(13), false},
+	} {
+		bs := NewBipartitenessSketch(c.s.N, 17)
+		bs.IngestParallel(c.s.WithChurn(2000, 2), 4)
+		if got := bs.IsBipartite(); got != c.want {
+			t.Fatalf("parallel bipartiteness = %v, want %v", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/stream"
+)
+
+// PointerForest is the frozen pre-arena ForestSketch implementation: one
+// heap-allocated *l0.Sampler per (round, vertex), each holding its cells
+// behind two levels of slice indirection, and Boruvka aggregation by
+// cloning samplers into a map. It is kept verbatim as the comparison
+// baseline for the internal/sketchcore arena benchmarks
+// (BenchmarkForestIngest*) and as an independent semantics oracle — it
+// must produce the same samples as the arena-backed agm.ForestSketch built
+// from the same seed.
+type PointerForest struct {
+	n      int
+	rounds int
+	seed   uint64
+	node   [][]*l0.Sampler // [round][vertex]
+}
+
+// pointerForestReps mirrors agm's samplerReps.
+const pointerForestReps = 4
+
+// pointerBoruvkaRounds mirrors agm's boruvkaRounds.
+func pointerBoruvkaRounds(n int) int {
+	r := 4
+	for m := 1; m < n; m <<= 1 {
+		r++
+	}
+	return r
+}
+
+// NewPointerForest creates the baseline sketch for graphs on n vertices,
+// with hash derivations identical to agm.NewForestSketch(n, seed).
+func NewPointerForest(n int, seed uint64) *PointerForest {
+	fs := &PointerForest{n: n, rounds: pointerBoruvkaRounds(n), seed: seed}
+	universe := uint64(n) * uint64(n)
+	fs.node = make([][]*l0.Sampler, fs.rounds)
+	for r := 0; r < fs.rounds; r++ {
+		bank := make([]*l0.Sampler, n)
+		rs := hashing.DeriveSeed(seed, uint64(r))
+		for v := 0; v < n; v++ {
+			bank[v] = l0.NewWithReps(universe, rs, pointerForestReps)
+		}
+		fs.node[r] = bank
+	}
+	return fs
+}
+
+// Update applies a signed multiplicity change to edge {u, v}.
+func (fs *PointerForest) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	idx := stream.EdgeIndex(u, v, fs.n)
+	for r := 0; r < fs.rounds; r++ {
+		fs.node[r][u].Update(idx, delta)
+		fs.node[r][v].Update(idx, -delta)
+	}
+}
+
+// Ingest replays a whole stream.
+func (fs *PointerForest) Ingest(s *stream.Stream) {
+	for _, up := range s.Updates {
+		fs.Update(up.U, up.V, up.Delta)
+	}
+}
+
+// SpanningForest extracts a spanning forest via Boruvka with the original
+// map-of-cloned-samplers aggregation.
+func (fs *PointerForest) SpanningForest() []graph.Edge {
+	dsu := graph.NewDSU(fs.n)
+	var forest []graph.Edge
+	for r := 0; r < fs.rounds && dsu.Count() > 1; r++ {
+		aggs := make(map[int]*l0.Sampler)
+		for v := 0; v < fs.n; v++ {
+			root := dsu.Find(v)
+			if agg, ok := aggs[root]; ok {
+				agg.Add(fs.node[r][v])
+			} else {
+				aggs[root] = fs.node[r][v].Clone()
+			}
+		}
+		for _, agg := range aggs {
+			idx, w, ok := agg.Sample()
+			if !ok {
+				continue
+			}
+			u, v := stream.EdgeFromIndex(idx, fs.n)
+			mult := w
+			if mult < 0 {
+				mult = -mult
+			}
+			if dsu.Union(u, v) {
+				forest = append(forest, graph.Edge{U: u, V: v, W: mult})
+			}
+		}
+	}
+	return forest
+}
+
+// ComponentCount returns the number of connected components.
+func (fs *PointerForest) ComponentCount() int {
+	return fs.n - len(fs.SpanningForest())
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (fs *PointerForest) Words() int {
+	w := 0
+	for r := range fs.node {
+		for v := range fs.node[r] {
+			w += fs.node[r][v].Words()
+		}
+	}
+	return w
+}

@@ -17,6 +17,7 @@ import (
 	"graphsketch/internal/agm"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -109,6 +110,14 @@ func (s *Sketch) Ingest(st *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest (linearity of every level sketch).
+func (s *Sketch) IngestParallel(st *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(st.Updates, workers, s,
+		func() *Sketch { return New(s.cfg) },
+		func(sh *Sketch) { s.Add(sh) })
+}
+
 // Add merges another sketch built with an identical Config: the
 // distributed-stream operation.
 func (s *Sketch) Add(other *Sketch) {
@@ -118,6 +127,19 @@ func (s *Sketch) Add(other *Sketch) {
 	for i := range s.ecs {
 		s.ecs[i].Add(other.ecs[i])
 	}
+}
+
+// Equal reports config and bit-identical state equality.
+func (s *Sketch) Equal(other *Sketch) bool {
+	if s.cfg != other.cfg {
+		return false
+	}
+	for i := range s.ecs {
+		if !s.ecs[i].Equal(other.ecs[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Result reports the min-cut estimate and diagnostics.

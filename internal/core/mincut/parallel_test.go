@@ -1,0 +1,34 @@
+package mincut
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// TestIngestParallelBitIdentical: sharded parallel ingest + merge must be
+// bit-identical to sequential ingest across all subsampling levels.
+func TestIngestParallelBitIdentical(t *testing.T) {
+	st := stream.GNP(32, 0.3, 11).WithChurn(2000, 12)
+	cfg := Config{N: 32, K: 6, Seed: 19}
+	seq := New(cfg)
+	seq.Ingest(st)
+	for _, workers := range []int{2, 4} {
+		par := New(cfg)
+		par.IngestParallel(st, workers)
+		if !par.Equal(seq) {
+			t.Fatalf("workers=%d: parallel min-cut ingest differs from sequential", workers)
+		}
+	}
+	// And the extraction agrees with the exact baseline.
+	want := Exact(st)
+	par := New(cfg)
+	par.IngestParallel(st, 4)
+	res, err := par.MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level == 0 && res.Value != want {
+		t.Fatalf("level-0 estimate %d differs from exact %d", res.Value, want)
+	}
+}

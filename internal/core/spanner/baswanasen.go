@@ -6,6 +6,7 @@ import (
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/l0"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -59,13 +60,32 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 		}
 		// ---- one pass over the stream with adaptive sketches ----
 		passSeed := hashing.DeriveSeed(seed, uint64(phase))
-		joinSamp := make([]*l0.Sampler, n)
+		// One join sampler per *live* vertex, banked in a single per-slot
+		// arena (slots must hash independently: each samples its own edge
+		// set into sampled trees). Retired vertices get no slot — at late
+		// phases most of the graph has retired, and allocating n slots
+		// anyway would undo the old per-live-vertex allocation savings.
+		liveSlot := make([]int, n)
+		var joinSeeds []uint64
+		for v := 0; v < n; v++ {
+			if member[v] == -1 {
+				liveSlot[v] = -1
+				continue
+			}
+			liveSlot[v] = len(joinSeeds)
+			joinSeeds = append(joinSeeds, hashing.DeriveSeed(passSeed, uint64(v)))
+		}
+		if len(joinSeeds) == 0 {
+			break // every vertex retired: no edge can join or be stored anymore
+		}
+		joinSamp := sketchcore.New(sketchcore.Config{
+			Slots: len(joinSeeds), Universe: uint64(n), Reps: l0.DefaultReps, SlotSeeds: joinSeeds,
+		})
 		groupSamp := make([]*GroupSampler, n)
 		for v := 0; v < n; v++ {
 			if member[v] == -1 {
 				continue
 			}
-			joinSamp[v] = l0.New(uint64(n), hashing.DeriveSeed(passSeed, uint64(v)))
 			groupSamp[v] = NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, 0x10000+uint64(v)))
 		}
 		for _, up := range st.Updates {
@@ -80,7 +100,7 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 					return // intra-tree edge
 				}
 				if selected[member[b]] {
-					joinSamp[a].Update(uint64(b), up.Delta)
+					joinSamp.Update(liveSlot[a], uint64(b), up.Delta)
 				}
 				groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
 			}
@@ -98,7 +118,7 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 			if selected[member[v]] {
 				continue // v's tree survives; v stays in it
 			}
-			if w, _, ok := joinSamp[v].Sample(); ok {
+			if w, _, ok := joinSamp.Sample(liveSlot[v]); ok {
 				// Join the sampled tree through neighbor w.
 				spanner.AddEdge(v, int(w), 1)
 				newMember[v] = member[w]

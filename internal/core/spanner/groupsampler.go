@@ -11,12 +11,14 @@
 //
 // Both consume a replayable stream.Stream; each pass builds fresh sketches
 // whose measurements depend on the state computed from previous passes —
-// exactly the r-adaptive sketching model of Definition 2.
+// exactly the r-adaptive sketching model of Definition 2. Sampler state
+// lives in internal/sketchcore arenas (per-slot seeded, since buckets must
+// hash independently).
 package spanner
 
 import (
 	"graphsketch/internal/hashing"
-	"graphsketch/internal/l0"
+	"graphsketch/internal/sketchcore"
 )
 
 // GroupSampler samples, from a dynamically updated edge set, one item per
@@ -24,18 +26,23 @@ import (
 // by the cluster/supernode of the far endpoint). It hashes groups into
 // buckets across independent repetitions and keeps one l0-sampler of the
 // items per bucket: any group isolated in some bucket of some repetition
-// surfaces one of its items.
+// surfaces one of its items. The rep x bucket sampler grid is one flat
+// arena with slot (r, b) at r*buckets + b.
 type GroupSampler struct {
 	universe uint64
 	reps     int
 	buckets  int
 	hash     []hashing.Mixer
-	cells    [][]*l0.Sampler // [rep][bucket]
+	cells    *sketchcore.Arena
 }
 
 // groupSamplerReps balances isolation probability against space; each
 // repetition re-scatters the groups.
 const groupSamplerReps = 4
+
+// bucketSamplerReps is the per-bucket l0 repetition count: a failed bucket
+// only costs one candidate item, so lean repetitions suffice.
+const bucketSamplerReps = 3
 
 // NewGroupSampler creates a sampler for items in [0, universe) that aims to
 // surface up to `budget` distinct groups.
@@ -49,15 +56,19 @@ func NewGroupSampler(universe uint64, budget int, seed uint64) *GroupSampler {
 		buckets:  2*budget + 4,
 	}
 	gs.hash = make([]hashing.Mixer, gs.reps)
-	gs.cells = make([][]*l0.Sampler, gs.reps)
+	slotSeeds := make([]uint64, gs.reps*gs.buckets)
 	for r := 0; r < gs.reps; r++ {
 		gs.hash[r] = hashing.NewMixer(hashing.DeriveSeed(seed, 0x95+uint64(r)))
-		row := make([]*l0.Sampler, gs.buckets)
-		for b := range row {
-			row[b] = l0.NewWithReps(universe, hashing.DeriveSeed(seed, uint64(r)<<20|uint64(b)), 3)
+		for b := 0; b < gs.buckets; b++ {
+			slotSeeds[r*gs.buckets+b] = hashing.DeriveSeed(seed, uint64(r)<<20|uint64(b))
 		}
-		gs.cells[r] = row
 	}
+	gs.cells = sketchcore.New(sketchcore.Config{
+		Slots:     gs.reps * gs.buckets,
+		Universe:  universe,
+		Reps:      bucketSamplerReps,
+		SlotSeeds: slotSeeds,
+	})
 	return gs
 }
 
@@ -68,7 +79,7 @@ func (gs *GroupSampler) Update(group uint64, item uint64, delta int64) {
 	}
 	for r := 0; r < gs.reps; r++ {
 		b := gs.hash[r].Bounded(group, uint64(gs.buckets))
-		gs.cells[r][b].Update(item, delta)
+		gs.cells.Update(r*gs.buckets+int(b), item, delta)
 	}
 }
 
@@ -77,11 +88,9 @@ func (gs *GroupSampler) Update(group uint64, item uint64, delta int64) {
 // may repeat across repetitions.
 func (gs *GroupSampler) Collect() []uint64 {
 	var out []uint64
-	for r := 0; r < gs.reps; r++ {
-		for b := 0; b < gs.buckets; b++ {
-			if idx, _, ok := gs.cells[r][b].Sample(); ok {
-				out = append(out, idx)
-			}
+	for slot := 0; slot < gs.reps*gs.buckets; slot++ {
+		if idx, _, ok := gs.cells.Sample(slot); ok {
+			out = append(out, idx)
 		}
 	}
 	return out
@@ -89,11 +98,5 @@ func (gs *GroupSampler) Collect() []uint64 {
 
 // Words returns the memory footprint in 64-bit words.
 func (gs *GroupSampler) Words() int {
-	w := 0
-	for r := range gs.cells {
-		for b := range gs.cells[r] {
-			w += gs.cells[r][b].Words()
-		}
-	}
-	return w
+	return gs.cells.Words()
 }

@@ -5,6 +5,7 @@ import (
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/sparserec"
 	"graphsketch/internal/stream"
 )
@@ -44,12 +45,13 @@ func (c *Config) fill() {
 }
 
 // Sketch is the Fig 3 sketch: a rough sparsifier plus per-(node, level)
-// sparse-recovery sketches of the incidence vectors x^{u,i} of Eq. 1.
+// sparse-recovery sketches of the incidence vectors x^{u,i} of Eq. 1,
+// stored as one flat sparserec.Bank per level.
 type Sketch struct {
 	cfg      Config
 	rough    *Simple
 	levelMix hashing.Mixer
-	nodeRec  [][]*sparserec.Sketch // [level][node]
+	nodeRec  []*sparserec.Bank // one bank of N node sketches per level
 	lgN      float64
 }
 
@@ -64,16 +66,11 @@ func New(cfg Config) *Sketch {
 		Levels:  cfg.Levels,
 		Seed:    hashing.DeriveSeed(cfg.Seed, 0xf0),
 	})
-	s.nodeRec = make([][]*sparserec.Sketch, cfg.Levels)
+	s.nodeRec = make([]*sparserec.Bank, cfg.Levels)
 	for i := range s.nodeRec {
-		row := make([]*sparserec.Sketch, cfg.N)
-		seed := hashing.DeriveSeed(cfg.Seed, 0xbe70+uint64(i))
-		for u := range row {
-			// All node sketches at one level share a seed: summing them
-			// over a vertex set A must be meaningful (Fig 3 step 4c).
-			row[u] = sparserec.New(cfg.RecoveryK, seed)
-		}
-		s.nodeRec[i] = row
+		// All node sketches at one level share a seed: summing them over a
+		// vertex set A must be meaningful (Fig 3 step 4c).
+		s.nodeRec[i] = sparserec.NewBank(cfg.N, cfg.RecoveryK, hashing.DeriveSeed(cfg.Seed, 0xbe70+uint64(i)))
 	}
 	s.lgN = math.Log2(float64(cfg.N)) + 1
 	return s
@@ -83,7 +80,7 @@ func New(cfg Config) *Sketch {
 func (s *Sketch) Config() Config { return s.cfg }
 
 // Update applies a signed multiplicity change to edge {u, v}. Both the
-// rough sparsifier and the x^{u,i} recovery sketches see the update; the
+// rough sparsifier and the x^{u,i} recovery banks see the update; the
 // incidence convention is x^u[(a,b)] = +delta at the lower endpoint and
 // -delta at the higher, so summing over a set cancels internal edges.
 func (s *Sketch) Update(u, v int, delta int64) {
@@ -100,8 +97,7 @@ func (s *Sketch) Update(u, v int, delta int64) {
 		l = s.cfg.Levels - 1
 	}
 	for i := 0; i <= l; i++ {
-		s.nodeRec[i][u].Update(idx, delta)
-		s.nodeRec[i][v].Update(idx, -delta)
+		s.nodeRec[i].UpdateEdge(u, v, idx, delta)
 	}
 }
 
@@ -112,6 +108,14 @@ func (s *Sketch) Ingest(st *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (s *Sketch) IngestParallel(st *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(st.Updates, workers, s,
+		func() *Sketch { return New(s.cfg) },
+		func(sh *Sketch) { s.Add(sh) })
+}
+
 // Add merges another sketch built with an identical config.
 func (s *Sketch) Add(other *Sketch) {
 	if s.cfg != other.cfg {
@@ -119,10 +123,21 @@ func (s *Sketch) Add(other *Sketch) {
 	}
 	s.rough.Add(other.rough)
 	for i := range s.nodeRec {
-		for u := range s.nodeRec[i] {
-			s.nodeRec[i][u].Add(other.nodeRec[i][u])
+		s.nodeRec[i].Add(other.nodeRec[i])
+	}
+}
+
+// Equal reports config and bit-identical state equality.
+func (s *Sketch) Equal(other *Sketch) bool {
+	if s.cfg != other.cfg || !s.rough.Equal(other.rough) {
+		return false
+	}
+	for i := range s.nodeRec {
+		if !s.nodeRec[i].Equal(other.nodeRec[i]) {
+			return false
 		}
 	}
+	return true
 }
 
 // levelFor implements Fig 3 step 4b: j = floor(log(max(w * eps^2 / log n, 1))),
@@ -151,6 +166,9 @@ func (s *Sketch) Sparsify() (*graph.Graph, error) {
 		return spars, nil
 	}
 	t := rough.GomoryHu()
+	// One scratch recovery sketch per level bank (levels have independent
+	// seeds, so peeling hashes differ), reused across every tree cut.
+	scratches := make([]*sparserec.Sketch, s.cfg.Levels)
 	for v := 0; v < s.cfg.N; v++ {
 		if t.Parent[v] == -1 {
 			continue
@@ -168,8 +186,10 @@ func (s *Sketch) Sparsify() (*graph.Graph, error) {
 		// many edges survive; the weight scaling stays consistent because
 		// subsampling is nested.
 		for jj := j; jj < s.cfg.Levels; jj++ {
-			agg := s.sumSide(jj, side)
-			items, ok := agg.Decode()
+			if scratches[jj] == nil {
+				scratches[jj] = s.nodeRec[jj].NewScratch()
+			}
+			items, ok := s.nodeRec[jj].DecodeSide(side, scratches[jj])
 			if !ok {
 				continue
 			}
@@ -192,29 +212,11 @@ func (s *Sketch) Sparsify() (*graph.Graph, error) {
 	return spars, nil
 }
 
-// sumSide returns the sum of level-i node sketches over side.
-func (s *Sketch) sumSide(i int, side []bool) *sparserec.Sketch {
-	var agg *sparserec.Sketch
-	for u, in := range side {
-		if !in {
-			continue
-		}
-		if agg == nil {
-			agg = s.nodeRec[i][u].Clone()
-		} else {
-			agg.Add(s.nodeRec[i][u])
-		}
-	}
-	return agg
-}
-
 // Words returns the memory footprint in 64-bit words (rough + recovery).
 func (s *Sketch) Words() int {
 	w := s.rough.Words()
 	for i := range s.nodeRec {
-		for u := range s.nodeRec[i] {
-			w += s.nodeRec[i][u].Words()
-		}
+		w += s.nodeRec[i].Words()
 	}
 	return w
 }

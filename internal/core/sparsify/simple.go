@@ -23,6 +23,7 @@ import (
 	"graphsketch/internal/agm"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -111,6 +112,14 @@ func (s *Simple) Ingest(st *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (s *Simple) IngestParallel(st *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(st.Updates, workers, s,
+		func() *Simple { return NewSimple(s.cfg) },
+		func(sh *Simple) { s.Add(sh) })
+}
+
 // Add merges another sketch built with an identical config.
 func (s *Simple) Add(other *Simple) {
 	if s.cfg != other.cfg {
@@ -119,6 +128,19 @@ func (s *Simple) Add(other *Simple) {
 	for i := range s.ecs {
 		s.ecs[i].Add(other.ecs[i])
 	}
+}
+
+// Equal reports config and bit-identical state equality.
+func (s *Simple) Equal(other *Simple) bool {
+	if s.cfg != other.cfg {
+		return false
+	}
+	for i := range s.ecs {
+		if !s.ecs[i].Equal(other.ecs[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Sparsify runs Fig 2's post-processing and returns the weighted

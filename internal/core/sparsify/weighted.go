@@ -5,6 +5,7 @@ import (
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -21,6 +22,7 @@ import (
 type Weighted struct {
 	n       int
 	classes int
+	cfg     WeightedConfig // as passed to NewWeighted (spawns shard siblings)
 	ws      []*Simple
 }
 
@@ -44,7 +46,7 @@ func NewWeighted(cfg WeightedConfig) *Weighted {
 		cfg.MaxWeight = 1
 	}
 	classes := bits.Len64(uint64(cfg.MaxWeight))
-	w := &Weighted{n: cfg.N, classes: classes}
+	w := &Weighted{n: cfg.N, classes: classes, cfg: cfg}
 	w.ws = make([]*Simple, classes)
 	for c := 0; c < classes; c++ {
 		base := SimpleConfig{
@@ -94,6 +96,39 @@ func (w *Weighted) Ingest(st *stream.Stream) {
 	for _, up := range st.Updates {
 		w.Update(up.U, up.V, up.Delta)
 	}
+}
+
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (w *Weighted) IngestParallel(st *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(st.Updates, workers, w,
+		func() *Weighted { return NewWeighted(w.cfg) },
+		func(sh *Weighted) { w.Add(sh) })
+}
+
+// Add merges another weighted sparsifier built with an identical config:
+// the per-class Simple sketches merge classwise by linearity, completing
+// the distributed-streams API for the Sec. 3.5 construction.
+func (w *Weighted) Add(other *Weighted) {
+	if w.n != other.n || w.classes != other.classes || w.cfg != other.cfg {
+		panic("sparsify: merging incompatible Weighted sketches")
+	}
+	for c := range w.ws {
+		w.ws[c].Add(other.ws[c])
+	}
+}
+
+// Equal reports config and bit-identical state equality.
+func (w *Weighted) Equal(other *Weighted) bool {
+	if w.n != other.n || w.classes != other.classes || w.cfg != other.cfg {
+		return false
+	}
+	for c := range w.ws {
+		if !w.ws[c].Equal(other.ws[c]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Sparsify merges the per-class sparsifiers. Consumes the sketch.

@@ -2,24 +2,26 @@ package subgraph
 
 import (
 	"graphsketch/internal/hashing"
-	"graphsketch/internal/l0"
 	"graphsketch/internal/l0norm"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
 // Sketch is the Sec. 4 linear sketch of squash(X_G). It holds `samples`
 // independent l0-samplers (each yields one uniform non-empty induced
-// subgraph) and one support-size estimator (the denominator of gamma_H and
-// the bridge from fractions to absolute counts).
+// subgraph) banked in one per-slot-seeded arena, and one support-size
+// estimator (the denominator of gamma_H and the bridge from fractions to
+// absolute counts).
 //
 // Space is O(samples * log C(n,k)) words = O~(eps^-2) for
 // samples = 1/eps^2, matching Theorem 4.1.
 type Sketch struct {
 	n, k     int
 	samples  int
+	seed     uint64
 	ps       *PatternSpace
 	binom    [][]int64
-	samplers []*l0.Sampler
+	samplers *sketchcore.Arena // one slot per sample; slots hash independently
 	norm     *l0norm.Estimator
 }
 
@@ -34,16 +36,19 @@ func New(n, k, samples int, seed uint64) *Sketch {
 	if samples < 1 {
 		samples = 1
 	}
-	s := &Sketch{n: n, k: k, samples: samples, ps: NewPatternSpace(k)}
+	s := &Sketch{n: n, k: k, samples: samples, seed: seed, ps: NewPatternSpace(k)}
 	s.binom = binomialTable(n+1, k+1)
 	universe := uint64(s.binom[n][k]) // C(n, k) columns
 	if universe == 0 {
 		universe = 1
 	}
-	s.samplers = make([]*l0.Sampler, samples)
-	for i := range s.samplers {
-		s.samplers[i] = l0.NewWithReps(universe, hashing.DeriveSeed(seed, uint64(i)+1), samplerRepsSubgraph)
+	slotSeeds := make([]uint64, samples)
+	for i := range slotSeeds {
+		slotSeeds[i] = hashing.DeriveSeed(seed, uint64(i)+1)
 	}
+	s.samplers = sketchcore.New(sketchcore.Config{
+		Slots: samples, Universe: universe, Reps: samplerRepsSubgraph, SlotSeeds: slotSeeds,
+	})
 	s.norm = l0norm.New(universe, hashing.DeriveSeed(seed, 0x4077))
 	return s
 }
@@ -131,9 +136,7 @@ func (s *Sketch) applyColumn(u, v int, rest, subset []int, delta int64) {
 	}
 	col := s.rank(subset)
 	val := delta << uint(s.ps.PairPos(pu, pv))
-	for _, smp := range s.samplers {
-		smp.Update(col, val)
-	}
+	s.samplers.UpdateAll(col, val)
 	s.norm.Update(col, val)
 }
 
@@ -151,15 +154,29 @@ func (s *Sketch) Ingest(st *stream.Stream) {
 	}
 }
 
+// IngestParallel replays a stream across worker goroutines; the merged
+// result is bit-identical to Ingest.
+func (s *Sketch) IngestParallel(st *stream.Stream, workers int) {
+	sketchcore.ShardedIngest(st.Updates, workers, s,
+		func() *Sketch { return New(s.n, s.k, s.samples, s.seed) },
+		func(sh *Sketch) { s.Add(sh) })
+}
+
 // Add merges another sketch (same n, k, samples, seed construction).
 func (s *Sketch) Add(other *Sketch) {
 	if s.n != other.n || s.k != other.k || s.samples != other.samples {
 		panic("subgraph: merging incompatible sketches")
 	}
-	for i := range s.samplers {
-		s.samplers[i].Add(other.samplers[i])
-	}
+	s.samplers.Add(other.samplers)
 	s.norm.Add(other.norm)
+}
+
+// Equal reports parameter and bit-identical sampler-state equality (the
+// norm estimator is seeded identically, so sampler equality is decisive
+// for the sharded-ingest tests).
+func (s *Sketch) Equal(other *Sketch) bool {
+	return s.n == other.n && s.k == other.k && s.samples == other.samples &&
+		s.seed == other.seed && s.samplers.Equal(other.samplers)
 }
 
 // GammaEstimate estimates gamma_H for the pattern bitmap (see the exported
@@ -168,8 +185,8 @@ func (s *Sketch) Add(other *Sketch) {
 func (s *Sketch) GammaEstimate(pattern uint64) (gamma float64, effective int) {
 	target := s.ps.Canonical(pattern)
 	match := 0
-	for _, smp := range s.samplers {
-		_, val, ok := smp.Sample()
+	for i := 0; i < s.samples; i++ {
+		_, val, ok := s.samplers.Sample(i)
 		if !ok {
 			continue
 		}
@@ -202,11 +219,7 @@ func (s *Sketch) CountEstimate(pattern uint64) float64 {
 
 // Words returns the memory footprint in 64-bit words.
 func (s *Sketch) Words() int {
-	w := s.norm.Words()
-	for _, smp := range s.samplers {
-		w += smp.Words()
-	}
-	return w
+	return s.norm.Words() + s.samplers.Words()
 }
 
 // PatternSpace exposes the sketch's pattern machinery (shared with census

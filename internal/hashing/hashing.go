@@ -93,6 +93,34 @@ func DeriveSeed(parent uint64, i uint64) uint64 {
 	return Mix64(Mix64(parent+0x8e9f0c1b2a3d4e5f) ^ (i * 0xd6e8feb86659fd93))
 }
 
+// --- l0-sampler shape and seed conventions ---------------------------------
+// Shared by internal/l0 (the reference per-object sampler) and
+// internal/sketchcore (the flat arena): both must derive identical shapes
+// and hash seeds from a sampler seed for the arena's bit-compatibility
+// guarantee to hold, so the derivations live in exactly one place.
+
+// SamplerLevels returns an l0-sampler's per-repetition cell-row length for
+// indices in [0, universe): log2(universe) levels plus one slack level so
+// singleton survival is visible even at universes close to a power of two.
+func SamplerLevels(universe uint64) int {
+	levels := 1
+	for u := universe; u > 1; u >>= 1 {
+		levels++
+	}
+	return levels + 1
+}
+
+// SamplerMixerSeed derives the level-hash seed of repetition rep.
+func SamplerMixerSeed(seed uint64, rep int) uint64 {
+	return DeriveSeed(seed, uint64(rep)+1)
+}
+
+// SamplerCellSeed derives the 1-sparse-recovery fingerprint seed shared by
+// every cell of a sampler.
+func SamplerCellSeed(seed uint64) uint64 {
+	return DeriveSeed(seed, 0xce11)
+}
+
 // mulmod61 returns a*b mod 2^61-1 using a 128-bit intermediate.
 func mulmod61(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)

@@ -1,0 +1,35 @@
+package l0
+
+import "testing"
+
+// TestCloneIndependence: mutating a clone must never perturb the original,
+// and vice versa — the contract Boruvka-era aggregation relied on and the
+// arena refactor's parity tests assume.
+func TestCloneIndependence(t *testing.T) {
+	orig := NewWithReps(1<<16, 5, 4)
+	for i := uint64(0); i < 50; i++ {
+		orig.Update(i*13, 1)
+	}
+	snapshot := NewWithReps(1<<16, 5, 4)
+	for i := uint64(0); i < 50; i++ {
+		snapshot.Update(i*13, 1)
+	}
+	c := orig.Clone()
+	c.Update(999, 7)
+	c.Update(13, -1)
+	// The original must still behave exactly like the untouched snapshot.
+	oi, ow, ook := orig.Sample()
+	si, sw, sok := snapshot.Sample()
+	if oi != si || ow != sw || ook != sok {
+		t.Fatal("mutating a clone perturbed the original's sample")
+	}
+	if orig.TotalWeight() != snapshot.TotalWeight() {
+		t.Fatal("mutating a clone perturbed the original's weight aggregate")
+	}
+	// And mutating the original must not leak into the clone.
+	before := c.TotalWeight()
+	orig.Update(42, 3)
+	if c.TotalWeight() != before {
+		t.Fatal("mutating the original perturbed the clone")
+	}
+}

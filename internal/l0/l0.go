@@ -51,17 +51,13 @@ func NewWithReps(universe uint64, seed uint64, reps int) *Sampler {
 	if reps < 1 {
 		reps = 1
 	}
-	levels := 1
-	for u := universe; u > 1; u >>= 1 {
-		levels++
-	}
-	levels++ // slack level so singleton survival is visible even at U close to 2^k
+	levels := hashing.SamplerLevels(universe)
 	s := &Sampler{universe: universe, levels: levels, reps: reps, seed: seed}
 	s.mix = make([]hashing.Mixer, reps)
 	s.cells = make([][]onesparse.Cell, reps)
-	cellSeed := hashing.DeriveSeed(seed, 0xce11)
+	cellSeed := hashing.SamplerCellSeed(seed)
 	for r := 0; r < reps; r++ {
-		s.mix[r] = hashing.NewMixer(hashing.DeriveSeed(seed, uint64(r)+1))
+		s.mix[r] = hashing.NewMixer(hashing.SamplerMixerSeed(seed, r))
 		row := make([]onesparse.Cell, levels)
 		for j := range row {
 			row[j] = onesparse.NewCell(cellSeed)

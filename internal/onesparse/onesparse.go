@@ -33,8 +33,50 @@ type Cell struct {
 // NewCell creates an empty cell whose fingerprint base is derived from seed.
 // Cells that are to be merged must be created with the same seed.
 func NewCell(seed uint64) Cell {
-	z := hashing.DeriveSeed(seed, 0xf1e2)%(hashing.MersennePrime61-2) + 2
-	return Cell{z: z}
+	return Cell{z: FingerprintBase(seed)}
+}
+
+// FingerprintBase derives the fingerprint base z from a cell seed. Exposed
+// so flat cell arenas (internal/sketchcore, sparserec.Bank) can share one z
+// per bank while staying bit-compatible with NewCell-built cells.
+func FingerprintBase(seed uint64) uint64 {
+	return hashing.DeriveSeed(seed, 0xf1e2)%(hashing.MersennePrime61-2) + 2
+}
+
+// FingerprintTerm returns the fingerprint contribution of adding delta at
+// index under base z: signedMod(delta) * z^index mod p. Arenas compute it
+// once per update and add it to every affected cell.
+func FingerprintTerm(z, index uint64, delta int64) uint64 {
+	return hashing.MulMod61(signedMod(delta), hashing.PowMod61(z, index))
+}
+
+// NegateMod61 maps a fingerprint term t to -t mod p, the contribution of
+// the opposite-signed update.
+func NegateMod61(t uint64) uint64 {
+	if t == 0 {
+		return 0
+	}
+	return hashing.MersennePrime61 - t
+}
+
+// DecodeState attempts 1-sparse recovery directly on raw cell state
+// (w, s, f, z) without a Cell value; the logic is identical to Cell.Decode.
+func DecodeState(w, s int64, f, z uint64) (index uint64, weight int64, ok bool) {
+	if w == 0 {
+		return 0, 0, false
+	}
+	if s%w != 0 {
+		return 0, 0, false
+	}
+	idx := s / w
+	if idx < 0 {
+		return 0, 0, false
+	}
+	want := hashing.MulMod61(signedMod(w), hashing.PowMod61(z, uint64(idx)))
+	if want != f {
+		return 0, 0, false
+	}
+	return uint64(idx), w, true
 }
 
 // signedMod maps a signed weight into GF(p).
@@ -77,29 +119,24 @@ func (c *Cell) IsZero() bool {
 // one non-zero coordinate it returns (index, weight, true); otherwise it
 // returns (0, 0, false) with high probability.
 func (c *Cell) Decode() (index uint64, weight int64, ok bool) {
-	if c.w == 0 {
-		// Either zero vector or a cancellation (e.g. {+1 at i, -1 at j}).
-		// Not decodable as 1-sparse.
-		return 0, 0, false
-	}
-	if c.s%c.w != 0 {
-		return 0, 0, false
-	}
-	idx := c.s / c.w
-	if idx < 0 {
-		return 0, 0, false
-	}
-	// Verify fingerprint: f must equal w * z^idx.
-	want := hashing.MulMod61(signedMod(c.w), hashing.PowMod61(c.z, uint64(idx)))
-	if want != c.f {
-		return 0, 0, false
-	}
-	return uint64(idx), c.w, true
+	return DecodeState(c.w, c.s, c.f, c.z)
 }
 
 // Weight returns the total weight aggregate (sum of x_i). Useful to callers
 // that track support emptiness cheaply.
 func (c *Cell) Weight() int64 { return c.w }
+
+// Reset zeroes the cell's aggregates, keeping the fingerprint base — for
+// scratch cells reused across decodes.
+func (c *Cell) Reset() { c.w, c.s, c.f = 0, 0, 0 }
+
+// AddState adds raw aggregate state (w, s, f) into the cell: the merge
+// entry point for flat banks that keep cell state in parallel arrays.
+func (c *Cell) AddState(w, s int64, f uint64) {
+	c.w += w
+	c.s += s
+	c.f = hashing.AddMod61(c.f, f)
+}
 
 // Clone returns a deep copy of the cell.
 func (c *Cell) Clone() Cell { return *c }

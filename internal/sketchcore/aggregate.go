@@ -1,0 +1,109 @@
+package sketchcore
+
+// Aggregator is reusable scratch for summing a shared-mode arena's slots by
+// component (the per-round Boruvka step: sum the members' incidence
+// sketches so exactly the component's crossing edges survive, Sec. 3.3).
+// It replaces the old map[int]*l0.Sampler of cloned samplers with three
+// flat accumulation buffers that are recycled across rounds.
+type Aggregator struct {
+	arena  *Arena
+	ncomp  int
+	w, s   []int64
+	f      []uint64
+	compOf []int32 // root slot -> compact component id, or -1
+}
+
+// NewAggregator returns an empty aggregator; buffers grow on first use.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Aggregate sums a's slots grouped by find(slot) and returns the number of
+// distinct components. Component ids are assigned in order of first
+// appearance by slot index, so iteration over [0, ncomp) is deterministic.
+// a must be in shared mode (summed cells are only meaningful when slots
+// share hashes). The previous aggregation is discarded.
+func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
+	if !a.shared {
+		panic("sketchcore: aggregation requires a shared-seed arena")
+	}
+	ag.arena = a
+	cells := a.reps * a.levels
+	need := a.slots * cells
+	if cap(ag.w) < need {
+		ag.w = make([]int64, need)
+		ag.s = make([]int64, need)
+		ag.f = make([]uint64, need)
+	}
+	ag.w = ag.w[:need]
+	ag.s = ag.s[:need]
+	ag.f = ag.f[:need]
+	if cap(ag.compOf) < a.slots {
+		ag.compOf = make([]int32, a.slots)
+	}
+	ag.compOf = ag.compOf[:a.slots]
+	for i := range ag.compOf {
+		ag.compOf[i] = -1
+	}
+	ncomp := 0
+	for v := 0; v < a.slots; v++ {
+		root := find(v)
+		c := ag.compOf[root]
+		src := v * cells
+		if c == -1 {
+			// First member: initialize the component's buffer by copy.
+			c = int32(ncomp)
+			ag.compOf[root] = c
+			ncomp++
+			dst := int(c) * cells
+			copy(ag.w[dst:dst+cells], a.w[src:src+cells])
+			copy(ag.s[dst:dst+cells], a.s[src:src+cells])
+			copy(ag.f[dst:dst+cells], a.f[src:src+cells])
+			continue
+		}
+		dst := int(c) * cells
+		addInto(ag.w[dst:dst+cells], ag.s[dst:dst+cells], ag.f[dst:dst+cells],
+			a.w[src:src+cells], a.s[src:src+cells], a.f[src:src+cells])
+	}
+	ag.ncomp = ncomp
+	return ncomp
+}
+
+// Sample draws from the support of component c's summed vector — by
+// linearity, exactly the edges crossing the component's boundary.
+func (ag *Aggregator) Sample(c int) (index uint64, weight int64, ok bool) {
+	a := ag.arena
+	cells := a.reps * a.levels
+	b := c * cells
+	return sampleCells(ag.w[b:b+cells], ag.s[b:b+cells], ag.f[b:b+cells], a.reps, a.levels, a.z[0])
+}
+
+// SumSlots sums an arbitrary slot subset (side[slot] == true) of a
+// shared-mode arena into a single sampler's worth of scratch cells and
+// samples it. Used by callers that need one crossing-edge sample for an
+// ad-hoc vertex set rather than a whole partition.
+func (ag *Aggregator) SumSlots(a *Arena, side []bool) (index uint64, weight int64, ok bool) {
+	if !a.shared {
+		panic("sketchcore: aggregation requires a shared-seed arena")
+	}
+	ag.arena = a
+	cells := a.reps * a.levels
+	if cap(ag.w) < cells {
+		ag.w = make([]int64, cells)
+		ag.s = make([]int64, cells)
+		ag.f = make([]uint64, cells)
+	}
+	ag.w = ag.w[:cells]
+	ag.s = ag.s[:cells]
+	ag.f = ag.f[:cells]
+	for i := range ag.w {
+		ag.w[i], ag.s[i], ag.f[i] = 0, 0, 0
+	}
+	for v, in := range side {
+		if !in {
+			continue
+		}
+		src := v * cells
+		addInto(ag.w, ag.s, ag.f, a.w[src:src+cells], a.s[src:src+cells], a.f[src:src+cells])
+	}
+	ag.ncomp = 1
+	return sampleCells(ag.w, ag.s, ag.f, a.reps, a.levels, a.z[0])
+}

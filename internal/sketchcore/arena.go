@@ -1,0 +1,361 @@
+// Package sketchcore is the shared sampler substrate under every sketch in
+// this repository: a bank of l0-samplers stored as one contiguous
+// struct-of-arrays arena instead of a slice of heap-allocated samplers.
+//
+// A bank holds `slots` logical samplers (one per vertex, per sample index,
+// per bucket — whatever the consumer banks over), each with reps x levels
+// 1-sparse recovery cells. The three cell aggregates live in three flat
+// parallel arrays indexed by (slot, rep, level), so an update touches a few
+// contiguous cache lines, a merge is three linear array passes, and
+// component aggregation during Boruvka extraction is a scratch-buffer
+// accumulation instead of a map of cloned sampler objects.
+//
+// Two seeding modes cover every consumer:
+//
+//   - shared (Config.SlotSeeds == nil): all slots share one per-rep level
+//     hash and one fingerprint base. Slots are mutually mergeable — exactly
+//     the node-incidence banks of Sec. 3.3, where summing slots over a
+//     vertex set must sketch the crossing edges. The expensive per-update
+//     work (one PowMod61 fingerprint term, one level hash per rep) is done
+//     once and reused for both endpoints of an edge (UpdateEdge).
+//   - per-slot (Config.SlotSeeds != nil): every slot hashes independently,
+//     for banks whose slots must behave as independent samplers (the
+//     subgraph sketch's sample bank, the spanner group sampler buckets).
+//
+// All hash derivations are bit-compatible with internal/l0: an arena slot
+// built from seed s holds exactly the cell states of l0.NewWithReps(U, s, R)
+// after the same updates, and Sample scans repetitions and levels in the
+// same order, so refactored consumers keep their sampling behavior.
+package sketchcore
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/onesparse"
+)
+
+// Config parameterizes an arena bank.
+type Config struct {
+	// Slots is the number of logical samplers in the bank (required).
+	Slots int
+	// Universe is the index universe [0, Universe) of every slot (required).
+	Universe uint64
+	// Reps is the per-slot repetition count (required, >= 1).
+	Reps int
+	// Seed seeds the bank in shared mode; ignored when SlotSeeds is set.
+	Seed uint64
+	// SlotSeeds, when non-nil (len == Slots), gives every slot its own
+	// independent hash functions and fingerprint base, matching
+	// l0.NewWithReps(Universe, SlotSeeds[i], Reps) per slot.
+	SlotSeeds []uint64
+}
+
+// Arena is a flat bank of l0-samplers. See the package comment for layout.
+type Arena struct {
+	slots    int
+	reps     int
+	levels   int
+	universe uint64
+	seed     uint64
+	shared   bool
+	mix      []hashing.Mixer // shared: [rep]; per-slot: [slot*reps + rep]
+	z        []uint64        // shared: [0]; per-slot: [slot]
+	w        []int64         // cell weight sums, (slot*reps + rep)*levels + level
+	s        []int64         // cell index-weighted sums, same layout
+	f        []uint64        // cell fingerprints, same layout
+}
+
+// New creates an arena bank. Panics on a malformed config (programming
+// error, like the l0 constructors).
+func New(cfg Config) *Arena {
+	if cfg.Slots < 1 {
+		panic("sketchcore: arena needs at least one slot")
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.SlotSeeds != nil && len(cfg.SlotSeeds) != cfg.Slots {
+		panic("sketchcore: len(SlotSeeds) must equal Slots")
+	}
+	a := &Arena{
+		slots:    cfg.Slots,
+		reps:     cfg.Reps,
+		levels:   hashing.SamplerLevels(cfg.Universe),
+		universe: cfg.Universe,
+		seed:     cfg.Seed,
+		shared:   cfg.SlotSeeds == nil,
+	}
+	cells := a.slots * a.reps * a.levels
+	a.w = make([]int64, cells)
+	a.s = make([]int64, cells)
+	a.f = make([]uint64, cells)
+	if a.shared {
+		a.mix = make([]hashing.Mixer, a.reps)
+		for r := 0; r < a.reps; r++ {
+			a.mix[r] = hashing.NewMixer(hashing.SamplerMixerSeed(cfg.Seed, r))
+		}
+		a.z = []uint64{onesparse.FingerprintBase(hashing.SamplerCellSeed(cfg.Seed))}
+	} else {
+		a.mix = make([]hashing.Mixer, a.slots*a.reps)
+		a.z = make([]uint64, a.slots)
+		for i, si := range cfg.SlotSeeds {
+			for r := 0; r < a.reps; r++ {
+				a.mix[i*a.reps+r] = hashing.NewMixer(hashing.SamplerMixerSeed(si, r))
+			}
+			a.z[i] = onesparse.FingerprintBase(hashing.SamplerCellSeed(si))
+		}
+	}
+	return a
+}
+
+// Slots returns the number of logical samplers in the bank.
+func (a *Arena) Slots() int { return a.slots }
+
+// Reps returns the per-slot repetition count.
+func (a *Arena) Reps() int { return a.reps }
+
+// Levels returns the per-repetition level count.
+func (a *Arena) Levels() int { return a.levels }
+
+// Universe returns the index universe the bank was built for.
+func (a *Arena) Universe() uint64 { return a.universe }
+
+// Shared reports whether the bank is in shared-seed (mutually mergeable
+// slots) mode.
+func (a *Arena) Shared() bool { return a.shared }
+
+// zOf returns the fingerprint base of slot i.
+func (a *Arena) zOf(i int) uint64 {
+	if a.shared {
+		return a.z[0]
+	}
+	return a.z[i]
+}
+
+// mixOf returns the level hash of (slot i, rep r).
+func (a *Arena) mixOf(i, r int) hashing.Mixer {
+	if a.shared {
+		return a.mix[r]
+	}
+	return a.mix[i*a.reps+r]
+}
+
+// cellBase returns the array offset of cell (slot, rep, level 0).
+func (a *Arena) cellBase(slot, rep int) int {
+	return (slot*a.reps + rep) * a.levels
+}
+
+// applyTerm adds delta at index with precomputed fingerprint term to the
+// cells of one (slot, rep) row, levels 0..l.
+func (a *Arena) applyTerm(base int, l int, index uint64, delta int64, term uint64) {
+	is := int64(index) * delta
+	w := a.w[base : base+l+1]
+	s := a.s[base : base+l+1]
+	f := a.f[base : base+l+1]
+	for j := range w {
+		w[j] += delta
+		s[j] += is
+		f[j] = hashing.AddMod61(f[j], term)
+	}
+}
+
+// Update adds delta to coordinate index of one slot. Works in both seeding
+// modes; expected O(reps) cell touches (the level distribution is
+// geometric).
+func (a *Arena) Update(slot int, index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	term := onesparse.FingerprintTerm(a.zOf(slot), index, delta)
+	for r := 0; r < a.reps; r++ {
+		l := a.mixOf(slot, r).Level(index)
+		if l >= a.levels {
+			l = a.levels - 1
+		}
+		a.applyTerm(a.cellBase(slot, r), l, index, delta, term)
+	}
+}
+
+// UpdateEdge applies the node-incidence update of Eq. 1: +delta at index in
+// uSlot, -delta at index in vSlot. Shared mode only (the two slots must
+// agree on level hashes and fingerprint base); the level hash and the
+// fingerprint power are computed once and reused for both endpoints —
+// half the hashing of two independent Updates.
+func (a *Arena) UpdateEdge(uSlot, vSlot int, index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	if !a.shared {
+		panic("sketchcore: UpdateEdge requires a shared-seed arena")
+	}
+	term := onesparse.FingerprintTerm(a.z[0], index, delta)
+	negTerm := onesparse.NegateMod61(term)
+	for r := 0; r < a.reps; r++ {
+		l := a.mix[r].Level(index)
+		if l >= a.levels {
+			l = a.levels - 1
+		}
+		a.applyTerm(a.cellBase(uSlot, r), l, index, delta, term)
+		a.applyTerm(a.cellBase(vSlot, r), l, index, -delta, negTerm)
+	}
+}
+
+// UpdateAll adds delta at index to every slot of the bank (the subgraph
+// sketch feeds each coordinate update to all of its samplers). In shared
+// mode the fingerprint term and levels are computed once.
+func (a *Arena) UpdateAll(index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	if a.shared {
+		term := onesparse.FingerprintTerm(a.z[0], index, delta)
+		for r := 0; r < a.reps; r++ {
+			l := a.mix[r].Level(index)
+			if l >= a.levels {
+				l = a.levels - 1
+			}
+			for slot := 0; slot < a.slots; slot++ {
+				a.applyTerm(a.cellBase(slot, r), l, index, delta, term)
+			}
+		}
+		return
+	}
+	for slot := 0; slot < a.slots; slot++ {
+		a.Update(slot, index, delta)
+	}
+}
+
+// mustMatch panics unless other has the identical shape and seeding.
+func (a *Arena) mustMatch(other *Arena) {
+	if a.slots != other.slots || a.reps != other.reps || a.levels != other.levels ||
+		a.universe != other.universe || a.shared != other.shared {
+		panic("sketchcore: merging incompatible arenas")
+	}
+	if a.shared {
+		if a.seed != other.seed {
+			panic("sketchcore: merging arenas with different seeds")
+		}
+		return
+	}
+	for i := range a.z {
+		if a.z[i] != other.z[i] {
+			panic("sketchcore: merging arenas with different slot seeds")
+		}
+	}
+}
+
+// Add merges other into a (vector addition per slot): the
+// distributed-streams operation of Sec. 1.1, three linear array passes.
+func (a *Arena) Add(other *Arena) {
+	a.mustMatch(other)
+	addInto(a.w, a.s, a.f, other.w, other.s, other.f)
+}
+
+// AddRange merges the slot range [lo, hi) of other into the same slots of
+// a. Shapes must match as in Add.
+func (a *Arena) AddRange(other *Arena, lo, hi int) {
+	a.mustMatch(other)
+	if lo < 0 || hi > a.slots || lo > hi {
+		panic("sketchcore: AddRange slot range out of bounds")
+	}
+	cells := a.reps * a.levels
+	b, e := lo*cells, hi*cells
+	addInto(a.w[b:e], a.s[b:e], a.f[b:e], other.w[b:e], other.s[b:e], other.f[b:e])
+}
+
+// addInto is the shared merge kernel: dw += sw, ds += ss, df += sf mod p.
+func addInto(dw, ds []int64, df []uint64, sw, ss []int64, sf []uint64) {
+	for i := range dw {
+		dw[i] += sw[i]
+	}
+	for i := range ds {
+		ds[i] += ss[i]
+	}
+	for i := range df {
+		df[i] = hashing.AddMod61(df[i], sf[i])
+	}
+}
+
+// Clone returns a deep copy of the bank. Hash state is immutable and
+// shared; cell state is copied, so mutating the clone never perturbs the
+// original.
+func (a *Arena) Clone() *Arena {
+	c := *a
+	c.w = append([]int64(nil), a.w...)
+	c.s = append([]int64(nil), a.s...)
+	c.f = append([]uint64(nil), a.f...)
+	return &c
+}
+
+// Equal reports whether two arenas have identical shape, seeding, and
+// bit-identical cell state. It is the ground truth for the sharded-ingest
+// merge tests.
+func (a *Arena) Equal(other *Arena) bool {
+	if a.slots != other.slots || a.reps != other.reps || a.levels != other.levels ||
+		a.universe != other.universe || a.shared != other.shared || a.seed != other.seed {
+		return false
+	}
+	for i := range a.z {
+		if a.z[i] != other.z[i] {
+			return false
+		}
+	}
+	for i := range a.w {
+		if a.w[i] != other.w[i] || a.s[i] != other.s[i] || a.f[i] != other.f[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleCells scans one slot's cells (any provenance) for a decodable
+// repetition: per rep, from the most subsampled level down, first non-zero
+// cell decides (nested level sets).
+func sampleCells(w, s []int64, f []uint64, reps, levels int, z uint64) (index uint64, weight int64, ok bool) {
+	for r := 0; r < reps; r++ {
+		base := r * levels
+		for j := levels - 1; j >= 0; j-- {
+			i := base + j
+			if w[i] == 0 && s[i] == 0 && f[i] == 0 {
+				continue
+			}
+			if idx, wt, decOK := onesparse.DecodeState(w[i], s[i], f[i], z); decOK {
+				return idx, wt, true
+			}
+			break // >=2 survivors here, so >=2 at every lower level too
+		}
+	}
+	return 0, 0, false
+}
+
+// Sample draws a near-uniform element of the support of slot's vector, or
+// ok=false if the slot is empty or every repetition fails.
+func (a *Arena) Sample(slot int) (index uint64, weight int64, ok bool) {
+	b := a.cellBase(slot, 0)
+	e := b + a.reps*a.levels
+	return sampleCells(a.w[b:e], a.s[b:e], a.f[b:e], a.reps, a.levels, a.zOf(slot))
+}
+
+// IsZero reports whether slot's vector is (w.h.p.) zero, witnessed by the
+// level-0 cell of every repetition.
+func (a *Arena) IsZero(slot int) bool {
+	for r := 0; r < a.reps; r++ {
+		i := a.cellBase(slot, r)
+		if a.w[i] != 0 || a.s[i] != 0 || a.f[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalWeight returns sum_i x_i of slot's vector (exact, from the level-0
+// aggregate of the first repetition).
+func (a *Arena) TotalWeight(slot int) int64 {
+	return a.w[a.cellBase(slot, 0)]
+}
+
+// Words returns the memory footprint in 64-bit words: three words per cell
+// (the bank-shared fingerprint bases and mixers are counted once, not per
+// cell — one of the arena's space wins over per-object samplers).
+func (a *Arena) Words() int {
+	return len(a.w) + len(a.s) + len(a.f) + len(a.z) + len(a.mix)
+}

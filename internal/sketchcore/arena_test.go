@@ -1,0 +1,338 @@
+package sketchcore
+
+import (
+	"testing"
+
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/stream"
+)
+
+// TestArenaMatchesL0Sampler: a shared-mode arena slot must behave
+// bit-identically to an l0.Sampler built from the same (universe, seed,
+// reps) — same hash derivations, same cells, same samples.
+func TestArenaMatchesL0Sampler(t *testing.T) {
+	const universe, seed, reps, slots = 1 << 12, 42, 4, 8
+	a := New(Config{Slots: slots, Universe: universe, Reps: reps, Seed: seed})
+	ref := make([]*l0.Sampler, slots)
+	for i := range ref {
+		ref[i] = l0.NewWithReps(universe, seed, reps)
+	}
+	r := hashing.NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		slot := r.Intn(slots)
+		idx := uint64(r.Intn(universe))
+		delta := int64(r.Intn(5) - 2)
+		a.Update(slot, idx, delta)
+		ref[slot].Update(idx, delta)
+	}
+	for slot := 0; slot < slots; slot++ {
+		ai, aw, aok := a.Sample(slot)
+		ri, rw, rok := ref[slot].Sample()
+		if ai != ri || aw != rw || aok != rok {
+			t.Fatalf("slot %d: arena sample (%d,%d,%v) != l0 sample (%d,%d,%v)",
+				slot, ai, aw, aok, ri, rw, rok)
+		}
+		if a.IsZero(slot) != ref[slot].IsZero() {
+			t.Fatalf("slot %d: IsZero disagrees", slot)
+		}
+		if a.TotalWeight(slot) != ref[slot].TotalWeight() {
+			t.Fatalf("slot %d: TotalWeight disagrees", slot)
+		}
+	}
+}
+
+// TestArenaPerSlotMatchesL0Sampler: per-slot mode must reproduce
+// independently seeded l0.Samplers.
+func TestArenaPerSlotMatchesL0Sampler(t *testing.T) {
+	const universe, reps, slots = 1 << 10, 3, 6
+	seeds := make([]uint64, slots)
+	ref := make([]*l0.Sampler, slots)
+	for i := range seeds {
+		seeds[i] = hashing.DeriveSeed(99, uint64(i))
+		ref[i] = l0.NewWithReps(universe, seeds[i], reps)
+	}
+	a := New(Config{Slots: slots, Universe: universe, Reps: reps, SlotSeeds: seeds})
+	r := hashing.NewRNG(3)
+	for i := 0; i < 3000; i++ {
+		slot := r.Intn(slots)
+		idx := uint64(r.Intn(universe))
+		a.Update(slot, idx, 1)
+		ref[slot].Update(idx, 1)
+	}
+	for slot := 0; slot < slots; slot++ {
+		ai, aw, aok := a.Sample(slot)
+		ri, rw, rok := ref[slot].Sample()
+		if ai != ri || aw != rw || aok != rok {
+			t.Fatalf("slot %d: per-slot arena sample disagrees with l0", slot)
+		}
+	}
+}
+
+// TestUpdateEdgeMatchesTwoUpdates: the fused incidence update must equal
+// the two single-slot updates it replaces.
+func TestUpdateEdgeMatchesTwoUpdates(t *testing.T) {
+	cfg := Config{Slots: 10, Universe: 100, Reps: 4, Seed: 5}
+	fused := New(cfg)
+	plain := New(cfg)
+	r := hashing.NewRNG(11)
+	for i := 0; i < 2000; i++ {
+		u, v := r.Intn(10), r.Intn(10)
+		if u == v {
+			continue
+		}
+		idx := uint64(r.Intn(100))
+		delta := int64(r.Intn(7) - 3)
+		fused.UpdateEdge(u, v, idx, delta)
+		plain.Update(u, idx, delta)
+		plain.Update(v, idx, -delta)
+	}
+	if !fused.Equal(plain) {
+		t.Fatal("UpdateEdge state differs from two Updates")
+	}
+}
+
+// TestUpdateAllMatchesLoop: the broadcast update must equal a loop of
+// single-slot updates, in both seeding modes.
+func TestUpdateAllMatchesLoop(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	for _, cfg := range []Config{
+		{Slots: 4, Universe: 64, Reps: 3, Seed: 9},
+		{Slots: 4, Universe: 64, Reps: 3, SlotSeeds: seeds},
+	} {
+		bulk := New(cfg)
+		loop := New(cfg)
+		r := hashing.NewRNG(17)
+		for i := 0; i < 500; i++ {
+			idx := uint64(r.Intn(64))
+			delta := int64(r.Intn(3) - 1)
+			bulk.UpdateAll(idx, delta)
+			for s := 0; s < 4; s++ {
+				loop.Update(s, idx, delta)
+			}
+		}
+		if !bulk.Equal(loop) {
+			t.Fatalf("UpdateAll differs from per-slot loop (shared=%v)", cfg.SlotSeeds == nil)
+		}
+	}
+}
+
+// TestCloneIndependence: mutating a clone never perturbs the original (and
+// vice versa).
+func TestCloneIndependence(t *testing.T) {
+	a := New(Config{Slots: 4, Universe: 256, Reps: 4, Seed: 21})
+	a.Update(1, 17, 3)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone must start bit-identical")
+	}
+	c.Update(1, 99, 1)
+	c.Update(2, 5, -2)
+	if c.Equal(a) {
+		t.Fatal("mutated clone still equals original")
+	}
+	// The original must be untouched: rebuild the expected state.
+	want := New(Config{Slots: 4, Universe: 256, Reps: 4, Seed: 21})
+	want.Update(1, 17, 3)
+	if !a.Equal(want) {
+		t.Fatal("mutating the clone perturbed the original")
+	}
+	// And mutating the original must not leak into the clone.
+	a.Update(3, 40, 1)
+	wantC := want.Clone()
+	wantC.Update(1, 99, 1)
+	wantC.Update(2, 5, -2)
+	if !c.Equal(wantC) {
+		t.Fatal("mutating the original perturbed the clone")
+	}
+}
+
+// TestAddAndAddRange: Add must be slotwise vector addition; AddRange must
+// touch only the requested slots.
+func TestAddAndAddRange(t *testing.T) {
+	cfg := Config{Slots: 6, Universe: 128, Reps: 3, Seed: 8}
+	whole := New(cfg)
+	partA := New(cfg)
+	partB := New(cfg)
+	r := hashing.NewRNG(23)
+	for i := 0; i < 1000; i++ {
+		slot := r.Intn(6)
+		idx := uint64(r.Intn(128))
+		whole.Update(slot, idx, 1)
+		if i%2 == 0 {
+			partA.Update(slot, idx, 1)
+		} else {
+			partB.Update(slot, idx, 1)
+		}
+	}
+	merged := partA.Clone()
+	merged.Add(partB)
+	if !merged.Equal(whole) {
+		t.Fatal("Add of two halves differs from whole")
+	}
+	// AddRange over all slots == Add; over an empty range == no-op.
+	ranged := partA.Clone()
+	ranged.AddRange(partB, 0, 6)
+	if !ranged.Equal(whole) {
+		t.Fatal("AddRange(0, Slots) differs from Add")
+	}
+	noop := partA.Clone()
+	noop.AddRange(partB, 3, 3)
+	if !noop.Equal(partA) {
+		t.Fatal("empty AddRange must be a no-op")
+	}
+	// Partial range: only slots [0,3) of partB merged in.
+	partial := partA.Clone()
+	partial.AddRange(partB, 0, 3)
+	wantPartial := partA.Clone()
+	half := New(cfg)
+	half.AddRange(partB, 0, 3)
+	wantPartial.Add(half)
+	if !partial.Equal(wantPartial) {
+		t.Fatal("partial AddRange merged the wrong slots")
+	}
+}
+
+// TestAggregatorMatchesCloneAdd: scratch-buffer aggregation must produce
+// the same samples as the old clone-and-add path.
+func TestAggregatorMatchesCloneAdd(t *testing.T) {
+	const n, universe = 12, 12 * 12
+	a := New(Config{Slots: n, Universe: universe, Reps: 4, Seed: 31})
+	r := hashing.NewRNG(37)
+	for i := 0; i < 400; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		idx := uint64(u*n + v)
+		a.UpdateEdge(u, v, idx, 1)
+	}
+	comp := func(v int) int { return v % 3 } // three interleaved components
+	ag := NewAggregator()
+	ncomp := ag.Aggregate(a, comp)
+	if ncomp != 3 {
+		t.Fatalf("ncomp = %d, want 3", ncomp)
+	}
+	for c := 0; c < 3; c++ {
+		// Reference: clone slot sums via Add on a 1-slot view using SumSlots.
+		side := make([]bool, n)
+		for v := 0; v < n; v++ {
+			side[v] = v%3 == c
+		}
+		ref := NewAggregator()
+		ri, rw, rok := ref.SumSlots(a, side)
+		ai, aw, aok := ag.Sample(c)
+		if ai != ri || aw != rw || aok != rok {
+			t.Fatalf("component %d: aggregator sample (%d,%d,%v) != sum-side sample (%d,%d,%v)",
+				c, ai, aw, aok, ri, rw, rok)
+		}
+	}
+	// Reuse across rounds: aggregating a different partition must not be
+	// contaminated by the previous one.
+	ncomp2 := ag.Aggregate(a, func(v int) int { return 0 })
+	if ncomp2 != 1 {
+		t.Fatalf("ncomp2 = %d, want 1", ncomp2)
+	}
+	allSide := make([]bool, n)
+	for i := range allSide {
+		allSide[i] = true
+	}
+	ref := NewAggregator()
+	ri, rw, rok := ref.SumSlots(a, allSide)
+	ai, aw, aok := ag.Sample(0)
+	if ai != ri || aw != rw || aok != rok {
+		t.Fatal("aggregator reuse across partitions is contaminated")
+	}
+}
+
+// edgeArena adapts a bare Arena to the Updater interface ShardedIngest
+// replays into, applying the node-incidence convention.
+type edgeArena struct {
+	a *Arena
+	n int
+}
+
+func (e edgeArena) Update(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e.a.UpdateEdge(u, v, stream.EdgeIndex(u, v, e.n), delta)
+}
+
+// TestShardedIngestBitIdentical: sharded ingest + merge must be
+// bit-identical to sequential ingest, for any worker count.
+func TestShardedIngestBitIdentical(t *testing.T) {
+	const n = 64
+	st := stream.GNP(n, 0.3, 5).WithChurn(3000, 6)
+	cfg := Config{Slots: n, Universe: uint64(n) * uint64(n), Reps: 4, Seed: 77}
+	seq := New(cfg)
+	for _, up := range st.Updates {
+		edgeArena{seq, n}.Update(up.U, up.V, up.Delta)
+	}
+	for _, workers := range []int{2, 3, 4, 7} {
+		par := New(cfg)
+		ShardedIngest(st.Updates, workers, edgeArena{par, n},
+			func() edgeArena { return edgeArena{New(cfg), n} },
+			func(sh edgeArena) { par.Add(sh.a) })
+		if !par.Equal(seq) {
+			t.Fatalf("workers=%d: sharded ingest differs from sequential", workers)
+		}
+	}
+}
+
+// TestShardedIngestShortStreams: streams shorter than (or barely longer
+// than) the worker count must not panic and must still merge correctly —
+// ceil-division chunking makes tail shards empty.
+func TestShardedIngestShortStreams(t *testing.T) {
+	cfg := Config{Slots: 8, Universe: 64, Reps: 3, Seed: 2}
+	for _, m := range []int{0, 1, 2, 3, 5, 10} {
+		ups := make([]stream.Update, m)
+		for i := range ups {
+			ups[i] = stream.Update{U: i % 7, V: (i % 7) + 1, Delta: 1}
+		}
+		seq := New(cfg)
+		for _, up := range ups {
+			edgeArena{seq, 8}.Update(up.U, up.V, up.Delta)
+		}
+		for _, workers := range []int{2, 4, 7, 16} {
+			par := New(cfg)
+			ShardedIngest(ups, workers, edgeArena{par, 8},
+				func() edgeArena { return edgeArena{New(cfg), 8} },
+				func(sh edgeArena) { par.Add(sh.a) })
+			if !par.Equal(seq) {
+				t.Fatalf("m=%d workers=%d: sharded ingest differs from sequential", m, workers)
+			}
+		}
+	}
+}
+
+// TestStateRoundTrip: AppendState/DecodeState must round-trip cell state.
+func TestStateRoundTrip(t *testing.T) {
+	cfg := Config{Slots: 5, Universe: 200, Reps: 3, Seed: 13}
+	a := New(cfg)
+	r := hashing.NewRNG(41)
+	for i := 0; i < 300; i++ {
+		a.Update(r.Intn(5), uint64(r.Intn(200)), int64(r.Intn(5)-2))
+	}
+	enc := a.AppendState(nil)
+	if len(enc) != a.StateSize() {
+		t.Fatalf("encoded %d bytes, StateSize says %d", len(enc), a.StateSize())
+	}
+	b := New(cfg)
+	rest, err := b.DecodeState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !b.Equal(a) {
+		t.Fatal("decoded arena differs from original")
+	}
+	if _, err := b.DecodeState(enc[:10]); err == nil {
+		t.Fatal("truncated state must be rejected")
+	}
+}

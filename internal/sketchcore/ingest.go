@@ -1,0 +1,67 @@
+package sketchcore
+
+import (
+	"sync"
+
+	"graphsketch/internal/stream"
+)
+
+// Updater is the sketch interface ShardedIngest replays a stream into:
+// every sketch in this repository applies one signed edge-multiplicity
+// update at a time.
+type Updater interface {
+	Update(u, v int, delta int64)
+}
+
+// ShardedIngest is the parallel ingest kernel shared by every sketch type:
+// it splits a stream into `workers` contiguous shards, replays each shard
+// into its own freshly spawned sketch on its own goroutine (the calling
+// goroutine takes the first shard directly into self), and merges the shard
+// sketches back in shard order.
+//
+// Because every sketch in this repository is linear with commutative,
+// associative cell merges (int64 sums and GF(2^61-1) sums), the merged
+// result is bit-identical to a sequential replay of the whole stream —
+// the distributed-streams property of Sec. 1.1 turned into a same-process
+// speedup. Property tests assert the bit-identity per sketch type.
+func ShardedIngest[S Updater](ups []stream.Update, workers int, self S,
+	spawn func() S, merge func(S)) {
+	replay := func(sk S, part []stream.Update) {
+		for _, up := range part {
+			sk.Update(up.U, up.V, up.Delta)
+		}
+	}
+	if workers > len(ups) {
+		workers = len(ups)
+	}
+	if workers <= 1 {
+		replay(self, ups)
+		return
+	}
+	chunk := (len(ups) + workers - 1) / workers
+	shards := make([]S, workers-1)
+	var wg sync.WaitGroup
+	for i := range shards {
+		// Clamp both bounds: with ceil-division the tail shards of a short
+		// stream can start past the end (their share is empty).
+		lo := (i + 1) * chunk
+		if lo > len(ups) {
+			lo = len(ups)
+		}
+		hi := lo + chunk
+		if hi > len(ups) {
+			hi = len(ups)
+		}
+		shards[i] = spawn()
+		wg.Add(1)
+		go func(sh S, part []stream.Update) {
+			defer wg.Done()
+			replay(sh, part)
+		}(shards[i], ups[lo:hi])
+	}
+	replay(self, ups[:chunk])
+	wg.Wait()
+	for _, sh := range shards {
+		merge(sh)
+	}
+}

@@ -1,0 +1,45 @@
+package sketchcore
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrBadEncoding is returned for corrupt or truncated arena state.
+var ErrBadEncoding = errors.New("sketchcore: bad encoding")
+
+// StateSize returns the exact byte length of the arena's encoded cell
+// state: 24 bytes (w, s, f as u64 LE) per cell.
+func (a *Arena) StateSize() int { return len(a.w) * 24 }
+
+// AppendState appends the arena's cell state to buf. Configuration (shape,
+// seeds) is not encoded: the decoder reconstructs it from the same Config,
+// exactly as the l0 wire format reconstructed hashes from the seed.
+func (a *Arena) AppendState(buf []byte) []byte {
+	var tmp [8]byte
+	for i := range a.w {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(a.w[i]))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(a.s[i]))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], a.f[i])
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// DecodeState reads cell state produced by AppendState into the arena and
+// returns the remaining bytes.
+func (a *Arena) DecodeState(data []byte) ([]byte, error) {
+	n := a.StateSize()
+	if len(data) < n {
+		return nil, ErrBadEncoding
+	}
+	for i := range a.w {
+		off := i * 24
+		a.w[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+		a.s[i] = int64(binary.LittleEndian.Uint64(data[off+8:]))
+		a.f[i] = binary.LittleEndian.Uint64(data[off+16:])
+	}
+	return data[n:], nil
+}

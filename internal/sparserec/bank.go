@@ -1,0 +1,162 @@
+package sparserec
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/onesparse"
+)
+
+// Bank is a flat struct-of-arrays bank of n k-RECOVERY sketches sharing one
+// (k, seed) — the per-(node, level) sketches of Fig 3 for a single level,
+// which must share hashes so that summing nodes over a cut side is
+// meaningful (step 4c). The cell aggregates live in three parallel arrays
+// indexed by (node, row, bucket), mirroring internal/sketchcore's sampler
+// arenas: updates touch contiguous memory, merges are linear passes, and a
+// cut-side decode accumulates into one reusable scratch sketch instead of
+// cloning and Add-ing per-node objects.
+//
+// A Bank node is bit-compatible with Sketch: node i after a set of updates
+// holds exactly the cells of New(k, seed) after the same updates.
+type Bank struct {
+	n    int
+	k    int
+	rows int
+	m    int
+	seed uint64
+	hash []hashing.PolyHash
+	z    uint64
+	w, s []int64 // (node*rows + row)*m + bucket
+	f    []uint64
+}
+
+// NewBank creates a bank of n sketches, each recovering up to k non-zeros
+// w.h.p., all built from the same seed (mutually mergeable).
+func NewBank(n, k int, seed uint64) *Bank {
+	if k < 1 {
+		k = 1
+	}
+	rows, m := tableShape(k)
+	b := &Bank{n: n, k: k, rows: rows, m: m, seed: seed}
+	b.hash = make([]hashing.PolyHash, b.rows)
+	for r := 0; r < b.rows; r++ {
+		b.hash[r] = hashing.NewPolyHash(rowHashSeed(seed, r), 4)
+	}
+	b.z = onesparse.FingerprintBase(fingerprintSeed(seed))
+	cells := n * b.rows * b.m
+	b.w = make([]int64, cells)
+	b.s = make([]int64, cells)
+	b.f = make([]uint64, cells)
+	return b
+}
+
+// N returns the number of node sketches in the bank.
+func (b *Bank) N() int { return b.n }
+
+// K returns the per-node sparsity budget.
+func (b *Bank) K() int { return b.k }
+
+// Update adds delta to coordinate index of one node's sketch.
+func (b *Bank) Update(node int, index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	term := onesparse.FingerprintTerm(b.z, index, delta)
+	is := int64(index) * delta
+	for r := 0; r < b.rows; r++ {
+		i := (node*b.rows+r)*b.m + int(b.hash[r].Bounded(index, uint64(b.m)))
+		b.w[i] += delta
+		b.s[i] += is
+		b.f[i] = hashing.AddMod61(b.f[i], term)
+	}
+}
+
+// UpdateEdge applies the incidence convention of Eq. 1: +delta at index in
+// node u's sketch, -delta in node v's. Bucket hashes and the fingerprint
+// power are computed once and reused for both endpoints.
+func (b *Bank) UpdateEdge(u, v int, index uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	term := onesparse.FingerprintTerm(b.z, index, delta)
+	negTerm := onesparse.NegateMod61(term)
+	is := int64(index) * delta
+	for r := 0; r < b.rows; r++ {
+		bkt := int(b.hash[r].Bounded(index, uint64(b.m)))
+		iu := (u*b.rows+r)*b.m + bkt
+		iv := (v*b.rows+r)*b.m + bkt
+		b.w[iu] += delta
+		b.s[iu] += is
+		b.f[iu] = hashing.AddMod61(b.f[iu], term)
+		b.w[iv] -= delta
+		b.s[iv] -= is
+		b.f[iv] = hashing.AddMod61(b.f[iv], negTerm)
+	}
+}
+
+// Add merges another bank built with identical (n, k, seed).
+func (b *Bank) Add(other *Bank) {
+	if b.n != other.n || b.k != other.k || b.seed != other.seed {
+		panic("sparserec: merging incompatible banks")
+	}
+	for i := range b.w {
+		b.w[i] += other.w[i]
+	}
+	for i := range b.s {
+		b.s[i] += other.s[i]
+	}
+	for i := range b.f {
+		b.f[i] = hashing.AddMod61(b.f[i], other.f[i])
+	}
+}
+
+// Equal reports parameter and bit-identical cell-state equality.
+func (b *Bank) Equal(other *Bank) bool {
+	if b.n != other.n || b.k != other.k || b.seed != other.seed {
+		return false
+	}
+	for i := range b.w {
+		if b.w[i] != other.w[i] || b.s[i] != other.s[i] || b.f[i] != other.f[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewScratch returns a Sketch shaped for DecodeSide's scratch parameter.
+func (b *Bank) NewScratch() *Sketch { return New(b.k, b.seed) }
+
+// DecodeSide sums the bank's node sketches over side (side[node] == true)
+// into scratch and attempts exact recovery of the summed vector — Fig 3
+// step 4c without any per-node clones. scratch must come from NewScratch
+// (or New with the bank's k and seed, so the peeling hashes match); its
+// prior contents are discarded.
+func (b *Bank) DecodeSide(side []bool, scratch *Sketch) ([]Item, bool) {
+	if scratch.k != b.k || scratch.seed != b.seed || scratch.rows != b.rows || scratch.m != b.m {
+		panic("sparserec: scratch sketch incompatible with bank")
+	}
+	for r := 0; r < scratch.rows; r++ {
+		row := scratch.cells[r]
+		for i := range row {
+			row[i].Reset()
+		}
+	}
+	for node, in := range side {
+		if !in {
+			continue
+		}
+		base := node * b.rows * b.m
+		for r := 0; r < scratch.rows; r++ {
+			row := scratch.cells[r]
+			off := base + r*b.m
+			for i := range row {
+				row[i].AddState(b.w[off+i], b.s[off+i], b.f[off+i])
+			}
+		}
+	}
+	return scratch.decodeDestructive()
+}
+
+// Words returns the memory footprint in 64-bit words: three words per cell
+// plus the bank-shared fingerprint base.
+func (b *Bank) Words() int {
+	return len(b.w) + len(b.s) + len(b.f) + 1
+}

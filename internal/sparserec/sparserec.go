@@ -37,24 +37,35 @@ type Sketch struct {
 	cells [][]onesparse.Cell // rows x m
 }
 
+// tableShape is the single source of the lookup-table dimensions, shared
+// by Sketch and Bank so their layouts can never desync. Peeling needs
+// slack at small k; 2k+8 per row decodes <=k items with high probability
+// for r=4 (ablated in BenchmarkAblationTableLoad).
+func tableShape(k int) (rows, m int) {
+	return DefaultRows, 2*k + 8
+}
+
+// rowHashSeed and fingerprintSeed are the seed derivations shared by Sketch
+// and Bank — one place, so the two layouts can never desync.
+func rowHashSeed(seed uint64, r int) uint64 { return hashing.DeriveSeed(seed, uint64(r)+1) }
+
+func fingerprintSeed(seed uint64) uint64 { return hashing.DeriveSeed(seed, 0x5eed) }
+
 // New creates a sketch that recovers up to k non-zero entries w.h.p.
 // k must be >= 1.
 func New(k int, seed uint64) *Sketch {
 	if k < 1 {
 		k = 1
 	}
-	rows := DefaultRows
-	// Peeling needs slack at small k; 2k+8 per row decodes <=k items with
-	// high probability for r=4 (ablated in BenchmarkAblationTableLoad).
-	m := 2*k + 8
+	rows, m := tableShape(k)
 	s := &Sketch{k: k, rows: rows, m: m, seed: seed}
 	s.hash = make([]hashing.PolyHash, rows)
 	s.cells = make([][]onesparse.Cell, rows)
 	for r := 0; r < rows; r++ {
-		s.hash[r] = hashing.NewPolyHash(hashing.DeriveSeed(seed, uint64(r)+1), 4)
+		s.hash[r] = hashing.NewPolyHash(rowHashSeed(seed, r), 4)
 		row := make([]onesparse.Cell, m)
 		for b := range row {
-			row[b] = onesparse.NewCell(hashing.DeriveSeed(seed, 0x5eed))
+			row[b] = onesparse.NewCell(fingerprintSeed(seed))
 		}
 		s.cells[r] = row
 	}

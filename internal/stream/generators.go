@@ -197,3 +197,38 @@ func BipartiteRandom(n int, p float64, seed uint64) *Stream {
 	}
 	return s
 }
+
+// UniformUpdates returns a length-m dynamic stream of uniform random edge
+// updates on n vertices: ~90% inserts, ~10% deletions of a random earlier
+// insert (so multiplicities stay non-negative, per Definition 1). This is
+// the ingest-throughput workload for the arena and parallel-ingest
+// benchmarks, where the quantity of interest is updates/second rather than
+// the final graph's shape.
+func UniformUpdates(n, m int, seed uint64) *Stream {
+	if n < 2 || m < 1 {
+		return &Stream{N: n} // no edges exist on < 2 vertices
+	}
+	r := hashing.NewRNG(seed)
+	s := &Stream{N: n, Updates: make([]Update, 0, m)}
+	inserted := make([]Update, 0, m)
+	for len(s.Updates) < m {
+		if len(inserted) > 0 && r.Intn(10) == 0 {
+			// Delete a not-yet-deleted earlier insert (swap-remove so each
+			// insert is deleted at most once and multiplicities stay >= 0).
+			i := r.Intn(len(inserted))
+			up := inserted[i]
+			inserted[i] = inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+			s.Updates = append(s.Updates, Update{U: up.U, V: up.V, Delta: -1})
+			continue
+		}
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		up := Update{U: u, V: v, Delta: 1}
+		s.Updates = append(s.Updates, up)
+		inserted = append(inserted, up)
+	}
+	return s
+}
