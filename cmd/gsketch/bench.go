@@ -12,20 +12,34 @@ import (
 
 	"graphsketch/internal/agm"
 	"graphsketch/internal/baseline"
+	"graphsketch/internal/core/mincut"
+	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/stream"
 )
 
-// BenchResult is one measured configuration of the ingest benchmark.
+// BenchResult is one measured configuration of the benchmark.
 type BenchResult struct {
-	// Name identifies the code path: "pointer-baseline", "arena", or
-	// "arena-parallel".
+	// Name identifies the code path: ingest rows are "pointer-baseline",
+	// "arena-scalar", "arena", and "arena-parallel"; decode rows are
+	// "forest-extract", "mincut-decode", and "sparsify-decode".
 	Name string `json:"name"`
 	// Workers is the IngestParallel worker count (1 for sequential paths).
 	Workers int `json:"workers"`
-	// NsPerUpdate is wall time divided by stream length.
-	NsPerUpdate float64 `json:"ns_per_update"`
-	// WallMs is the total ingest wall time in milliseconds.
+	// Ops is the number of operations the row measured: stream updates for
+	// ingest rows, extraction calls for decode rows.
+	Ops int `json:"ops"`
+	// NsPerOp is wall time divided by Ops.
+	NsPerOp float64 `json:"ns_per_op"`
+	// NsPerUpdate mirrors NsPerOp on ingest rows (the historical field the
+	// BENCH_*.json trajectory tracks); zero on decode rows.
+	NsPerUpdate float64 `json:"ns_per_update,omitempty"`
+	// WallMs is the total wall time of the measured run in milliseconds.
 	WallMs float64 `json:"wall_ms"`
+	// AllocsPerOp is heap allocations divided by Ops (single-run mallocs
+	// delta, so small-op rows carry some GC noise).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// AllocBytes is the total bytes allocated during the measured run.
+	AllocBytes uint64 `json:"alloc_bytes"`
 	// Words is the sketch memory footprint in 64-bit words.
 	Words int `json:"words"`
 }
@@ -42,17 +56,28 @@ type BenchReport struct {
 	UnixTime   int64         `json:"unix_time"`
 	Results    []BenchResult `json:"results"`
 	// ArenaSpeedup is pointer-baseline ns/update divided by arena
-	// ns/update (single-threaded locality win).
+	// ns/update (single-threaded locality + table + batch win).
 	ArenaSpeedup float64 `json:"arena_speedup"`
+	// BatchSpeedup is arena-scalar (per-update Update calls) ns/update
+	// divided by arena (batched Ingest) ns/update.
+	BatchSpeedup float64 `json:"batch_speedup"`
 	// ParallelBitIdentical reports whether every parallel ingest produced
 	// state bit-identical to the sequential arena ingest.
 	ParallelBitIdentical bool `json:"parallel_bit_identical"`
+	// BatchBitIdentical reports whether the batched ingest produced state
+	// bit-identical to the per-update scalar path.
+	BatchBitIdentical bool `json:"batch_bit_identical"`
 }
 
 // benchCommand implements `gsketch bench [-n N] [-updates M] [-workers
-// 1,2,4] [-seed S] [-baseline]`: measures forest-sketch ingest throughput
-// for the pointer-per-sampler baseline, the arena path, and sharded
-// parallel ingest, verifies merge bit-identity, and emits JSON.
+// 1,2,4] [-seed S] [-baseline] [-decode-n N'] [-decode-updates M']`:
+// measures forest-sketch ingest throughput for the pointer-per-sampler
+// baseline, the per-update arena path, the batched arena path, and sharded
+// parallel ingest; then measures the extraction (decode) paths —
+// spanning-forest Boruvka, min-cut witness post-processing, and Fig 3
+// sparsifier recovery — on a smaller ingested workload. Every row carries
+// allocation counts; bit-identity of batch and parallel ingest is verified
+// and reported. Output is JSON.
 func benchCommand(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	n := fs.Int("n", 256, "vertex count")
@@ -60,14 +85,16 @@ func benchCommand(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "workload and sketch seed")
 	workersCSV := fs.String("workers", "1,2,4", "comma-separated IngestParallel worker counts")
 	runBaseline := fs.Bool("baseline", true, "also measure the pointer-per-sampler baseline")
+	decodeN := fs.Int("decode-n", 64, "vertex count for the mincut/sparsify decode benchmarks")
+	decodeUpdates := fs.Int("decode-updates", 50_000, "stream length for the mincut/sparsify decode benchmarks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *n < 2 {
-		return fmt.Errorf("-n must be >= 2, got %d", *n)
+	if *n < 2 || *decodeN < 2 {
+		return fmt.Errorf("-n/-decode-n must be >= 2")
 	}
-	if *updates < 1 {
-		return fmt.Errorf("-updates must be >= 1, got %d", *updates)
+	if *updates < 1 || *decodeUpdates < 1 {
+		return fmt.Errorf("-updates/-decode-updates must be >= 1")
 	}
 	var workers []int
 	for _, tok := range strings.Split(*workersCSV, ",") {
@@ -89,22 +116,37 @@ func benchCommand(args []string, out io.Writer) error {
 		UnixTime:   time.Now().Unix(),
 	}
 
-	measure := func(name string, w int, run func() int) {
+	// measure times run(), charging wall time and the heap-allocation delta
+	// to a result row with the given op count.
+	measure := func(name string, w, ops int, run func() int) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		words := run()
 		elapsed := time.Since(start)
-		report.Results = append(report.Results, BenchResult{
+		runtime.ReadMemStats(&after)
+		res := BenchResult{
 			Name:        name,
 			Workers:     w,
-			NsPerUpdate: float64(elapsed.Nanoseconds()) / float64(*updates),
+			Ops:         ops,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
 			WallMs:      float64(elapsed.Microseconds()) / 1000.0,
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+			AllocBytes:  after.TotalAlloc - before.TotalAlloc,
 			Words:       words,
-		})
+		}
+		report.Results = append(report.Results, res)
+	}
+	// ingest marks the row as part of the ns/update trajectory.
+	ingest := func(name string, w int, run func() int) {
+		measure(name, w, *updates, run)
+		r := &report.Results[len(report.Results)-1]
+		r.NsPerUpdate = r.NsPerOp
 	}
 
 	var baselineNs float64
 	if *runBaseline {
-		measure("pointer-baseline", 1, func() int {
+		ingest("pointer-baseline", 1, func() int {
 			sk := baseline.NewPointerForest(*n, *seed)
 			sk.Ingest(st)
 			return sk.Words()
@@ -114,8 +156,18 @@ func benchCommand(args []string, out io.Writer) error {
 
 	// Construction stays inside every timed closure so all rows measure the
 	// same thing the pointer baseline does: build + ingest.
+	var scalar *agm.ForestSketch
+	ingest("arena-scalar", 1, func() int {
+		scalar = agm.NewForestSketch(*n, *seed)
+		for _, up := range st.Updates {
+			scalar.Update(up.U, up.V, up.Delta)
+		}
+		return scalar.Words()
+	})
+	scalarNs := report.Results[len(report.Results)-1].NsPerUpdate
+
 	var seq *agm.ForestSketch
-	measure("arena", 1, func() int {
+	ingest("arena", 1, func() int {
 		seq = agm.NewForestSketch(*n, *seed)
 		seq.Ingest(st)
 		return seq.Words()
@@ -124,11 +176,15 @@ func benchCommand(args []string, out io.Writer) error {
 	if baselineNs > 0 {
 		report.ArenaSpeedup = baselineNs / arenaNs
 	}
+	if arenaNs > 0 {
+		report.BatchSpeedup = scalarNs / arenaNs
+	}
+	report.BatchBitIdentical = seq.Equal(scalar)
 
 	report.ParallelBitIdentical = true
 	for _, w := range workers {
 		var par *agm.ForestSketch
-		measure("arena-parallel", w, func() int {
+		ingest("arena-parallel", w, func() int {
 			par = agm.NewForestSketch(*n, *seed)
 			par.IngestParallel(st, w)
 			return par.Words()
@@ -137,6 +193,34 @@ func benchCommand(args []string, out io.Writer) error {
 			report.ParallelBitIdentical = false
 		}
 	}
+
+	// Extraction-path (decode) benchmarks: query-side wins belong in the
+	// trajectory too. Spanning-forest extraction runs on the big ingested
+	// sketch; the heavier mincut/sparsify post-processings consume a
+	// separately ingested smaller workload (ingest untimed).
+	measure("forest-extract", 1, 1, func() int {
+		seq.SpanningForest()
+		return seq.Words()
+	})
+
+	dst := stream.UniformUpdates(*decodeN, *decodeUpdates, *seed)
+	mc := mincut.New(mincut.Config{N: *decodeN, K: 6, Seed: *seed})
+	mc.Ingest(dst)
+	measure("mincut-decode", 1, 1, func() int {
+		if _, err := mc.MinCut(); err != nil && err != mincut.ErrAllLevelsSaturated {
+			panic(err)
+		}
+		return mc.Words()
+	})
+
+	sp := sparsify.New(sparsify.Config{N: *decodeN, Seed: *seed})
+	sp.Ingest(dst)
+	measure("sparsify-decode", 1, 1, func() int {
+		if _, err := sp.Sparsify(); err != nil && err != sparsify.ErrEmpty {
+			panic(err)
+		}
+		return sp.Words()
+	})
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -16,19 +16,38 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("bench output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if len(rep.Results) != 4 { // baseline, arena, parallel x2
-		t.Fatalf("want 4 results, got %d", len(rep.Results))
+	// baseline, arena-scalar, arena, parallel x2, 3 decode rows.
+	if len(rep.Results) != 8 {
+		t.Fatalf("want 8 results, got %d", len(rep.Results))
 	}
 	if !rep.ParallelBitIdentical {
 		t.Fatal("parallel ingest must be bit-identical to sequential")
 	}
+	if !rep.BatchBitIdentical {
+		t.Fatal("batched ingest must be bit-identical to per-update ingest")
+	}
 	if rep.ArenaSpeedup <= 1 {
 		t.Fatalf("arena should beat the pointer baseline, speedup = %.2f", rep.ArenaSpeedup)
 	}
+	decodes := 0
 	for _, r := range rep.Results {
-		if r.NsPerUpdate <= 0 || r.Words <= 0 {
+		if r.NsPerOp <= 0 || r.Words <= 0 || r.Ops <= 0 {
 			t.Fatalf("implausible result row: %+v", r)
 		}
+		switch r.Name {
+		case "forest-extract", "mincut-decode", "sparsify-decode":
+			decodes++
+			if r.NsPerUpdate != 0 {
+				t.Fatalf("decode row %q must not join the ns/update trajectory", r.Name)
+			}
+		default:
+			if r.NsPerUpdate != r.NsPerOp {
+				t.Fatalf("ingest row %q: ns_per_update %v != ns_per_op %v", r.Name, r.NsPerUpdate, r.NsPerOp)
+			}
+		}
+	}
+	if decodes != 3 {
+		t.Fatalf("want 3 decode rows, got %d", decodes)
 	}
 }
 

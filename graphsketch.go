@@ -79,6 +79,10 @@ func (c *ConnectivitySketch) Update(u, v int, delta int64) { c.fs.Update(u, v, d
 // Ingest replays a whole stream.
 func (c *ConnectivitySketch) Ingest(s *Stream) { c.fs.Ingest(s) }
 
+// UpdateBatch applies a slice of updates through the batched kernels
+// (bit-identical to the same Update calls, with per-edge hashing hoisted).
+func (c *ConnectivitySketch) UpdateBatch(ups []Update) { c.fs.UpdateBatch(ups) }
+
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
 func (c *ConnectivitySketch) IngestParallel(s *Stream, workers int) { c.fs.IngestParallel(s, workers) }
@@ -110,6 +114,9 @@ func (b *BipartitenessSketch) Update(u, v int, delta int64) { b.bs.Update(u, v, 
 // Ingest replays a whole stream.
 func (b *BipartitenessSketch) Ingest(s *Stream) { b.bs.Ingest(s) }
 
+// UpdateBatch applies a slice of updates through the batched kernels.
+func (b *BipartitenessSketch) UpdateBatch(ups []Update) { b.bs.UpdateBatch(ups) }
+
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
 func (b *BipartitenessSketch) IngestParallel(s *Stream, workers int) { b.bs.IngestParallel(s, workers) }
@@ -133,6 +140,10 @@ func (m *MSTSketch) Update(u, v int, delta int64) { m.sk.Update(u, v, delta) }
 
 // Ingest replays a whole stream.
 func (m *MSTSketch) Ingest(s *Stream) { m.sk.Ingest(s) }
+
+// UpdateBatch applies a slice of weighted updates through the batched
+// kernels (class-sorted, then replayed bank by bank).
+func (m *MSTSketch) UpdateBatch(ups []Update) { m.sk.UpdateBatch(ups) }
 
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
@@ -173,6 +184,10 @@ func (m *MinCutSketch) Update(u, v int, delta int64) { m.sk.Update(u, v, delta) 
 // Ingest replays a whole stream.
 func (m *MinCutSketch) Ingest(s *Stream) { m.sk.Ingest(s) }
 
+// UpdateBatch applies a slice of updates through the batched kernels
+// (level-sorted, then replayed level sketch by level sketch).
+func (m *MinCutSketch) UpdateBatch(ups []Update) { m.sk.UpdateBatch(ups) }
+
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
 func (m *MinCutSketch) IngestParallel(s *Stream, workers int) { m.sk.IngestParallel(s, workers) }
@@ -204,6 +219,9 @@ func (s *SimpleSparsifier) Update(u, v int, delta int64) { s.sk.Update(u, v, del
 // Ingest replays a whole stream.
 func (s *SimpleSparsifier) Ingest(st *Stream) { s.sk.Ingest(st) }
 
+// UpdateBatch applies a slice of updates through the batched kernels.
+func (s *SimpleSparsifier) UpdateBatch(ups []Update) { s.sk.UpdateBatch(ups) }
+
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
 func (s *SimpleSparsifier) IngestParallel(st *Stream, workers int) { s.sk.IngestParallel(st, workers) }
@@ -231,6 +249,9 @@ func (s *Sparsifier) Update(u, v int, delta int64) { s.sk.Update(u, v, delta) }
 
 // Ingest replays a whole stream.
 func (s *Sparsifier) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// UpdateBatch applies a slice of updates through the batched kernels.
+func (s *Sparsifier) UpdateBatch(ups []Update) { s.sk.UpdateBatch(ups) }
 
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
@@ -263,6 +284,10 @@ func (w *WeightedSparsifier) Update(u, v int, delta int64) { w.sk.Update(u, v, d
 
 // Ingest replays a whole stream.
 func (w *WeightedSparsifier) Ingest(st *Stream) { w.sk.Ingest(st) }
+
+// UpdateBatch applies a slice of weighted updates through the batched
+// kernels (class-sorted, then replayed class by class).
+func (w *WeightedSparsifier) UpdateBatch(ups []Update) { w.sk.UpdateBatch(ups) }
 
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.
@@ -324,6 +349,9 @@ func (s *SubgraphSketch) Update(u, v int, delta int64) { s.sk.Update(u, v, delta
 
 // Ingest replays a whole stream.
 func (s *SubgraphSketch) Ingest(st *Stream) { s.sk.Ingest(st) }
+
+// UpdateBatch applies a slice of updates through the sketch-side replay.
+func (s *SubgraphSketch) UpdateBatch(ups []Update) { s.sk.UpdateBatch(ups) }
 
 // IngestParallel replays a stream sharded across worker goroutines and
 // merges by linearity; bit-identical to Ingest.

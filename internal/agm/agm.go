@@ -42,7 +42,8 @@ type ForestSketch struct {
 	n      int
 	rounds int
 	seed   uint64
-	banks  []*sketchcore.Arena // one shared-seed bank per round, n slots each
+	banks  []*sketchcore.Arena  // one shared-seed bank per round, n slots each
+	plan   *sketchcore.EdgePlan // shared batch staging, built once per chunk
 }
 
 // boruvkaRounds returns the number of independent sampler banks: Boruvka
@@ -90,11 +91,28 @@ func (fs *ForestSketch) Update(u, v int, delta int64) {
 	}
 }
 
-// Ingest replays a whole stream into the sketch.
-func (fs *ForestSketch) Ingest(s *stream.Stream) {
-	for _, up := range s.Updates {
-		fs.Update(up.U, up.V, up.Delta)
+// UpdateBatch applies a slice of stream updates through the arena batch
+// kernel: each chunk is staged once into a slot-sorted EdgePlan (shared by
+// every round bank — the slot grouping is hash-independent), and each bank
+// then pays only its own table-served fingerprint terms, level hashes, and
+// a slot-ordered sweep of its cell arena. State is bit-identical to
+// per-update Update calls.
+func (fs *ForestSketch) UpdateBatch(ups []stream.Update) {
+	sketchcore.ReplayPlanned(ups, fs.n, &fs.plan, fs.ApplyPlan)
+}
+
+// ApplyPlan replays one staged chunk into every round bank. Exposed so
+// multi-bank stacks (k-EDGECONNECT) can share one plan across all their
+// forest sketches.
+func (fs *ForestSketch) ApplyPlan(p *sketchcore.EdgePlan) {
+	for _, b := range fs.banks {
+		b.ApplyPlan(p)
 	}
+}
+
+// Ingest replays a whole stream into the sketch via the batch kernel.
+func (fs *ForestSketch) Ingest(s *stream.Stream) {
+	fs.UpdateBatch(s.Updates)
 }
 
 // IngestParallel replays a stream with the given number of worker

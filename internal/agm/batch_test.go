@@ -1,0 +1,78 @@
+package agm
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// churned returns a dynamic workload with inserts, deletes, self-loops and
+// zero deltas — everything a batch kernel must filter identically to the
+// scalar path.
+func churned(n int, seed uint64) []stream.Update {
+	st := stream.GNP(n, 0.3, seed).WithChurn(300, seed+1)
+	ups := append([]stream.Update(nil), st.Updates...)
+	ups = append(ups, stream.Update{U: 1, V: 1, Delta: 5}, stream.Update{U: 2, V: 3, Delta: 0})
+	return ups
+}
+
+// TestForestBatchMatchesScalar: UpdateBatch must be bit-identical to the
+// per-update path for every agm sketch type.
+func TestForestBatchMatchesScalar(t *testing.T) {
+	ups := churned(30, 7)
+	batch := NewForestSketch(30, 99)
+	batch.UpdateBatch(ups)
+	scalar := NewForestSketch(30, 99)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("ForestSketch batch diverged from scalar")
+	}
+}
+
+func TestEdgeConnectBatchMatchesScalar(t *testing.T) {
+	ups := churned(20, 8)
+	batch := NewEdgeConnectSketch(20, 3, 42)
+	batch.UpdateBatch(ups)
+	scalar := NewEdgeConnectSketch(20, 3, 42)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("EdgeConnectSketch batch diverged from scalar")
+	}
+}
+
+func TestBipartitenessBatchMatchesScalar(t *testing.T) {
+	ups := churned(24, 9)
+	batch := NewBipartitenessSketch(24, 5)
+	batch.UpdateBatch(ups)
+	scalar := NewBipartitenessSketch(24, 5)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.base.Equal(scalar.base) || !batch.double.Equal(scalar.double) {
+		t.Fatal("BipartitenessSketch batch diverged from scalar")
+	}
+}
+
+func TestMSTBatchMatchesScalar(t *testing.T) {
+	st := stream.WeightedGNP(24, 0.4, 13, 11)
+	ups := append([]stream.Update(nil), st.Updates...)
+	// Mix in deletes of a few edges and junk updates.
+	for i := 0; i < 5 && i < len(st.Updates); i++ {
+		up := st.Updates[i]
+		ups = append(ups, stream.Update{U: up.U, V: up.V, Delta: -up.Delta})
+	}
+	ups = append(ups, stream.Update{U: 3, V: 3, Delta: 2}, stream.Update{U: 0, V: 1, Delta: 0})
+	batch := NewMSTSketch(24, 13, 77)
+	batch.UpdateBatch(ups)
+	scalar := NewMSTSketch(24, 13, 77)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("MSTSketch batch diverged from scalar")
+	}
+}

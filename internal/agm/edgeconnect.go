@@ -24,6 +24,7 @@ type EdgeConnectSketch struct {
 	k     int
 	seed  uint64
 	banks []*ForestSketch
+	plan  *sketchcore.EdgePlan // shared batch staging across all k banks
 }
 
 // NewEdgeConnectSketch creates a sketch for parameter k on n vertices.
@@ -49,11 +50,19 @@ func (ec *EdgeConnectSketch) Update(u, v int, delta int64) {
 	}
 }
 
-// Ingest replays a whole stream.
+// UpdateBatch stages each chunk once (the slot sort is hash-independent)
+// and replays it into all k forest banks' round arenas.
+func (ec *EdgeConnectSketch) UpdateBatch(ups []stream.Update) {
+	sketchcore.ReplayPlanned(ups, ec.n, &ec.plan, func(p *sketchcore.EdgePlan) {
+		for _, b := range ec.banks {
+			b.ApplyPlan(p)
+		}
+	})
+}
+
+// Ingest replays a whole stream via the batch kernel.
 func (ec *EdgeConnectSketch) Ingest(s *stream.Stream) {
-	for _, up := range s.Updates {
-		ec.Update(up.U, up.V, up.Delta)
-	}
+	ec.UpdateBatch(s.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged
@@ -136,9 +145,10 @@ func (ec *EdgeConnectSketch) IsKConnected() bool {
 // each vertex v becomes v0 = v and v1 = v + n; each edge {u,v} becomes
 // {u0, v1} and {u1, v0}. G is bipartite iff cc(D(G)) == 2*cc(G).
 type BipartitenessSketch struct {
-	n      int
-	base   *ForestSketch // sketch of G
-	double *ForestSketch // sketch of D(G)
+	n       int
+	base    *ForestSketch   // sketch of G
+	double  *ForestSketch   // sketch of D(G)
+	scratch []stream.Update // staging for the double-cover batch
 }
 
 // NewBipartitenessSketch creates the paired sketches.
@@ -160,11 +170,27 @@ func (bs *BipartitenessSketch) Update(u, v int, delta int64) {
 	bs.double.Update(u+bs.n, v, delta)
 }
 
-// Ingest replays a whole stream.
-func (bs *BipartitenessSketch) Ingest(s *stream.Stream) {
-	for _, up := range s.Updates {
-		bs.Update(up.U, up.V, up.Delta)
+// UpdateBatch applies a batch of updates: the base sketch takes the batch
+// as-is, and the double-cover sketch takes the transformed batch
+// {u, v+n}, {u+n, v} staged once in a reusable scratch slice.
+func (bs *BipartitenessSketch) UpdateBatch(ups []stream.Update) {
+	bs.base.UpdateBatch(ups)
+	buf := bs.scratch[:0]
+	for _, up := range ups {
+		if up.U == up.V || up.Delta == 0 {
+			continue
+		}
+		buf = append(buf,
+			stream.Update{U: up.U, V: up.V + bs.n, Delta: up.Delta},
+			stream.Update{U: up.U + bs.n, V: up.V, Delta: up.Delta})
 	}
+	bs.scratch = buf[:0]
+	bs.double.UpdateBatch(buf)
+}
+
+// Ingest replays a whole stream via the batch kernel.
+func (bs *BipartitenessSketch) Ingest(s *stream.Stream) {
+	bs.UpdateBatch(s.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged

@@ -25,7 +25,8 @@ type MSTSketch struct {
 	n       int
 	classes int
 	seed    uint64
-	prefix  []*ForestSketch // prefix[c] holds all edges with class <= c
+	prefix  []*ForestSketch        // prefix[c] holds all edges with class <= c
+	sorter  sketchcore.BatchSorter // UpdateBatch class-sort scratch
 }
 
 // NewMSTSketch creates a sketch for edge weights in [1, maxWeight].
@@ -53,25 +54,37 @@ func (m *MSTSketch) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {
 		return
 	}
-	mag := delta
-	if mag < 0 {
-		mag = -mag
-	}
-	c := bits.Len64(uint64(mag)) - 1
-	if c >= m.classes {
-		c = m.classes - 1
-	}
+	c := sketchcore.WeightClass(delta, m.classes)
 	// Prefix structure: every class >= c sees the edge.
 	for i := c; i < m.classes; i++ {
 		m.prefix[i].Update(u, v, delta)
 	}
 }
 
-// Ingest replays a whole stream.
+// UpdateBatch applies a batch of weighted updates: chunks are
+// counting-sorted by weight class (ascending), after which prefix sketch c
+// consumes exactly the leading run of updates with class <= c through its
+// batch kernel (linearity makes the reordering bit-neutral).
+func (m *MSTSketch) UpdateBatch(ups []stream.Update) {
+	m.sorter.Replay(ups, m.classes, false,
+		func(up stream.Update) (int, bool) {
+			if up.U == up.V || up.Delta == 0 {
+				return 0, false
+			}
+			return sketchcore.WeightClass(up.Delta, m.classes), true
+		},
+		func(sorted []stream.Update, cum []int) {
+			for c := 0; c < m.classes; c++ {
+				if cum[c] > 0 {
+					m.prefix[c].UpdateBatch(sorted[:cum[c]])
+				}
+			}
+		})
+}
+
+// Ingest replays a whole stream via the batch kernel.
 func (m *MSTSketch) Ingest(st *stream.Stream) {
-	for _, up := range st.Updates {
-		m.Update(up.U, up.V, up.Delta)
-	}
+	m.UpdateBatch(st.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged

@@ -1,0 +1,25 @@
+package mincut
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// TestMinCutBatchMatchesScalar: the level-sorted batch replay must be
+// bit-identical to the per-update path, junk updates included.
+func TestMinCutBatchMatchesScalar(t *testing.T) {
+	st := stream.Barbell(20, 3).WithChurn(200, 3)
+	ups := append([]stream.Update(nil), st.Updates...)
+	ups = append(ups, stream.Update{U: 4, V: 4, Delta: 1}, stream.Update{U: 1, V: 2, Delta: 0})
+	cfg := Config{N: 20, K: 4, Seed: 13}
+	batch := New(cfg)
+	batch.UpdateBatch(ups)
+	scalar := New(cfg)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("mincut batch diverged from scalar")
+	}
+}

@@ -67,6 +67,7 @@ type Sketch struct {
 	cfg      Config
 	levelMix hashing.Mixer
 	ecs      []*agm.EdgeConnectSketch
+	sorter   sketchcore.BatchSorter // UpdateBatch level-sort scratch
 }
 
 // New creates a MINCUT sketch.
@@ -103,11 +104,42 @@ func (s *Sketch) Update(u, v int, delta int64) {
 	}
 }
 
-// Ingest replays a whole stream.
-func (s *Sketch) Ingest(st *stream.Stream) {
-	for _, up := range st.Updates {
-		s.Update(up.U, up.V, up.Delta)
+// UpdateBatch applies a batch of updates: chunks are counting-sorted by
+// subsampling level (descending), after which level sketch i consumes
+// exactly the leading run of updates with level >= i through its batch
+// kernel — one contiguous replay per level instead of a per-update fan-out
+// (linearity makes the reordering bit-neutral).
+func (s *Sketch) UpdateBatch(ups []stream.Update) {
+	s.sorter.Replay(ups, s.cfg.Levels, true,
+		func(up stream.Update) (int, bool) {
+			if up.U == up.V || up.Delta == 0 {
+				return 0, false
+			}
+			return s.subLevel(up.U, up.V), true
+		},
+		func(sorted []stream.Update, cum []int) {
+			for i := 0; i < s.cfg.Levels; i++ {
+				ge := cum[i]
+				if ge == 0 {
+					break // nesting: nothing at level i means nothing above
+				}
+				s.ecs[i].UpdateBatch(sorted[:ge])
+			}
+		})
+}
+
+// subLevel returns the clamped subsampling level of edge {u, v}.
+func (s *Sketch) subLevel(u, v int) int {
+	l := s.levelMix.Level(stream.EdgeIndex(u, v, s.cfg.N))
+	if l >= s.cfg.Levels {
+		l = s.cfg.Levels - 1
 	}
+	return l
+}
+
+// Ingest replays a whole stream via the batch kernel.
+func (s *Sketch) Ingest(st *stream.Stream) {
+	s.UpdateBatch(st.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged

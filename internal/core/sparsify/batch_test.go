@@ -1,0 +1,58 @@
+package sparsify
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// TestSimpleBatchMatchesScalar: the level-sorted batch replay must be
+// bit-identical to the per-update path.
+func TestSimpleBatchMatchesScalar(t *testing.T) {
+	st := stream.GNP(24, 0.3, 5).WithChurn(200, 6)
+	ups := append([]stream.Update(nil), st.Updates...)
+	ups = append(ups, stream.Update{U: 2, V: 2, Delta: 3}, stream.Update{U: 0, V: 5, Delta: 0})
+	cfg := SimpleConfig{N: 24, K: 4, Seed: 31}
+	batch := NewSimple(cfg)
+	batch.UpdateBatch(ups)
+	scalar := NewSimple(cfg)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("Simple batch diverged from scalar")
+	}
+}
+
+func TestSketchBatchMatchesScalar(t *testing.T) {
+	st := stream.GNP(20, 0.35, 15).WithChurn(150, 16)
+	cfg := Config{N: 20, RecoveryK: 8, RoughK: 4, Seed: 21}
+	batch := New(cfg)
+	batch.UpdateBatch(st.Updates)
+	scalar := New(cfg)
+	for _, up := range st.Updates {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("Sketch batch diverged from scalar")
+	}
+}
+
+func TestWeightedBatchMatchesScalar(t *testing.T) {
+	st := stream.WeightedGNP(20, 0.4, 9, 25)
+	ups := append([]stream.Update(nil), st.Updates...)
+	for i := 0; i < 4 && i < len(st.Updates); i++ {
+		up := st.Updates[i]
+		ups = append(ups, stream.Update{U: up.U, V: up.V, Delta: -up.Delta})
+	}
+	cfg := WeightedConfig{N: 20, MaxWeight: 9, K: 4, Seed: 51}
+	batch := NewWeighted(cfg)
+	batch.UpdateBatch(ups)
+	scalar := NewWeighted(cfg)
+	for _, up := range ups {
+		scalar.Update(up.U, up.V, up.Delta)
+	}
+	if !batch.Equal(scalar) {
+		t.Fatal("Weighted batch diverged from scalar")
+	}
+}

@@ -53,6 +53,7 @@ type Sketch struct {
 	levelMix hashing.Mixer
 	nodeRec  []*sparserec.Bank // one bank of N node sketches per level
 	lgN      float64
+	sorter   sketchcore.BatchSorter // UpdateBatch level-sort scratch
 }
 
 // New creates a SPARSIFICATION sketch.
@@ -101,11 +102,42 @@ func (s *Sketch) Update(u, v int, delta int64) {
 	}
 }
 
-// Ingest replays a whole stream.
-func (s *Sketch) Ingest(st *stream.Stream) {
-	for _, up := range st.Updates {
-		s.Update(up.U, up.V, up.Delta)
+// UpdateBatch applies a batch of updates: the rough sparsifier takes the
+// whole batch through its own batch kernel, and the recovery banks take a
+// level-descending counting sort so bank i consumes the leading run of
+// updates with level >= i through Bank.UpdateEdges.
+func (s *Sketch) UpdateBatch(ups []stream.Update) {
+	s.rough.UpdateBatch(ups)
+	s.sorter.Replay(ups, s.cfg.Levels, true,
+		func(up stream.Update) (int, bool) {
+			if up.U == up.V || up.Delta == 0 {
+				return 0, false
+			}
+			return s.subLevel(up.U, up.V), true
+		},
+		func(sorted []stream.Update, cum []int) {
+			for i := 0; i < s.cfg.Levels; i++ {
+				ge := cum[i]
+				if ge == 0 {
+					break
+				}
+				s.nodeRec[i].UpdateEdges(sorted[:ge])
+			}
+		})
+}
+
+// subLevel returns the clamped subsampling level of edge {u, v}.
+func (s *Sketch) subLevel(u, v int) int {
+	l := s.levelMix.Level(stream.EdgeIndex(u, v, s.cfg.N))
+	if l >= s.cfg.Levels {
+		l = s.cfg.Levels - 1
 	}
+	return l
+}
+
+// Ingest replays a whole stream via the batch kernel.
+func (s *Sketch) Ingest(st *stream.Stream) {
+	s.UpdateBatch(st.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged

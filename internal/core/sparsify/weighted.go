@@ -24,6 +24,7 @@ type Weighted struct {
 	classes int
 	cfg     WeightedConfig // as passed to NewWeighted (spawns shard siblings)
 	ws      []*Simple
+	sorter  sketchcore.BatchSorter // UpdateBatch class-sort scratch
 }
 
 // WeightedConfig parameterizes the weighted sparsifier.
@@ -80,22 +81,36 @@ func (w *Weighted) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {
 		return
 	}
-	mag := delta
-	if mag < 0 {
-		mag = -mag
-	}
-	c := bits.Len64(uint64(mag)) - 1
-	if c >= w.classes {
-		c = w.classes - 1
-	}
-	w.ws[c].Update(u, v, delta)
+	w.ws[sketchcore.WeightClass(delta, w.classes)].Update(u, v, delta)
 }
 
-// Ingest replays a whole stream.
+// UpdateBatch applies a batch of weighted updates: chunks are
+// counting-sorted by weight class, and each class sketch consumes its
+// contiguous run through its batch kernel (linearity makes the reordering
+// bit-neutral).
+func (w *Weighted) UpdateBatch(ups []stream.Update) {
+	w.sorter.Replay(ups, w.classes, false,
+		func(up stream.Update) (int, bool) {
+			if up.U == up.V || up.Delta == 0 {
+				return 0, false
+			}
+			return sketchcore.WeightClass(up.Delta, w.classes), true
+		},
+		func(sorted []stream.Update, cum []int) {
+			start := 0
+			for c := 0; c < w.classes; c++ {
+				end := cum[c]
+				if end > start {
+					w.ws[c].UpdateBatch(sorted[start:end])
+				}
+				start = end
+			}
+		})
+}
+
+// Ingest replays a whole stream via the batch kernel.
 func (w *Weighted) Ingest(st *stream.Stream) {
-	for _, up := range st.Updates {
-		w.Update(up.U, up.V, up.Delta)
-	}
+	w.UpdateBatch(st.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged

@@ -147,11 +147,20 @@ func pick(u, v int, i int) int {
 	return v
 }
 
-// Ingest replays a whole stream.
-func (s *Sketch) Ingest(st *stream.Stream) {
-	for _, up := range st.Updates {
+// UpdateBatch applies a batch of updates. Each update already fans out to
+// C(n-2, k-2) coordinate updates per sampler — that inner loop is the hot
+// path, and its fingerprint terms come from the arena's lazily built
+// per-slot power tables; the batch entry point keeps subgraph sketches on
+// ShardedIngest's batched replay like every other sketch.
+func (s *Sketch) UpdateBatch(ups []stream.Update) {
+	for _, up := range ups {
 		s.Update(up.U, up.V, up.Delta)
 	}
+}
+
+// Ingest replays a whole stream.
+func (s *Sketch) Ingest(st *stream.Stream) {
+	s.UpdateBatch(st.Updates)
 }
 
 // IngestParallel replays a stream across worker goroutines; the merged

@@ -207,9 +207,14 @@ func (p PolyHash) Hash(x uint64) uint64 {
 	return acc
 }
 
-// Bounded evaluates the polynomial and reduces into [0, n).
+// Bounded evaluates the polynomial and reduces into [0, n) with the same
+// multiply-shift range reduction Mixer.Bounded uses: the hash (61 bits of
+// entropy, shifted up to fill the word) is scaled by n/2^64. Unlike the old
+// `% n` reduction this is free of the modulo bias that over-weights small
+// buckets, and it avoids the hardware divide.
 func (p PolyHash) Bounded(x, n uint64) uint64 {
-	return p.Hash(x) % n
+	hi, _ := bits.Mul64(p.Hash(x)<<3, n)
+	return hi
 }
 
 // RNG is a small deterministic splitmix64 stream, used by workload

@@ -1,0 +1,90 @@
+package hashing
+
+// PowTable precomputes windowed powers of a fixed base z over GF(2^61-1),
+// turning z^exp into a handful of table lookups and modular multiplies
+// instead of a square-and-multiply loop. A sketch's fingerprint base is
+// fixed for its whole lifetime while exponents (edge indices) arrive once
+// per update, so every fingerprint term on the ingest hot path — and every
+// z^index recomputation on the decode path — becomes O(1).
+//
+// Layout: window i holds z^(j * 2^(8i)) for j in [0, 256), so
+//
+//	z^exp = prod_i table[i][byte_i(exp)]
+//
+// with zero bytes skipped (their entry is 1). A full-width table covers any
+// 64-bit exponent with 8 windows (16 KiB); NewPowTableMax sizes the table
+// to a known exponent bound (e.g. an n^2 edge universe needs only
+// ceil(log2(n^2)/8) windows), with a square-and-multiply fallback for the
+// rare exponent past the bound so correctness never depends on the sizing.
+//
+// Pow is bit-identical to PowMod61 for every (base, exp): both multiply
+// canonical residues with the same mulmod61, and modular exponentiation is
+// association-independent, so all AGM wire formats and parity guarantees
+// built on PowMod61 carry over unchanged.
+
+const (
+	powWindowBits = 8
+	powWindowSize = 1 << powWindowBits
+	powWindowMask = powWindowSize - 1
+)
+
+// PowTable is an immutable windowed-exponentiation table for one base.
+// Safe for concurrent use once built.
+type PowTable struct {
+	base    uint64
+	topStep uint64 // base^(2^(8*windows)): fallback step past the table
+	win     [][powWindowSize]uint64
+}
+
+// NewPowTable builds a full-width table covering any 64-bit exponent
+// (8 windows, 16 KiB).
+func NewPowTable(base uint64) *PowTable {
+	return NewPowTableMax(base, ^uint64(0))
+}
+
+// NewPowTableMax builds a table sized for exponents in [0, maxExp]. Larger
+// exponents still evaluate correctly via the fallback step.
+func NewPowTableMax(base, maxExp uint64) *PowTable {
+	base %= MersennePrime61
+	windows := 1
+	for e := maxExp >> powWindowBits; e > 0; e >>= powWindowBits {
+		windows++
+	}
+	t := &PowTable{base: base, win: make([][powWindowSize]uint64, windows)}
+	step := base // base^(2^(8i)) for the current window
+	for i := range t.win {
+		row := &t.win[i]
+		row[0] = 1
+		for j := 1; j < powWindowSize; j++ {
+			row[j] = mulmod61(row[j-1], step)
+		}
+		step = mulmod61(row[powWindowSize-1], step) // step^256
+	}
+	t.topStep = step
+	return t
+}
+
+// Base returns the (reduced) base the table was built for.
+func (t *PowTable) Base() uint64 { return t.base }
+
+// Words returns the table's memory footprint in 64-bit words.
+func (t *PowTable) Words() int { return len(t.win)*powWindowSize + 2 }
+
+// Pow returns base^exp mod 2^61-1, bit-identical to PowMod61(base, exp).
+func (t *PowTable) Pow(exp uint64) uint64 {
+	win := t.win
+	r := win[0][exp&powWindowMask]
+	exp >>= powWindowBits
+	for i := 1; exp != 0 && i < len(win); i++ {
+		if b := exp & powWindowMask; b != 0 {
+			r = mulmod61(r, win[i][b])
+		}
+		exp >>= powWindowBits
+	}
+	if exp != 0 {
+		// Exponent beyond the sized table: finish with square-and-multiply
+		// from the first uncovered window's step.
+		r = mulmod61(r, PowMod61(t.topStep, exp))
+	}
+	return r
+}

@@ -1,0 +1,85 @@
+package hashing
+
+import "testing"
+
+// TestPowTableMatchesPowMod61 is the bit-identity property the whole PR
+// rests on: table-served powers must equal the square-and-multiply loop for
+// every (base, exp), including the exponent edge cases 0, 1, and p-2
+// (the inverse exponent), so all fingerprint wire formats are unchanged.
+func TestPowTableMatchesPowMod61(t *testing.T) {
+	r := NewRNG(0x9072)
+	bases := []uint64{0, 1, 2, MersennePrime61 - 1, MersennePrime61, MersennePrime61 + 5}
+	for i := 0; i < 24; i++ {
+		bases = append(bases, r.Next())
+	}
+	edgeExps := []uint64{0, 1, 2, 255, 256, 257, 65535, 65536, MersennePrime61 - 2, ^uint64(0)}
+	for _, base := range bases {
+		tab := NewPowTable(base)
+		for _, exp := range edgeExps {
+			if got, want := tab.Pow(exp), PowMod61(base, exp); got != want {
+				t.Fatalf("base %d exp %d: table %d != loop %d", base, exp, got, want)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			exp := r.Next()
+			if got, want := tab.Pow(exp), PowMod61(base, exp); got != want {
+				t.Fatalf("base %d exp %d: table %d != loop %d", base, exp, got, want)
+			}
+		}
+	}
+}
+
+// TestPowTableMaxFallback: a table sized for a small exponent bound must
+// still evaluate arbitrary exponents exactly via the fallback step.
+func TestPowTableMaxFallback(t *testing.T) {
+	r := NewRNG(0xfa11)
+	for _, maxExp := range []uint64{0, 1, 255, 256, 65535, 1 << 20} {
+		base := r.Next()
+		tab := NewPowTableMax(base, maxExp)
+		for i := 0; i < 100; i++ {
+			exp := r.Next() // almost surely far past maxExp
+			if got, want := tab.Pow(exp), PowMod61(base, exp); got != want {
+				t.Fatalf("maxExp %d base %d exp %d: table %d != loop %d", maxExp, base, exp, got, want)
+			}
+		}
+		// In-range exponents too.
+		for i := 0; i < 100; i++ {
+			exp := r.Next() % (maxExp + 1)
+			if got, want := tab.Pow(exp), PowMod61(base, exp); got != want {
+				t.Fatalf("maxExp %d base %d exp %d: table %d != loop %d", maxExp, base, exp, got, want)
+			}
+		}
+	}
+}
+
+// TestPowTableSizing: the table must cover maxExp without the fallback
+// (windows = ceil(bits(maxExp)/8)) and stay at 16 KiB for the full range.
+func TestPowTableSizing(t *testing.T) {
+	if got := len(NewPowTableMax(3, 65535).win); got != 2 {
+		t.Fatalf("16-bit bound should need 2 windows, got %d", got)
+	}
+	if got := len(NewPowTable(3).win); got != 8 {
+		t.Fatalf("full-width table should have 8 windows, got %d", got)
+	}
+}
+
+// TestPolyHashBoundedRange: the multiply-shift reduction must cover the
+// whole target range roughly uniformly (the old `% n` did too; this guards
+// the scaled-shift implementation against dead high buckets).
+func TestPolyHashBoundedRange(t *testing.T) {
+	h := NewPolyHash(42, 4)
+	const n = 7
+	var hits [n]int
+	for x := uint64(0); x < 7000; x++ {
+		b := h.Bounded(x, n)
+		if b >= n {
+			t.Fatalf("Bounded(%d, %d) = %d out of range", x, n, b)
+		}
+		hits[b]++
+	}
+	for b, c := range hits {
+		if c < 500 || c > 1500 {
+			t.Fatalf("bucket %d badly unbalanced: %d/7000 hits", b, c)
+		}
+	}
+}

@@ -36,6 +36,7 @@ type Sampler struct {
 	reps     int
 	seed     uint64
 	mix      []hashing.Mixer    // per-rep level hash
+	tab      *hashing.PowTable  // z^index table for the shared fingerprint base
 	cells    [][]onesparse.Cell // reps x levels
 }
 
@@ -56,6 +57,11 @@ func NewWithReps(universe uint64, seed uint64, reps int) *Sampler {
 	s.mix = make([]hashing.Mixer, reps)
 	s.cells = make([][]onesparse.Cell, reps)
 	cellSeed := hashing.SamplerCellSeed(seed)
+	maxExp := universe
+	if maxExp > 0 {
+		maxExp--
+	}
+	s.tab = hashing.NewPowTableMax(onesparse.FingerprintBase(cellSeed), maxExp)
 	for r := 0; r < reps; r++ {
 		s.mix[r] = hashing.NewMixer(hashing.SamplerMixerSeed(seed, r))
 		row := make([]onesparse.Cell, levels)
@@ -71,11 +77,13 @@ func NewWithReps(universe uint64, seed uint64, reps int) *Sampler {
 func (s *Sampler) Universe() uint64 { return s.universe }
 
 // Update adds delta to coordinate index. Cost: expected O(1) cell updates
-// per repetition (the level distribution is geometric).
+// per repetition (the level distribution is geometric); the fingerprint
+// term is one table lookup shared by every touched cell.
 func (s *Sampler) Update(index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	term := onesparse.FingerprintTermTab(s.tab, index, delta)
 	for r := 0; r < s.reps; r++ {
 		l := s.mix[r].Level(index)
 		if l >= s.levels {
@@ -83,7 +91,7 @@ func (s *Sampler) Update(index uint64, delta int64) {
 		}
 		row := s.cells[r]
 		for j := 0; j <= l; j++ {
-			row[j].Update(index, delta)
+			row[j].UpdateTerm(index, delta, term)
 		}
 	}
 }
@@ -117,7 +125,7 @@ func (s *Sampler) mustMatch(other *Sampler) {
 
 // Clone returns a deep copy.
 func (s *Sampler) Clone() *Sampler {
-	c := &Sampler{universe: s.universe, levels: s.levels, reps: s.reps, seed: s.seed, mix: s.mix}
+	c := &Sampler{universe: s.universe, levels: s.levels, reps: s.reps, seed: s.seed, mix: s.mix, tab: s.tab}
 	c.cells = make([][]onesparse.Cell, s.reps)
 	for r := range s.cells {
 		row := make([]onesparse.Cell, s.levels)
@@ -139,7 +147,7 @@ func (s *Sampler) Sample() (index uint64, weight int64, ok bool) {
 			if row[j].IsZero() {
 				continue
 			}
-			if idx, w, decOK := row[j].Decode(); decOK {
+			if idx, w, decOK := row[j].DecodeTab(s.tab); decOK {
 				return idx, w, true
 			}
 			break // >=2 survivors here, so >=2 at every lower level too

@@ -63,7 +63,7 @@ func NewWithParams(universe uint64, seed uint64, threshold, reps int) *Estimator
 		e.mix[r] = hashing.NewMixer(hashing.DeriveSeed(seed, 0x100+uint64(r)))
 		row := make([]*sparserec.Sketch, levels)
 		for j := range row {
-			row[j] = sparserec.New(threshold, hashing.DeriveSeed(seed, uint64(r)<<16|uint64(j)))
+			row[j] = sparserec.NewForUniverse(threshold, universe, hashing.DeriveSeed(seed, uint64(r)<<16|uint64(j)))
 		}
 		e.recs[r] = row
 	}

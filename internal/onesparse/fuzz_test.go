@@ -1,0 +1,83 @@
+package onesparse
+
+import (
+	"testing"
+
+	"graphsketch/internal/hashing"
+)
+
+// TestFingerprintTermTabMatches: table-served terms must be bit-identical
+// to the PowMod61 path for random (seed, index, delta) including negative
+// and extreme deltas.
+func TestFingerprintTermTabMatches(t *testing.T) {
+	r := hashing.NewRNG(0x7e57)
+	for i := 0; i < 2000; i++ {
+		z := FingerprintBase(r.Next())
+		tab := hashing.NewPowTable(z)
+		idx := r.Next()
+		for _, delta := range []int64{1, -1, int64(r.Next()), -int64(r.Next() >> 1), 1 << 62, -(1 << 62)} {
+			if got, want := FingerprintTermTab(tab, idx, delta), FingerprintTerm(z, idx, delta); got != want {
+				t.Fatalf("z=%d idx=%d delta=%d: tab %d != loop %d", z, idx, delta, got, want)
+			}
+		}
+	}
+}
+
+// decodeAgree asserts the table and loop decoders return identical results
+// on one raw cell state.
+func decodeAgree(t *testing.T, w, s int64, f, z uint64, tab *hashing.PowTable) {
+	t.Helper()
+	i1, w1, ok1 := DecodeState(w, s, f, z)
+	i2, w2, ok2 := DecodeStateTab(w, s, f, tab)
+	if i1 != i2 || w1 != w2 || ok1 != ok2 {
+		t.Fatalf("decode mismatch on (w=%d s=%d f=%d z=%d): loop (%d,%d,%v) vs tab (%d,%d,%v)",
+			w, s, f, z, i1, w1, ok1, i2, w2, ok2)
+	}
+}
+
+// FuzzDecodeStateTab: for arbitrary raw cell state, the table-based decoder
+// must agree exactly with the loop-based decoder — both on garbage (reject)
+// and on genuinely 1-sparse state (accept with identical index/weight).
+func FuzzDecodeStateTab(f *testing.F) {
+	f.Add(int64(1), int64(5), uint64(123), uint64(7))
+	f.Add(int64(0), int64(0), uint64(0), uint64(0))
+	f.Add(int64(-3), int64(21), uint64(999), uint64(0xce11))
+	f.Add(int64(2), int64(7), uint64(1), uint64(42))
+	f.Fuzz(func(t *testing.T, w, s int64, fp, seed uint64) {
+		z := FingerprintBase(seed)
+		tab := hashing.NewPowTable(z)
+		decodeAgree(t, w, s, fp%hashing.MersennePrime61, z, tab)
+		// Also exercise the accept path: a cell holding exactly (index,
+		// weight) must decode identically (and successfully) both ways.
+		if w != 0 {
+			idx := uint64(s) % (1 << 40)
+			c := NewCell(seed)
+			c.Update(idx, w)
+			decodeAgree(t, c.w, c.s, c.f, z, tab)
+			if i, wt, ok := c.DecodeTab(tab); !ok || i != idx || wt != w {
+				t.Fatalf("1-sparse cell (%d,%d) failed table decode: (%d,%d,%v)", idx, w, i, wt, ok)
+			}
+		}
+	})
+}
+
+// TestCellUpdateTermMatchesUpdate: applying a precomputed term must leave
+// the cell bit-identical to the self-computing Update.
+func TestCellUpdateTermMatchesUpdate(t *testing.T) {
+	r := hashing.NewRNG(0x0dd)
+	for i := 0; i < 500; i++ {
+		seed := r.Next()
+		z := FingerprintBase(seed)
+		tab := hashing.NewPowTable(z)
+		a, b := NewCell(seed), NewCell(seed)
+		for j := 0; j < 8; j++ {
+			idx := r.Next() % (1 << 30)
+			delta := int64(r.Intn(9) - 4)
+			a.Update(idx, delta)
+			b.UpdateTerm(idx, delta, FingerprintTermTab(tab, idx, delta))
+		}
+		if a != b {
+			t.Fatalf("UpdateTerm diverged from Update: %+v vs %+v", a, b)
+		}
+	}
+}

@@ -50,6 +50,22 @@ func FingerprintTerm(z, index uint64, delta int64) uint64 {
 	return hashing.MulMod61(signedMod(delta), hashing.PowMod61(z, index))
 }
 
+// FingerprintTermTab is FingerprintTerm with z^index served from a
+// precomputed power table for the cell's base — O(1) instead of a
+// square-and-multiply loop, bit-identical by PowTable's contract. The
+// unit-delta cases skip the signedMod multiply entirely: +-1 dominates
+// unweighted dynamic streams (signedMod(1) * x = x and
+// signedMod(-1) * x = p - x exactly, both already canonical).
+func FingerprintTermTab(tab *hashing.PowTable, index uint64, delta int64) uint64 {
+	switch delta {
+	case 1:
+		return tab.Pow(index)
+	case -1:
+		return NegateMod61(tab.Pow(index))
+	}
+	return hashing.MulMod61(signedMod(delta), tab.Pow(index))
+}
+
 // NegateMod61 maps a fingerprint term t to -t mod p, the contribution of
 // the opposite-signed update.
 func NegateMod61(t uint64) uint64 {
@@ -79,6 +95,28 @@ func DecodeState(w, s int64, f, z uint64) (index uint64, weight int64, ok bool) 
 	return uint64(idx), w, true
 }
 
+// DecodeStateTab is DecodeState with the fingerprint check's z^idx power
+// served from a table built for the cell's base. Decode-heavy extraction
+// paths (Boruvka sampling, sparse-recovery peeling) use it so query-side
+// work is O(1) per candidate, matching the update side.
+func DecodeStateTab(w, s int64, f uint64, tab *hashing.PowTable) (index uint64, weight int64, ok bool) {
+	if w == 0 {
+		return 0, 0, false
+	}
+	if s%w != 0 {
+		return 0, 0, false
+	}
+	idx := s / w
+	if idx < 0 {
+		return 0, 0, false
+	}
+	want := hashing.MulMod61(signedMod(w), tab.Pow(uint64(idx)))
+	if want != f {
+		return 0, 0, false
+	}
+	return uint64(idx), w, true
+}
+
 // signedMod maps a signed weight into GF(p).
 func signedMod(v int64) uint64 {
 	if v >= 0 {
@@ -94,6 +132,22 @@ func (c *Cell) Update(index uint64, delta int64) {
 	c.s += int64(index) * delta
 	term := hashing.MulMod61(signedMod(delta), hashing.PowMod61(c.z, index))
 	c.f = hashing.AddMod61(c.f, term)
+}
+
+// UpdateTerm adds delta at index with a precomputed fingerprint term
+// (FingerprintTerm/FingerprintTermTab for this cell's base): the entry
+// point for samplers that share one base across a row of cells and compute
+// the term once per update.
+func (c *Cell) UpdateTerm(index uint64, delta int64, term uint64) {
+	c.w += delta
+	c.s += int64(index) * delta
+	c.f = hashing.AddMod61(c.f, term)
+}
+
+// DecodeTab is Decode with the fingerprint power served from tab, which
+// must be built for this cell's base z.
+func (c *Cell) DecodeTab(tab *hashing.PowTable) (index uint64, weight int64, ok bool) {
+	return DecodeStateTab(c.w, c.s, c.f, tab)
 }
 
 // Add merges other into c (vector addition). Both cells must share a seed.

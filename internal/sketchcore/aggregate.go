@@ -3,13 +3,12 @@ package sketchcore
 // Aggregator is reusable scratch for summing a shared-mode arena's slots by
 // component (the per-round Boruvka step: sum the members' incidence
 // sketches so exactly the component's crossing edges survive, Sec. 3.3).
-// It replaces the old map[int]*l0.Sampler of cloned samplers with three
-// flat accumulation buffers that are recycled across rounds.
+// It replaces the old map[int]*l0.Sampler of cloned samplers with one flat
+// accumulation buffer of interleaved cells recycled across rounds.
 type Aggregator struct {
 	arena  *Arena
 	ncomp  int
-	w, s   []int64
-	f      []uint64
+	cells  []acell
 	compOf []int32 // root slot -> compact component id, or -1
 }
 
@@ -28,14 +27,10 @@ func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
 	ag.arena = a
 	cells := a.reps * a.levels
 	need := a.slots * cells
-	if cap(ag.w) < need {
-		ag.w = make([]int64, need)
-		ag.s = make([]int64, need)
-		ag.f = make([]uint64, need)
+	if cap(ag.cells) < need {
+		ag.cells = make([]acell, need)
 	}
-	ag.w = ag.w[:need]
-	ag.s = ag.s[:need]
-	ag.f = ag.f[:need]
+	ag.cells = ag.cells[:need]
 	if cap(ag.compOf) < a.slots {
 		ag.compOf = make([]int32, a.slots)
 	}
@@ -54,14 +49,11 @@ func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
 			ag.compOf[root] = c
 			ncomp++
 			dst := int(c) * cells
-			copy(ag.w[dst:dst+cells], a.w[src:src+cells])
-			copy(ag.s[dst:dst+cells], a.s[src:src+cells])
-			copy(ag.f[dst:dst+cells], a.f[src:src+cells])
+			copy(ag.cells[dst:dst+cells], a.cells[src:src+cells])
 			continue
 		}
 		dst := int(c) * cells
-		addInto(ag.w[dst:dst+cells], ag.s[dst:dst+cells], ag.f[dst:dst+cells],
-			a.w[src:src+cells], a.s[src:src+cells], a.f[src:src+cells])
+		addInto(ag.cells[dst:dst+cells], a.cells[src:src+cells])
 	}
 	ag.ncomp = ncomp
 	return ncomp
@@ -73,7 +65,7 @@ func (ag *Aggregator) Sample(c int) (index uint64, weight int64, ok bool) {
 	a := ag.arena
 	cells := a.reps * a.levels
 	b := c * cells
-	return sampleCells(ag.w[b:b+cells], ag.s[b:b+cells], ag.f[b:b+cells], a.reps, a.levels, a.z[0])
+	return sampleCells(ag.cells[b:b+cells], a.reps, a.levels, a.z[0], a.pow[0])
 }
 
 // SumSlots sums an arbitrary slot subset (side[slot] == true) of a
@@ -86,24 +78,20 @@ func (ag *Aggregator) SumSlots(a *Arena, side []bool) (index uint64, weight int6
 	}
 	ag.arena = a
 	cells := a.reps * a.levels
-	if cap(ag.w) < cells {
-		ag.w = make([]int64, cells)
-		ag.s = make([]int64, cells)
-		ag.f = make([]uint64, cells)
+	if cap(ag.cells) < cells {
+		ag.cells = make([]acell, cells)
 	}
-	ag.w = ag.w[:cells]
-	ag.s = ag.s[:cells]
-	ag.f = ag.f[:cells]
-	for i := range ag.w {
-		ag.w[i], ag.s[i], ag.f[i] = 0, 0, 0
+	ag.cells = ag.cells[:cells]
+	for i := range ag.cells {
+		ag.cells[i] = acell{}
 	}
 	for v, in := range side {
 		if !in {
 			continue
 		}
 		src := v * cells
-		addInto(ag.w, ag.s, ag.f, a.w[src:src+cells], a.s[src:src+cells], a.f[src:src+cells])
+		addInto(ag.cells, a.cells[src:src+cells])
 	}
 	ag.ncomp = 1
-	return sampleCells(ag.w, ag.s, ag.f, a.reps, a.levels, a.z[0])
+	return sampleCells(ag.cells, a.reps, a.levels, a.z[0], a.pow[0])
 }

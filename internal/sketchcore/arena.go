@@ -4,11 +4,12 @@
 //
 // A bank holds `slots` logical samplers (one per vertex, per sample index,
 // per bucket — whatever the consumer banks over), each with reps x levels
-// 1-sparse recovery cells. The three cell aggregates live in three flat
-// parallel arrays indexed by (slot, rep, level), so an update touches a few
-// contiguous cache lines, a merge is three linear array passes, and
-// component aggregation during Boruvka extraction is a scratch-buffer
-// accumulation instead of a map of cloned sampler objects.
+// 1-sparse recovery cells. The three cell aggregates live interleaved in
+// one flat array of 24-byte records indexed by (slot, rep, level), so an
+// update touches one or two contiguous cache lines per cell row, a merge
+// is a single linear array pass, and component aggregation during Boruvka
+// extraction is a scratch-buffer accumulation instead of a map of cloned
+// sampler objects.
 //
 // Two seeding modes cover every consumer:
 //
@@ -16,8 +17,9 @@
 //     hash and one fingerprint base. Slots are mutually mergeable — exactly
 //     the node-incidence banks of Sec. 3.3, where summing slots over a
 //     vertex set must sketch the crossing edges. The expensive per-update
-//     work (one PowMod61 fingerprint term, one level hash per rep) is done
-//     once and reused for both endpoints of an edge (UpdateEdge).
+//     work (one table-served fingerprint term, one level hash per rep) is
+//     done once and reused for both endpoints of an edge (UpdateEdge), and
+//     UpdateEdges amortizes it across whole update batches.
 //   - per-slot (Config.SlotSeeds != nil): every slot hashes independently,
 //     for banks whose slots must behave as independent samplers (the
 //     subgraph sketch's sample bank, the spanner group sampler buckets).
@@ -31,6 +33,7 @@ package sketchcore
 import (
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/onesparse"
+	"graphsketch/internal/stream"
 )
 
 // Config parameterizes an arena bank.
@@ -59,9 +62,32 @@ type Arena struct {
 	shared   bool
 	mix      []hashing.Mixer // shared: [rep]; per-slot: [slot*reps + rep]
 	z        []uint64        // shared: [0]; per-slot: [slot]
-	w        []int64         // cell weight sums, (slot*reps + rep)*levels + level
-	s        []int64         // cell index-weighted sums, same layout
-	f        []uint64        // cell fingerprints, same layout
+	// pow holds the windowed z^index tables (same indexing as z). Shared
+	// mode builds its single table eagerly; per-slot mode builds each
+	// slot's table lazily on first update (or first non-empty decode),
+	// so slots that never carry state pay nothing.
+	pow   []*hashing.PowTable
+	plan  *EdgePlan // UpdateEdges staging, lazily built, reused across calls
+	cells []acell   // cell aggregates, (slot*reps + rep)*levels + level
+}
+
+// acell is one 1-sparse recovery cell's aggregates, stored interleaved so a
+// cell update touches one 24-byte record (usually one cache line) instead
+// of three parallel-array strides.
+//
+// Hot-path representation: the arena stores EXACT-level increments — an
+// update at level l lands in cell l of each repetition row and nowhere
+// else (one cell write per rep, versus the nested representation's l+1).
+// The nested values Theorem 2.1 reasons about, N(j) = sum_{j' >= j} D(j'),
+// are reconstructed by suffix-summation on the cold paths only: decode
+// scans top-down keeping a running sum (bit-identical to reading stored
+// nested cells, since every aggregate is an exact commutative sum), and
+// the wire codec converts to/from the nested AGM2 cell encoding so
+// serialized state is unchanged.
+type acell struct {
+	w int64  // weight sum
+	s int64  // index-weighted sum
+	f uint64 // fingerprint
 }
 
 // New creates an arena bank. Panics on a malformed config (programming
@@ -84,19 +110,18 @@ func New(cfg Config) *Arena {
 		seed:     cfg.Seed,
 		shared:   cfg.SlotSeeds == nil,
 	}
-	cells := a.slots * a.reps * a.levels
-	a.w = make([]int64, cells)
-	a.s = make([]int64, cells)
-	a.f = make([]uint64, cells)
+	a.cells = make([]acell, a.slots*a.reps*a.levels)
 	if a.shared {
 		a.mix = make([]hashing.Mixer, a.reps)
 		for r := 0; r < a.reps; r++ {
 			a.mix[r] = hashing.NewMixer(hashing.SamplerMixerSeed(cfg.Seed, r))
 		}
 		a.z = []uint64{onesparse.FingerprintBase(hashing.SamplerCellSeed(cfg.Seed))}
+		a.pow = []*hashing.PowTable{hashing.NewPowTableMax(a.z[0], a.maxExp())}
 	} else {
 		a.mix = make([]hashing.Mixer, a.slots*a.reps)
 		a.z = make([]uint64, a.slots)
+		a.pow = make([]*hashing.PowTable, a.slots)
 		for i, si := range cfg.SlotSeeds {
 			for r := 0; r < a.reps; r++ {
 				a.mix[i*a.reps+r] = hashing.NewMixer(hashing.SamplerMixerSeed(si, r))
@@ -105,6 +130,15 @@ func New(cfg Config) *Arena {
 		}
 	}
 	return a
+}
+
+// maxExp returns the largest z exponent the bank's power tables must cover:
+// indices are in [0, universe).
+func (a *Arena) maxExp() uint64 {
+	if a.universe == 0 {
+		return 0
+	}
+	return a.universe - 1
 }
 
 // Slots returns the number of logical samplers in the bank.
@@ -139,23 +173,45 @@ func (a *Arena) mixOf(i, r int) hashing.Mixer {
 	return a.mix[i*a.reps+r]
 }
 
+// powOf returns the z^index table of slot i, building it on first use in
+// per-slot mode (a table build costs ~256 mulmods per window, repaid after
+// a few dozen updates to the slot).
+func (a *Arena) powOf(i int) *hashing.PowTable {
+	if a.shared {
+		return a.pow[0]
+	}
+	t := a.pow[i]
+	if t == nil {
+		t = hashing.NewPowTableMax(a.z[i], a.maxExp())
+		a.pow[i] = t
+	}
+	return t
+}
+
+// peekPow returns slot i's table if it exists, without building one. A nil
+// return means the slot has never been updated locally — its cells are
+// all zero unless state arrived by Add or wire decode, which is why
+// Sample builds the table on demand for non-zero slots rather than
+// relying on nil implying emptiness.
+func (a *Arena) peekPow(i int) *hashing.PowTable {
+	if a.shared {
+		return a.pow[0]
+	}
+	return a.pow[i]
+}
+
 // cellBase returns the array offset of cell (slot, rep, level 0).
 func (a *Arena) cellBase(slot, rep int) int {
 	return (slot*a.reps + rep) * a.levels
 }
 
-// applyTerm adds delta at index with precomputed fingerprint term to the
-// cells of one (slot, rep) row, levels 0..l.
-func (a *Arena) applyTerm(base int, l int, index uint64, delta int64, term uint64) {
-	is := int64(index) * delta
-	w := a.w[base : base+l+1]
-	s := a.s[base : base+l+1]
-	f := a.f[base : base+l+1]
-	for j := range w {
-		w[j] += delta
-		s[j] += is
-		f[j] = hashing.AddMod61(f[j], term)
-	}
+// applyCell adds (delta, is = index*delta, precomputed fingerprint term) to
+// the single exact-level cell at index i.
+func (a *Arena) applyCell(i int, delta, is int64, term uint64) {
+	c := &a.cells[i]
+	c.w += delta
+	c.s += is
+	c.f = hashing.AddMod61(c.f, term)
 }
 
 // Update adds delta to coordinate index of one slot. Works in both seeding
@@ -165,13 +221,14 @@ func (a *Arena) Update(slot int, index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	term := onesparse.FingerprintTerm(a.zOf(slot), index, delta)
+	term := onesparse.FingerprintTermTab(a.powOf(slot), index, delta)
+	is := int64(index) * delta
 	for r := 0; r < a.reps; r++ {
 		l := a.mixOf(slot, r).Level(index)
 		if l >= a.levels {
 			l = a.levels - 1
 		}
-		a.applyTerm(a.cellBase(slot, r), l, index, delta, term)
+		a.applyCell(a.cellBase(slot, r)+l, delta, is, term)
 	}
 }
 
@@ -187,15 +244,40 @@ func (a *Arena) UpdateEdge(uSlot, vSlot int, index uint64, delta int64) {
 	if !a.shared {
 		panic("sketchcore: UpdateEdge requires a shared-seed arena")
 	}
-	term := onesparse.FingerprintTerm(a.z[0], index, delta)
+	term := onesparse.FingerprintTermTab(a.pow[0], index, delta)
 	negTerm := onesparse.NegateMod61(term)
+	is := int64(index) * delta
 	for r := 0; r < a.reps; r++ {
 		l := a.mix[r].Level(index)
 		if l >= a.levels {
 			l = a.levels - 1
 		}
-		a.applyTerm(a.cellBase(uSlot, r), l, index, delta, term)
-		a.applyTerm(a.cellBase(vSlot, r), l, index, -delta, negTerm)
+		a.applyCell(a.cellBase(uSlot, r)+l, delta, is, term)
+		a.applyCell(a.cellBase(vSlot, r)+l, -delta, -is, negTerm)
+	}
+}
+
+// UpdateEdges applies a batch of node-incidence edge updates (Eq. 1: +delta
+// at the edge index in the lower endpoint's slot, -delta in the higher's)
+// to a shared-seed bank whose slots are the n vertices and whose universe
+// is the n^2 edge-index space — the layout every node-incidence consumer
+// (ForestSketch and everything above it) uses.
+//
+// The batch is staged chunk by chunk into an EdgePlan — per-edge index,
+// fingerprint term pair, and per-rep levels computed once; endpoint entries
+// counting-sorted by slot — and replayed with ApplyPlan, which sweeps the
+// cell arena in slot order. Cell state afterwards is bit-identical to the
+// per-update path: every cell receives the same set of exact int64 and
+// commutative mod-p additions. Consumers stacking several banks over one
+// stream (forest sketch rounds, k-EDGECONNECT banks) should build the plan
+// once with ReplayPlanned and ApplyPlan it per bank instead.
+func (a *Arena) UpdateEdges(ups []stream.Update) {
+	if a.plan == nil {
+		a.plan = &EdgePlan{}
+	}
+	for len(ups) > 0 {
+		ups = ups[a.plan.Build(ups, a.slots):]
+		a.ApplyPlan(a.plan)
 	}
 }
 
@@ -207,14 +289,15 @@ func (a *Arena) UpdateAll(index uint64, delta int64) {
 		return
 	}
 	if a.shared {
-		term := onesparse.FingerprintTerm(a.z[0], index, delta)
+		term := onesparse.FingerprintTermTab(a.pow[0], index, delta)
+		is := int64(index) * delta
 		for r := 0; r < a.reps; r++ {
 			l := a.mix[r].Level(index)
 			if l >= a.levels {
 				l = a.levels - 1
 			}
 			for slot := 0; slot < a.slots; slot++ {
-				a.applyTerm(a.cellBase(slot, r), l, index, delta, term)
+				a.applyCell(a.cellBase(slot, r)+l, delta, is, term)
 			}
 		}
 		return
@@ -244,10 +327,10 @@ func (a *Arena) mustMatch(other *Arena) {
 }
 
 // Add merges other into a (vector addition per slot): the
-// distributed-streams operation of Sec. 1.1, three linear array passes.
+// distributed-streams operation of Sec. 1.1, one linear array pass.
 func (a *Arena) Add(other *Arena) {
 	a.mustMatch(other)
-	addInto(a.w, a.s, a.f, other.w, other.s, other.f)
+	addInto(a.cells, other.cells)
 }
 
 // AddRange merges the slot range [lo, hi) of other into the same slots of
@@ -259,30 +342,29 @@ func (a *Arena) AddRange(other *Arena, lo, hi int) {
 	}
 	cells := a.reps * a.levels
 	b, e := lo*cells, hi*cells
-	addInto(a.w[b:e], a.s[b:e], a.f[b:e], other.w[b:e], other.s[b:e], other.f[b:e])
+	addInto(a.cells[b:e], other.cells[b:e])
 }
 
-// addInto is the shared merge kernel: dw += sw, ds += ss, df += sf mod p.
-func addInto(dw, ds []int64, df []uint64, sw, ss []int64, sf []uint64) {
-	for i := range dw {
-		dw[i] += sw[i]
-	}
-	for i := range ds {
-		ds[i] += ss[i]
-	}
-	for i := range df {
-		df[i] = hashing.AddMod61(df[i], sf[i])
+// addInto is the shared merge kernel: dst.w += src.w, dst.s += src.s,
+// dst.f += src.f mod p, cell by cell.
+func addInto(dst, src []acell) {
+	for i := range dst {
+		d, s := &dst[i], &src[i]
+		d.w += s.w
+		d.s += s.s
+		d.f = hashing.AddMod61(d.f, s.f)
 	}
 }
 
-// Clone returns a deep copy of the bank. Hash state is immutable and
-// shared; cell state is copied, so mutating the clone never perturbs the
-// original.
+// Clone returns a deep copy of the bank. Hash state (mixers, power tables)
+// is immutable and shared; cell state is copied, so mutating the clone
+// never perturbs the original. The per-slot table index and plan scratch
+// are unshared so clone and original can update independently.
 func (a *Arena) Clone() *Arena {
 	c := *a
-	c.w = append([]int64(nil), a.w...)
-	c.s = append([]int64(nil), a.s...)
-	c.f = append([]uint64(nil), a.f...)
+	c.cells = append([]acell(nil), a.cells...)
+	c.pow = append([]*hashing.PowTable(nil), a.pow...)
+	c.plan = nil
 	return &c
 }
 
@@ -299,26 +381,42 @@ func (a *Arena) Equal(other *Arena) bool {
 			return false
 		}
 	}
-	for i := range a.w {
-		if a.w[i] != other.w[i] || a.s[i] != other.s[i] || a.f[i] != other.f[i] {
+	for i := range a.cells {
+		if a.cells[i] != other.cells[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// sampleCells scans one slot's cells (any provenance) for a decodable
-// repetition: per rep, from the most subsampled level down, first non-zero
-// cell decides (nested level sets).
-func sampleCells(w, s []int64, f []uint64, reps, levels int, z uint64) (index uint64, weight int64, ok bool) {
+// sampleCells scans one slot's exact-level cells (any provenance) for a
+// decodable repetition: per rep, a running suffix sum reconstructs the
+// nested value N(j) from the most subsampled level down, and the first
+// non-zero N(j) decides (nested level sets). tab, when non-nil, serves the
+// decode's z^idx power in O(1); a nil tab (a never-updated per-slot slot,
+// whose cells are necessarily all zero) falls back to the loop on z.
+func sampleCells(cells []acell, reps, levels int, z uint64, tab *hashing.PowTable) (index uint64, weight int64, ok bool) {
 	for r := 0; r < reps; r++ {
 		base := r * levels
+		var w, s int64
+		var f uint64
 		for j := levels - 1; j >= 0; j-- {
-			i := base + j
-			if w[i] == 0 && s[i] == 0 && f[i] == 0 {
+			c := &cells[base+j]
+			w += c.w
+			s += c.s
+			f = hashing.AddMod61(f, c.f)
+			if w == 0 && s == 0 && f == 0 {
 				continue
 			}
-			if idx, wt, decOK := onesparse.DecodeState(w[i], s[i], f[i], z); decOK {
+			var idx uint64
+			var wt int64
+			var decOK bool
+			if tab != nil {
+				idx, wt, decOK = onesparse.DecodeStateTab(w, s, f, tab)
+			} else {
+				idx, wt, decOK = onesparse.DecodeState(w, s, f, z)
+			}
+			if decOK {
 				return idx, wt, true
 			}
 			break // >=2 survivors here, so >=2 at every lower level too
@@ -332,30 +430,56 @@ func sampleCells(w, s []int64, f []uint64, reps, levels int, z uint64) (index ui
 func (a *Arena) Sample(slot int) (index uint64, weight int64, ok bool) {
 	b := a.cellBase(slot, 0)
 	e := b + a.reps*a.levels
-	return sampleCells(a.w[b:e], a.s[b:e], a.f[b:e], a.reps, a.levels, a.zOf(slot))
+	tab := a.peekPow(slot)
+	if tab == nil && !a.IsZero(slot) {
+		// Per-slot slot populated by merge or wire decode rather than local
+		// updates: build its table now so decoding stays O(1) per candidate.
+		tab = a.powOf(slot)
+	}
+	return sampleCells(a.cells[b:e], a.reps, a.levels, a.zOf(slot), tab)
 }
 
 // IsZero reports whether slot's vector is (w.h.p.) zero, witnessed by the
-// level-0 cell of every repetition.
+// whole-row sum (the nested level-0 value) of every repetition.
 func (a *Arena) IsZero(slot int) bool {
 	for r := 0; r < a.reps; r++ {
-		i := a.cellBase(slot, r)
-		if a.w[i] != 0 || a.s[i] != 0 || a.f[i] != 0 {
+		base := a.cellBase(slot, r)
+		var w, s int64
+		var f uint64
+		for j := 0; j < a.levels; j++ {
+			c := &a.cells[base+j]
+			w += c.w
+			s += c.s
+			f = hashing.AddMod61(f, c.f)
+		}
+		if w != 0 || s != 0 || f != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// TotalWeight returns sum_i x_i of slot's vector (exact, from the level-0
-// aggregate of the first repetition).
+// TotalWeight returns sum_i x_i of slot's vector (exact: the whole-row
+// weight sum of the first repetition).
 func (a *Arena) TotalWeight(slot int) int64 {
-	return a.w[a.cellBase(slot, 0)]
+	base := a.cellBase(slot, 0)
+	var w int64
+	for j := 0; j < a.levels; j++ {
+		w += a.cells[base+j].w
+	}
+	return w
 }
 
 // Words returns the memory footprint in 64-bit words: three words per cell
 // (the bank-shared fingerprint bases and mixers are counted once, not per
-// cell — one of the arena's space wins over per-object samplers).
+// cell — one of the arena's space wins over per-object samplers), plus the
+// built power tables.
 func (a *Arena) Words() int {
-	return len(a.w) + len(a.s) + len(a.f) + len(a.z) + len(a.mix)
+	w := 3*len(a.cells) + len(a.z) + len(a.mix)
+	for _, t := range a.pow {
+		if t != nil {
+			w += t.Words()
+		}
+	}
+	return w
 }

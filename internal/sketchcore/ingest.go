@@ -13,11 +13,37 @@ type Updater interface {
 	Update(u, v int, delta int64)
 }
 
+// BatchUpdater is the batched replay fast path: sketches that implement it
+// consume a whole update slice per call (hoisting per-update dispatch,
+// canonicalization, and fingerprint-term work into their batch kernels).
+// UpdateBatch must leave the sketch in exactly the state a per-update
+// replay of the same slice would — every sketch here is linear with
+// commutative cell merges, so batch kernels get that for free.
+type BatchUpdater interface {
+	UpdateBatch(ups []stream.Update)
+}
+
+// replayInto feeds part into sk, preferring the batched kernel when the
+// sketch has one.
+func replayInto[S Updater](sk S, part []stream.Update) {
+	if bu, ok := any(sk).(BatchUpdater); ok {
+		bu.UpdateBatch(part)
+		return
+	}
+	for _, up := range part {
+		sk.Update(up.U, up.V, up.Delta)
+	}
+}
+
 // ShardedIngest is the parallel ingest kernel shared by every sketch type:
 // it splits a stream into `workers` contiguous shards, replays each shard
-// into its own freshly spawned sketch on its own goroutine (the calling
-// goroutine takes the first shard directly into self), and merges the shard
-// sketches back in shard order.
+// into its own sketch on its own goroutine (the calling goroutine takes the
+// first shard directly into self; every other worker goroutine spawns its
+// shard sketch itself, so arena allocation overlaps with ingest instead of
+// serializing on the caller), and merges the shard sketches back in shard
+// order. spawn must therefore be safe to call from multiple goroutines
+// concurrently — every spawn closure in this repository is a pure
+// constructor.
 //
 // Because every sketch in this repository is linear with commutative,
 // associative cell merges (int64 sums and GF(2^61-1) sums), the merged
@@ -26,16 +52,11 @@ type Updater interface {
 // speedup. Property tests assert the bit-identity per sketch type.
 func ShardedIngest[S Updater](ups []stream.Update, workers int, self S,
 	spawn func() S, merge func(S)) {
-	replay := func(sk S, part []stream.Update) {
-		for _, up := range part {
-			sk.Update(up.U, up.V, up.Delta)
-		}
-	}
 	if workers > len(ups) {
 		workers = len(ups)
 	}
 	if workers <= 1 {
-		replay(self, ups)
+		replayInto(self, ups)
 		return
 	}
 	chunk := (len(ups) + workers - 1) / workers
@@ -52,14 +73,15 @@ func ShardedIngest[S Updater](ups []stream.Update, workers int, self S,
 		if hi > len(ups) {
 			hi = len(ups)
 		}
-		shards[i] = spawn()
 		wg.Add(1)
-		go func(sh S, part []stream.Update) {
+		go func(i int, part []stream.Update) {
 			defer wg.Done()
-			replay(sh, part)
-		}(shards[i], ups[lo:hi])
+			sh := spawn()
+			shards[i] = sh
+			replayInto(sh, part)
+		}(i, ups[lo:hi])
 	}
-	replay(self, ups[:chunk])
+	replayInto(self, ups[:chunk])
 	wg.Wait()
 	for _, sh := range shards {
 		merge(sh)

@@ -1,0 +1,114 @@
+package sketchcore
+
+import (
+	"math/bits"
+
+	"graphsketch/internal/stream"
+)
+
+// sorterChunk bounds the staging of one counting-sorted chunk: large
+// enough to amortize the per-chunk key pass, small enough that ingesting a
+// whole stream through a sketch never pins a stream-sized copy (the
+// failure mode of sorting the full batch at once).
+const sorterChunk = 8192
+
+// BatchSorter is reusable scratch for replaying update batches
+// counting-sorted by a small integer key — the shared kernel under every
+// key-partitioned sketch stack (subsampling levels in the mincut and
+// sparsifier sketches, weight classes in the MST sketch and weighted
+// sparsifier). The sort is stable and the consumers are linear sketches,
+// so the reordered replay is bit-identical to the per-update path.
+type BatchSorter struct {
+	sorted []stream.Update
+	keys   []int32 // staged key per chunk entry (-1 = dropped), so key() runs once
+	counts []int
+}
+
+// Replay chunks ups, counting-sorts each chunk by key (ok=false drops the
+// update), and calls emit once per non-empty chunk. In the emitted chunk,
+// updates are ordered by key — ascending, or descending when descending is
+// set — and cum[k] is the cumulative count boundary for key k: with
+// ascending order, sorted[:cum[k]] holds exactly the updates with key <= k
+// (so sorted[cum[k-1]:cum[k]] is key k's run); with descending order,
+// sorted[:cum[k]] holds the updates with key >= k. nkeys bounds the key
+// range [0, nkeys).
+func (bs *BatchSorter) Replay(ups []stream.Update, nkeys int, descending bool,
+	key func(stream.Update) (int, bool), emit func(sorted []stream.Update, cum []int)) {
+	if bs.sorted == nil {
+		bs.sorted = make([]stream.Update, sorterChunk)
+		bs.keys = make([]int32, sorterChunk)
+	}
+	if len(bs.counts) < nkeys {
+		bs.counts = make([]int, nkeys)
+	}
+	counts := bs.counts[:nkeys]
+	for len(ups) > 0 {
+		chunk := ups
+		if len(chunk) > sorterChunk {
+			chunk = chunk[:sorterChunk]
+		}
+		ups = ups[len(chunk):]
+		for i := range counts {
+			counts[i] = 0
+		}
+		keys := bs.keys[:sorterChunk][:len(chunk)]
+		kept := 0
+		// Key pass: evaluate key() once per update (it typically hashes),
+		// staging the result for the placement pass.
+		for i, up := range chunk {
+			k, ok := key(up)
+			if !ok {
+				keys[i] = -1
+				continue
+			}
+			keys[i] = int32(k)
+			counts[k]++
+			kept++
+		}
+		if kept == 0 {
+			continue
+		}
+		sorted := bs.sorted[:sorterChunk][:kept]
+		// Prefix-sum the counts into placement offsets in emit order.
+		pos := 0
+		if descending {
+			for k := nkeys - 1; k >= 0; k-- {
+				c := counts[k]
+				counts[k] = pos
+				pos += c
+			}
+		} else {
+			for k := 0; k < nkeys; k++ {
+				c := counts[k]
+				counts[k] = pos
+				pos += c
+			}
+		}
+		for i, up := range chunk {
+			k := keys[i]
+			if k < 0 {
+				continue
+			}
+			sorted[counts[k]] = up
+			counts[k]++
+		}
+		// counts[k] now holds the cumulative boundary for key k.
+		emit(sorted, counts)
+	}
+}
+
+// WeightClass returns the powers-of-two weight class of a signed weighted
+// update (|delta| in [2^c, 2^{c+1})), clamped to [0, classes) — shared by
+// the MST sketch and the weighted sparsifier so their class routing can
+// never diverge.
+func WeightClass(delta int64, classes int) int {
+	mag := delta
+	if mag < 0 {
+		mag = -mag
+	}
+	c := bits.Len64(uint64(mag)) - 1
+	if c >= classes {
+		c = classes - 1
+	}
+	return c
+}

@@ -3,6 +3,8 @@ package sketchcore
 import (
 	"encoding/binary"
 	"errors"
+
+	"graphsketch/internal/hashing"
 )
 
 // ErrBadEncoding is returned for corrupt or truncated arena state.
@@ -10,36 +12,64 @@ var ErrBadEncoding = errors.New("sketchcore: bad encoding")
 
 // StateSize returns the exact byte length of the arena's encoded cell
 // state: 24 bytes (w, s, f as u64 LE) per cell.
-func (a *Arena) StateSize() int { return len(a.w) * 24 }
+func (a *Arena) StateSize() int { return len(a.cells) * 24 }
 
 // AppendState appends the arena's cell state to buf. Configuration (shape,
 // seeds) is not encoded: the decoder reconstructs it from the same Config,
 // exactly as the l0 wire format reconstructed hashes from the seed.
+//
+// The wire carries the NESTED cell values (N(j) = sum_{j' >= j} of the
+// stored exact-level increments) in (slot, rep, level) order — the AGM2
+// encoding predating the exact-level in-memory representation — so
+// serialized sketches are unchanged across the representation switch.
 func (a *Arena) AppendState(buf []byte) []byte {
 	var tmp [8]byte
-	for i := range a.w {
-		binary.LittleEndian.PutUint64(tmp[:], uint64(a.w[i]))
-		buf = append(buf, tmp[:]...)
-		binary.LittleEndian.PutUint64(tmp[:], uint64(a.s[i]))
-		buf = append(buf, tmp[:]...)
-		binary.LittleEndian.PutUint64(tmp[:], a.f[i])
-		buf = append(buf, tmp[:]...)
+	row := make([]acell, a.levels)
+	for base := 0; base < len(a.cells); base += a.levels {
+		// Suffix-sum the row into nested values.
+		var acc acell
+		for j := a.levels - 1; j >= 0; j-- {
+			c := &a.cells[base+j]
+			acc.w += c.w
+			acc.s += c.s
+			acc.f = hashing.AddMod61(acc.f, c.f)
+			row[j] = acc
+		}
+		for j := 0; j < a.levels; j++ {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(row[j].w))
+			buf = append(buf, tmp[:]...)
+			binary.LittleEndian.PutUint64(tmp[:], uint64(row[j].s))
+			buf = append(buf, tmp[:]...)
+			binary.LittleEndian.PutUint64(tmp[:], row[j].f)
+			buf = append(buf, tmp[:]...)
+		}
 	}
 	return buf
 }
 
 // DecodeState reads cell state produced by AppendState into the arena and
-// returns the remaining bytes.
+// returns the remaining bytes, converting the wire's nested values back to
+// exact-level increments (D(j) = N(j) - N(j+1), exact in every aggregate).
 func (a *Arena) DecodeState(data []byte) ([]byte, error) {
 	n := a.StateSize()
 	if len(data) < n {
 		return nil, ErrBadEncoding
 	}
-	for i := range a.w {
+	for i := range a.cells {
 		off := i * 24
-		a.w[i] = int64(binary.LittleEndian.Uint64(data[off:]))
-		a.s[i] = int64(binary.LittleEndian.Uint64(data[off+8:]))
-		a.f[i] = binary.LittleEndian.Uint64(data[off+16:])
+		a.cells[i] = acell{
+			w: int64(binary.LittleEndian.Uint64(data[off:])),
+			s: int64(binary.LittleEndian.Uint64(data[off+8:])),
+			f: binary.LittleEndian.Uint64(data[off+16:]),
+		}
+	}
+	for base := 0; base < len(a.cells); base += a.levels {
+		for j := 0; j < a.levels-1; j++ {
+			c, next := &a.cells[base+j], &a.cells[base+j+1]
+			c.w -= next.w
+			c.s -= next.s
+			c.f = hashing.SubMod61(c.f, next.f)
+		}
 	}
 	return data[n:], nil
 }

@@ -1,0 +1,143 @@
+package sketchcore
+
+import (
+	"graphsketch/internal/onesparse"
+	"graphsketch/internal/stream"
+)
+
+// planChunk is the number of edges staged per plan: large enough to
+// amortize the chunk-loop overhead, small enough that the staging arrays
+// (~40 bytes per edge plus the per-bank term scratch) stay cache-resident
+// while a chunk is replayed into a whole bank stack.
+const planChunk = 4096
+
+// EdgePlan is the staged form of one chunk of node-incidence edge updates:
+// canonical endpoints, edge index, signed delta, and the index-weighted
+// delta, with self-loops and zero deltas dropped. It is built once per
+// chunk — the staging depends only on the updates, not on any bank's
+// hashes — and replayed into any number of same-shape shared banks via
+// Arena.ApplyPlan, so stacks of banks over one stream (a forest sketch's
+// rounds, k-EDGECONNECT's k forests) pay the canonicalization once and
+// each bank only its own hashing and cell writes. The plan also owns the
+// per-bank fingerprint-term scratch, reused bank after bank.
+type EdgePlan struct {
+	slots int
+	u, v  []int32 // canonical endpoints, u < v
+	idx   []uint64
+	delta []int64
+	is    []int64 // idx * delta, hoisted for the cell s-aggregate
+}
+
+// Build stages up to planChunk leading edges of ups for banks with the
+// given slot count, returning the number of stream updates consumed
+// (>= 1 whenever ups is non-empty, so chunking always makes progress).
+func (p *EdgePlan) Build(ups []stream.Update, slots int) int {
+	p.slots = slots
+	if p.idx == nil {
+		p.u = make([]int32, planChunk)
+		p.v = make([]int32, planChunk)
+		p.idx = make([]uint64, planChunk)
+		p.delta = make([]int64, planChunk)
+		p.is = make([]int64, planChunk)
+	}
+	p.u = p.u[:planChunk]
+	p.v = p.v[:planChunk]
+	p.idx = p.idx[:planChunk]
+	p.delta = p.delta[:planChunk]
+	p.is = p.is[:planChunk]
+	n := uint64(slots)
+	edges := 0
+	consumed := 0
+	for _, up := range ups {
+		if edges == planChunk {
+			break
+		}
+		consumed++
+		if up.U == up.V || up.Delta == 0 {
+			continue
+		}
+		u, v := up.U, up.V
+		if u > v {
+			u, v = v, u
+		}
+		idx := uint64(u)*n + uint64(v)
+		p.u[edges] = int32(u)
+		p.v[edges] = int32(v)
+		p.idx[edges] = idx
+		p.delta[edges] = up.Delta
+		p.is[edges] = int64(idx) * up.Delta
+		edges++
+	}
+	p.u = p.u[:edges]
+	p.v = p.v[:edges]
+	p.idx = p.idx[:edges]
+	p.delta = p.delta[:edges]
+	p.is = p.is[:edges]
+	return consumed
+}
+
+// Edges returns the number of staged edges.
+func (p *EdgePlan) Edges() int { return len(p.idx) }
+
+// ApplyPlan replays a staged plan into the bank in one edge-major pass:
+// per edge, the fingerprint term pair is served from the bank's power
+// table (O(1)), each repetition's level hash is evaluated once, and the
+// two incidence cell rows are applied with strength-reduced row bases —
+// no per-edge rehashing of anything the plan already staged. Requirements
+// are those of UpdateEdges (shared-seed node-incidence bank with slots ==
+// plan slots). Cell state afterwards is bit-identical to per-update
+// UpdateEdge calls.
+func (a *Arena) ApplyPlan(p *EdgePlan) {
+	if !a.shared {
+		panic("sketchcore: ApplyPlan requires a shared-seed arena")
+	}
+	if a.slots != p.slots || a.universe != uint64(a.slots)*uint64(a.slots) {
+		panic("sketchcore: ApplyPlan requires a node-incidence arena matching the plan")
+	}
+	edges := len(p.idx)
+	if edges == 0 {
+		return
+	}
+	tab := a.pow[0]
+	mix := a.mix
+	levels := a.levels
+	rowCells := a.reps * levels
+	su, sv, sidx := p.u, p.v, p.idx
+	sdelta, sis := p.delta, p.is
+	for e := 0; e < edges; e++ {
+		idx := sidx[e]
+		d, is := sdelta[e], sis[e]
+		t := onesparse.FingerprintTermTab(tab, idx, d)
+		ng := onesparse.NegateMod61(t)
+		bu := int(su[e]) * rowCells
+		bv := int(sv[e]) * rowCells
+		for r := 0; r < len(mix); r++ {
+			l := mix[r].Level(idx)
+			if l >= levels {
+				l = levels - 1
+			}
+			a.applyCell(bu+l, d, is, t)
+			a.applyCell(bv+l, -d, -is, ng)
+			bu += levels
+			bv += levels
+		}
+	}
+}
+
+// ReplayPlanned chunks a batch of updates through one reusable plan and
+// hands each staged chunk to apply — the hoist for consumers that feed the
+// same stream into several same-shape banks: the staging is paid once per
+// chunk, every bank pays only its own hashing and cell writes. *plan may be
+// nil; it is allocated on first use.
+func ReplayPlanned(ups []stream.Update, slots int, plan **EdgePlan, apply func(*EdgePlan)) {
+	if *plan == nil {
+		*plan = &EdgePlan{}
+	}
+	p := *plan
+	for len(ups) > 0 {
+		ups = ups[p.Build(ups, slots):]
+		if p.Edges() > 0 {
+			apply(p)
+		}
+	}
+}

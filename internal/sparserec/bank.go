@@ -3,29 +3,50 @@ package sparserec
 import (
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/onesparse"
+	"graphsketch/internal/stream"
 )
 
 // Bank is a flat struct-of-arrays bank of n k-RECOVERY sketches sharing one
 // (k, seed) — the per-(node, level) sketches of Fig 3 for a single level,
 // which must share hashes so that summing nodes over a cut side is
-// meaningful (step 4c). The cell aggregates live in three parallel arrays
-// indexed by (node, row, bucket), mirroring internal/sketchcore's sampler
-// arenas: updates touch contiguous memory, merges are linear passes, and a
+// meaningful (step 4c). The cell aggregates live interleaved in one flat
+// array indexed by (node, row, bucket), mirroring internal/sketchcore's
+// sampler arenas: updates touch contiguous memory, merges are one linear
+// pass, and a
 // cut-side decode accumulates into one reusable scratch sketch instead of
 // cloning and Add-ing per-node objects.
 //
 // A Bank node is bit-compatible with Sketch: node i after a set of updates
 // holds exactly the cells of New(k, seed) after the same updates.
 type Bank struct {
-	n    int
-	k    int
-	rows int
-	m    int
-	seed uint64
-	hash []hashing.PolyHash
-	z    uint64
-	w, s []int64 // (node*rows + row)*m + bucket
-	f    []uint64
+	n     int
+	k     int
+	rows  int
+	m     int
+	seed  uint64
+	hash  []hashing.PolyHash
+	z     uint64
+	pow   *hashing.PowTable // z^index table, sized to the n^2 edge universe
+	batch bankScratch       // UpdateEdges per-chunk staging, reused across calls
+	cells []bcell           // (node*rows + row)*m + bucket
+}
+
+// bcell is one bucket cell's aggregates, interleaved for the same
+// cache-line economy as sketchcore's arena cells.
+type bcell struct {
+	w int64  // weight sum
+	s int64  // index-weighted sum
+	f uint64 // fingerprint
+}
+
+// bankScratch stages one chunk of a batched edge update (see
+// Bank.UpdateEdges): canonical endpoints, edge index, signed delta and
+// index-weighted delta, and the fingerprint term pair.
+type bankScratch struct {
+	u, v      []int32
+	idx       []uint64
+	term, neg []uint64
+	delta, is []int64
 }
 
 // NewBank creates a bank of n sketches, each recovering up to k non-zeros
@@ -41,10 +62,8 @@ func NewBank(n, k int, seed uint64) *Bank {
 		b.hash[r] = hashing.NewPolyHash(rowHashSeed(seed, r), 4)
 	}
 	b.z = onesparse.FingerprintBase(fingerprintSeed(seed))
-	cells := n * b.rows * b.m
-	b.w = make([]int64, cells)
-	b.s = make([]int64, cells)
-	b.f = make([]uint64, cells)
+	b.pow = hashing.NewPowTableMax(b.z, uint64(n)*uint64(n))
+	b.cells = make([]bcell, n*b.rows*b.m)
 	return b
 }
 
@@ -59,13 +78,13 @@ func (b *Bank) Update(node int, index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	term := onesparse.FingerprintTerm(b.z, index, delta)
+	term := onesparse.FingerprintTermTab(b.pow, index, delta)
 	is := int64(index) * delta
 	for r := 0; r < b.rows; r++ {
-		i := (node*b.rows+r)*b.m + int(b.hash[r].Bounded(index, uint64(b.m)))
-		b.w[i] += delta
-		b.s[i] += is
-		b.f[i] = hashing.AddMod61(b.f[i], term)
+		c := &b.cells[(node*b.rows+r)*b.m+int(b.hash[r].Bounded(index, uint64(b.m)))]
+		c.w += delta
+		c.s += is
+		c.f = hashing.AddMod61(c.f, term)
 	}
 }
 
@@ -76,19 +95,86 @@ func (b *Bank) UpdateEdge(u, v int, index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	term := onesparse.FingerprintTerm(b.z, index, delta)
+	term := onesparse.FingerprintTermTab(b.pow, index, delta)
 	negTerm := onesparse.NegateMod61(term)
 	is := int64(index) * delta
 	for r := 0; r < b.rows; r++ {
 		bkt := int(b.hash[r].Bounded(index, uint64(b.m)))
-		iu := (u*b.rows+r)*b.m + bkt
-		iv := (v*b.rows+r)*b.m + bkt
-		b.w[iu] += delta
-		b.s[iu] += is
-		b.f[iu] = hashing.AddMod61(b.f[iu], term)
-		b.w[iv] -= delta
-		b.s[iv] -= is
-		b.f[iv] = hashing.AddMod61(b.f[iv], negTerm)
+		cu := &b.cells[(u*b.rows+r)*b.m+bkt]
+		cv := &b.cells[(v*b.rows+r)*b.m+bkt]
+		cu.w += delta
+		cu.s += is
+		cu.f = hashing.AddMod61(cu.f, term)
+		cv.w -= delta
+		cv.s -= is
+		cv.f = hashing.AddMod61(cv.f, negTerm)
+	}
+}
+
+// bankChunk bounds the UpdateEdges staging arrays (see the arena kernel's
+// updateEdgesChunk — same reasoning).
+const bankChunk = 256
+
+// UpdateEdges applies a batch of node-incidence edge updates: for each
+// update, +delta at EdgeIndex(u, v, n) in the lower endpoint's sketch and
+// -delta in the higher's. It stages the per-edge invariants (index,
+// fingerprint term pair, weighted sums) for a chunk, then sweeps the hash
+// rows row-major across the chunk so each row's polynomial hash state stays
+// hot. Bit-identical to per-update UpdateEdge calls.
+func (b *Bank) UpdateEdges(ups []stream.Update) {
+	n := uint64(b.n)
+	sc := &b.batch
+	if sc.idx == nil {
+		sc.u = make([]int32, bankChunk)
+		sc.v = make([]int32, bankChunk)
+		sc.idx = make([]uint64, bankChunk)
+		sc.term = make([]uint64, bankChunk)
+		sc.neg = make([]uint64, bankChunk)
+		sc.delta = make([]int64, bankChunk)
+		sc.is = make([]int64, bankChunk)
+	}
+	for len(ups) > 0 {
+		chunk := ups
+		if len(chunk) > bankChunk {
+			chunk = chunk[:bankChunk]
+		}
+		ups = ups[len(chunk):]
+		m := 0
+		for _, up := range chunk {
+			if up.U == up.V || up.Delta == 0 {
+				continue
+			}
+			u, v := up.U, up.V
+			if u > v {
+				u, v = v, u
+			}
+			idx := uint64(u)*n + uint64(v)
+			t := onesparse.FingerprintTermTab(b.pow, idx, up.Delta)
+			sc.u[m], sc.v[m] = int32(u), int32(v)
+			sc.idx[m] = idx
+			sc.term[m] = t
+			sc.neg[m] = onesparse.NegateMod61(t)
+			sc.delta[m] = up.Delta
+			sc.is[m] = int64(idx) * up.Delta
+			m++
+		}
+		su, sv := sc.u[:m], sc.v[:m]
+		sidx, sterm, sneg := sc.idx[:m], sc.term[:m], sc.neg[:m]
+		sdelta, sis := sc.delta[:m], sc.is[:m]
+		for r := 0; r < b.rows; r++ {
+			h := b.hash[r]
+			for e := range sidx {
+				bkt := int(h.Bounded(sidx[e], uint64(b.m)))
+				cu := &b.cells[(int(su[e])*b.rows+r)*b.m+bkt]
+				cv := &b.cells[(int(sv[e])*b.rows+r)*b.m+bkt]
+				cu.w += sdelta[e]
+				cu.s += sis[e]
+				cu.f = hashing.AddMod61(cu.f, sterm[e])
+				cv.w -= sdelta[e]
+				cv.s -= sis[e]
+				cv.f = hashing.AddMod61(cv.f, sneg[e])
+			}
+		}
 	}
 }
 
@@ -97,14 +183,11 @@ func (b *Bank) Add(other *Bank) {
 	if b.n != other.n || b.k != other.k || b.seed != other.seed {
 		panic("sparserec: merging incompatible banks")
 	}
-	for i := range b.w {
-		b.w[i] += other.w[i]
-	}
-	for i := range b.s {
-		b.s[i] += other.s[i]
-	}
-	for i := range b.f {
-		b.f[i] = hashing.AddMod61(b.f[i], other.f[i])
+	for i := range b.cells {
+		d, s := &b.cells[i], &other.cells[i]
+		d.w += s.w
+		d.s += s.s
+		d.f = hashing.AddMod61(d.f, s.f)
 	}
 }
 
@@ -113,16 +196,18 @@ func (b *Bank) Equal(other *Bank) bool {
 	if b.n != other.n || b.k != other.k || b.seed != other.seed {
 		return false
 	}
-	for i := range b.w {
-		if b.w[i] != other.w[i] || b.s[i] != other.s[i] || b.f[i] != other.f[i] {
+	for i := range b.cells {
+		if b.cells[i] != other.cells[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// NewScratch returns a Sketch shaped for DecodeSide's scratch parameter.
-func (b *Bank) NewScratch() *Sketch { return New(b.k, b.seed) }
+// NewScratch returns a Sketch shaped for DecodeSide's scratch parameter,
+// sharing the bank's power table (same fingerprint base) instead of
+// rebuilding a full-width one per scratch.
+func (b *Bank) NewScratch() *Sketch { return newWithTab(b.k, b.seed, b.pow) }
 
 // DecodeSide sums the bank's node sketches over side (side[node] == true)
 // into scratch and attempts exact recovery of the summed vector — Fig 3
@@ -148,7 +233,8 @@ func (b *Bank) DecodeSide(side []bool, scratch *Sketch) ([]Item, bool) {
 			row := scratch.cells[r]
 			off := base + r*b.m
 			for i := range row {
-				row[i].AddState(b.w[off+i], b.s[off+i], b.f[off+i])
+				c := &b.cells[off+i]
+				row[i].AddState(c.w, c.s, c.f)
 			}
 		}
 	}
@@ -156,7 +242,7 @@ func (b *Bank) DecodeSide(side []bool, scratch *Sketch) ([]Item, bool) {
 }
 
 // Words returns the memory footprint in 64-bit words: three words per cell
-// plus the bank-shared fingerprint base.
+// plus the bank-shared fingerprint base and its power table.
 func (b *Bank) Words() int {
-	return len(b.w) + len(b.s) + len(b.f) + 1
+	return 3*len(b.cells) + 1 + b.pow.Words()
 }

@@ -34,6 +34,7 @@ type Sketch struct {
 	m     int // buckets per row
 	seed  uint64
 	hash  []hashing.PolyHash // one per row
+	tab   *hashing.PowTable  // z^index table for the shared fingerprint base
 	cells [][]onesparse.Cell // rows x m
 }
 
@@ -52,13 +53,41 @@ func rowHashSeed(seed uint64, r int) uint64 { return hashing.DeriveSeed(seed, ui
 func fingerprintSeed(seed uint64) uint64 { return hashing.DeriveSeed(seed, 0x5eed) }
 
 // New creates a sketch that recovers up to k non-zero entries w.h.p.
-// k must be >= 1.
+// k must be >= 1. The fingerprint power table covers any 64-bit index
+// (16 KiB); consumers that know their index universe should prefer
+// NewForUniverse, which sizes the table to it.
 func New(k int, seed uint64) *Sketch {
+	return newWithTab(k, seed, nil)
+}
+
+// NewForUniverse is New with the power table sized to indices in
+// [0, universe) — e.g. one 8-bit window per byte of log2(universe) instead
+// of the full eight. Indices past the bound still evaluate correctly via
+// the table's square-and-multiply fallback, so sizing is purely a
+// space/construction-cost choice.
+func NewForUniverse(k int, universe, seed uint64) *Sketch {
+	maxExp := universe
+	if maxExp > 0 {
+		maxExp--
+	}
+	z := onesparse.FingerprintBase(fingerprintSeed(seed))
+	return newWithTab(k, seed, hashing.NewPowTableMax(z, maxExp))
+}
+
+// newWithTab is New with an optional pre-built power table for the
+// sketch's fingerprint base (any table whose base is
+// FingerprintBase(fingerprintSeed(seed)) works — exponents past a sized
+// table's bound fall back correctly). nil builds a fresh full-width table.
+func newWithTab(k int, seed uint64, tab *hashing.PowTable) *Sketch {
 	if k < 1 {
 		k = 1
 	}
 	rows, m := tableShape(k)
 	s := &Sketch{k: k, rows: rows, m: m, seed: seed}
+	if tab == nil {
+		tab = hashing.NewPowTable(onesparse.FingerprintBase(fingerprintSeed(seed)))
+	}
+	s.tab = tab
 	s.hash = make([]hashing.PolyHash, rows)
 	s.cells = make([][]onesparse.Cell, rows)
 	for r := 0; r < rows; r++ {
@@ -75,14 +104,16 @@ func New(k int, seed uint64) *Sketch {
 // K returns the sparsity budget the sketch was built for.
 func (s *Sketch) K() int { return s.k }
 
-// Update adds delta to coordinate index.
+// Update adds delta to coordinate index. The fingerprint term is computed
+// once from the power table and shared by every row's cell.
 func (s *Sketch) Update(index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	term := onesparse.FingerprintTermTab(s.tab, index, delta)
 	for r := 0; r < s.rows; r++ {
 		b := s.hash[r].Bounded(index, uint64(s.m))
-		s.cells[r][b].Update(index, delta)
+		s.cells[r][b].UpdateTerm(index, delta, term)
 	}
 }
 
@@ -114,7 +145,7 @@ func (s *Sketch) mustMatch(other *Sketch) {
 
 // Clone returns a deep copy (used when a decode must not destroy state).
 func (s *Sketch) Clone() *Sketch {
-	c := &Sketch{k: s.k, rows: s.rows, m: s.m, seed: s.seed, hash: s.hash}
+	c := &Sketch{k: s.k, rows: s.rows, m: s.m, seed: s.seed, hash: s.hash, tab: s.tab}
 	c.cells = make([][]onesparse.Cell, s.rows)
 	for r := range s.cells {
 		row := make([]onesparse.Cell, s.m)
@@ -155,7 +186,7 @@ func (w *Sketch) decodeDestructive() ([]Item, bool) {
 		cur := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		cell := &w.cells[cur.r][cur.b]
-		idx, weight, ok := cell.Decode()
+		idx, weight, ok := cell.DecodeTab(w.tab)
 		if !ok {
 			continue
 		}
@@ -171,10 +202,12 @@ func (w *Sketch) decodeDestructive() ([]Item, bool) {
 			// contract (caller asked for at-most-k recovery).
 			return nil, false
 		}
-		// Subtract the item everywhere and requeue affected buckets.
+		// Subtract the item everywhere and requeue affected buckets; the
+		// peel term is one table lookup shared across rows.
+		peel := onesparse.FingerprintTermTab(w.tab, idx, -weight)
 		for r := 0; r < w.rows; r++ {
 			b := int(w.hash[r].Bounded(idx, uint64(w.m)))
-			w.cells[r][b].Update(idx, -weight)
+			w.cells[r][b].UpdateTerm(idx, -weight, peel)
 			queue = append(queue, rb{r, b})
 		}
 	}
@@ -203,5 +236,5 @@ func (s *Sketch) IsZero() bool {
 
 // Words returns the memory footprint in 64-bit words (for space benches).
 func (s *Sketch) Words() int {
-	return s.rows * s.m * 4 // each cell: w, s, f, z
+	return s.rows*s.m*4 + s.tab.Words() // each cell: w, s, f, z; plus the power table
 }
