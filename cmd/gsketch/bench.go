@@ -14,8 +14,27 @@ import (
 	"graphsketch/internal/baseline"
 	"graphsketch/internal/core/mincut"
 	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/graph"
 	"graphsketch/internal/stream"
 )
+
+// graphsEqual compares exact edge multisets (the decode bit-identity
+// oracle).
+func graphsEqual(a, b *graph.Graph) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		return false
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // BenchResult is one measured configuration of the benchmark.
 type BenchResult struct {
@@ -67,6 +86,12 @@ type BenchReport struct {
 	// BatchBitIdentical reports whether the batched ingest produced state
 	// bit-identical to the per-update scalar path.
 	BatchBitIdentical bool `json:"batch_bit_identical"`
+	// DecodeBitIdentical reports whether parallel decode (mincut level scan,
+	// sparsifier witness extraction) produced results bit-identical to the
+	// sequential decode of identically ingested sketches, and whether
+	// repeated decodes of the same sketch agree (the post-processing is
+	// read-only and cached).
+	DecodeBitIdentical bool `json:"decode_bit_identical"`
 }
 
 // benchCommand implements `gsketch bench [-n N] [-updates M] [-workers
@@ -197,30 +222,79 @@ func benchCommand(args []string, out io.Writer) error {
 	// Extraction-path (decode) benchmarks: query-side wins belong in the
 	// trajectory too. Spanning-forest extraction runs on the big ingested
 	// sketch; the heavier mincut/sparsify post-processings consume a
-	// separately ingested smaller workload (ingest untimed).
-	measure("forest-extract", 1, 1, func() int {
-		seq.SpanningForest()
+	// separately ingested smaller workload (ingest untimed). Decode rows
+	// average several runs — decode results are cached, so between timed
+	// runs the cache is busted with a cancelling update pair (+1 then -1 on
+	// one edge), which restores bit-identical sketch state by linearity.
+	const feReps, mcReps, spReps = 20, 10, 5
+	measure("forest-extract", 1, feReps, func() int {
+		for i := 0; i < feReps; i++ {
+			seq.SpanningForest()
+		}
 		return seq.Words()
 	})
 
 	dst := stream.UniformUpdates(*decodeN, *decodeUpdates, *seed)
 	mc := mincut.New(mincut.Config{N: *decodeN, K: 6, Seed: *seed})
+	mc.SetDecodeWorkers(1)
 	mc.Ingest(dst)
-	measure("mincut-decode", 1, 1, func() int {
-		if _, err := mc.MinCut(); err != nil && err != mincut.ErrAllLevelsSaturated {
-			panic(err)
+	var mcRes mincut.Result
+	var mcErr error
+	measure("mincut-decode", 1, mcReps, func() int {
+		for i := 0; i < mcReps; i++ {
+			if i > 0 {
+				mc.Update(0, 1, 1)
+				mc.Update(0, 1, -1)
+			}
+			mcRes, mcErr = mc.MinCut()
+			if mcErr != nil && mcErr != mincut.ErrAllLevelsSaturated {
+				panic(mcErr)
+			}
 		}
 		return mc.Words()
 	})
 
 	sp := sparsify.New(sparsify.Config{N: *decodeN, Seed: *seed})
+	sp.SetDecodeWorkers(1)
 	sp.Ingest(dst)
-	measure("sparsify-decode", 1, 1, func() int {
-		if _, err := sp.Sparsify(); err != nil && err != sparsify.ErrEmpty {
-			panic(err)
+	var spG *graph.Graph
+	measure("sparsify-decode", 1, spReps, func() int {
+		for i := 0; i < spReps; i++ {
+			if i > 0 {
+				sp.Update(0, 1, 1)
+				sp.Update(0, 1, -1)
+			}
+			g, err := sp.Sparsify()
+			if err != nil && err != sparsify.ErrEmpty {
+				panic(err)
+			}
+			spG = g
 		}
 		return sp.Words()
 	})
+
+	// Decode bit-identity: parallel decode of identically ingested sketches
+	// must reproduce the sequential rows above byte for byte, and repeated
+	// decode of the same sketch must serve the cached result unchanged.
+	report.DecodeBitIdentical = true
+	mcPar := mincut.New(mincut.Config{N: *decodeN, K: 6, Seed: *seed})
+	mcPar.SetDecodeWorkers(4)
+	mcPar.Ingest(dst)
+	if res, err := mcPar.MinCut(); res != mcRes || err != mcErr {
+		report.DecodeBitIdentical = false
+	}
+	if res, err := mc.MinCut(); res != mcRes || err != mcErr {
+		report.DecodeBitIdentical = false
+	}
+	spPar := sparsify.New(sparsify.Config{N: *decodeN, Seed: *seed})
+	spPar.SetDecodeWorkers(4)
+	spPar.Ingest(dst)
+	if g, err := spPar.Sparsify(); err != nil || !graphsEqual(g, spG) {
+		report.DecodeBitIdentical = false
+	}
+	if g, err := sp.Sparsify(); err != nil || g != spG {
+		report.DecodeBitIdentical = false
+	}
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

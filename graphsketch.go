@@ -195,8 +195,15 @@ func (m *MinCutSketch) IngestParallel(s *Stream, workers int) { m.sk.IngestParal
 // Add merges a sketch built with the same parameters and seed.
 func (m *MinCutSketch) Add(other *MinCutSketch) { m.sk.Add(other.sk) }
 
-// MinCut runs the Fig 1 post-processing. Consumes the sketch; call once.
+// MinCut runs the Fig 1 post-processing. Decode is read-only on the sketch
+// and cached: repeated calls return the same result until the sketch is
+// updated again.
 func (m *MinCutSketch) MinCut() (MinCutResult, error) { return m.sk.MinCut() }
+
+// SetDecodeWorkers overrides MinCut's level-parallel decode worker count
+// (0 restores the GOMAXPROCS default); the result is bit-identical for
+// every setting.
+func (m *MinCutSketch) SetDecodeWorkers(workers int) { m.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
 func (m *MinCutSketch) Words() int { return m.sk.Words() }
@@ -229,8 +236,15 @@ func (s *SimpleSparsifier) IngestParallel(st *Stream, workers int) { s.sk.Ingest
 // Add merges a sketch built with the same parameters and seed.
 func (s *SimpleSparsifier) Add(other *SimpleSparsifier) { s.sk.Add(other.sk) }
 
-// Sparsify extracts the weighted sparsifier. Consumes the sketch.
+// Sparsify extracts the weighted sparsifier. Decode is read-only on the
+// sketch and cached: repeated calls return the same graph (treat it as
+// read-only).
 func (s *SimpleSparsifier) Sparsify() (*Graph, error) { return s.sk.Sparsify() }
+
+// SetDecodeWorkers overrides Sparsify's level-parallel extraction worker
+// count (0 restores the GOMAXPROCS default); the graph is bit-identical
+// for every setting.
+func (s *SimpleSparsifier) SetDecodeWorkers(workers int) { s.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
 func (s *SimpleSparsifier) Words() int { return s.sk.Words() }
@@ -260,8 +274,15 @@ func (s *Sparsifier) IngestParallel(st *Stream, workers int) { s.sk.IngestParall
 // Add merges a sketch built with the same parameters and seed.
 func (s *Sparsifier) Add(other *Sparsifier) { s.sk.Add(other.sk) }
 
-// Sparsify extracts the weighted sparsifier. Consumes the sketch.
+// Sparsify extracts the weighted sparsifier. Decode is read-only on the
+// sketch and cached: repeated calls return the same graph (treat it as
+// read-only).
 func (s *Sparsifier) Sparsify() (*Graph, error) { return s.sk.Sparsify() }
+
+// SetDecodeWorkers overrides the rough sparsifier's level-parallel
+// extraction worker count (0 restores the GOMAXPROCS default); the graph
+// is bit-identical for every setting.
+func (s *Sparsifier) SetDecodeWorkers(workers int) { s.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
 func (s *Sparsifier) Words() int { return s.sk.Words() }
@@ -299,8 +320,15 @@ func (w *WeightedSparsifier) IngestParallel(st *Stream, workers int) {
 // distributed-streams operation, classwise by linearity (Sec. 3.5).
 func (w *WeightedSparsifier) Add(other *WeightedSparsifier) { w.sk.Add(other.sk) }
 
-// Sparsify extracts the weighted sparsifier. Consumes the sketch.
+// Sparsify extracts the weighted sparsifier. Decode is read-only on the
+// sketch and cached: repeated calls return the same graph (treat it as
+// read-only).
 func (w *WeightedSparsifier) Sparsify() (*Graph, error) { return w.sk.Sparsify() }
+
+// SetDecodeWorkers overrides each weight class's level-parallel extraction
+// worker count (0 restores the GOMAXPROCS default); the graph is
+// bit-identical for every setting.
+func (w *WeightedSparsifier) SetDecodeWorkers(workers int) { w.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
 func (w *WeightedSparsifier) Words() int { return w.sk.Words() }

@@ -162,13 +162,22 @@ func (fs *ForestSketch) SpanningForest() []graph.Edge {
 // is advanced in place. The MST sketch uses this to refine a partition
 // class by weight class.
 func (fs *ForestSketch) SpanningForestFrom(dsu *graph.DSU) []graph.Edge {
-	var forest []graph.Edge
-	agg := sketchcore.NewAggregator()
+	return fs.spanningForestPending(dsu, sketchcore.NewAggregator(), nil, nil)
+}
+
+// spanningForestPending is the Boruvka extraction kernel: it appends forest
+// edges onto the given slice, reuses the caller's aggregation scratch, and
+// folds a pending subtraction list (forest edges peeled from earlier
+// k-EDGECONNECT banks, negated) into every per-component aggregation. The
+// arena state is never modified — the pending list is the decode's view of
+// the subtracted graph, applied at aggregation time by linearity.
+func (fs *ForestSketch) spanningForestPending(dsu *graph.DSU, agg *sketchcore.Aggregator,
+	sub *sketchcore.PendingSub, forest []graph.Edge) []graph.Edge {
 	for r := 0; r < fs.rounds && dsu.Count() > 1; r++ {
 		// Aggregate this round's samplers by component into scratch buffers
 		// (component ids are first-appearance order, so extraction is
 		// deterministic — unlike the old map-of-cloned-samplers walk).
-		ncomp := agg.Aggregate(fs.banks[r], dsu.Find)
+		ncomp := agg.AggregateSub(fs.banks[r], dsu.Find, sub)
 		// A round where every component's sample fails is not terminal:
 		// later rounds retry with fresh, independent samplers. (An empty
 		// sketch — true isolated components — also lands here; the loop

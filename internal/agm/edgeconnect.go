@@ -25,6 +25,13 @@ type EdgeConnectSketch struct {
 	seed  uint64
 	banks []*ForestSketch
 	plan  *sketchcore.EdgePlan // shared batch staging across all k banks
+
+	// Decode cache: extraction is read-only (forest subtraction is staged
+	// as a pending plan folded in at aggregation time, never written to the
+	// banks), so the witness is computed once and every later call returns
+	// the same graph. witnessK records the provable-saturation flag.
+	witness  *graph.Graph
+	witnessK bool
 }
 
 // NewEdgeConnectSketch creates a sketch for parameter k on n vertices.
@@ -45,6 +52,7 @@ func (ec *EdgeConnectSketch) K() int { return ec.k }
 
 // Update applies a signed multiplicity change to edge {u, v}.
 func (ec *EdgeConnectSketch) Update(u, v int, delta int64) {
+	ec.witness = nil // sketch state diverges from any cached decode
 	for _, b := range ec.banks {
 		b.Update(u, v, delta)
 	}
@@ -53,6 +61,7 @@ func (ec *EdgeConnectSketch) Update(u, v int, delta int64) {
 // UpdateBatch stages each chunk once (the slot sort is hash-independent)
 // and replays it into all k forest banks' round arenas.
 func (ec *EdgeConnectSketch) UpdateBatch(ups []stream.Update) {
+	ec.witness = nil
 	sketchcore.ReplayPlanned(ups, ec.n, &ec.plan, func(p *sketchcore.EdgePlan) {
 		for _, b := range ec.banks {
 			b.ApplyPlan(p)
@@ -78,6 +87,7 @@ func (ec *EdgeConnectSketch) Add(other *EdgeConnectSketch) {
 	if ec.n != other.n || ec.k != other.k || ec.seed != other.seed {
 		panic("agm: merging incompatible edge-connect sketches")
 	}
+	ec.witness = nil
 	for i := range ec.banks {
 		ec.banks[i].Add(other.banks[i])
 	}
@@ -96,24 +106,81 @@ func (ec *EdgeConnectSketch) Equal(other *EdgeConnectSketch) bool {
 	return true
 }
 
-// Witness extracts the subgraph H = F_1 ∪ ... ∪ F_k. The extraction
-// mutates later banks (it subtracts earlier forests), so Witness should be
-// called once, after the stream is consumed. Edges carry their sampled
-// multiplicities.
+// WitnessScratch pools the decode-side buffers of witness extraction —
+// aggregation cells, the pending subtraction plan, the Boruvka partition,
+// and the per-forest edge buffer — so repeated extraction (one per
+// subsampling level in the mincut and sparsifier decoders) allocates
+// nothing after the first call.
+type WitnessScratch struct {
+	agg    *sketchcore.Aggregator
+	sub    sketchcore.PendingSub
+	dsu    *graph.DSU
+	forest []graph.Edge
+}
+
+// NewWitnessScratch returns an empty scratch; buffers grow on first use.
+func NewWitnessScratch() *WitnessScratch {
+	return &WitnessScratch{agg: sketchcore.NewAggregator(), dsu: graph.NewDSU(0)}
+}
+
+// Witness extracts the subgraph H = F_1 ∪ ... ∪ F_k. Extraction is
+// read-only on the sketch (earlier forests are subtracted from later banks
+// as a staged pending plan, folded into the per-component aggregation by
+// linearity rather than written into the arenas), and the result is cached:
+// repeated calls return the same graph, which callers must treat as
+// read-only. Edges carry their sampled multiplicities.
 func (ec *EdgeConnectSketch) Witness() *graph.Graph {
-	h := graph.New(ec.n)
+	h, _ := ec.WitnessInfo()
+	return h
+}
+
+// WitnessInfo returns the cached witness plus a provable-saturation flag:
+// when true, every peeled forest was a spanning tree and no edge pair
+// repeated across forests, so H is the union of k edge-disjoint spanning
+// trees with per-edge weight >= 1 — every cut of H has value >= k, hence
+// mincut(H) >= k without running any cut algorithm. Decoders use the flag
+// to skip Stoer-Wagner / per-pair flow probes on saturated levels; a false
+// flag implies nothing (the witness may still be k-connected).
+func (ec *EdgeConnectSketch) WitnessInfo() (*graph.Graph, bool) {
+	if ec.witness == nil {
+		ec.witness = graph.New(ec.n)
+		ec.witnessK = ec.WitnessInto(ec.witness, NewWitnessScratch())
+	}
+	return ec.witness, ec.witnessK
+}
+
+// WitnessInto extracts the witness into h (reset to the sketch's vertex
+// count first) using the caller's scratch, allocating nothing beyond what h
+// and ws already hold. It bypasses and does not populate the Witness cache.
+// The returned flag is WitnessInfo's provable-saturation bit. ws must not
+// be shared between concurrent calls.
+func (ec *EdgeConnectSketch) WitnessInto(h *graph.Graph, ws *WitnessScratch) bool {
+	h.Reset(ec.n)
+	ws.sub.Reset(ec.n)
+	provable := true
 	for i := 0; i < ec.k; i++ {
-		forest := ec.banks[i].SpanningForest()
+		ws.dsu.Reset(ec.n)
+		forest := ec.banks[i].spanningForestPending(ws.dsu, ws.agg, &ws.sub, ws.forest[:0])
+		ws.forest = forest // keep the grown buffer for the next forest
+		if ws.dsu.Count() > 1 {
+			provable = false // F_i is not spanning: no >= k-connectivity claim
+		}
 		for _, e := range forest {
+			if h.HasEdge(e.U, e.V) {
+				// An earlier forest held this pair yet it resurfaced — the
+				// stream left a negative multiplicity the sampled-|w|
+				// subtraction could not cancel. The edge-disjointness
+				// argument is void; keep extracting, drop the claim.
+				provable = false
+			}
 			h.AddEdge(e.U, e.V, e.W)
 			// Remove this edge entirely from all later banks so forest
-			// i+1 is edge-disjoint from F_1..F_i.
-			for j := i + 1; j < ec.k; j++ {
-				ec.banks[j].Update(e.U, e.V, -e.W)
-			}
+			// i+1 is edge-disjoint from F_1..F_i: staged once, negated,
+			// and folded into every later bank's aggregation.
+			ws.sub.Add(e.U, e.V, -e.W)
 		}
 	}
-	return h
+	return provable
 }
 
 // Words returns the memory footprint in 64-bit words.
@@ -127,10 +194,15 @@ func (ec *EdgeConnectSketch) Words() int {
 
 // IsKConnected reports whether the sketched graph is k-edge-connected,
 // judged from the witness: the witness preserves all cuts of size < k
-// exactly, so its min cut is < k iff the graph's is. Call once (consumes
-// the sketch like Witness).
+// exactly, so its min cut is < k iff the graph's is. Extraction is cached
+// and read-only (see Witness).
 func (ec *EdgeConnectSketch) IsKConnected() bool {
-	h := ec.Witness()
+	h, provable := ec.WitnessInfo()
+	if provable {
+		// k edge-disjoint spanning trees: mincut(H) >= k, no cut algorithm
+		// needed.
+		return true
+	}
 	if !h.IsConnected() {
 		return false
 	}

@@ -1,0 +1,31 @@
+package agm
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+func witnessHash(g *graph.Graph) string {
+	h := sha256.New()
+	for _, e := range g.Edges() {
+		fmt.Fprintf(h, "%d,%d,%d;", e.U, e.V, e.W)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// TestWitnessGolden pins the exact k-EDGECONNECT witness on a fixed seed:
+// the peel-subtract-peel order is part of the sketch's determinism contract,
+// and the batched subtraction path must reproduce it byte for byte.
+func TestWitnessGolden(t *testing.T) {
+	st := stream.UniformUpdates(48, 20_000, 7)
+	ec := NewEdgeConnectSketch(48, 5, 7)
+	ec.Ingest(st)
+	h := ec.Witness()
+	if got := witnessHash(h); got != "0fd2560badf85590b3ef63e5" {
+		t.Errorf("witness golden drift: %s (m=%d w=%d)", got, h.NumEdges(), h.TotalWeight())
+	}
+}

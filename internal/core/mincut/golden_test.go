@@ -1,0 +1,36 @@
+package mincut
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// TestMinCutGolden pins the exact decode result on fixed seeds so the
+// decode-path refactor (witness extraction via pending plans, level-parallel
+// scan, saturated-level Stoer-Wagner skip) provably changes no bytes.
+func TestMinCutGolden(t *testing.T) {
+	st := stream.UniformUpdates(48, 20_000, 7)
+	mc := New(Config{N: 48, K: 6, Seed: 7})
+	mc.Ingest(st)
+	res, err := mc.MinCut()
+	if err != nil {
+		t.Fatalf("MinCut: %v", err)
+	}
+	want := Result{Value: 0, Level: 4, WitnessCut: 0, WitnessEdges: 64}
+	if res != want {
+		t.Errorf("golden drift: got %+v want %+v", res, want)
+	}
+
+	pst := stream.PlantedPartition(40, 2, 0.9, 0.15, 3)
+	mc2 := New(Config{N: 40, K: 8, Seed: 9})
+	mc2.Ingest(pst)
+	res2, err := mc2.MinCut()
+	if err != nil {
+		t.Fatalf("MinCut planted: %v", err)
+	}
+	want2 := Result{Value: 8, Level: 1, WitnessCut: 4, WitnessEdges: 193}
+	if res2 != want2 {
+		t.Errorf("planted golden drift: got %+v want %+v", res2, want2)
+	}
+}

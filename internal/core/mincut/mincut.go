@@ -13,6 +13,9 @@ package mincut
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"graphsketch/internal/agm"
 	"graphsketch/internal/graph"
@@ -68,6 +71,28 @@ type Sketch struct {
 	levelMix hashing.Mixer
 	ecs      []*agm.EdgeConnectSketch
 	sorter   sketchcore.BatchSorter // UpdateBatch level-sort scratch
+
+	// Decode cache: post-processing is read-only (witness extraction stages
+	// forest subtractions as pending plans), so the result is computed once
+	// and invalidated only when the sketch state changes.
+	decoded    bool
+	decRes     Result
+	decSide    []bool
+	decErr     error
+	decWorkers int // 0 = GOMAXPROCS
+}
+
+// SetDecodeWorkers overrides the worker count used by MinCut's
+// level-parallel decode (0 restores the GOMAXPROCS default). The decoded
+// result is bit-identical for every setting; the knob exists for
+// single-thread benchmarking and decode bit-identity checks.
+func (s *Sketch) SetDecodeWorkers(workers int) { s.decWorkers = workers }
+
+func (s *Sketch) decodeWorkers() int {
+	if s.decWorkers > 0 {
+		return s.decWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // New creates a MINCUT sketch.
@@ -94,6 +119,7 @@ func (s *Sketch) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {
 		return
 	}
+	s.decoded = false
 	idx := stream.EdgeIndex(u, v, s.cfg.N)
 	l := s.levelMix.Level(idx)
 	if l >= s.cfg.Levels {
@@ -110,6 +136,7 @@ func (s *Sketch) Update(u, v int, delta int64) {
 // kernel — one contiguous replay per level instead of a per-update fan-out
 // (linearity makes the reordering bit-neutral).
 func (s *Sketch) UpdateBatch(ups []stream.Update) {
+	s.decoded = false
 	s.sorter.Replay(ups, s.cfg.Levels, true,
 		func(up stream.Update) (int, bool) {
 			if up.U == up.V || up.Delta == 0 {
@@ -156,6 +183,7 @@ func (s *Sketch) Add(other *Sketch) {
 	if s.cfg != other.cfg {
 		panic("mincut: merging incompatible sketches")
 	}
+	s.decoded = false
 	for i := range s.ecs {
 		s.ecs[i].Add(other.ecs[i])
 	}
@@ -192,37 +220,113 @@ type Result struct {
 // connectivity.
 var ErrAllLevelsSaturated = errors.New("mincut: all subsampling levels saturated (increase Levels or K)")
 
-// MinCut runs Fig 1's post-processing. It consumes the sketch (witness
-// extraction peels forests in place); call once.
+// MinCut runs Fig 1's post-processing. Decode is read-only on the sketch
+// and cached: repeated calls return the same result.
 func (s *Sketch) MinCut() (Result, error) {
-	for i := 0; i < s.cfg.Levels; i++ {
-		h := s.ecs[i].Witness()
-		val, _ := h.StoerWagner()
-		if val < int64(s.cfg.K) {
-			return Result{
-				Value:        val << uint(i),
-				Level:        i,
-				WitnessCut:   val,
-				WitnessEdges: h.NumEdges(),
-			}, nil
-		}
-	}
-	return Result{}, ErrAllLevelsSaturated
+	res, _, err := s.decode(s.decodeWorkers())
+	return res, err
 }
 
 // MinCutWithSide additionally returns the cut side (in the witness graph)
-// realizing the estimate.
+// realizing the estimate. Shares MinCut's cached decode.
 func (s *Sketch) MinCutWithSide() (Result, []bool, error) {
-	for i := 0; i < s.cfg.Levels; i++ {
-		h := s.ecs[i].Witness()
-		val, side := h.StoerWagner()
-		if val < int64(s.cfg.K) {
+	return s.decode(s.decodeWorkers())
+}
+
+// decode memoizes decodeLevels.
+func (s *Sketch) decode(workers int) (Result, []bool, error) {
+	if !s.decoded {
+		s.decRes, s.decSide, s.decErr = s.decodeLevels(workers)
+		s.decoded = true
+	}
+	return s.decRes, s.decSide, s.decErr
+}
+
+// levelDecode is one subsampling level's post-processing outcome.
+type levelDecode struct {
+	done bool   // level was decoded (not short-circuited away)
+	ok   bool   // witness min cut < k: this level can answer
+	val  int64  // lambda(H_i) when ok
+	side []bool // a side realizing it
+	m    int    // witness edge count
+}
+
+// decodeLevels is the single decode path behind MinCut and MinCutWithSide:
+// Fig 1's scan for j = min{i : lambda(H_i) < k}, run level-parallel.
+// Independent levels are claimed off an atomic counter by up to `workers`
+// goroutines, each owning a reusable witness graph and extraction scratch.
+// Two exact short-circuits keep the work proportional to the answer:
+//
+//   - levels above the best sub-k level found so far are never claimed
+//     (they cannot lower j), which in the sequential case degenerates to
+//     the classic stop-at-first-hit scan;
+//   - when every peeled forest of a level is a provably intact spanning
+//     tree (WitnessInfo's saturation flag), the witness is the union of k
+//     edge-disjoint spanning trees, so mincut(H_i) >= k holds without
+//     running Stoer-Wagner at all.
+//
+// The result is bit-identical to the sequential scan for any worker count:
+// each level's (val, side) is a deterministic function of that level's
+// sketch alone, and the returned level is the minimum ok level, independent
+// of scheduling. Property tests pin this against workers = 1.
+func (s *Sketch) decodeLevels(workers int) (Result, []bool, error) {
+	levels := s.cfg.Levels
+	out := make([]levelDecode, levels)
+	var next atomic.Int64
+	var best atomic.Int64
+	best.Store(int64(levels))
+	if workers > levels {
+		workers = levels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := func() {
+		h := graph.New(s.cfg.N)
+		ws := agm.NewWitnessScratch()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= levels || int64(i) > best.Load() {
+				return
+			}
+			saturated := s.ecs[i].WitnessInto(h, ws)
+			ld := levelDecode{done: true}
+			if !saturated {
+				val, side := h.StoerWagner()
+				if val < int64(s.cfg.K) {
+					ld.ok, ld.val, ld.side, ld.m = true, val, side, h.NumEdges()
+					for {
+						b := best.Load()
+						if int64(i) >= b || best.CompareAndSwap(b, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+			out[i] = ld
+		}
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range out {
+		if out[i].done && out[i].ok {
 			return Result{
-				Value:        val << uint(i),
+				Value:        out[i].val << uint(i),
 				Level:        i,
-				WitnessCut:   val,
-				WitnessEdges: h.NumEdges(),
-			}, side, nil
+				WitnessCut:   out[i].val,
+				WitnessEdges: out[i].m,
+			}, out[i].side, nil
 		}
 	}
 	return Result{}, nil, ErrAllLevelsSaturated

@@ -49,6 +49,17 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 	rng := hashing.NewRNG(hashing.DeriveSeed(seed, 0xb5))
 	groupBudget := int(math.Ceil(4*math.Pow(float64(n), 1.0/float64(k)))) + 4
 
+	// Retirement scratch, shared by every pass: per-tree "already stored an
+	// edge" stamps (tree ids are root vertices, so [0, n)) and the Collect
+	// drain buffer — no per-vertex map or slice allocation in the decode
+	// loops below.
+	addedStamp := make([]int, n)
+	for i := range addedStamp {
+		addedStamp[i] = -1
+	}
+	stamp := 0
+	var collectBuf []uint64
+
 	passes := 0
 	for phase := 1; phase <= k-1; phase++ {
 		// Sample the surviving roots.
@@ -126,16 +137,17 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 			}
 			// No sampled neighbor: store one edge per adjacent tree (L(v)),
 			// then retire.
-			addedTo := map[int]bool{}
-			for _, item := range groupSamp[v].Collect() {
+			collectBuf = groupSamp[v].CollectInto(collectBuf[:0])
+			for _, item := range collectBuf {
 				w := int(item)
 				g := member[w]
-				if g == -1 || g == member[v] || addedTo[g] {
+				if g == -1 || g == member[v] || addedStamp[g] == stamp {
 					continue
 				}
-				addedTo[g] = true
+				addedStamp[g] = stamp
 				spanner.AddEdge(v, w, 1)
 			}
+			stamp++
 			newMember[v] = -1
 		}
 		member = newMember
@@ -172,16 +184,17 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 		if member[v] == -1 {
 			continue
 		}
-		addedTo := map[int]bool{}
-		for _, item := range groupSamp[v].Collect() {
+		collectBuf = groupSamp[v].CollectInto(collectBuf[:0])
+		for _, item := range collectBuf {
 			w := int(item)
 			g := member[w]
-			if g == -1 || g == member[v] || addedTo[g] {
+			if g == -1 || g == member[v] || addedStamp[g] == stamp {
 				continue
 			}
-			addedTo[g] = true
+			addedStamp[g] = stamp
 			spanner.AddEdge(v, w, 1)
 		}
+		stamp++
 	}
 	return BSResult{Spanner: spanner, Passes: passes, StretchBound: 2*k - 1}
 }

@@ -87,7 +87,12 @@ func (gs *GroupSampler) Update(group uint64, item uint64, delta int64) {
 // caller deduplicates by group (it can recompute an item's group). Items
 // may repeat across repetitions.
 func (gs *GroupSampler) Collect() []uint64 {
-	var out []uint64
+	return gs.CollectInto(nil)
+}
+
+// CollectInto is Collect appending into a reusable buffer, for decode loops
+// that drain one sampler per vertex and want no per-vertex allocation.
+func (gs *GroupSampler) CollectInto(out []uint64) []uint64 {
 	for slot := 0; slot < gs.reps*gs.buckets; slot++ {
 		if idx, _, ok := gs.cells.Sample(slot); ok {
 			out = append(out, idx)

@@ -54,6 +54,11 @@ type Sketch struct {
 	nodeRec  []*sparserec.Bank // one bank of N node sketches per level
 	lgN      float64
 	sorter   sketchcore.BatchSorter // UpdateBatch level-sort scratch
+
+	// Decode cache (see Simple): Sparsify is read-only and memoized.
+	decoded  bool
+	decGraph *graph.Graph
+	decErr   error
 }
 
 // New creates a SPARSIFICATION sketch.
@@ -80,6 +85,11 @@ func New(cfg Config) *Sketch {
 // Config returns the filled configuration.
 func (s *Sketch) Config() Config { return s.cfg }
 
+// SetDecodeWorkers overrides the worker count of the rough sparsifier's
+// level-parallel extraction (0 restores the GOMAXPROCS default). The
+// decoded graph is bit-identical for every setting.
+func (s *Sketch) SetDecodeWorkers(workers int) { s.rough.SetDecodeWorkers(workers) }
+
 // Update applies a signed multiplicity change to edge {u, v}. Both the
 // rough sparsifier and the x^{u,i} recovery banks see the update; the
 // incidence convention is x^u[(a,b)] = +delta at the lower endpoint and
@@ -88,6 +98,7 @@ func (s *Sketch) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {
 		return
 	}
+	s.decoded = false
 	s.rough.Update(u, v, delta)
 	if u > v {
 		u, v = v, u
@@ -107,6 +118,7 @@ func (s *Sketch) Update(u, v int, delta int64) {
 // level-descending counting sort so bank i consumes the leading run of
 // updates with level >= i through Bank.UpdateEdges.
 func (s *Sketch) UpdateBatch(ups []stream.Update) {
+	s.decoded = false
 	s.rough.UpdateBatch(ups)
 	s.sorter.Replay(ups, s.cfg.Levels, true,
 		func(up stream.Update) (int, bool) {
@@ -153,6 +165,7 @@ func (s *Sketch) Add(other *Sketch) {
 	if s.cfg != other.cfg {
 		panic("sparsify: merging incompatible sketches")
 	}
+	s.decoded = false
 	s.rough.Add(other.rough)
 	for i := range s.nodeRec {
 		s.nodeRec[i].Add(other.nodeRec[i])
@@ -187,8 +200,17 @@ func (s *Sketch) levelFor(w int64) int {
 	return j
 }
 
-// Sparsify runs Fig 3 step 4. It consumes the sketch; call once.
+// Sparsify runs Fig 3 step 4. Decode is read-only on the sketch and
+// cached: repeated calls return the same graph (treat it as read-only).
 func (s *Sketch) Sparsify() (*graph.Graph, error) {
+	if !s.decoded {
+		s.decGraph, s.decErr = s.sparsify()
+		s.decoded = true
+	}
+	return s.decGraph, s.decErr
+}
+
+func (s *Sketch) sparsify() (*graph.Graph, error) {
 	rough, err := s.rough.Sparsify()
 	if err != nil {
 		return nil, err

@@ -18,7 +18,10 @@ package sparsify
 
 import (
 	"errors"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"graphsketch/internal/agm"
 	"graphsketch/internal/graph"
@@ -75,6 +78,26 @@ type Simple struct {
 	levelMix hashing.Mixer
 	ecs      []*agm.EdgeConnectSketch
 	sorter   sketchcore.BatchSorter // UpdateBatch level-sort scratch
+
+	// Decode cache: post-processing is read-only (witness extraction no
+	// longer peels banks in place), so the sparsifier is computed once and
+	// invalidated only when sketch state changes.
+	decoded    bool
+	decGraph   *graph.Graph
+	decErr     error
+	decWorkers int // 0 = GOMAXPROCS
+}
+
+// SetDecodeWorkers overrides the worker count used by Sparsify's
+// level-parallel witness extraction (0 restores the GOMAXPROCS default).
+// The decoded graph is bit-identical for every setting.
+func (s *Simple) SetDecodeWorkers(workers int) { s.decWorkers = workers }
+
+func (s *Simple) decodeWorkers() int {
+	if s.decWorkers > 0 {
+		return s.decWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NewSimple creates a SIMPLE-SPARSIFICATION sketch.
@@ -96,6 +119,7 @@ func (s *Simple) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {
 		return
 	}
+	s.decoded = false
 	idx := stream.EdgeIndex(u, v, s.cfg.N)
 	l := s.levelMix.Level(idx)
 	if l >= s.cfg.Levels {
@@ -112,6 +136,7 @@ func (s *Simple) Update(u, v int, delta int64) {
 // structure as the mincut sketch; linearity makes the reordering
 // bit-neutral).
 func (s *Simple) UpdateBatch(ups []stream.Update) {
+	s.decoded = false
 	s.sorter.Replay(ups, s.cfg.Levels, true,
 		func(up stream.Update) (int, bool) {
 			if up.U == up.V || up.Delta == 0 {
@@ -157,6 +182,7 @@ func (s *Simple) Add(other *Simple) {
 	if s.cfg != other.cfg {
 		panic("sparsify: merging incompatible Simple sketches")
 	}
+	s.decoded = false
 	for i := range s.ecs {
 		s.ecs[i].Add(other.ecs[i])
 	}
@@ -176,41 +202,108 @@ func (s *Simple) Equal(other *Simple) bool {
 }
 
 // Sparsify runs Fig 2's post-processing and returns the weighted
-// sparsifier. It consumes the sketch; call once.
+// sparsifier. Decode is read-only on the sketch and cached: repeated calls
+// return the same graph (treat it as read-only).
 func (s *Simple) Sparsify() (*graph.Graph, error) {
-	// Extract all witnesses.
-	hs := make([]*graph.Graph, s.cfg.Levels)
-	for i := range s.ecs {
-		hs[i] = s.ecs[i].Witness()
+	if !s.decoded {
+		s.decGraph, s.decErr = s.sparsifyLevels(s.decodeWorkers())
+		s.decoded = true
 	}
-	return assembleSimple(hs, int64(s.cfg.K), s.cfg.N), nil
+	return s.decGraph, s.decErr
+}
+
+// sparsifyLevels extracts every level's witness — independent levels
+// claimed off an atomic counter by up to `workers` goroutines, each owning
+// its extraction scratch — then assembles the sparsifier. Results are
+// bit-identical for any worker count: hs[i] depends only on level i's
+// sketch, and assembly consumes the levels in index order. Property tests
+// pin this against workers = 1.
+func (s *Simple) sparsifyLevels(workers int) (*graph.Graph, error) {
+	levels := s.cfg.Levels
+	hs := make([]*graph.Graph, levels)
+	sat := make([]bool, levels)
+	var next atomic.Int64
+	work := func() {
+		ws := agm.NewWitnessScratch()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= levels {
+				return
+			}
+			hs[i] = graph.New(s.cfg.N)
+			sat[i] = s.ecs[i].WitnessInto(hs[i], ws)
+		}
+	}
+	if workers > levels {
+		workers = levels
+	}
+	if workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	return assembleSimple(hs, sat, int64(s.cfg.K), s.cfg.N), nil
 }
 
 // assembleSimple implements Fig 2 step 3 given the witnesses: for each
 // candidate edge, find j = min{i : lambda_e(H_i) < k}; if e in H_j, weight
 // it 2^j (times its multiplicity).
-func assembleSimple(hs []*graph.Graph, k int64, n int) *graph.Graph {
+//
+// The lambda_e probes are served from memoized per-level connectivity
+// structures instead of a fresh capped max-flow per (candidate, level):
+//
+//   - sat[i] marks levels whose witness is provably >= k-connected (k
+//     edge-disjoint spanning trees — WitnessInfo's flag). There
+//     lambda_e(H_i) >= lambda(H_i) >= k for every pair, so the probe's
+//     "< k" test is false without any computation.
+//   - other levels lazily build one Gomory-Hu tree (n-1 max-flows on a
+//     reusable solver) and answer each probe as a min-edge-on-path query.
+//
+// Both answer with the exact lambda_e the capped flow was thresholding, so
+// the frozen level, and therefore every output byte, is unchanged — that is
+// pinned by TestSparsifyGolden and the reference-assembly property test.
+func assembleSimple(hs []*graph.Graph, sat []bool, k int64, n int) *graph.Graph {
 	spars := graph.New(n)
-	type cand struct{ u, v int }
-	seen := map[uint64]cand{}
+	// Candidate edges: union over witnesses, deduped via one sorted slice
+	// (deterministic iteration order, no map).
+	var keys []uint64
 	for _, h := range hs {
 		for _, e := range h.Edges() {
-			seen[stream.EdgeIndex(e.U, e.V, n)] = cand{e.U, e.V}
+			keys = append(keys, stream.EdgeIndex(e.U, e.V, n))
 		}
 	}
-	// Deterministic iteration order for reproducibility.
-	keys := make([]uint64, 0, len(seen))
-	for idx := range seen {
-		keys = append(keys, idx)
-	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ghs := make([]*graph.GHTree, len(hs))
+	var prev uint64
+	havePrev := false
 	for _, idx := range keys {
-		c := seen[idx]
+		if havePrev && idx == prev {
+			continue
+		}
+		prev, havePrev = idx, true
+		u, v := stream.EdgeFromIndex(idx, n)
 		for i, h := range hs {
-			lam := h.MinCutSTCapped(c.u, c.v, k)
+			if sat[i] {
+				continue // lambda_e >= lambda(H_i) >= k: e does not freeze here
+			}
+			var lam int64
+			if h.NumEdges() > 0 {
+				if ghs[i] == nil {
+					ghs[i] = h.GomoryHu()
+				}
+				lam = ghs[i].MinCutBetween(u, v)
+			}
 			if lam < k {
-				if w := h.Weight(c.u, c.v); w != 0 {
-					spars.AddEdge(c.u, c.v, w<<uint(i))
+				if w := h.Weight(u, v); w != 0 {
+					spars.AddEdge(u, v, w<<uint(i))
 				}
 				break
 			}
@@ -240,13 +333,13 @@ func MaxCutError(g, h *graph.Graph, random int, seed uint64) float64 {
 			worst = rel
 		}
 	}
+	// One scratch buffer for every probe. The singleton loop flips a single
+	// bit per vertex instead of rewriting the whole slice each iteration.
 	side := make([]bool, n)
 	for v := 0; v < n; v++ {
-		for i := range side {
-			side[i] = false
-		}
 		side[v] = true
 		probe(side)
+		side[v] = false
 	}
 	r := hashing.NewRNG(seed)
 	for t := 0; t < random; t++ {

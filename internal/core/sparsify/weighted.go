@@ -25,6 +25,11 @@ type Weighted struct {
 	cfg     WeightedConfig // as passed to NewWeighted (spawns shard siblings)
 	ws      []*Simple
 	sorter  sketchcore.BatchSorter // UpdateBatch class-sort scratch
+
+	// Decode cache (see Simple): Sparsify is read-only and memoized.
+	decoded  bool
+	decGraph *graph.Graph
+	decErr   error
 }
 
 // WeightedConfig parameterizes the weighted sparsifier.
@@ -76,11 +81,21 @@ func NewWeighted(cfg WeightedConfig) *Weighted {
 	return w
 }
 
+// SetDecodeWorkers overrides each class sketch's level-parallel extraction
+// worker count (0 restores the GOMAXPROCS default). The decoded graph is
+// bit-identical for every setting.
+func (w *Weighted) SetDecodeWorkers(workers int) {
+	for _, s := range w.ws {
+		s.SetDecodeWorkers(workers)
+	}
+}
+
 // Update routes an update to its weight class, keyed by |delta|.
 func (w *Weighted) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {
 		return
 	}
+	w.decoded = false
 	w.ws[sketchcore.WeightClass(delta, w.classes)].Update(u, v, delta)
 }
 
@@ -89,6 +104,7 @@ func (w *Weighted) Update(u, v int, delta int64) {
 // contiguous run through its batch kernel (linearity makes the reordering
 // bit-neutral).
 func (w *Weighted) UpdateBatch(ups []stream.Update) {
+	w.decoded = false
 	w.sorter.Replay(ups, w.classes, false,
 		func(up stream.Update) (int, bool) {
 			if up.U == up.V || up.Delta == 0 {
@@ -128,6 +144,7 @@ func (w *Weighted) Add(other *Weighted) {
 	if w.n != other.n || w.classes != other.classes || w.cfg != other.cfg {
 		panic("sparsify: merging incompatible Weighted sketches")
 	}
+	w.decoded = false
 	for c := range w.ws {
 		w.ws[c].Add(other.ws[c])
 	}
@@ -146,18 +163,25 @@ func (w *Weighted) Equal(other *Weighted) bool {
 	return true
 }
 
-// Sparsify merges the per-class sparsifiers. Consumes the sketch.
+// Sparsify merges the per-class sparsifiers (each decoded level-parallel
+// through Simple's path, merged in class order for determinism). Decode is
+// read-only and cached: repeated calls return the same graph.
 func (w *Weighted) Sparsify() (*graph.Graph, error) {
+	if w.decoded {
+		return w.decGraph, w.decErr
+	}
 	out := graph.New(w.n)
 	for _, s := range w.ws {
 		sp, err := s.Sparsify()
 		if err != nil {
+			w.decGraph, w.decErr, w.decoded = nil, err, true
 			return nil, err
 		}
 		for _, e := range sp.Edges() {
 			out.AddEdge(e.U, e.V, e.W)
 		}
 	}
+	w.decGraph, w.decErr, w.decoded = out, nil, true
 	return out, nil
 }
 

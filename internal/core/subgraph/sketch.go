@@ -23,6 +23,12 @@ type Sketch struct {
 	binom    [][]int64
 	samplers *sketchcore.Arena // one slot per sample; slots hash independently
 	norm     *l0norm.Estimator
+
+	// Decode cache: sampling each slot is read-only and deterministic, so
+	// the decoded squash values are computed once and shared by every
+	// pattern query instead of re-decoding the whole bank per pattern.
+	decoded bool
+	vals    []int64 // usable samples' decoded squash values
 }
 
 // samplerRepsSubgraph is the per-sampler repetition count: a failed sampler
@@ -136,6 +142,7 @@ func (s *Sketch) applyColumn(u, v int, rest, subset []int, delta int64) {
 	}
 	col := s.rank(subset)
 	val := delta << uint(s.ps.PairPos(pu, pv))
+	s.decoded = false
 	s.samplers.UpdateAll(col, val)
 	s.norm.Update(col, val)
 }
@@ -176,6 +183,7 @@ func (s *Sketch) Add(other *Sketch) {
 	if s.n != other.n || s.k != other.k || s.samples != other.samples {
 		panic("subgraph: merging incompatible sketches")
 	}
+	s.decoded = false
 	s.samplers.Add(other.samplers)
 	s.norm.Add(other.norm)
 }
@@ -188,22 +196,36 @@ func (s *Sketch) Equal(other *Sketch) bool {
 		s.seed == other.seed && s.samplers.Equal(other.samplers)
 }
 
+// decodeSamples draws every slot's sample once and caches the usable
+// squash values. Decoding is read-only on the arena, so the cache stays
+// valid until the sketch state changes.
+func (s *Sketch) decodeSamples() {
+	if s.decoded {
+		return
+	}
+	s.vals = s.vals[:0]
+	for i := 0; i < s.samples; i++ {
+		if _, val, ok := s.samplers.Sample(i); ok {
+			s.vals = append(s.vals, val)
+		}
+	}
+	s.decoded = true
+}
+
 // GammaEstimate estimates gamma_H for the pattern bitmap (see the exported
 // pattern constants). Returns the estimate and the number of samplers that
-// produced a usable sample (the effective sample size).
+// produced a usable sample (the effective sample size). The bank is
+// decoded once and the samples shared across pattern queries.
 func (s *Sketch) GammaEstimate(pattern uint64) (gamma float64, effective int) {
+	s.decodeSamples()
 	target := s.ps.Canonical(pattern)
 	match := 0
-	for i := 0; i < s.samples; i++ {
-		_, val, ok := s.samplers.Sample(i)
-		if !ok {
-			continue
-		}
-		effective++
+	for _, val := range s.vals {
 		if val > 0 && uint64(val) < (1<<uint(s.ps.npairs)) && s.ps.Canonical(uint64(val)) == target {
 			match++
 		}
 	}
+	effective = len(s.vals)
 	if effective == 0 {
 		return 0, 0
 	}

@@ -19,6 +19,22 @@ func NewDSU(n int) *DSU {
 	return d
 }
 
+// Reset restores n singleton sets, reusing the backing arrays when they are
+// large enough (decode loops recycle one DSU across many extractions).
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int, n)
+		d.size = make([]int, n)
+	}
+	d.parent = d.parent[:n]
+	d.size = d.size[:n]
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	d.count = n
+}
+
 // Find returns the representative of x's set.
 func (d *DSU) Find(x int) int {
 	for d.parent[x] != x {

@@ -15,7 +15,11 @@ type GHTree struct {
 	n      int
 	Parent []int   // Parent[v] = tree parent (Parent[root] = -1)
 	Weight []int64 // Weight[v] = weight of edge (v, Parent[v])
+	depth  []int   // lazy cache for path queries; nil until first use
 }
+
+// ghDenseLimit caps the dense-contraction path's n*n int64 scratch at 2 MB.
+const ghDenseLimit = 512
 
 // ghSuper is a supernode of the in-progress tree.
 type ghSuper struct {
@@ -37,6 +41,27 @@ func (g *Graph) GomoryHu() *GHTree {
 	}
 	supers[0] = &ghSuper{verts: all, nbrs: map[int]int64{}}
 	nextID := 1
+
+	// Per-split machinery, hoisted out of the loop: the source edge list is
+	// immutable, and the contraction buffers, flow solver, and side buffer
+	// are recycled split after split (n-1 splits total). Contraction runs
+	// through a dense weight matrix when it fits (post-processing graphs are
+	// small), emitting edges in the same canonical (U, V) ascending order
+	// the map-backed Graph's Edges() produced — no per-split map or sort;
+	// larger graphs fall back to the map path.
+	allEdges := g.Edges()
+	solver := NewFlowSolver()
+	sideBuf := make([]bool, n)
+	label := make([]int, n)
+	dense := n <= ghDenseLimit
+	var mat []int64
+	var edgeBuf []Edge
+	var contracted *Graph
+	if dense {
+		mat = make([]int64, n*n)
+	} else {
+		contracted = New(0)
+	}
 
 	// Queue of supernode ids that may still need splitting.
 	queue := []int{0}
@@ -80,7 +105,6 @@ func (g *Graph) GomoryHu() *GHTree {
 
 		// Contracted graph: x's vertices individually, then one vertex per
 		// component.
-		label := make([]int, n)
 		for i := range label {
 			label[i] = -1
 		}
@@ -95,15 +119,41 @@ func (g *Graph) GomoryHu() *GHTree {
 				}
 			}
 		}
-		contracted := New(base + len(comps))
-		for _, e := range g.Edges() {
-			lu, lv := label[e.U], label[e.V]
-			if lu != lv && lu != -1 && lv != -1 {
-				contracted.AddEdge(lu, lv, e.W)
+		cn := base + len(comps)
+		if dense {
+			edgeBuf = edgeBuf[:0]
+			for _, e := range allEdges {
+				lu, lv := label[e.U], label[e.V]
+				if lu != lv && lu != -1 && lv != -1 {
+					if lu > lv {
+						lu, lv = lv, lu
+					}
+					mat[lu*cn+lv] += e.W
+				}
 			}
+			for a := 0; a < cn; a++ {
+				row := mat[a*cn : (a+1)*cn]
+				for b := a + 1; b < cn; b++ {
+					if w := row[b]; w != 0 {
+						edgeBuf = append(edgeBuf, Edge{U: a, V: b, W: w})
+						row[b] = 0
+					}
+				}
+			}
+			solver.ResetEdges(cn, edgeBuf)
+		} else {
+			contracted.Reset(cn)
+			for _, e := range allEdges {
+				lu, lv := label[e.U], label[e.V]
+				if lu != lv && lu != -1 && lv != -1 {
+					contracted.AddEdge(lu, lv, e.W)
+				}
+			}
+			solver.Reset(contracted)
 		}
-
-		cutVal, side := contracted.MinCutST(label[u], label[v])
+		cutVal := solver.MaxFlowCapped(label[u], label[v], inf64)
+		side := sideBuf[:cn]
+		solver.MinCutSideInto(label[u], side)
 
 		// Split x into xu (u's side) and xv.
 		var vu, vv []int
@@ -261,7 +311,14 @@ func (t *GHTree) TreeEdges() []Edge {
 	return out
 }
 
+// depths returns (and caches) every vertex's tree depth. The cache makes
+// repeated path queries — one per candidate edge during sparsifier assembly
+// — O(path) instead of O(n) each. Callers must not mutate Parent after the
+// first query.
 func (t *GHTree) depths() []int {
+	if t.depth != nil {
+		return t.depth
+	}
 	depth := make([]int, t.n)
 	computed := make([]bool, t.n)
 	var rec func(v int) int
@@ -280,5 +337,6 @@ func (t *GHTree) depths() []int {
 	for v := 0; v < t.n; v++ {
 		rec(v)
 	}
+	t.depth = depth
 	return depth
 }

@@ -58,6 +58,15 @@ func FromStream(s *stream.Stream) *Graph {
 // N returns the vertex count.
 func (g *Graph) N() int { return g.n }
 
+// Reset empties the graph and resizes it to n vertices, keeping the edge
+// map's storage so decode loops can recycle one Graph across extractions
+// instead of allocating per call.
+func (g *Graph) Reset(n int) {
+	g.n = n
+	clear(g.w)
+	g.adj = nil
+}
+
 // AddEdge accumulates weight w onto edge {u, v}. Self-loops are ignored.
 // A negative w acts as deletion; the edge disappears when weight reaches 0.
 func (g *Graph) AddEdge(u, v int, w int64) {

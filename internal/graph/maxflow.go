@@ -1,141 +1,36 @@
 package graph
 
-// Dinic max-flow on undirected graphs with int64 capacities. An undirected
-// edge {u,v} of weight w becomes a single arc pair where each direction has
-// capacity w and the pair shares residual capacity in the standard way.
+// Max-flow / min-cut entry points, all served by the reusable FlowSolver
+// (Dinic on undirected graphs with int64 capacities; see flowsolver.go).
 //
 // Used for:
 //   - min u-v cuts during Gomory-Hu construction (Fig 3, step 4);
 //   - the lambda_e(H_i) < k tests of SIMPLE-SPARSIFICATION (Fig 2, step 3),
 //     where the flow can be capped at k to stop early.
-
-type dinicEdge struct {
-	to  int
-	cap int64
-	rev int // index of reverse edge in adj[to]
-}
-
-type dinic struct {
-	n     int
-	adj   [][]dinicEdge
-	level []int
-	iter  []int
-}
-
-func newDinic(g *Graph) *dinic {
-	d := &dinic{n: g.n, adj: make([][]dinicEdge, g.n)}
-	for _, e := range g.Edges() {
-		d.addEdge(e.U, e.V, e.W)
-	}
-	return d
-}
-
-// addEdge adds an undirected edge: capacity w in both directions.
-func (d *dinic) addEdge(u, v int, w int64) {
-	d.adj[u] = append(d.adj[u], dinicEdge{to: v, cap: w, rev: len(d.adj[v])})
-	d.adj[v] = append(d.adj[v], dinicEdge{to: u, cap: w, rev: len(d.adj[u]) - 1})
-}
-
-func (d *dinic) bfs(s int) {
-	d.level = make([]int, d.n)
-	for i := range d.level {
-		d.level[i] = -1
-	}
-	queue := []int{s}
-	d.level[s] = 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, e := range d.adj[u] {
-			if e.cap > 0 && d.level[e.to] < 0 {
-				d.level[e.to] = d.level[u] + 1
-				queue = append(queue, e.to)
-			}
-		}
-	}
-}
-
-func (d *dinic) dfs(u, t int, f int64) int64 {
-	if u == t {
-		return f
-	}
-	for ; d.iter[u] < len(d.adj[u]); d.iter[u]++ {
-		e := &d.adj[u][d.iter[u]]
-		if e.cap > 0 && d.level[u] < d.level[e.to] {
-			pushed := f
-			if e.cap < pushed {
-				pushed = e.cap
-			}
-			got := d.dfs(e.to, t, pushed)
-			if got > 0 {
-				e.cap -= got
-				d.adj[e.to][e.rev].cap += got
-				return got
-			}
-		}
-	}
-	return 0
-}
+//
+// Callers issuing many queries should hold their own FlowSolver and use
+// Reset/ResetFlow directly; these wrappers build a fresh solver per call.
 
 const inf64 = int64(1) << 62
-
-// maxflow computes max flow from s to t, stopping once flow >= cap
-// (pass inf64 for the exact value).
-func (d *dinic) maxflow(s, t int, flowCap int64) int64 {
-	var flow int64
-	for flow < flowCap {
-		d.bfs(s)
-		if d.level[t] < 0 {
-			return flow
-		}
-		d.iter = make([]int, d.n)
-		for {
-			f := d.dfs(s, t, flowCap-flow)
-			if f == 0 {
-				break
-			}
-			flow += f
-			if flow >= flowCap {
-				return flow
-			}
-		}
-	}
-	return flow
-}
-
-// minCutSide returns the source side of the min cut: vertices reachable
-// from s in the residual graph. Call after maxflow.
-func (d *dinic) minCutSide(s int) []bool {
-	side := make([]bool, d.n)
-	queue := []int{s}
-	side[s] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, e := range d.adj[u] {
-			if e.cap > 0 && !side[e.to] {
-				side[e.to] = true
-				queue = append(queue, e.to)
-			}
-		}
-	}
-	return side
-}
 
 // MinCutST returns the weight of a minimum s-t cut and the source-side
 // indicator of one such cut.
 func (g *Graph) MinCutST(s, t int) (int64, []bool) {
-	d := newDinic(g)
-	val := d.maxflow(s, t, inf64)
-	return val, d.minCutSide(s)
+	fs := NewFlowSolver()
+	fs.Reset(g)
+	val := fs.MaxFlowCapped(s, t, inf64)
+	side := make([]bool, g.n)
+	fs.MinCutSideInto(s, side)
+	return val, side
 }
 
 // MinCutSTCapped returns min(k, min s-t cut weight). It stops the flow
 // computation as soon as k units are routed, making the lambda_e < k tests
 // of Fig 2 cheap: O(k * m) rather than a full max-flow.
 func (g *Graph) MinCutSTCapped(s, t int, k int64) int64 {
-	d := newDinic(g)
-	return d.maxflow(s, t, k)
+	fs := NewFlowSolver()
+	fs.Reset(g)
+	return fs.MaxFlowCapped(s, t, k)
 }
 
 // EdgeConnectivity returns the global edge connectivity (min over all s-t
@@ -146,10 +41,12 @@ func (g *Graph) EdgeConnectivity() int64 {
 	if g.n < 2 {
 		return 0
 	}
+	fs := NewFlowSolver()
+	fs.Reset(g)
 	best := inf64
 	for t := 1; t < g.n; t++ {
-		d := newDinic(g)
-		if f := d.maxflow(0, t, best); f < best {
+		fs.ResetFlow()
+		if f := fs.MaxFlowCapped(0, t, best); f < best {
 			best = f
 		}
 		if best == 0 {

@@ -18,14 +18,18 @@ func (g *Graph) StoerWagner() (int64, []bool) {
 		return 0, side
 	}
 
-	// Dense weight matrix over active supernodes.
+	// Dense weight matrix over active supernodes, one flat allocation.
+	// Filled straight from the edge map: accumulation is commutative, so no
+	// sorted Edges() pass is needed.
+	flat := make([]int64, n*n)
 	w := make([][]int64, n)
 	for i := range w {
-		w[i] = make([]int64, n)
+		w[i] = flat[i*n : (i+1)*n]
 	}
-	for _, e := range g.Edges() {
-		w[e.U][e.V] += e.W
-		w[e.V][e.U] += e.W
+	for idx, ew := range g.w {
+		u, v := int(idx/uint64(n)), int(idx%uint64(n))
+		w[u][v] += ew
+		w[v][u] += ew
 	}
 	// members[i] = original vertices merged into supernode i.
 	members := make([][]int, n)
@@ -38,12 +42,20 @@ func (g *Graph) StoerWagner() (int64, []bool) {
 	best := int64(1) << 62
 	var bestSide []bool
 
+	// Phase scratch, reused across phases (profiling showed the old
+	// per-phase maps dominated decode-time Stoer-Wagner).
+	inA := make([]bool, n)
+	wsum := make([]int64, n)
+	order := make([]int, 0, n)
+
 	for len(active) > 1 {
 		// Minimum cut phase: maximum adjacency ordering.
 		a := active
-		inA := make(map[int]bool, len(a))
-		wsum := make(map[int]int64, len(a))
-		order := make([]int, 0, len(a))
+		for _, v := range a {
+			inA[v] = false
+			wsum[v] = 0
+		}
+		order = order[:0]
 		for len(order) < len(a) {
 			// pick most tightly connected vertex not in A
 			sel, selW := -1, int64(-1)

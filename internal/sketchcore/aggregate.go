@@ -5,11 +5,20 @@ package sketchcore
 // sketches so exactly the component's crossing edges survive, Sec. 3.3).
 // It replaces the old map[int]*l0.Sampler of cloned samplers with one flat
 // accumulation buffer of interleaved cells recycled across rounds.
+//
+// Component rows materialize copy-on-write: a component stays a view onto
+// its single member's arena row until a second member (or a pending
+// subtraction edge) actually lands on it, and only then is the row copied
+// into the scratch buffer. Early Boruvka rounds — where most components are
+// singletons and most of the aggregation traffic used to be the initial
+// copy pass — therefore read the arena without writing anything.
 type Aggregator struct {
 	arena  *Arena
 	ncomp  int
 	cells  []acell
 	compOf []int32 // root slot -> compact component id, or -1
+	first  []int32 // component id -> first member slot
+	mat    []bool  // component id -> row materialized in cells
 }
 
 // NewAggregator returns an empty aggregator; buffers grow on first use.
@@ -33,8 +42,12 @@ func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
 	ag.cells = ag.cells[:need]
 	if cap(ag.compOf) < a.slots {
 		ag.compOf = make([]int32, a.slots)
+		ag.first = make([]int32, a.slots)
+		ag.mat = make([]bool, a.slots)
 	}
 	ag.compOf = ag.compOf[:a.slots]
+	ag.first = ag.first[:a.slots]
+	ag.mat = ag.mat[:a.slots]
 	for i := range ag.compOf {
 		ag.compOf[i] = -1
 	}
@@ -42,21 +55,46 @@ func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
 	for v := 0; v < a.slots; v++ {
 		root := find(v)
 		c := ag.compOf[root]
-		src := v * cells
 		if c == -1 {
-			// First member: initialize the component's buffer by copy.
+			// First member: the component is a view onto this slot's row
+			// until something else lands on it.
 			c = int32(ncomp)
 			ag.compOf[root] = c
+			ag.first[c] = int32(v)
+			ag.mat[c] = false
 			ncomp++
-			dst := int(c) * cells
-			copy(ag.cells[dst:dst+cells], a.cells[src:src+cells])
 			continue
 		}
+		ag.materialize(int(c), cells)
 		dst := int(c) * cells
+		src := v * cells
 		addInto(ag.cells[dst:dst+cells], a.cells[src:src+cells])
 	}
 	ag.ncomp = ncomp
 	return ncomp
+}
+
+// materialize copies component c's first-member row out of the arena into
+// the scratch buffer so it can be mutated. No-op if already materialized.
+func (ag *Aggregator) materialize(c, cells int) {
+	if ag.mat[c] {
+		return
+	}
+	dst := c * cells
+	src := int(ag.first[c]) * cells
+	copy(ag.cells[dst:dst+cells], ag.arena.cells[src:src+cells])
+	ag.mat[c] = true
+}
+
+// compCells returns component c's cell row: the scratch row when
+// materialized, the single member's arena row otherwise.
+func (ag *Aggregator) compCells(c, cells int) []acell {
+	if ag.mat[c] {
+		b := c * cells
+		return ag.cells[b : b+cells]
+	}
+	b := int(ag.first[c]) * cells
+	return ag.arena.cells[b : b+cells]
 }
 
 // Sample draws from the support of component c's summed vector — by
@@ -64,8 +102,7 @@ func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
 func (ag *Aggregator) Sample(c int) (index uint64, weight int64, ok bool) {
 	a := ag.arena
 	cells := a.reps * a.levels
-	b := c * cells
-	return sampleCells(ag.cells[b:b+cells], a.reps, a.levels, a.z[0], a.pow[0])
+	return sampleCells(ag.compCells(c, cells), a.reps, a.levels, a.z[0], a.pow[0])
 }
 
 // SumSlots sums an arbitrary slot subset (side[slot] == true) of a
@@ -93,5 +130,12 @@ func (ag *Aggregator) SumSlots(a *Arena, side []bool) (index uint64, weight int6
 		addInto(ag.cells, a.cells[src:src+cells])
 	}
 	ag.ncomp = 1
+	// Component 0's row lives in scratch now, so a follow-up Sample(0)
+	// reads the summed cells (grow the flags if Aggregate never ran).
+	if len(ag.mat) == 0 {
+		ag.first = make([]int32, 1)
+		ag.mat = make([]bool, 1)
+	}
+	ag.mat[0] = true
 	return sampleCells(ag.cells, a.reps, a.levels, a.z[0], a.pow[0])
 }

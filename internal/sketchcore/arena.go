@@ -208,10 +208,7 @@ func (a *Arena) cellBase(slot, rep int) int {
 // applyCell adds (delta, is = index*delta, precomputed fingerprint term) to
 // the single exact-level cell at index i.
 func (a *Arena) applyCell(i int, delta, is int64, term uint64) {
-	c := &a.cells[i]
-	c.w += delta
-	c.s += is
-	c.f = hashing.AddMod61(c.f, term)
+	cellAdd(&a.cells[i], delta, is, term)
 }
 
 // Update adds delta to coordinate index of one slot. Works in both seeding

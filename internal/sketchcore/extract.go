@@ -1,0 +1,117 @@
+package sketchcore
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/onesparse"
+)
+
+// PendingSub is the decode-side counterpart of EdgePlan: a staged list of
+// node-incidence edge updates (canonical endpoints, edge index, signed
+// delta, index-weighted delta) that have been *logically* applied to a bank
+// stack but not written into any arena. k-EDGECONNECT witness extraction
+// stages each peeled forest here, negated, instead of fanning scalar
+// subtractions into every later bank's round arenas; AggregateSub then
+// folds the list into the per-component sums at decode time.
+//
+// Deferring the subtraction to aggregation is bit-neutral by linearity:
+// every cell aggregate is a commutative sum (int64 weight and index sums, a
+// GF(2^61-1) fingerprint sum), so adding a pending edge's contribution to
+// the summed component row equals summing rows to which the edge had been
+// applied slot-wise. It is also strictly cheaper — the contribution is paid
+// once per aggregation actually performed (and skipped entirely for edges
+// internal to a component, where the +/- endpoint contributions cancel)
+// rather than once per round arena of every later bank — and it leaves the
+// arenas pristine, so extraction no longer consumes the sketch.
+type PendingSub struct {
+	slots int
+	u, v  []int32 // canonical endpoints, u < v
+	idx   []uint64
+	delta []int64
+	is    []int64 // idx * delta
+}
+
+// Reset empties the list for banks with the given slot count, keeping the
+// staging arrays.
+func (p *PendingSub) Reset(slots int) {
+	p.slots = slots
+	p.u = p.u[:0]
+	p.v = p.v[:0]
+	p.idx = p.idx[:0]
+	p.delta = p.delta[:0]
+	p.is = p.is[:0]
+}
+
+// Add stages one edge update {u, v} += delta (self-loops and zero deltas
+// dropped, endpoints canonicalized).
+func (p *PendingSub) Add(u, v int, delta int64) {
+	if u == v || delta == 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	idx := uint64(u)*uint64(p.slots) + uint64(v)
+	p.u = append(p.u, int32(u))
+	p.v = append(p.v, int32(v))
+	p.idx = append(p.idx, idx)
+	p.delta = append(p.delta, delta)
+	p.is = append(p.is, int64(idx)*delta)
+}
+
+// Len returns the number of staged edges.
+func (p *PendingSub) Len() int { return len(p.idx) }
+
+// AggregateSub aggregates a's slots by component exactly like Aggregate and
+// then applies the pending edge list to the aggregated rows, using a's
+// hashes. The resulting component sums are bit-identical to aggregating an
+// arena to which every pending update had been applied slot-wise (see the
+// PendingSub comment for why). Pending edges whose endpoints share a
+// component contribute +x and -x to the same row and are skipped. sub may
+// be nil or empty, in which case this is exactly Aggregate.
+func (ag *Aggregator) AggregateSub(a *Arena, find func(int) int, sub *PendingSub) int {
+	ncomp := ag.Aggregate(a, find)
+	if sub == nil || sub.Len() == 0 {
+		return ncomp
+	}
+	if a.slots != sub.slots || a.universe != uint64(a.slots)*uint64(a.slots) {
+		panic("sketchcore: AggregateSub requires a node-incidence arena matching the pending list")
+	}
+	tab := a.pow[0]
+	mix := a.mix
+	levels := a.levels
+	rowCells := a.reps * levels
+	for e := range sub.idx {
+		cu := ag.compOf[find(int(sub.u[e]))]
+		cv := ag.compOf[find(int(sub.v[e]))]
+		if cu == cv {
+			continue
+		}
+		idx := sub.idx[e]
+		d, is := sub.delta[e], sub.is[e]
+		t := onesparse.FingerprintTermTab(tab, idx, d)
+		ng := onesparse.NegateMod61(t)
+		ag.materialize(int(cu), rowCells)
+		ag.materialize(int(cv), rowCells)
+		bu := int(cu) * rowCells
+		bv := int(cv) * rowCells
+		for r := 0; r < len(mix); r++ {
+			l := mix[r].Level(idx)
+			if l >= levels {
+				l = levels - 1
+			}
+			cellAdd(&ag.cells[bu+l], d, is, t)
+			cellAdd(&ag.cells[bv+l], -d, -is, ng)
+			bu += levels
+			bv += levels
+		}
+	}
+	return ncomp
+}
+
+// cellAdd folds (delta, index-weighted delta, fingerprint term) into one
+// aggregated cell.
+func cellAdd(c *acell, delta, is int64, term uint64) {
+	c.w += delta
+	c.s += is
+	c.f = hashing.AddMod61(c.f, term)
+}
