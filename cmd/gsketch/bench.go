@@ -15,6 +15,7 @@ import (
 	"graphsketch/internal/core/mincut"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
 
@@ -59,8 +60,16 @@ type BenchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// AllocBytes is the total bytes allocated during the measured run.
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// HeapInuse is runtime.MemStats.HeapInuse right after the run: what the
+	// row actually keeps resident, as opposed to what it churned.
+	HeapInuse uint64 `json:"heap_inuse"`
 	// Words is the sketch memory footprint in 64-bit words.
 	Words int `json:"words"`
+	// Bytes is the payload size for wire rows (serialized sketch bytes).
+	Bytes int `json:"bytes,omitempty"`
+	// Footprint is the sketch's occupancy-aware space report, attached to
+	// rows that end with a live sketch.
+	Footprint *sketchcore.Footprint `json:"footprint,omitempty"`
 }
 
 // BenchReport is the machine-readable output of `gsketch bench`, consumed
@@ -92,6 +101,21 @@ type BenchReport struct {
 	// repeated decodes of the same sketch agree (the post-processing is
 	// read-only and cached).
 	DecodeBitIdentical bool `json:"decode_bit_identical"`
+	// MergeBitIdentical reports whether MergeMany and the wire-level
+	// MergeBinary fold reproduced, byte for byte, the state of sequential
+	// pairwise Add calls and of a single-site ingest of the whole stream.
+	MergeBitIdentical bool `json:"merge_bit_identical"`
+	// CompactRoundTrip reports whether the compact (AGM3) and dense (AGM2)
+	// encodings both round-trip to bit-identical sketch state.
+	CompactRoundTrip bool `json:"compact_roundtrip"`
+	// MergeSpeedup is merge-pairwise ns/op divided by merge-many ns/op on
+	// the sparse k-site aggregation workload.
+	MergeSpeedup float64 `json:"merge_speedup"`
+	// WireDenseBytes and WireCompactBytes are one sparse site sketch's
+	// serialized sizes; CompactWireRatio is their quotient.
+	WireDenseBytes   int     `json:"wire_dense_bytes"`
+	WireCompactBytes int     `json:"wire_compact_bytes"`
+	CompactWireRatio float64 `json:"compact_wire_ratio"`
 }
 
 // benchCommand implements `gsketch bench [-n N] [-updates M] [-workers
@@ -112,6 +136,9 @@ func benchCommand(args []string, out io.Writer) error {
 	runBaseline := fs.Bool("baseline", true, "also measure the pointer-per-sampler baseline")
 	decodeN := fs.Int("decode-n", 64, "vertex count for the mincut/sparsify decode benchmarks")
 	decodeUpdates := fs.Int("decode-updates", 50_000, "stream length for the mincut/sparsify decode benchmarks")
+	mergeN := fs.Int("merge-n", 512, "vertex count for the k-way merge / wire-format benchmarks")
+	mergeUpdates := fs.Int("merge-updates", 128, "total stream length for the merge benchmarks (kept sparse: per-site occupancy is the point)")
+	mergeSites := fs.Int("merge-sites", 8, "number of per-site sketches the coordinator aggregates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +147,9 @@ func benchCommand(args []string, out io.Writer) error {
 	}
 	if *updates < 1 || *decodeUpdates < 1 {
 		return fmt.Errorf("-updates/-decode-updates must be >= 1")
+	}
+	if *mergeN < 2 || *mergeUpdates < 1 || *mergeSites < 2 {
+		return fmt.Errorf("-merge-n must be >= 2, -merge-updates >= 1, -merge-sites >= 2")
 	}
 	var workers []int
 	for _, tok := range strings.Split(*workersCSV, ",") {
@@ -158,9 +188,14 @@ func benchCommand(args []string, out io.Writer) error {
 			WallMs:      float64(elapsed.Microseconds()) / 1000.0,
 			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
 			AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+			HeapInuse:   after.HeapInuse,
 			Words:       words,
 		}
 		report.Results = append(report.Results, res)
+	}
+	// footprint attaches the occupancy-aware space report to the last row.
+	footprint := func(f sketchcore.Footprint) {
+		report.Results[len(report.Results)-1].Footprint = &f
 	}
 	// ingest marks the row as part of the ns/update trajectory.
 	ingest := func(name string, w int, run func() int) {
@@ -197,6 +232,7 @@ func benchCommand(args []string, out io.Writer) error {
 		seq.Ingest(st)
 		return seq.Words()
 	})
+	footprint(seq.Footprint())
 	arenaNs := report.Results[len(report.Results)-1].NsPerUpdate
 	if baselineNs > 0 {
 		report.ArenaSpeedup = baselineNs / arenaNs
@@ -294,6 +330,97 @@ func benchCommand(args []string, out io.Writer) error {
 	}
 	if g, err := sp.Sparsify(); err != nil || g != spG {
 		report.DecodeBitIdentical = false
+	}
+
+	// k-way merge + wire-format benchmarks: the coordinator aggregation
+	// workload of Sec. 1.1. The stream is deliberately sparse relative to
+	// the sketch capacity (per-site slot occupancy ~20%), because that is
+	// the deployment the occupancy machinery exists for: each of k sites
+	// sketches a shard, the coordinator folds k sparse sketches.
+	mst := stream.UniformUpdates(*mergeN, *mergeUpdates, *seed+0x3e9)
+	siteParts := mst.Partition(*mergeSites, *seed)
+	sites := make([]*agm.ForestSketch, *mergeSites)
+	for i, p := range siteParts {
+		sites[i] = agm.NewForestSketch(*mergeN, *seed)
+		sites[i].Ingest(p)
+	}
+	whole := agm.NewForestSketch(*mergeN, *seed)
+	whole.Ingest(mst)
+
+	const mergeReps = 20
+	pair := agm.NewForestSketch(*mergeN, *seed)
+	measure("merge-pairwise", 1, mergeReps, func() int {
+		for r := 0; r < mergeReps; r++ {
+			pair.Reset()
+			for _, s := range sites {
+				pair.Add(s)
+			}
+		}
+		return pair.Words()
+	})
+	pairNs := report.Results[len(report.Results)-1].NsPerOp
+	footprint(pair.Footprint())
+
+	many := agm.NewForestSketch(*mergeN, *seed)
+	measure("merge-many", 1, mergeReps, func() int {
+		for r := 0; r < mergeReps; r++ {
+			many.Reset()
+			many.MergeMany(sites)
+		}
+		return many.Words()
+	})
+	manyNs := report.Results[len(report.Results)-1].NsPerOp
+	if manyNs > 0 {
+		report.MergeSpeedup = pairNs / manyNs
+	}
+
+	// Wire rows: serialize one sparse site sketch in both formats, then
+	// fold all sites' compact bytes into a coordinator sketch.
+	var denseBytes, compactBytes []byte
+	measure("wire-dense", 1, 1, func() int {
+		denseBytes, _ = sites[0].MarshalBinary()
+		return sites[0].Words()
+	})
+	report.Results[len(report.Results)-1].Bytes = len(denseBytes)
+	measure("wire-compact", 1, 1, func() int {
+		compactBytes, _ = sites[0].MarshalBinaryCompact()
+		return sites[0].Words()
+	})
+	report.Results[len(report.Results)-1].Bytes = len(compactBytes)
+	report.WireDenseBytes = len(denseBytes)
+	report.WireCompactBytes = len(compactBytes)
+	if len(denseBytes) > 0 {
+		report.CompactWireRatio = float64(len(compactBytes)) / float64(len(denseBytes))
+	}
+
+	siteWire := make([][]byte, len(sites))
+	for i, s := range sites {
+		siteWire[i], _ = s.MarshalBinaryCompact()
+	}
+	coord := agm.NewForestSketch(*mergeN, *seed)
+	measure("merge-bytes", 1, mergeReps, func() int {
+		for r := 0; r < mergeReps; r++ {
+			coord.Reset()
+			for _, wb := range siteWire {
+				if err := coord.MergeBinary(wb); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return coord.Words()
+	})
+
+	report.MergeBitIdentical = pair.Equal(whole) && many.Equal(whole) && coord.Equal(whole)
+
+	// Round-trip invariants: both formats must reproduce the site sketch
+	// bit for bit.
+	report.CompactRoundTrip = true
+	var rtDense, rtCompact agm.ForestSketch
+	if err := rtDense.UnmarshalBinary(denseBytes); err != nil || !rtDense.Equal(sites[0]) {
+		report.CompactRoundTrip = false
+	}
+	if err := rtCompact.UnmarshalBinary(compactBytes); err != nil || !rtCompact.Equal(sites[0]) {
+		report.CompactRoundTrip = false
 	}
 
 	enc := json.NewEncoder(out)

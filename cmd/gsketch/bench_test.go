@@ -8,7 +8,8 @@ import (
 
 func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	var buf bytes.Buffer
-	err := benchCommand([]string{"-n", "32", "-updates", "20000", "-workers", "1,2"}, &buf)
+	err := benchCommand([]string{"-n", "32", "-updates", "20000", "-workers", "1,2",
+		"-merge-n", "64", "-merge-updates", "64", "-merge-sites", "4"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,9 +17,10 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("bench output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	// baseline, arena-scalar, arena, parallel x2, 3 decode rows.
-	if len(rep.Results) != 8 {
-		t.Fatalf("want 8 results, got %d", len(rep.Results))
+	// baseline, arena-scalar, arena, parallel x2, 3 decode rows, 3 merge
+	// rows, 2 wire rows.
+	if len(rep.Results) != 13 {
+		t.Fatalf("want 13 results, got %d", len(rep.Results))
 	}
 	if !rep.ParallelBitIdentical {
 		t.Fatal("parallel ingest must be bit-identical to sequential")
@@ -26,8 +28,17 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	if !rep.BatchBitIdentical {
 		t.Fatal("batched ingest must be bit-identical to per-update ingest")
 	}
+	if !rep.MergeBitIdentical {
+		t.Fatal("k-way and wire merges must be bit-identical to pairwise Add")
+	}
+	if !rep.CompactRoundTrip {
+		t.Fatal("wire encodings must round-trip bit-identically")
+	}
 	if rep.ArenaSpeedup <= 1 {
 		t.Fatalf("arena should beat the pointer baseline, speedup = %.2f", rep.ArenaSpeedup)
+	}
+	if rep.WireCompactBytes <= 0 || rep.WireCompactBytes >= rep.WireDenseBytes {
+		t.Fatalf("compact wire bytes %d should undercut dense %d", rep.WireCompactBytes, rep.WireDenseBytes)
 	}
 	decodes := 0
 	for _, r := range rep.Results {
@@ -35,10 +46,11 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 			t.Fatalf("implausible result row: %+v", r)
 		}
 		switch r.Name {
-		case "forest-extract", "mincut-decode", "sparsify-decode":
+		case "forest-extract", "mincut-decode", "sparsify-decode",
+			"merge-pairwise", "merge-many", "merge-bytes", "wire-dense", "wire-compact":
 			decodes++
 			if r.NsPerUpdate != 0 {
-				t.Fatalf("decode row %q must not join the ns/update trajectory", r.Name)
+				t.Fatalf("row %q must not join the ns/update trajectory", r.Name)
 			}
 		default:
 			if r.NsPerUpdate != r.NsPerOp {
@@ -46,8 +58,8 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 			}
 		}
 	}
-	if decodes != 3 {
-		t.Fatalf("want 3 decode rows, got %d", decodes)
+	if decodes != 8 {
+		t.Fatalf("want 8 decode/merge/wire rows, got %d", decodes)
 	}
 }
 

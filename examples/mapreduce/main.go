@@ -29,19 +29,30 @@ func main() {
 	// Each "job" = one adaptive batch. We model mappers by partitioning
 	// the stream; the spanner builders internally replay the full stream
 	// per pass, which a MapReduce job realizes as: each mapper sketches
-	// its shard, the reducer sums the sketches (linearity!), then picks
-	// the next round's measurements. The partition below checks that the
-	// mapper/reducer split changes nothing: merged mapper sketches give
-	// the same connectivity answer as a single machine.
+	// its shard and EMITS compact wire bytes, the reducer folds the
+	// payloads with MergeBytes (linearity!), then picks the next round's
+	// measurements. The shuffle below checks the mapper/reducer split
+	// changes nothing — and reports the shuffle traffic, since bytes
+	// crossing the shuffle are the resource the compact format exists for.
 	parts := st.Partition(mappers, seed)
 	merged := graphsketch.NewConnectivitySketch(n, seed)
-	for m, p := range parts {
+	var shuffleBytes, denseBytes int
+	for _, p := range parts {
 		mapper := graphsketch.NewConnectivitySketch(n, seed)
 		mapper.Ingest(p)
-		merged.Add(mapper)
-		_ = m
+		wb, err := mapper.MarshalBinaryCompact()
+		if err != nil {
+			panic(err)
+		}
+		if err := merged.MergeBytes(wb); err != nil {
+			panic(err)
+		}
+		shuffleBytes += len(wb)
+		denseBytes += int(mapper.Footprint().WireDenseBytes)
 	}
-	fmt.Printf("round 0 (mapper shuffle check): merged connectivity = %v\n\n", merged.Connected())
+	fmt.Printf("round 0 (mapper shuffle check): merged connectivity = %v\n", merged.Connected())
+	fmt.Printf("shuffle traffic: %d compact bytes vs %d dense (%.1f%%)\n\n",
+		shuffleBytes, denseBytes, 100*float64(shuffleBytes)/float64(denseBytes))
 
 	for _, k := range []int{4, 16} {
 		res := graphsketch.RecurseConnectSpanner(st, k, seed)

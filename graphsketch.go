@@ -31,14 +31,29 @@
 package graphsketch
 
 import (
+	"errors"
+
 	"graphsketch/internal/agm"
 	"graphsketch/internal/core/mincut"
 	"graphsketch/internal/core/spanner"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/core/subgraph"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
 )
+
+// Footprint is the space report every sketch exposes: resident bytes, cell
+// occupancy (total vs non-zero), and serialized size in the dense and
+// compact wire formats. The compact format costs bytes proportional to the
+// non-zero state, which is what a distributed site actually ships
+// (Sec. 1.1); NonzeroCells/TotalCells tells you which format wins.
+type Footprint = sketchcore.Footprint
+
+// Each sketch serializes in two formats: MarshalBinary (dense, fixed-size,
+// byte-stable) and MarshalBinaryCompact (zero-run-length + varint, size
+// proportional to non-zero state). UnmarshalBinary and MergeBytes accept
+// both.
 
 // Graph is a weighted undirected graph; the output type of sparsifiers,
 // spanners, and witnesses, with exact-algorithm methods (BFS, StoerWagner,
@@ -59,6 +74,12 @@ type Update = stream.Update
 
 // FromStream materializes a stream's final graph (exact baseline).
 func FromStream(s *Stream) *Graph { return graph.FromStream(s) }
+
+// errUninitializedMerge is returned by MergeBytes on a zero-value sketch:
+// unlike UnmarshalBinary (which reconstructs everything from the payload
+// header), a wire merge needs an already-constructed destination to verify
+// parameters against.
+var errUninitializedMerge = errors.New("graphsketch: MergeBytes on a zero-value sketch; construct it (or UnmarshalBinary) first")
 
 // ---------------------------------------------------------------------------
 // Connectivity & bipartiteness (the [4] primitives, Theorem 2.3 substrate)
@@ -89,6 +110,57 @@ func (c *ConnectivitySketch) IngestParallel(s *Stream, workers int) { c.fs.Inges
 
 // Add merges a sketch built with the same (n, seed).
 func (c *ConnectivitySketch) Add(other *ConnectivitySketch) { c.fs.Add(other.fs) }
+
+// MergeMany folds k sketches built with the same (n, seed) in one
+// occupancy-guided pass per sampler bank — the coordinator aggregation
+// step, bit-identical to sequential pairwise Add calls.
+func (c *ConnectivitySketch) MergeMany(others []*ConnectivitySketch) {
+	srcs := make([]*agm.ForestSketch, len(others))
+	for i, o := range others {
+		srcs[i] = o.fs
+	}
+	c.fs.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch in the dense AGM2 format
+// (byte-stable across releases).
+func (c *ConnectivitySketch) MarshalBinary() ([]byte, error) { return c.fs.MarshalBinary() }
+
+// MarshalBinaryCompact serializes in the compact AGM3 format: bytes
+// proportional to the sketch's non-zero state.
+func (c *ConnectivitySketch) MarshalBinaryCompact() ([]byte, error) {
+	return c.fs.MarshalBinaryCompact()
+}
+
+// UnmarshalBinary reconstructs the sketch from either wire format.
+func (c *ConnectivitySketch) UnmarshalBinary(data []byte) error {
+	if c.fs == nil {
+		c.fs = &agm.ForestSketch{}
+	}
+	return c.fs.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (either format, same n and seed)
+// directly into c without materializing a second sketch — the wire-level
+// coordinator merge.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (c *ConnectivitySketch) MergeBytes(data []byte) error {
+	if c.fs == nil {
+		return errUninitializedMerge
+	}
+	return c.fs.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (c *ConnectivitySketch) Footprint() Footprint { return c.fs.Footprint() }
+
+// Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint, which separates resident, occupied, and wire
+// sizes.
+func (c *ConnectivitySketch) Words() int { return c.fs.Words() }
 
 // Connected reports whether the sketched graph is connected.
 func (c *ConnectivitySketch) Connected() bool { return c.fs.IsConnected() }
@@ -124,6 +196,14 @@ func (b *BipartitenessSketch) IngestParallel(s *Stream, workers int) { b.bs.Inge
 // Bipartite reports whether the sketched graph is bipartite.
 func (b *BipartitenessSketch) Bipartite() bool { return b.bs.IsBipartite() }
 
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (b *BipartitenessSketch) Footprint() Footprint { return b.bs.Footprint() }
+
+// Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint.
+func (b *BipartitenessSketch) Words() int { return b.bs.Words() }
+
 // MSTSketch approximates a minimum-weight spanning forest of a weighted
 // dynamic stream (|delta| carries the edge weight) — the remaining [4]
 // primitive. The weight is within a factor 2 of optimal (powers-of-two
@@ -151,6 +231,50 @@ func (m *MSTSketch) IngestParallel(s *Stream, workers int) { m.sk.IngestParallel
 
 // Add merges a sketch built with the same parameters and seed.
 func (m *MSTSketch) Add(other *MSTSketch) { m.sk.Add(other.sk) }
+
+// MergeMany folds k sketches built with the same parameters in one
+// occupancy-guided pass per bank; bit-identical to sequential Add calls.
+func (m *MSTSketch) MergeMany(others []*MSTSketch) {
+	srcs := make([]*agm.MSTSketch, len(others))
+	for i, o := range others {
+		srcs[i] = o.sk
+	}
+	m.sk.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch (dense-tagged banks).
+func (m *MSTSketch) MarshalBinary() ([]byte, error) { return m.sk.MarshalBinary() }
+
+// MarshalBinaryCompact serializes with bytes proportional to the non-zero
+// state.
+func (m *MSTSketch) MarshalBinaryCompact() ([]byte, error) { return m.sk.MarshalBinaryCompact() }
+
+// UnmarshalBinary reconstructs the sketch from its wire form.
+func (m *MSTSketch) UnmarshalBinary(data []byte) error {
+	if m.sk == nil {
+		m.sk = &agm.MSTSketch{}
+	}
+	return m.sk.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (same parameters) directly into m.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (m *MSTSketch) MergeBytes(data []byte) error {
+	if m.sk == nil {
+		return errUninitializedMerge
+	}
+	return m.sk.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (m *MSTSketch) Footprint() Footprint { return m.sk.Footprint() }
+
+// Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint.
+func (m *MSTSketch) Words() int { return m.sk.Words() }
 
 // ApproxMSF extracts the approximate minimum spanning forest and its
 // total weight.
@@ -195,6 +319,46 @@ func (m *MinCutSketch) IngestParallel(s *Stream, workers int) { m.sk.IngestParal
 // Add merges a sketch built with the same parameters and seed.
 func (m *MinCutSketch) Add(other *MinCutSketch) { m.sk.Add(other.sk) }
 
+// MergeMany folds k sketches built with the same parameters in one
+// occupancy-guided pass per bank; bit-identical to sequential Add calls.
+func (m *MinCutSketch) MergeMany(others []*MinCutSketch) {
+	srcs := make([]*mincut.Sketch, len(others))
+	for i, o := range others {
+		srcs[i] = o.sk
+	}
+	m.sk.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch (dense-tagged banks).
+func (m *MinCutSketch) MarshalBinary() ([]byte, error) { return m.sk.MarshalBinary() }
+
+// MarshalBinaryCompact serializes with bytes proportional to the non-zero
+// state — the per-site coordinator payload.
+func (m *MinCutSketch) MarshalBinaryCompact() ([]byte, error) { return m.sk.MarshalBinaryCompact() }
+
+// UnmarshalBinary reconstructs the sketch from its wire form.
+func (m *MinCutSketch) UnmarshalBinary(data []byte) error {
+	if m.sk == nil {
+		m.sk = &mincut.Sketch{}
+	}
+	return m.sk.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (same config) directly into m
+// without materializing a second sketch.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (m *MinCutSketch) MergeBytes(data []byte) error {
+	if m.sk == nil {
+		return errUninitializedMerge
+	}
+	return m.sk.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (m *MinCutSketch) Footprint() Footprint { return m.sk.Footprint() }
+
 // MinCut runs the Fig 1 post-processing. Decode is read-only on the sketch
 // and cached: repeated calls return the same result until the sketch is
 // updated again.
@@ -206,6 +370,9 @@ func (m *MinCutSketch) MinCut() (MinCutResult, error) { return m.sk.MinCut() }
 func (m *MinCutSketch) SetDecodeWorkers(workers int) { m.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint, which separates resident, occupied, and wire
+// sizes.
 func (m *MinCutSketch) Words() int { return m.sk.Words() }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +403,47 @@ func (s *SimpleSparsifier) IngestParallel(st *Stream, workers int) { s.sk.Ingest
 // Add merges a sketch built with the same parameters and seed.
 func (s *SimpleSparsifier) Add(other *SimpleSparsifier) { s.sk.Add(other.sk) }
 
+// MergeMany folds k sketches built with the same parameters in one
+// occupancy-guided pass per bank; bit-identical to sequential Add calls.
+func (s *SimpleSparsifier) MergeMany(others []*SimpleSparsifier) {
+	srcs := make([]*sparsify.Simple, len(others))
+	for i, o := range others {
+		srcs[i] = o.sk
+	}
+	s.sk.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch (dense-tagged banks).
+func (s *SimpleSparsifier) MarshalBinary() ([]byte, error) { return s.sk.MarshalBinary() }
+
+// MarshalBinaryCompact serializes with bytes proportional to the non-zero
+// state.
+func (s *SimpleSparsifier) MarshalBinaryCompact() ([]byte, error) {
+	return s.sk.MarshalBinaryCompact()
+}
+
+// UnmarshalBinary reconstructs the sketch from its wire form.
+func (s *SimpleSparsifier) UnmarshalBinary(data []byte) error {
+	if s.sk == nil {
+		s.sk = &sparsify.Simple{}
+	}
+	return s.sk.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (same config) directly into s.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (s *SimpleSparsifier) MergeBytes(data []byte) error {
+	if s.sk == nil {
+		return errUninitializedMerge
+	}
+	return s.sk.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (s *SimpleSparsifier) Footprint() Footprint { return s.sk.Footprint() }
+
 // Sparsify extracts the weighted sparsifier. Decode is read-only on the
 // sketch and cached: repeated calls return the same graph (treat it as
 // read-only).
@@ -247,6 +455,8 @@ func (s *SimpleSparsifier) Sparsify() (*Graph, error) { return s.sk.Sparsify() }
 func (s *SimpleSparsifier) SetDecodeWorkers(workers int) { s.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint.
 func (s *SimpleSparsifier) Words() int { return s.sk.Words() }
 
 // Sparsifier is SPARSIFICATION (Fig 3, Theorem 3.4): rough sparsifier +
@@ -274,6 +484,47 @@ func (s *Sparsifier) IngestParallel(st *Stream, workers int) { s.sk.IngestParall
 // Add merges a sketch built with the same parameters and seed.
 func (s *Sparsifier) Add(other *Sparsifier) { s.sk.Add(other.sk) }
 
+// MergeMany folds k sketches built with the same parameters: the rough
+// sparsifiers bank by bank, the recovery banks node-occupancy-guided;
+// bit-identical to sequential Add calls.
+func (s *Sparsifier) MergeMany(others []*Sparsifier) {
+	srcs := make([]*sparsify.Sketch, len(others))
+	for i, o := range others {
+		srcs[i] = o.sk
+	}
+	s.sk.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch (dense-tagged banks).
+func (s *Sparsifier) MarshalBinary() ([]byte, error) { return s.sk.MarshalBinary() }
+
+// MarshalBinaryCompact serializes with bytes proportional to the non-zero
+// state — the per-site coordinator payload of the paper's headline
+// construction.
+func (s *Sparsifier) MarshalBinaryCompact() ([]byte, error) { return s.sk.MarshalBinaryCompact() }
+
+// UnmarshalBinary reconstructs the sketch from its wire form.
+func (s *Sparsifier) UnmarshalBinary(data []byte) error {
+	if s.sk == nil {
+		s.sk = &sparsify.Sketch{}
+	}
+	return s.sk.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (same config) directly into s.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (s *Sparsifier) MergeBytes(data []byte) error {
+	if s.sk == nil {
+		return errUninitializedMerge
+	}
+	return s.sk.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (s *Sparsifier) Footprint() Footprint { return s.sk.Footprint() }
+
 // Sparsify extracts the weighted sparsifier. Decode is read-only on the
 // sketch and cached: repeated calls return the same graph (treat it as
 // read-only).
@@ -285,6 +536,8 @@ func (s *Sparsifier) Sparsify() (*Graph, error) { return s.sk.Sparsify() }
 func (s *Sparsifier) SetDecodeWorkers(workers int) { s.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint.
 func (s *Sparsifier) Words() int { return s.sk.Words() }
 
 // WeightedSparsifier sparsifies weighted graphs by powers-of-two weight
@@ -320,6 +573,47 @@ func (w *WeightedSparsifier) IngestParallel(st *Stream, workers int) {
 // distributed-streams operation, classwise by linearity (Sec. 3.5).
 func (w *WeightedSparsifier) Add(other *WeightedSparsifier) { w.sk.Add(other.sk) }
 
+// MergeMany folds k sketches built with the same parameters class by
+// class; bit-identical to sequential Add calls.
+func (w *WeightedSparsifier) MergeMany(others []*WeightedSparsifier) {
+	srcs := make([]*sparsify.Weighted, len(others))
+	for i, o := range others {
+		srcs[i] = o.sk
+	}
+	w.sk.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch (dense-tagged banks).
+func (w *WeightedSparsifier) MarshalBinary() ([]byte, error) { return w.sk.MarshalBinary() }
+
+// MarshalBinaryCompact serializes with bytes proportional to the non-zero
+// state.
+func (w *WeightedSparsifier) MarshalBinaryCompact() ([]byte, error) {
+	return w.sk.MarshalBinaryCompact()
+}
+
+// UnmarshalBinary reconstructs the sketch from its wire form.
+func (w *WeightedSparsifier) UnmarshalBinary(data []byte) error {
+	if w.sk == nil {
+		w.sk = &sparsify.Weighted{}
+	}
+	return w.sk.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (same config) directly into w.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (w *WeightedSparsifier) MergeBytes(data []byte) error {
+	if w.sk == nil {
+		return errUninitializedMerge
+	}
+	return w.sk.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (w *WeightedSparsifier) Footprint() Footprint { return w.sk.Footprint() }
+
 // Sparsify extracts the weighted sparsifier. Decode is read-only on the
 // sketch and cached: repeated calls return the same graph (treat it as
 // read-only).
@@ -331,6 +625,8 @@ func (w *WeightedSparsifier) Sparsify() (*Graph, error) { return w.sk.Sparsify()
 func (w *WeightedSparsifier) SetDecodeWorkers(workers int) { w.sk.SetDecodeWorkers(workers) }
 
 // Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint.
 func (w *WeightedSparsifier) Words() int { return w.sk.Words() }
 
 // MaxCutError measures the worst relative cut error of h against g over
@@ -388,6 +684,47 @@ func (s *SubgraphSketch) IngestParallel(st *Stream, workers int) { s.sk.IngestPa
 // Add merges a sketch built with the same parameters and seed.
 func (s *SubgraphSketch) Add(other *SubgraphSketch) { s.sk.Add(other.sk) }
 
+// MergeMany folds k sketches in one occupancy-guided pass over the sample
+// arena; bit-identical to sequential Add calls.
+func (s *SubgraphSketch) MergeMany(others []*SubgraphSketch) {
+	srcs := make([]*subgraph.Sketch, len(others))
+	for i, o := range others {
+		srcs[i] = o.sk
+	}
+	s.sk.MergeMany(srcs)
+}
+
+// MarshalBinary serializes the sketch (dense-tagged cells).
+func (s *SubgraphSketch) MarshalBinary() ([]byte, error) { return s.sk.MarshalBinary() }
+
+// MarshalBinaryCompact serializes with bytes proportional to the non-zero
+// state.
+func (s *SubgraphSketch) MarshalBinaryCompact() ([]byte, error) {
+	return s.sk.MarshalBinaryCompact()
+}
+
+// UnmarshalBinary reconstructs the sketch from its wire form.
+func (s *SubgraphSketch) UnmarshalBinary(data []byte) error {
+	if s.sk == nil {
+		s.sk = &subgraph.Sketch{}
+	}
+	return s.sk.UnmarshalBinary(data)
+}
+
+// MergeBytes folds a serialized sketch (same parameters) directly into s.
+// On error the destination may already hold a partially folded
+// prefix of the payload — discard the sketch rather than retrying the
+// same bytes, or the prefix double-counts.
+func (s *SubgraphSketch) MergeBytes(data []byte) error {
+	if s.sk == nil {
+		return errUninitializedMerge
+	}
+	return s.sk.MergeBinary(data)
+}
+
+// Footprint reports resident bytes, cell occupancy, and wire bytes.
+func (s *SubgraphSketch) Footprint() Footprint { return s.sk.Footprint() }
+
 // Gamma estimates gamma_H for a pattern bitmap; effective is the number of
 // usable samples.
 func (s *SubgraphSketch) Gamma(pattern uint64) (gamma float64, effective int) {
@@ -402,6 +739,8 @@ func (s *SubgraphSketch) Count(pattern uint64) float64 { return s.sk.CountEstima
 func (s *SubgraphSketch) NonEmpty() float64 { return s.sk.NonEmptyEstimate() }
 
 // Words reports the sketch size in 64-bit words.
+//
+// Deprecated: use Footprint.
 func (s *SubgraphSketch) Words() int { return s.sk.Words() }
 
 // ExactTriangles counts triangles exactly (ground-truth baseline).

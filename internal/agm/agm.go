@@ -135,6 +135,77 @@ func (fs *ForestSketch) Add(other *ForestSketch) {
 	}
 }
 
+// MergeMany folds k forest sketches into fs in one occupancy-guided pass
+// per round bank (see sketchcore.Arena.MergeMany): the coordinator
+// aggregation step, bit-identical to sequential pairwise Add calls.
+func (fs *ForestSketch) MergeMany(others []*ForestSketch) {
+	for _, o := range others {
+		if fs.n != o.n || fs.seed != o.seed || fs.rounds != o.rounds {
+			panic("agm: merging incompatible forest sketches")
+		}
+	}
+	srcs := make([]*sketchcore.Arena, len(others))
+	for r := range fs.banks {
+		for i, o := range others {
+			srcs[i] = o.banks[r]
+		}
+		fs.banks[r].MergeMany(srcs)
+	}
+}
+
+// Reset zeroes the sketch's sampler state for reuse, touching only
+// occupied arena regions.
+func (fs *ForestSketch) Reset() {
+	for _, b := range fs.banks {
+		b.Reset()
+	}
+}
+
+// AppendState appends the tagged cell state of every round bank —
+// headerless; the envelope (MarshalBinary or an owning sketch) carries
+// (n, seed, rounds).
+func (fs *ForestSketch) AppendState(buf []byte, format byte) []byte {
+	for _, b := range fs.banks {
+		buf = b.AppendStateTagged(buf, format)
+	}
+	return buf
+}
+
+// DecodeState reads the tagged per-bank state written by AppendState,
+// replacing the sketch's contents.
+func (fs *ForestSketch) DecodeState(data []byte) ([]byte, error) {
+	var err error
+	for _, b := range fs.banks {
+		if data, err = b.DecodeStateTagged(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// MergeState folds tagged per-bank state directly into the sketch — the
+// wire-level merge: no second sketch is materialized, and compact payloads
+// cost work proportional to their bytes.
+func (fs *ForestSketch) MergeState(data []byte) ([]byte, error) {
+	var err error
+	for _, b := range fs.banks {
+		if data, err = b.MergeStateTagged(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Footprint reports resident size, cell occupancy, and wire bytes in both
+// formats, summed over the round banks.
+func (fs *ForestSketch) Footprint() sketchcore.Footprint {
+	var f sketchcore.Footprint
+	for _, b := range fs.banks {
+		f.Accum(b.Footprint())
+	}
+	return f
+}
+
 // Equal reports whether two sketches have identical parameters and
 // bit-identical sampler state (the merge-semantics test oracle).
 func (fs *ForestSketch) Equal(other *ForestSketch) bool {

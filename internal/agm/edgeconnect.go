@@ -93,6 +93,65 @@ func (ec *EdgeConnectSketch) Add(other *EdgeConnectSketch) {
 	}
 }
 
+// MergeMany folds k edge-connect sketches into ec bank by bank in one
+// occupancy-guided pass each; bit-identical to sequential pairwise Add.
+func (ec *EdgeConnectSketch) MergeMany(others []*EdgeConnectSketch) {
+	for _, o := range others {
+		if ec.n != o.n || ec.k != o.k || ec.seed != o.seed {
+			panic("agm: merging incompatible edge-connect sketches")
+		}
+	}
+	ec.witness = nil
+	srcs := make([]*ForestSketch, len(others))
+	for i := range ec.banks {
+		for j, o := range others {
+			srcs[j] = o.banks[i]
+		}
+		ec.banks[i].MergeMany(srcs)
+	}
+}
+
+// AppendState appends the tagged state of all k forest banks (headerless).
+func (ec *EdgeConnectSketch) AppendState(buf []byte, format byte) []byte {
+	for _, b := range ec.banks {
+		buf = b.AppendState(buf, format)
+	}
+	return buf
+}
+
+// DecodeState reads the state written by AppendState, replacing contents.
+func (ec *EdgeConnectSketch) DecodeState(data []byte) ([]byte, error) {
+	ec.witness = nil
+	var err error
+	for _, b := range ec.banks {
+		if data, err = b.DecodeState(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// MergeState folds tagged state directly into the sketch's banks.
+func (ec *EdgeConnectSketch) MergeState(data []byte) ([]byte, error) {
+	ec.witness = nil
+	var err error
+	for _, b := range ec.banks {
+		if data, err = b.MergeState(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Footprint reports space accounting summed over the k forest banks.
+func (ec *EdgeConnectSketch) Footprint() sketchcore.Footprint {
+	var f sketchcore.Footprint
+	for _, b := range ec.banks {
+		f.Accum(b.Footprint())
+	}
+	return f
+}
+
 // Equal reports parameter and bit-identical state equality.
 func (ec *EdgeConnectSketch) Equal(other *EdgeConnectSketch) bool {
 	if ec.n != other.n || ec.k != other.k || ec.seed != other.seed {
@@ -279,6 +338,19 @@ func (bs *BipartitenessSketch) IngestParallel(s *stream.Stream, workers int) {
 			bs.base.Add(sh.base)
 			bs.double.Add(sh.double)
 		})
+}
+
+// Words returns the memory footprint in 64-bit words.
+func (bs *BipartitenessSketch) Words() int {
+	return bs.base.Words() + bs.double.Words()
+}
+
+// Footprint reports space accounting over the base and double-cover
+// sketches.
+func (bs *BipartitenessSketch) Footprint() sketchcore.Footprint {
+	f := bs.base.Footprint()
+	f.Accum(bs.double.Footprint())
+	return f
 }
 
 // IsBipartite decides bipartiteness of the sketched graph.

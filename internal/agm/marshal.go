@@ -4,61 +4,289 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"graphsketch/internal/wire"
 )
 
-// Wire format (v2, arena-backed): magic "AGM2", (n, seed, rounds) u64 LE,
-// then per round the raw arena cell state (fixed size — the shape is fully
-// determined by n, so no per-sampler headers are needed). This is the
-// payload a distributed site ships to the coordinator (Sec. 1.1).
-var fsMagic = [4]byte{'A', 'G', 'M', '2'}
+// Wire formats.
+//
+// v2 (magic "AGM2", arena-backed): (n, seed, rounds) u64 LE, then per round
+// the raw dense arena cell state (fixed size — the shape is fully
+// determined by n, so no per-sampler headers are needed). Byte-stable
+// since PR 1; pinned by the golden-fixture test.
+//
+// v3 (magic "AGM3"): same header, then per round a format-TAGGED cell
+// state (sketchcore.FormatDense or FormatCompact). The compact form costs
+// bytes proportional to the non-zero state — the payload a distributed
+// site actually ships to the coordinator (Sec. 1.1), where per-site
+// sketches are sparse.
+var (
+	fsMagic  = [4]byte{'A', 'G', 'M', '2'}
+	fsMagic3 = [4]byte{'A', 'G', 'M', '3'}
+	ecMagic  = [4]byte{'A', 'G', 'E', '1'}
+	mstMagic = [4]byte{'A', 'G', 'T', '1'}
+)
 
 // ErrBadEncoding is returned for corrupt or incompatible encodings.
 var ErrBadEncoding = errors.New("agm: bad encoding")
 
-// MarshalBinary implements encoding.BinaryMarshaler for ForestSketch.
+// wrapBad routes lower-layer codec errors into this package's sentinel so
+// errors.Is(err, ErrBadEncoding) classifies body corruption like header
+// corruption.
+func wrapBad(err error) error {
+	if err == nil || errors.Is(err, ErrBadEncoding) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+}
+
+func appendHeader(buf []byte, magic [4]byte, a, b, c uint64) []byte {
+	buf = append(buf, magic[:]...)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], a)
+	binary.LittleEndian.PutUint64(hdr[8:], b)
+	binary.LittleEndian.PutUint64(hdr[16:], c)
+	return append(buf, hdr[:]...)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for ForestSketch in
+// the legacy dense AGM2 format (byte-stable across releases).
 func (fs *ForestSketch) MarshalBinary() ([]byte, error) {
 	size := 4 + 24
 	for _, b := range fs.banks {
 		size += b.StateSize()
 	}
 	buf := make([]byte, 0, size)
-	buf = append(buf, fsMagic[:]...)
-	var hdr [24]byte
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(fs.n))
-	binary.LittleEndian.PutUint64(hdr[8:], fs.seed)
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(fs.rounds))
-	buf = append(buf, hdr[:]...)
+	buf = appendHeader(buf, fsMagic, uint64(fs.n), fs.seed, uint64(fs.rounds))
 	for _, b := range fs.banks {
 		buf = b.AppendState(buf)
 	}
 	return buf, nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
-func (fs *ForestSketch) UnmarshalBinary(data []byte) error {
-	if len(data) < 28 || [4]byte(data[0:4]) != fsMagic {
-		return ErrBadEncoding
+// MarshalBinaryFormat emits the AGM3 envelope with the chosen per-bank
+// format tag.
+func (fs *ForestSketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	buf := appendHeader(nil, fsMagic3, uint64(fs.n), fs.seed, uint64(fs.rounds))
+	return fs.AppendState(buf, format), nil
+}
+
+// MarshalBinaryCompact emits the AGM3 envelope with compact bank payloads:
+// wire bytes proportional to the sketch's non-zero state.
+func (fs *ForestSketch) MarshalBinaryCompact() ([]byte, error) {
+	return fs.MarshalBinaryFormat(wire.FormatCompact)
+}
+
+// decodeFSHeader validates a ForestSketch envelope and returns its fields
+// plus the payload (v3 reports tagged=true).
+func decodeFSHeader(data []byte) (n int, seed uint64, rounds int, tagged bool, rest []byte, err error) {
+	if len(data) < 28 {
+		return 0, 0, 0, false, nil, ErrBadEncoding
 	}
-	n := int(binary.LittleEndian.Uint64(data[4:]))
-	seed := binary.LittleEndian.Uint64(data[12:])
-	rounds := int(binary.LittleEndian.Uint64(data[20:]))
+	switch [4]byte(data[0:4]) {
+	case fsMagic:
+	case fsMagic3:
+		tagged = true
+	default:
+		return 0, 0, 0, false, nil, ErrBadEncoding
+	}
+	n = int(binary.LittleEndian.Uint64(data[4:]))
+	seed = binary.LittleEndian.Uint64(data[12:])
+	rounds = int(binary.LittleEndian.Uint64(data[20:]))
 	if n < 1 || n > 1<<24 || rounds < 1 || rounds > 128 {
-		return fmt.Errorf("%w: implausible shape n=%d rounds=%d", ErrBadEncoding, n, rounds)
+		return 0, 0, 0, false, nil, fmt.Errorf("%w: implausible shape n=%d rounds=%d", ErrBadEncoding, n, rounds)
+	}
+	return n, seed, rounds, tagged, data[28:], nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, accepting both
+// the legacy AGM2 and the tagged AGM3 envelopes.
+func (fs *ForestSketch) UnmarshalBinary(data []byte) error {
+	n, seed, rounds, tagged, rest, err := decodeFSHeader(data)
+	if err != nil {
+		return err
 	}
 	fresh := NewForestSketch(n, seed)
 	if fresh.rounds != rounds {
 		return fmt.Errorf("%w: round count mismatch for n=%d", ErrBadEncoding, n)
 	}
-	rest := data[28:]
-	var err error
-	for _, b := range fresh.banks {
-		if rest, err = b.DecodeState(rest); err != nil {
-			return fmt.Errorf("%w: truncated arena state", ErrBadEncoding)
+	if tagged {
+		if rest, err = fresh.DecodeState(rest); err != nil {
+			return fmt.Errorf("%w: bad arena state", ErrBadEncoding)
+		}
+	} else {
+		for _, b := range fresh.banks {
+			if rest, err = b.DecodeState(rest); err != nil {
+				return fmt.Errorf("%w: truncated arena state", ErrBadEncoding)
+			}
 		}
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
 	}
 	*fs = *fresh
+	return nil
+}
+
+// MergeBinary folds a serialized ForestSketch (either envelope) directly
+// into fs without materializing a second sketch — the coordinator's
+// aggregation primitive. The encoded sketch must have been built with the
+// same (n, seed); an error leaves fs unspecified only if the payload was
+// truncated mid-bank (callers treat errors as fatal to the merge).
+func (fs *ForestSketch) MergeBinary(data []byte) error {
+	n, seed, rounds, tagged, rest, err := decodeFSHeader(data)
+	if err != nil {
+		return err
+	}
+	if n != fs.n || seed != fs.seed || rounds != fs.rounds {
+		return fmt.Errorf("%w: merge parameter mismatch (n=%d seed=%d rounds=%d vs n=%d seed=%d rounds=%d)",
+			ErrBadEncoding, n, seed, rounds, fs.n, fs.seed, fs.rounds)
+	}
+	if tagged {
+		if rest, err = fs.MergeState(rest); err != nil {
+			return wrapBad(err)
+		}
+	} else {
+		for _, b := range fs.banks {
+			if rest, err = b.MergeStateDense(rest); err != nil {
+				return wrapBad(err)
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	return nil
+}
+
+// MarshalBinaryFormat emits the EdgeConnectSketch envelope: magic "AGE1",
+// (n, k, seed) header, then the tagged state of all k forest banks.
+func (ec *EdgeConnectSketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	buf := appendHeader(nil, ecMagic, uint64(ec.n), uint64(ec.k), ec.seed)
+	return ec.AppendState(buf, format), nil
+}
+
+// MarshalBinary emits the dense-tagged envelope.
+func (ec *EdgeConnectSketch) MarshalBinary() ([]byte, error) {
+	return ec.MarshalBinaryFormat(wire.FormatDense)
+}
+
+// MarshalBinaryCompact emits the compact envelope.
+func (ec *EdgeConnectSketch) MarshalBinaryCompact() ([]byte, error) {
+	return ec.MarshalBinaryFormat(wire.FormatCompact)
+}
+
+func decodeECHeader(data []byte) (n, k int, seed uint64, rest []byte, err error) {
+	if len(data) < 28 || [4]byte(data[0:4]) != ecMagic {
+		return 0, 0, 0, nil, ErrBadEncoding
+	}
+	n = int(binary.LittleEndian.Uint64(data[4:]))
+	k = int(binary.LittleEndian.Uint64(data[12:]))
+	seed = binary.LittleEndian.Uint64(data[20:])
+	if n < 1 || n > 1<<24 || k < 1 || k > 1<<16 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: implausible shape n=%d k=%d", ErrBadEncoding, n, k)
+	}
+	return n, k, seed, data[28:], nil
+}
+
+// UnmarshalBinary reconstructs an EdgeConnectSketch from its envelope.
+func (ec *EdgeConnectSketch) UnmarshalBinary(data []byte) error {
+	n, k, seed, rest, err := decodeECHeader(data)
+	if err != nil {
+		return err
+	}
+	fresh := NewEdgeConnectSketch(n, k, seed)
+	if rest, err = fresh.DecodeState(rest); err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*ec = *fresh
+	return nil
+}
+
+// MergeBinary folds a serialized EdgeConnectSketch into ec (same n, k,
+// seed required).
+func (ec *EdgeConnectSketch) MergeBinary(data []byte) error {
+	n, k, seed, rest, err := decodeECHeader(data)
+	if err != nil {
+		return err
+	}
+	if n != ec.n || k != ec.k || seed != ec.seed {
+		return fmt.Errorf("%w: merge parameter mismatch", ErrBadEncoding)
+	}
+	if rest, err = ec.MergeState(rest); err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	return nil
+}
+
+// MarshalBinaryFormat emits the MSTSketch envelope: magic "AGT1",
+// (n, classes, seed) header, then the tagged state of every prefix class.
+func (m *MSTSketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	buf := appendHeader(nil, mstMagic, uint64(m.n), uint64(m.classes), m.seed)
+	return m.AppendState(buf, format), nil
+}
+
+// MarshalBinary emits the dense-tagged envelope.
+func (m *MSTSketch) MarshalBinary() ([]byte, error) {
+	return m.MarshalBinaryFormat(wire.FormatDense)
+}
+
+// MarshalBinaryCompact emits the compact envelope.
+func (m *MSTSketch) MarshalBinaryCompact() ([]byte, error) {
+	return m.MarshalBinaryFormat(wire.FormatCompact)
+}
+
+func decodeMSTHeader(data []byte) (n, classes int, seed uint64, rest []byte, err error) {
+	if len(data) < 28 || [4]byte(data[0:4]) != mstMagic {
+		return 0, 0, 0, nil, ErrBadEncoding
+	}
+	n = int(binary.LittleEndian.Uint64(data[4:]))
+	classes = int(binary.LittleEndian.Uint64(data[12:]))
+	seed = binary.LittleEndian.Uint64(data[20:])
+	if n < 1 || n > 1<<24 || classes < 1 || classes > 64 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: implausible shape n=%d classes=%d", ErrBadEncoding, n, classes)
+	}
+	return n, classes, seed, data[28:], nil
+}
+
+// UnmarshalBinary reconstructs an MSTSketch from its envelope.
+func (m *MSTSketch) UnmarshalBinary(data []byte) error {
+	n, classes, seed, rest, err := decodeMSTHeader(data)
+	if err != nil {
+		return err
+	}
+	fresh := newMSTSketchClasses(n, classes, seed)
+	if rest, err = fresh.DecodeState(rest); err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*m = *fresh
+	return nil
+}
+
+// MergeBinary folds a serialized MSTSketch into m (same parameters
+// required).
+func (m *MSTSketch) MergeBinary(data []byte) error {
+	n, classes, seed, rest, err := decodeMSTHeader(data)
+	if err != nil {
+		return err
+	}
+	if n != m.n || classes != m.classes || seed != m.seed {
+		return fmt.Errorf("%w: merge parameter mismatch", ErrBadEncoding)
+	}
+	if rest, err = m.MergeState(rest); err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
 	return nil
 }

@@ -105,6 +105,63 @@ func (m *MSTSketch) Add(other *MSTSketch) {
 	}
 }
 
+// MergeMany folds k MST sketches into m class by class in one
+// occupancy-guided pass each; bit-identical to sequential pairwise Add.
+func (m *MSTSketch) MergeMany(others []*MSTSketch) {
+	for _, o := range others {
+		if m.n != o.n || m.classes != o.classes || m.seed != o.seed {
+			panic("agm: merging incompatible MST sketches")
+		}
+	}
+	srcs := make([]*ForestSketch, len(others))
+	for c := range m.prefix {
+		for i, o := range others {
+			srcs[i] = o.prefix[c]
+		}
+		m.prefix[c].MergeMany(srcs)
+	}
+}
+
+// AppendState appends the tagged state of every prefix-class forest sketch
+// (headerless; the envelope carries n, classes, seed).
+func (m *MSTSketch) AppendState(buf []byte, format byte) []byte {
+	for _, p := range m.prefix {
+		buf = p.AppendState(buf, format)
+	}
+	return buf
+}
+
+// DecodeState reads the state written by AppendState, replacing contents.
+func (m *MSTSketch) DecodeState(data []byte) ([]byte, error) {
+	var err error
+	for _, p := range m.prefix {
+		if data, err = p.DecodeState(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// MergeState folds tagged state directly into the class sketches.
+func (m *MSTSketch) MergeState(data []byte) ([]byte, error) {
+	var err error
+	for _, p := range m.prefix {
+		if data, err = p.MergeState(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Footprint reports space accounting summed over the class sketches.
+func (m *MSTSketch) Footprint() sketchcore.Footprint {
+	var f sketchcore.Footprint
+	for _, p := range m.prefix {
+		f.Accum(p.Footprint())
+	}
+	return f
+}
+
 // Equal reports parameter and bit-identical state equality.
 func (m *MSTSketch) Equal(other *MSTSketch) bool {
 	if m.n != other.n || m.classes != other.classes || m.seed != other.seed {

@@ -1,0 +1,146 @@
+package mincut
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"graphsketch/internal/agm"
+	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/wire"
+)
+
+// Wire envelope: magic "MCS1", the full filled Config (N, Epsilon bits, K,
+// Levels, Seed as u64 LE), then the tagged state of every subsampling
+// level's k-EDGECONNECT sketch. Configuration round-trips exactly, so a
+// decoded sketch is mergeable with the original.
+var mcMagic = [4]byte{'M', 'C', 'S', '1'}
+
+// ErrBadEncoding is returned for corrupt or incompatible encodings.
+var ErrBadEncoding = errors.New("mincut: bad encoding")
+
+// wrapBad routes lower-layer codec errors into this package's sentinel.
+func wrapBad(err error) error {
+	if err == nil || errors.Is(err, ErrBadEncoding) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+}
+
+// MarshalBinaryFormat serializes the sketch with the chosen per-bank
+// format tag (sketchcore.FormatDense or FormatCompact).
+func (s *Sketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	buf := append([]byte(nil), mcMagic[:]...)
+	var hdr [40]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.cfg.N))
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(s.cfg.Epsilon))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.cfg.K))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(s.cfg.Levels))
+	binary.LittleEndian.PutUint64(hdr[32:], s.cfg.Seed)
+	buf = append(buf, hdr[:]...)
+	for _, ec := range s.ecs {
+		buf = ec.AppendState(buf, format)
+	}
+	return buf, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (dense-tagged banks).
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	return s.MarshalBinaryFormat(wire.FormatDense)
+}
+
+// MarshalBinaryCompact serializes with compact bank payloads — bytes
+// proportional to non-zero state, the per-site coordinator payload.
+func (s *Sketch) MarshalBinaryCompact() ([]byte, error) {
+	return s.MarshalBinaryFormat(wire.FormatCompact)
+}
+
+func decodeHeader(data []byte) (Config, []byte, error) {
+	if len(data) < 44 || [4]byte(data[0:4]) != mcMagic {
+		return Config{}, nil, ErrBadEncoding
+	}
+	cfg := Config{
+		N:       int(binary.LittleEndian.Uint64(data[4:])),
+		Epsilon: math.Float64frombits(binary.LittleEndian.Uint64(data[12:])),
+		K:       int(binary.LittleEndian.Uint64(data[20:])),
+		Levels:  int(binary.LittleEndian.Uint64(data[28:])),
+		Seed:    binary.LittleEndian.Uint64(data[36:]),
+	}
+	if cfg.N < 1 || cfg.N > 1<<24 || cfg.K < 1 || cfg.K > 1<<16 ||
+		cfg.Levels < 1 || cfg.Levels > 128 || !(cfg.Epsilon > 0) {
+		return Config{}, nil, fmt.Errorf("%w: implausible config %+v", ErrBadEncoding, cfg)
+	}
+	return cfg, data[44:], nil
+}
+
+// UnmarshalBinary reconstructs the sketch from its envelope.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	cfg, rest, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	fresh := New(cfg)
+	if fresh.cfg != cfg {
+		return fmt.Errorf("%w: config does not round-trip", ErrBadEncoding)
+	}
+	for _, ec := range fresh.ecs {
+		if rest, err = ec.DecodeState(rest); err != nil {
+			return wrapBad(err)
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*s = *fresh
+	return nil
+}
+
+// MergeBinary folds a serialized sketch (same Config required) directly
+// into s without materializing a second sketch.
+func (s *Sketch) MergeBinary(data []byte) error {
+	cfg, rest, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	if cfg != s.cfg {
+		return fmt.Errorf("%w: merge config mismatch", ErrBadEncoding)
+	}
+	s.decoded = false
+	for _, ec := range s.ecs {
+		if rest, err = ec.MergeState(rest); err != nil {
+			return wrapBad(err)
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	return nil
+}
+
+// MergeMany folds k sketches into s level by level in one occupancy-guided
+// pass each; bit-identical to sequential pairwise Add.
+func (s *Sketch) MergeMany(others []*Sketch) {
+	for _, o := range others {
+		if s.cfg != o.cfg {
+			panic("mincut: merging incompatible sketches")
+		}
+	}
+	s.decoded = false
+	srcs := make([]*agm.EdgeConnectSketch, len(others))
+	for i := range s.ecs {
+		for j, o := range others {
+			srcs[j] = o.ecs[i]
+		}
+		s.ecs[i].MergeMany(srcs)
+	}
+}
+
+// Footprint reports space accounting summed over the level sketches.
+func (s *Sketch) Footprint() sketchcore.Footprint {
+	var f sketchcore.Footprint
+	for _, ec := range s.ecs {
+		f.Accum(ec.Footprint())
+	}
+	return f
+}

@@ -32,6 +32,7 @@ type GroupSampler struct {
 	universe uint64
 	reps     int
 	buckets  int
+	seed     uint64
 	hash     []hashing.Mixer
 	cells    *sketchcore.Arena
 }
@@ -54,6 +55,7 @@ func NewGroupSampler(universe uint64, budget int, seed uint64) *GroupSampler {
 		universe: universe,
 		reps:     groupSamplerReps,
 		buckets:  2*budget + 4,
+		seed:     seed,
 	}
 	gs.hash = make([]hashing.Mixer, gs.reps)
 	slotSeeds := make([]uint64, gs.reps*gs.buckets)
@@ -104,4 +106,34 @@ func (gs *GroupSampler) CollectInto(out []uint64) []uint64 {
 // Words returns the memory footprint in 64-bit words.
 func (gs *GroupSampler) Words() int {
 	return gs.cells.Words()
+}
+
+// Add merges another group sampler built with identical parameters — the
+// distributed form of a spanner pass: per-site samplers of one batch sum
+// to the sampler of the union stream.
+func (gs *GroupSampler) Add(other *GroupSampler) {
+	if gs.universe != other.universe || gs.reps != other.reps ||
+		gs.buckets != other.buckets || gs.seed != other.seed {
+		panic("spanner: merging incompatible group samplers")
+	}
+	gs.cells.Add(other.cells)
+}
+
+// MergeMany folds k group samplers in one occupancy-guided arena pass;
+// bit-identical to sequential pairwise Add.
+func (gs *GroupSampler) MergeMany(others []*GroupSampler) {
+	arenas := make([]*sketchcore.Arena, len(others))
+	for i, o := range others {
+		if gs.universe != o.universe || gs.reps != o.reps ||
+			gs.buckets != o.buckets || gs.seed != o.seed {
+			panic("spanner: merging incompatible group samplers")
+		}
+		arenas[i] = o.cells
+	}
+	gs.cells.MergeMany(arenas)
+}
+
+// Footprint reports the sampler grid's space accounting.
+func (gs *GroupSampler) Footprint() sketchcore.Footprint {
+	return gs.cells.Footprint()
 }

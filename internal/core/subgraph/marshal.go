@@ -1,0 +1,133 @@
+package subgraph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/wire"
+)
+
+// Wire envelope: magic "SGS1", (n, k, samples, seed) u64 LE, then the
+// tagged state of the per-slot-seeded sampler arena followed by the
+// support-size estimator's recovery sketches. All hashes and per-slot
+// seeds are reconstructed from the header.
+var sgMagic = [4]byte{'S', 'G', 'S', '1'}
+
+// ErrBadEncoding is returned for corrupt or incompatible encodings.
+var ErrBadEncoding = errors.New("subgraph: bad encoding")
+
+// wrapBad routes lower-layer codec errors into this package's sentinel.
+func wrapBad(err error) error {
+	if err == nil || errors.Is(err, ErrBadEncoding) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+}
+
+// MarshalBinaryFormat serializes the sketch with the chosen cell format.
+func (s *Sketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	buf := append([]byte(nil), sgMagic[:]...)
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.n))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.k))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.samples))
+	binary.LittleEndian.PutUint64(hdr[24:], s.seed)
+	buf = append(buf, hdr[:]...)
+	buf = s.samplers.AppendStateTagged(buf, format)
+	return s.norm.AppendState(buf, format), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (dense-tagged cells).
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	return s.MarshalBinaryFormat(wire.FormatDense)
+}
+
+// MarshalBinaryCompact serializes with compact cell payloads.
+func (s *Sketch) MarshalBinaryCompact() ([]byte, error) {
+	return s.MarshalBinaryFormat(wire.FormatCompact)
+}
+
+func decodeHeader(data []byte) (n, k, samples int, seed uint64, rest []byte, err error) {
+	if len(data) < 36 || [4]byte(data[0:4]) != sgMagic {
+		return 0, 0, 0, 0, nil, ErrBadEncoding
+	}
+	n = int(binary.LittleEndian.Uint64(data[4:]))
+	k = int(binary.LittleEndian.Uint64(data[12:]))
+	samples = int(binary.LittleEndian.Uint64(data[20:]))
+	seed = binary.LittleEndian.Uint64(data[28:])
+	if n < 1 || n > 1<<20 || k < 2 || k > 5 || samples < 1 || samples > 1<<20 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: implausible shape n=%d k=%d samples=%d", ErrBadEncoding, n, k, samples)
+	}
+	return n, k, samples, seed, data[36:], nil
+}
+
+// UnmarshalBinary reconstructs the sketch from its envelope.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	n, k, samples, seed, rest, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	fresh := New(n, k, samples, seed)
+	if rest, err = fresh.samplers.DecodeStateTagged(rest); err != nil {
+		return wrapBad(err)
+	}
+	if rest, err = fresh.norm.DecodeState(rest); err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*s = *fresh
+	return nil
+}
+
+// MergeBinary folds a serialized sketch (same parameters) into s.
+func (s *Sketch) MergeBinary(data []byte) error {
+	n, k, samples, seed, rest, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	if n != s.n || k != s.k || samples != s.samples || seed != s.seed {
+		return fmt.Errorf("%w: merge parameter mismatch", ErrBadEncoding)
+	}
+	s.decoded = false
+	if rest, err = s.samplers.MergeStateTagged(rest); err != nil {
+		return wrapBad(err)
+	}
+	if rest, err = s.norm.MergeState(rest); err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	return nil
+}
+
+// MergeMany folds k sketches into s: the sampler arenas in one
+// occupancy-guided pass, the norm estimators pairwise (they are small);
+// bit-identical to sequential pairwise Add.
+func (s *Sketch) MergeMany(others []*Sketch) {
+	for _, o := range others {
+		if s.n != o.n || s.k != o.k || s.samples != o.samples || s.seed != o.seed {
+			panic("subgraph: merging incompatible sketches")
+		}
+	}
+	s.decoded = false
+	arenas := make([]*sketchcore.Arena, len(others))
+	for i, o := range others {
+		arenas[i] = o.samplers
+	}
+	s.samplers.MergeMany(arenas)
+	for _, o := range others {
+		s.norm.Add(o.norm)
+	}
+}
+
+// Footprint reports space accounting: sampler arena plus norm estimator.
+func (s *Sketch) Footprint() sketchcore.Footprint {
+	f := s.samplers.Footprint()
+	f.Accum(s.norm.Footprint())
+	return f
+}

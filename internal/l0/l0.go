@@ -117,9 +117,15 @@ func (s *Sampler) Sub(other *Sampler) {
 }
 
 func (s *Sampler) mustMatch(other *Sampler) {
-	if s.universe != other.universe || s.reps != other.reps ||
-		s.levels != other.levels || s.seed != other.seed {
-		panic("l0: merging incompatible samplers")
+	switch {
+	case s.universe != other.universe:
+		panic("l0: incompatible merge: universe mismatch")
+	case s.reps != other.reps:
+		panic("l0: incompatible merge: reps mismatch")
+	case s.levels != other.levels:
+		panic("l0: incompatible merge: levels mismatch")
+	case s.seed != other.seed:
+		panic("l0: incompatible merge: seed mismatch")
 	}
 }
 

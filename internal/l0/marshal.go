@@ -4,14 +4,22 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"graphsketch/internal/wire"
 )
 
-// Wire format: magic "L0S1", universe, seed, reps, levels (u64 LE each),
-// then reps*levels fixed-size cells. The level hashes are reconstructed
-// from the seed, so the encoding carries only state, not configuration
-// redundancy beyond what integrity checking needs.
+// Wire formats: magic "L0S1" is the legacy fixed-size encoding — universe,
+// seed, reps, levels (u64 LE each), then reps*levels 32-byte cells. Magic
+// "L0S2" keeps the header but carries a format-tagged cell payload (the
+// shared internal/wire codec): dense 24-byte (w, s, f) records or the
+// compact run-length form whose size is proportional to the non-zero
+// state. Hashes and fingerprint bases are reconstructed from the seed in
+// both, so the encoding carries only state.
 
-var l0Magic = [4]byte{'L', '0', 'S', '1'}
+var (
+	l0Magic  = [4]byte{'L', '0', 'S', '1'}
+	l0Magic2 = [4]byte{'L', '0', 'S', '2'}
+)
 
 // ErrBadEncoding is returned for corrupt or incompatible encodings.
 var ErrBadEncoding = errors.New("l0: bad encoding")
@@ -34,9 +42,31 @@ func (s *Sampler) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
+// MarshalBinaryCompact emits the L0S2 envelope with the compact cell
+// payload: bytes proportional to the sampler's non-zero state — the format
+// a site ships when its share of the stream left the sampler sparse.
+func (s *Sampler) MarshalBinaryCompact() ([]byte, error) {
+	buf := make([]byte, 0, 4+4*8+64)
+	buf = append(buf, l0Magic2[:]...)
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], s.universe)
+	binary.LittleEndian.PutUint64(hdr[8:], s.seed)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.reps))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(s.levels))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, wire.FormatCompact)
+	return wire.AppendRuns(buf, s.reps*s.levels, func(i int) (int64, int64, uint64) {
+		return s.cells[i/s.levels][i%s.levels].State()
+	}), nil
+}
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, reconstructing a
-// sampler equivalent to the encoded one (including mergeability).
+// sampler equivalent to the encoded one (including mergeability). Both the
+// legacy L0S1 and the tagged L0S2 envelopes decode.
 func (s *Sampler) UnmarshalBinary(data []byte) error {
+	if len(data) >= 36 && [4]byte(data[0:4]) == l0Magic2 {
+		return s.unmarshalTagged(data)
+	}
 	if len(data) < 36 || [4]byte(data[0:4]) != l0Magic {
 		return ErrBadEncoding
 	}
@@ -59,6 +89,54 @@ func (s *Sampler) UnmarshalBinary(data []byte) error {
 				return err
 			}
 		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*s = *fresh
+	return nil
+}
+
+// unmarshalTagged decodes the L0S2 envelope (header as L0S1, then one
+// format-tagged cell payload).
+func (s *Sampler) unmarshalTagged(data []byte) error {
+	universe := binary.LittleEndian.Uint64(data[4:])
+	seed := binary.LittleEndian.Uint64(data[12:])
+	reps := int(binary.LittleEndian.Uint64(data[20:]))
+	levels := int(binary.LittleEndian.Uint64(data[28:]))
+	if reps < 1 || reps > 1<<10 || levels < 1 || levels > 1<<10 {
+		return fmt.Errorf("%w: implausible shape reps=%d levels=%d", ErrBadEncoding, reps, levels)
+	}
+	fresh := NewWithReps(universe, seed, reps)
+	if fresh.levels != levels {
+		return fmt.Errorf("%w: levels %d inconsistent with universe %d", ErrBadEncoding, levels, universe)
+	}
+	rest := data[36:]
+	if len(rest) < 1 {
+		return ErrBadEncoding
+	}
+	format := rest[0]
+	rest = rest[1:]
+	n := reps * levels
+	switch format {
+	case wire.FormatDense:
+		var err error
+		rest, err = wire.DecodeDenseCells(rest, n, func(i int, w, sv int64, f uint64) {
+			fresh.cells[i/levels][i%levels].SetState(w, sv, f)
+		})
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+	case wire.FormatCompact:
+		var err error
+		rest, err = wire.DecodeRuns(rest, n, func(i int, w, sv int64, f uint64) {
+			fresh.cells[i/levels][i%levels].SetState(w, sv, f)
+		})
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown format tag %d", ErrBadEncoding, format)
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))

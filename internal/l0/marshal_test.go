@@ -45,6 +45,48 @@ func TestDecodedSamplerStillMergeable(t *testing.T) {
 	}
 }
 
+func TestCompactMarshalRoundTrip(t *testing.T) {
+	s := New(1<<20, 5)
+	for i := uint64(0); i < 40; i++ {
+		s.Update(i*31, int64(i%5)+1)
+	}
+	dense, _ := s.MarshalBinary()
+	compact, err := s.MarshalBinaryCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact) >= len(dense) {
+		t.Fatalf("compact (%d bytes) not smaller than dense (%d) on a sparse sampler", len(compact), len(dense))
+	}
+	var back Sampler
+	if err := back.UnmarshalBinary(compact); err != nil {
+		t.Fatalf("compact unmarshal: %v", err)
+	}
+	back.Sub(s)
+	if !back.IsZero() {
+		t.Fatal("compact-decoded sampler differs from original")
+	}
+
+	// Empty sampler: the all-zero-run edge case.
+	empty := New(1<<12, 3)
+	enc, _ := empty.MarshalBinaryCompact()
+	var emptyBack Sampler
+	if err := emptyBack.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("empty compact unmarshal: %v", err)
+	}
+	if !emptyBack.IsZero() {
+		t.Fatal("empty round-trip not zero")
+	}
+
+	// Corruption: truncated payload and trailing bytes must be rejected.
+	if err := back.UnmarshalBinary(compact[:len(compact)-3]); err == nil {
+		t.Fatal("truncated compact payload accepted")
+	}
+	if err := back.UnmarshalBinary(append(append([]byte{}, compact...), 9)); err == nil {
+		t.Fatal("trailing compact bytes accepted")
+	}
+}
+
 func TestUnmarshalRejectsCorruption(t *testing.T) {
 	s := New(1<<10, 1)
 	s.Update(5, 1)

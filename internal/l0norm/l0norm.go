@@ -124,6 +124,55 @@ func (e *Estimator) Estimate() float64 {
 	return (ests[mid-1] + ests[mid]) / 2
 }
 
+// AppendState appends the tagged cell state of every (rep, level) recovery
+// sketch — headerless; the owning sketch's envelope carries the
+// construction parameters.
+func (e *Estimator) AppendState(buf []byte, format byte) []byte {
+	for r := 0; r < e.reps; r++ {
+		for j := 0; j < e.levels; j++ {
+			buf = e.recs[r][j].AppendCells(buf, format)
+		}
+	}
+	return buf
+}
+
+// DecodeState reads the state written by AppendState, replacing contents.
+func (e *Estimator) DecodeState(data []byte) ([]byte, error) {
+	var err error
+	for r := 0; r < e.reps; r++ {
+		for j := 0; j < e.levels; j++ {
+			if data, err = e.recs[r][j].DecodeCells(data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// MergeState folds tagged state directly into the recovery sketches.
+func (e *Estimator) MergeState(data []byte) ([]byte, error) {
+	var err error
+	for r := 0; r < e.reps; r++ {
+		for j := 0; j < e.levels; j++ {
+			if data, err = e.recs[r][j].MergeCells(data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Footprint reports space accounting summed over the recovery sketches.
+func (e *Estimator) Footprint() sparserec.Footprint {
+	var f sparserec.Footprint
+	for r := range e.recs {
+		for j := range e.recs[r] {
+			f.Accum(e.recs[r][j].Footprint())
+		}
+	}
+	return f
+}
+
 // Words returns the memory footprint in 64-bit words.
 func (e *Estimator) Words() int {
 	w := 0

@@ -192,5 +192,17 @@ func (c *Cell) AddState(w, s int64, f uint64) {
 	c.f = hashing.AddMod61(c.f, f)
 }
 
+// State returns the cell's raw aggregates (w, s, f) — the wire codec's read
+// entry point; the fingerprint base z is construction state, not content.
+func (c *Cell) State() (w, s int64, f uint64) {
+	return c.w, c.s, c.f
+}
+
+// SetState replaces the cell's raw aggregates, keeping the fingerprint
+// base — the wire codec's write entry point.
+func (c *Cell) SetState(w, s int64, f uint64) {
+	c.w, c.s, c.f = w, s, f
+}
+
 // Clone returns a deep copy of the cell.
 func (c *Cell) Clone() Cell { return *c }

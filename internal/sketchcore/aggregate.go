@@ -65,6 +65,9 @@ func (ag *Aggregator) Aggregate(a *Arena, find func(int) int) int {
 			ncomp++
 			continue
 		}
+		if !a.SlotOccupied(v) {
+			continue // all-zero row: adding it is a no-op, skip the copy/add
+		}
 		ag.materialize(int(c), cells)
 		dst := int(c) * cells
 		src := v * cells
@@ -123,7 +126,7 @@ func (ag *Aggregator) SumSlots(a *Arena, side []bool) (index uint64, weight int6
 		ag.cells[i] = acell{}
 	}
 	for v, in := range side {
-		if !in {
+		if !in || !a.SlotOccupied(v) {
 			continue
 		}
 		src := v * cells

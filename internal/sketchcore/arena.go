@@ -31,6 +31,8 @@
 package sketchcore
 
 import (
+	"math/bits"
+
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/onesparse"
 	"graphsketch/internal/stream"
@@ -69,6 +71,16 @@ type Arena struct {
 	pow   []*hashing.PowTable
 	plan  *EdgePlan // UpdateEdges staging, lazily built, reused across calls
 	cells []acell   // cell aggregates, (slot*reps + rep)*levels + level
+	// occ is the slot-occupancy bitmap (bit i set => slot i may hold
+	// non-zero cells; clear => its cells are all zero). Maintained as a
+	// monotone over-approximation by every state-writing path — updates,
+	// plan replay, merges, wire decode — and consulted by the paths that
+	// would otherwise stream untouched regions: merges, zeroing (Reset),
+	// compact encoding size accounting, emptiness checks, and per-component
+	// aggregation during extraction. A slot whose state cancels back to
+	// zero stays marked (harmless: its zero row adds nothing); only Reset
+	// and a wire decode that replaces the state recompute the bitmap.
+	occ []uint64
 }
 
 // acell is one 1-sparse recovery cell's aggregates, stored interleaved so a
@@ -111,6 +123,7 @@ func New(cfg Config) *Arena {
 		shared:   cfg.SlotSeeds == nil,
 	}
 	a.cells = make([]acell, a.slots*a.reps*a.levels)
+	a.occ = make([]uint64, (a.slots+63)/64)
 	if a.shared {
 		a.mix = make([]hashing.Mixer, a.reps)
 		for r := 0; r < a.reps; r++ {
@@ -205,6 +218,75 @@ func (a *Arena) cellBase(slot, rep int) int {
 	return (slot*a.reps + rep) * a.levels
 }
 
+// markSlot records that slot may now hold non-zero cells.
+func (a *Arena) markSlot(slot int) {
+	a.occ[slot>>6] |= 1 << (uint(slot) & 63)
+}
+
+// SlotOccupied reports whether slot may hold non-zero cells; false
+// guarantees its cells are all zero.
+func (a *Arena) SlotOccupied(slot int) bool {
+	return a.occ[slot>>6]&(1<<(uint(slot)&63)) != 0
+}
+
+// OccupiedSlots returns the number of marked slots (an upper bound on the
+// slots with non-zero state).
+func (a *Arena) OccupiedSlots() int {
+	n := 0
+	for _, w := range a.occ {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// markAllSlots sets every slot's occupancy bit (the UpdateAll path).
+func (a *Arena) markAllSlots() {
+	for i := range a.occ {
+		a.occ[i] = ^uint64(0)
+	}
+	if tail := uint(a.slots) & 63; tail != 0 {
+		a.occ[len(a.occ)-1] = (1 << tail) - 1
+	}
+}
+
+// rebuildOcc recomputes the occupancy bitmap from the cell state (wire
+// decode replaces state wholesale, so marks from prior updates are stale).
+func (a *Arena) rebuildOcc() {
+	for i := range a.occ {
+		a.occ[i] = 0
+	}
+	rowCells := a.reps * a.levels
+	for slot := 0; slot < a.slots; slot++ {
+		base := slot * rowCells
+		for j := 0; j < rowCells; j++ {
+			c := &a.cells[base+j]
+			if c.w != 0 || c.s != 0 || c.f != 0 {
+				a.markSlot(slot)
+				break
+			}
+		}
+	}
+}
+
+// Reset zeroes the arena's cell state, touching only occupied slot rows
+// (zeroing an arena that carries little state costs proportionally little
+// — the coordinator pattern of reusing one accumulator across batches).
+func (a *Arena) Reset() {
+	rowCells := a.reps * a.levels
+	for wi, w := range a.occ {
+		for w != 0 {
+			slot := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			base := slot * rowCells
+			row := a.cells[base : base+rowCells]
+			for i := range row {
+				row[i] = acell{}
+			}
+		}
+		a.occ[wi] = 0
+	}
+}
+
 // applyCell adds (delta, is = index*delta, precomputed fingerprint term) to
 // the single exact-level cell at index i.
 func (a *Arena) applyCell(i int, delta, is int64, term uint64) {
@@ -218,6 +300,7 @@ func (a *Arena) Update(slot int, index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	a.markSlot(slot)
 	term := onesparse.FingerprintTermTab(a.powOf(slot), index, delta)
 	is := int64(index) * delta
 	for r := 0; r < a.reps; r++ {
@@ -241,6 +324,8 @@ func (a *Arena) UpdateEdge(uSlot, vSlot int, index uint64, delta int64) {
 	if !a.shared {
 		panic("sketchcore: UpdateEdge requires a shared-seed arena")
 	}
+	a.markSlot(uSlot)
+	a.markSlot(vSlot)
 	term := onesparse.FingerprintTermTab(a.pow[0], index, delta)
 	negTerm := onesparse.NegateMod61(term)
 	is := int64(index) * delta
@@ -285,6 +370,7 @@ func (a *Arena) UpdateAll(index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	a.markAllSlots()
 	if a.shared {
 		term := onesparse.FingerprintTermTab(a.pow[0], index, delta)
 		is := int64(index) * delta
@@ -304,30 +390,57 @@ func (a *Arena) UpdateAll(index uint64, delta int64) {
 	}
 }
 
-// mustMatch panics unless other has the identical shape and seeding.
+// mustMatch panics unless other has the identical shape and seeding. The
+// messages name the mismatching dimension — the same convention l0 and
+// sparserec use, pinned by the cross-package incompatible-merge test.
 func (a *Arena) mustMatch(other *Arena) {
-	if a.slots != other.slots || a.reps != other.reps || a.levels != other.levels ||
-		a.universe != other.universe || a.shared != other.shared {
-		panic("sketchcore: merging incompatible arenas")
+	switch {
+	case a.slots != other.slots:
+		panic("sketchcore: incompatible merge: slots mismatch")
+	case a.reps != other.reps:
+		panic("sketchcore: incompatible merge: reps mismatch")
+	case a.levels != other.levels:
+		panic("sketchcore: incompatible merge: levels mismatch")
+	case a.universe != other.universe:
+		panic("sketchcore: incompatible merge: universe mismatch")
+	case a.shared != other.shared:
+		panic("sketchcore: incompatible merge: seeding mode mismatch")
 	}
 	if a.shared {
 		if a.seed != other.seed {
-			panic("sketchcore: merging arenas with different seeds")
+			panic("sketchcore: incompatible merge: seed mismatch")
 		}
 		return
 	}
 	for i := range a.z {
 		if a.z[i] != other.z[i] {
-			panic("sketchcore: merging arenas with different slot seeds")
+			panic("sketchcore: incompatible merge: slot seeds mismatch")
 		}
 	}
 }
 
 // Add merges other into a (vector addition per slot): the
-// distributed-streams operation of Sec. 1.1, one linear array pass.
+// distributed-streams operation of Sec. 1.1. The pass streams the cell
+// arrays linearly, skipping 64-slot spans whose source occupancy word is
+// empty — word granularity keeps the dense-merge kernel branch-free (the
+// ShardedIngest shard merges are near-dense); the per-slot dispatch that
+// pays off on genuinely sparse sources lives in MergeMany.
 func (a *Arena) Add(other *Arena) {
 	a.mustMatch(other)
-	addInto(a.cells, other.cells)
+	rowCells := a.reps * a.levels
+	span := 64 * rowCells
+	for wi, w := range other.occ {
+		if w == 0 {
+			continue
+		}
+		a.occ[wi] |= w
+		b := wi * span
+		e := b + span
+		if e > len(a.cells) {
+			e = len(a.cells)
+		}
+		addInto(a.cells[b:e], other.cells[b:e])
+	}
 }
 
 // AddRange merges the slot range [lo, hi) of other into the same slots of
@@ -336,6 +449,11 @@ func (a *Arena) AddRange(other *Arena, lo, hi int) {
 	a.mustMatch(other)
 	if lo < 0 || hi > a.slots || lo > hi {
 		panic("sketchcore: AddRange slot range out of bounds")
+	}
+	for slot := lo; slot < hi; slot++ {
+		if other.SlotOccupied(slot) {
+			a.markSlot(slot)
+		}
 	}
 	cells := a.reps * a.levels
 	b, e := lo*cells, hi*cells
@@ -361,6 +479,7 @@ func (a *Arena) Clone() *Arena {
 	c := *a
 	c.cells = append([]acell(nil), a.cells...)
 	c.pow = append([]*hashing.PowTable(nil), a.pow...)
+	c.occ = append([]uint64(nil), a.occ...)
 	c.plan = nil
 	return &c
 }
@@ -437,8 +556,12 @@ func (a *Arena) Sample(slot int) (index uint64, weight int64, ok bool) {
 }
 
 // IsZero reports whether slot's vector is (w.h.p.) zero, witnessed by the
-// whole-row sum (the nested level-0 value) of every repetition.
+// whole-row sum (the nested level-0 value) of every repetition. Slots the
+// occupancy bitmap never saw state for answer without touching cells.
 func (a *Arena) IsZero(slot int) bool {
+	if !a.SlotOccupied(slot) {
+		return true
+	}
 	for r := 0; r < a.reps; r++ {
 		base := a.cellBase(slot, r)
 		var w, s int64
@@ -472,7 +595,7 @@ func (a *Arena) TotalWeight(slot int) int64 {
 // cell — one of the arena's space wins over per-object samplers), plus the
 // built power tables.
 func (a *Arena) Words() int {
-	w := 3*len(a.cells) + len(a.z) + len(a.mix)
+	w := 3*len(a.cells) + len(a.z) + len(a.mix) + len(a.occ)
 	for _, t := range a.pow {
 		if t != nil {
 			w += t.Words()

@@ -1,0 +1,246 @@
+package sketchcore
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
+)
+
+// fillArena applies a deterministic pseudo-random update mix derived from
+// seed: some slots stay untouched, some cancel back to zero.
+func fillArena(a *Arena, seed uint64, n int) {
+	x := seed | 1
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		slot := int(x % uint64(a.Slots()))
+		idx := (x >> 8) % a.Universe()
+		delta := int64(x%7) - 3
+		a.Update(slot, idx, delta)
+	}
+}
+
+func newEdgeArena(slots int, seed uint64) *Arena {
+	return New(Config{Slots: slots, Universe: uint64(slots) * uint64(slots), Reps: 3, Seed: seed})
+}
+
+// TestTaggedRoundTrip: both tagged formats must reproduce cell state bit
+// for bit, for sparse, empty, and saturated occupancy, in both seeding
+// modes.
+func TestTaggedRoundTrip(t *testing.T) {
+	slotSeeds := make([]uint64, 10)
+	for i := range slotSeeds {
+		slotSeeds[i] = uint64(i)*977 + 5
+	}
+	cases := []struct {
+		name string
+		prep func() *Arena
+	}{
+		{"empty", func() *Arena { return newEdgeArena(20, 7) }},
+		{"sparse", func() *Arena {
+			a := newEdgeArena(20, 7)
+			a.UpdateEdge(3, 11, 3*20+11, 2)
+			a.UpdateEdge(0, 19, 19, -1)
+			return a
+		}},
+		{"dense", func() *Arena {
+			a := newEdgeArena(20, 7)
+			fillArena(a, 99, 4000)
+			return a
+		}},
+		{"cancelled", func() *Arena {
+			a := newEdgeArena(20, 7)
+			a.UpdateEdge(2, 5, 45, 4)
+			a.UpdateEdge(2, 5, 45, -4)
+			return a
+		}},
+		{"per-slot", func() *Arena {
+			a := New(Config{Slots: 10, Universe: 1 << 16, Reps: 2, SlotSeeds: slotSeeds})
+			a.Update(1, 77, 3)
+			a.Update(9, 1002, -2)
+			return a
+		}},
+	}
+	for _, tc := range cases {
+		for _, format := range []byte{FormatDense, FormatCompact} {
+			a := tc.prep()
+			enc := a.AppendStateTagged(nil, format)
+			var b *Arena
+			if tc.name == "per-slot" {
+				b = New(Config{Slots: 10, Universe: 1 << 16, Reps: 2, SlotSeeds: slotSeeds})
+			} else {
+				b = newEdgeArena(20, 7)
+			}
+			// Pre-pollute the destination: decode must replace, not merge.
+			if b.Shared() {
+				b.Update(0, 1, 5)
+			} else {
+				b.Update(0, 1, 5)
+			}
+			rest, err := b.DecodeStateTagged(enc)
+			if err != nil {
+				t.Fatalf("%s/format %d: decode: %v", tc.name, format, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%s/format %d: %d trailing bytes", tc.name, format, len(rest))
+			}
+			if !a.Equal(b) {
+				t.Fatalf("%s/format %d: round-trip not bit-identical", tc.name, format)
+			}
+			// Canonical encoding: re-encoding the decoded state reproduces
+			// the bytes, and the occupancy-guided dry sizer agrees with the
+			// real encoder byte for byte.
+			if format == FormatCompact {
+				enc2 := b.AppendStateTagged(nil, FormatCompact)
+				if string(enc) != string(enc2) {
+					t.Fatalf("%s: compact encoding not canonical", tc.name)
+				}
+				if got := 1 + a.CompactStateSize(); got != len(enc) {
+					t.Fatalf("%s: CompactStateSize %d != encoded %d", tc.name, got, len(enc))
+				}
+			}
+		}
+	}
+}
+
+// TestMergeStateTaggedEqualsAdd: folding serialized state must equal
+// decoding into a scratch arena and Add-ing it, for both formats and for
+// the legacy untagged dense payload.
+func TestMergeStateTaggedEqualsAdd(t *testing.T) {
+	a := newEdgeArena(24, 3)
+	fillArena(a, 1, 300)
+	b := newEdgeArena(24, 3)
+	fillArena(b, 2, 50)
+
+	want := a.Clone()
+	want.Add(b)
+
+	for _, format := range []byte{FormatDense, FormatCompact} {
+		got := a.Clone()
+		rest, err := got.MergeStateTagged(b.AppendStateTagged(nil, format))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("format %d: merge: %v (%d rest)", format, err, len(rest))
+		}
+		if !got.Equal(want) {
+			t.Fatalf("format %d: wire merge differs from Add", format)
+		}
+	}
+	got := a.Clone()
+	rest, err := got.MergeStateDense(b.AppendState(nil))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("legacy dense merge: %v (%d rest)", err, len(rest))
+	}
+	if !got.Equal(want) {
+		t.Fatal("legacy dense wire merge differs from Add")
+	}
+}
+
+// TestMergeManyBitIdentical: the k-way fold must equal sequential pairwise
+// Add calls, on sparse and on dense-enough-to-shard workloads.
+func TestMergeManyBitIdentical(t *testing.T) {
+	for _, cfg := range []struct {
+		name          string
+		slots, k, ups int
+	}{
+		{"sparse", 96, 7, 10},
+		{"dense-parallel", 640, 8, 3000}, // above the goroutine threshold on multicore
+	} {
+		sources := make([]*Arena, cfg.k)
+		for i := range sources {
+			sources[i] = newEdgeArena(cfg.slots, 11)
+			fillArena(sources[i], uint64(i)*13+1, cfg.ups)
+		}
+		seq := newEdgeArena(cfg.slots, 11)
+		for _, s := range sources {
+			seq.Add(s)
+		}
+		many := newEdgeArena(cfg.slots, 11)
+		many.MergeMany(sources)
+		if !many.Equal(seq) {
+			t.Fatalf("%s: MergeMany differs from sequential Add", cfg.name)
+		}
+	}
+}
+
+// TestResetZeroesOccupiedOnly: Reset must clear state and occupancy, and a
+// reset arena must merge like a fresh one.
+func TestResetZeroesOccupiedOnly(t *testing.T) {
+	a := newEdgeArena(32, 5)
+	fillArena(a, 17, 200)
+	if a.OccupiedSlots() == 0 {
+		t.Fatal("expected occupancy after updates")
+	}
+	a.Reset()
+	if a.OccupiedSlots() != 0 {
+		t.Fatal("Reset left occupancy bits")
+	}
+	if !a.Equal(newEdgeArena(32, 5)) {
+		t.Fatal("Reset left cell state")
+	}
+}
+
+// TestOccupancyConservative: occupancy must never be clear for a slot with
+// non-zero state (the safety direction; over-marking is allowed).
+func TestOccupancyConservative(t *testing.T) {
+	a := newEdgeArena(40, 9)
+	fillArena(a, 23, 500)
+	b := newEdgeArena(40, 9)
+	b.UpdateEdges(stream.UniformUpdates(40, 300, 4).Updates)
+	a.Add(b)
+	for _, ar := range []*Arena{a, b} {
+		for slot := 0; slot < ar.Slots(); slot++ {
+			if ar.SlotOccupied(slot) {
+				continue
+			}
+			base := ar.cellBase(slot, 0)
+			for j := 0; j < ar.Reps()*ar.Levels(); j++ {
+				if ar.cells[base+j] != (acell{}) {
+					t.Fatalf("slot %d unmarked but has state", slot)
+				}
+			}
+		}
+	}
+}
+
+// FuzzCompactRoundTrip: for arbitrary update mixes (including all-zero and
+// fully dense rows via the seed corpus), the compact encoding must
+// round-trip bit-identically and agree with the dense encoding's decode.
+func FuzzCompactRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint16(0))      // all-zero arena
+	f.Add(uint64(1), uint16(5000))   // dense rows
+	f.Add(uint64(42), uint16(3))     // sparse
+	f.Add(uint64(999), uint16(1000)) // mixed
+	f.Fuzz(func(t *testing.T, seed uint64, nups uint16) {
+		a := newEdgeArena(16, 21)
+		fillArena(a, seed, int(nups)%6000)
+		enc := a.AppendStateTagged(nil, FormatCompact)
+		b := newEdgeArena(16, 21)
+		rest, err := b.DecodeStateTagged(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if !a.Equal(b) {
+			t.Fatal("compact round-trip not bit-identical")
+		}
+		enc2 := b.AppendStateTagged(nil, FormatCompact)
+		if string(enc) != string(enc2) {
+			t.Fatal("compact encoding not canonical")
+		}
+		if got := 1 + a.CompactStateSize(); got != len(enc) {
+			t.Fatalf("CompactStateSize %d != encoded %d", got, len(enc))
+		}
+		// Cross-check against the dense format.
+		c := newEdgeArena(16, 21)
+		if _, err := c.DecodeStateTagged(a.AppendStateTagged(nil, wire.FormatDense)); err != nil {
+			t.Fatalf("dense decode: %v", err)
+		}
+		if !a.Equal(c) {
+			t.Fatal("dense round-trip not bit-identical")
+		}
+	})
+}

@@ -109,6 +109,8 @@ func (a *Arena) ApplyPlan(p *EdgePlan) {
 		d, is := sdelta[e], sis[e]
 		t := onesparse.FingerprintTermTab(tab, idx, d)
 		ng := onesparse.NegateMod61(t)
+		a.markSlot(int(su[e]))
+		a.markSlot(int(sv[e]))
 		bu := int(su[e]) * rowCells
 		bv := int(sv[e]) * rowCells
 		for r := 0; r < len(mix); r++ {

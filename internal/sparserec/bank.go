@@ -1,6 +1,8 @@
 package sparserec
 
 import (
+	"math/bits"
+
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/onesparse"
 	"graphsketch/internal/stream"
@@ -29,6 +31,11 @@ type Bank struct {
 	pow   *hashing.PowTable // z^index table, sized to the n^2 edge universe
 	batch bankScratch       // UpdateEdges per-chunk staging, reused across calls
 	cells []bcell           // (node*rows + row)*m + bucket
+	// occ is the node-occupancy bitmap, mirroring sketchcore.Arena's: bit
+	// set => the node's cells may be non-zero, clear => they are all zero.
+	// A monotone over-approximation maintained by every state-writing path
+	// and consulted by merges and space accounting.
+	occ []uint64
 }
 
 // bcell is one bucket cell's aggregates, interleaved for the same
@@ -64,7 +71,55 @@ func NewBank(n, k int, seed uint64) *Bank {
 	b.z = onesparse.FingerprintBase(fingerprintSeed(seed))
 	b.pow = hashing.NewPowTableMax(b.z, uint64(n)*uint64(n))
 	b.cells = make([]bcell, n*b.rows*b.m)
+	b.occ = make([]uint64, (n+63)/64)
 	return b
+}
+
+// markNode records that node may now hold non-zero cells.
+func (b *Bank) markNode(node int) {
+	b.occ[node>>6] |= 1 << (uint(node) & 63)
+}
+
+// NodeOccupied reports whether node may hold non-zero cells; false
+// guarantees its cells are all zero.
+func (b *Bank) NodeOccupied(node int) bool {
+	return b.occ[node>>6]&(1<<(uint(node)&63)) != 0
+}
+
+// Reset zeroes the bank's cell state, touching only occupied node rows.
+func (b *Bank) Reset() {
+	rowCells := b.rows * b.m
+	for wi, w := range b.occ {
+		for w != 0 {
+			node := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			base := node * rowCells
+			row := b.cells[base : base+rowCells]
+			for i := range row {
+				row[i] = bcell{}
+			}
+		}
+		b.occ[wi] = 0
+	}
+}
+
+// rebuildOcc recomputes the occupancy bitmap from cell state (after a wire
+// decode replaced the state wholesale).
+func (b *Bank) rebuildOcc() {
+	for i := range b.occ {
+		b.occ[i] = 0
+	}
+	rowCells := b.rows * b.m
+	for node := 0; node < b.n; node++ {
+		base := node * rowCells
+		for j := 0; j < rowCells; j++ {
+			c := &b.cells[base+j]
+			if c.w != 0 || c.s != 0 || c.f != 0 {
+				b.markNode(node)
+				break
+			}
+		}
+	}
 }
 
 // N returns the number of node sketches in the bank.
@@ -78,6 +133,7 @@ func (b *Bank) Update(node int, index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	b.markNode(node)
 	term := onesparse.FingerprintTermTab(b.pow, index, delta)
 	is := int64(index) * delta
 	for r := 0; r < b.rows; r++ {
@@ -95,6 +151,8 @@ func (b *Bank) UpdateEdge(u, v int, index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	b.markNode(u)
+	b.markNode(v)
 	term := onesparse.FingerprintTermTab(b.pow, index, delta)
 	negTerm := onesparse.NegateMod61(term)
 	is := int64(index) * delta
@@ -150,6 +208,8 @@ func (b *Bank) UpdateEdges(ups []stream.Update) {
 			}
 			idx := uint64(u)*n + uint64(v)
 			t := onesparse.FingerprintTermTab(b.pow, idx, up.Delta)
+			b.markNode(u)
+			b.markNode(v)
 			sc.u[m], sc.v[m] = int32(u), int32(v)
 			sc.idx[m] = idx
 			sc.term[m] = t
@@ -178,16 +238,82 @@ func (b *Bank) UpdateEdges(ups []stream.Update) {
 	}
 }
 
-// Add merges another bank built with identical (n, k, seed).
-func (b *Bank) Add(other *Bank) {
-	if b.n != other.n || b.k != other.k || b.seed != other.seed {
-		panic("sparserec: merging incompatible banks")
+// mustMatchBank panics unless other has identical parameters, naming the
+// mismatching dimension (the shared incompatible-merge convention).
+func (b *Bank) mustMatchBank(other *Bank) {
+	switch {
+	case b.n != other.n:
+		panic("sparserec: incompatible merge: n mismatch")
+	case b.k != other.k:
+		panic("sparserec: incompatible merge: k mismatch")
+	case b.seed != other.seed:
+		panic("sparserec: incompatible merge: seed mismatch")
 	}
-	for i := range b.cells {
-		d, s := &b.cells[i], &other.cells[i]
-		d.w += s.w
-		d.s += s.s
-		d.f = hashing.AddMod61(d.f, s.f)
+}
+
+// Add merges another bank built with identical (n, k, seed), skipping
+// 64-node spans whose source occupancy word is empty (same word-granular
+// policy as Arena.Add; MergeMany does the per-node sparse dispatch).
+func (b *Bank) Add(other *Bank) {
+	b.mustMatchBank(other)
+	rowCells := b.rows * b.m
+	span := 64 * rowCells
+	for wi, w := range other.occ {
+		if w == 0 {
+			continue
+		}
+		b.occ[wi] |= w
+		lo := wi * span
+		hi := lo + span
+		if hi > len(b.cells) {
+			hi = len(b.cells)
+		}
+		for i := lo; i < hi; i++ {
+			d, s := &b.cells[i], &other.cells[i]
+			d.w += s.w
+			d.s += s.s
+			d.f = hashing.AddMod61(d.f, s.f)
+		}
+	}
+}
+
+// MergeMany folds k source banks in one occupancy-guided pass (see
+// Arena.MergeMany — same coordinator-aggregation rationale): each occupied
+// node row is visited once, folding every source that holds state for it
+// while the destination row is hot. Bit-identical to sequential pairwise
+// Add calls (commutative exact sums per cell).
+func (b *Bank) MergeMany(others []*Bank) {
+	for _, o := range others {
+		b.mustMatchBank(o)
+	}
+	rowCells := b.rows * b.m
+	for wi := range b.occ {
+		var w uint64
+		for _, o := range others {
+			w |= o.occ[wi]
+		}
+		if w == 0 {
+			continue
+		}
+		b.occ[wi] |= w
+		for w != 0 {
+			bit := uint(bits.TrailingZeros64(w))
+			w &= w - 1
+			node := wi<<6 + int(bit)
+			base := node * rowCells
+			mask := uint64(1) << bit
+			for _, o := range others {
+				if o.occ[wi]&mask == 0 {
+					continue
+				}
+				for i := base; i < base+rowCells; i++ {
+					d, s := &b.cells[i], &o.cells[i]
+					d.w += s.w
+					d.s += s.s
+					d.f = hashing.AddMod61(d.f, s.f)
+				}
+			}
+		}
 	}
 }
 
@@ -225,8 +351,8 @@ func (b *Bank) DecodeSide(side []bool, scratch *Sketch) ([]Item, bool) {
 		}
 	}
 	for node, in := range side {
-		if !in {
-			continue
+		if !in || !b.NodeOccupied(node) {
+			continue // unmarked node: all-zero cells, adding them is a no-op
 		}
 		base := node * b.rows * b.m
 		for r := 0; r < scratch.rows; r++ {
@@ -244,5 +370,5 @@ func (b *Bank) DecodeSide(side []bool, scratch *Sketch) ([]Item, bool) {
 // Words returns the memory footprint in 64-bit words: three words per cell
 // plus the bank-shared fingerprint base and its power table.
 func (b *Bank) Words() int {
-	return 3*len(b.cells) + 1 + b.pow.Words()
+	return 3*len(b.cells) + 1 + b.pow.Words() + len(b.occ)
 }

@@ -4,24 +4,130 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/wire"
 )
 
-var srMagic = [4]byte{'S', 'R', 'K', '1'}
+// srMagic is the legacy fixed-size encoding (32-byte onesparse cells,
+// fingerprint base included per cell); srMagic2 is the tagged encoding
+// whose cell payload carries a format byte — dense 24-byte (w, s, f)
+// records or the compact run-length form — with the base reconstructed
+// from the seed.
+var (
+	srMagic  = [4]byte{'S', 'R', 'K', '1'}
+	srMagic2 = [4]byte{'S', 'R', 'K', '2'}
+)
 
 // ErrBadEncoding is returned for corrupt or incompatible encodings.
 var ErrBadEncoding = errors.New("sparserec: bad encoding")
 
-// MarshalBinary implements encoding.BinaryMarshaler. Format: magic,
-// (k, seed, rows, m) u64 LE, then rows*m fixed-size cells.
+// cellAt serves wire.AppendRuns/RunsSize over the sketch's row-major cells.
+func (s *Sketch) cellAt(i int) (int64, int64, uint64) {
+	c := &s.cells[i/s.m][i%s.m]
+	w, sv, f := c.State()
+	return w, sv, f
+}
+
+// AppendCells appends one tagged encoding of the sketch's cell state
+// (headerless — the envelope, or a parent sketch like l0norm, carries the
+// construction parameters).
+func (s *Sketch) AppendCells(buf []byte, format byte) []byte {
+	n := s.rows * s.m
+	buf = append(buf, format)
+	switch format {
+	case wire.FormatDense:
+		return wire.AppendDenseCells(buf, n, s.cellAt)
+	case wire.FormatCompact:
+		return wire.AppendRuns(buf, n, s.cellAt)
+	default:
+		panic(fmt.Sprintf("sparserec: unknown wire format %d", format))
+	}
+}
+
+// decodeCells reads one tagged cell payload. merge adds into the existing
+// cells instead of replacing them.
+func (s *Sketch) decodeCells(data []byte, merge bool) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, ErrBadEncoding
+	}
+	format, data := data[0], data[1:]
+	n := s.rows * s.m
+	apply := func(i int, w, sv int64, f uint64) {
+		c := &s.cells[i/s.m][i%s.m]
+		if merge {
+			c.AddState(w, sv, f)
+		} else {
+			c.SetState(w, sv, f)
+		}
+	}
+	switch format {
+	case wire.FormatDense:
+		rest, err := wire.DecodeDenseCells(data, n, apply)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		return rest, nil
+	case wire.FormatCompact:
+		if !merge {
+			for r := range s.cells {
+				for b := range s.cells[r] {
+					s.cells[r][b].Reset()
+				}
+			}
+		}
+		rest, err := wire.DecodeRuns(data, n, apply)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		return rest, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown format tag %d", ErrBadEncoding, format)
+	}
+}
+
+// DecodeCells reads one tagged cell payload produced by AppendCells,
+// replacing the sketch's cell state, and returns the remaining bytes.
+func (s *Sketch) DecodeCells(data []byte) ([]byte, error) {
+	return s.decodeCells(data, false)
+}
+
+// MergeCells folds one tagged cell payload into the sketch's state without
+// materializing a second sketch (the wire-level merge of Sec. 1.1's
+// distributed streams).
+func (s *Sketch) MergeCells(data []byte) ([]byte, error) {
+	return s.decodeCells(data, true)
+}
+
+// Footprint reports the sketch's space accounting in one pass over the
+// cells (see sketchcore.Footprint).
+func (s *Sketch) Footprint() Footprint {
+	n := s.rows * s.m
+	rs := wire.NewRunsSizer(n)
+	nonzero := 0
+	for i := 0; i < n; i++ {
+		w, sv, f := s.cellAt(i)
+		rs.Cell(w, sv, f)
+		if w != 0 || sv != 0 || f != 0 {
+			nonzero++
+		}
+	}
+	return Footprint{
+		ResidentBytes:    int64(s.Words()) * 8,
+		TotalCells:       int64(n),
+		NonzeroCells:     int64(nonzero),
+		WireDenseBytes:   int64(1 + n*24),
+		WireCompactBytes: int64(1 + rs.Size()),
+	}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler in the legacy SRK1
+// format: magic, (k, seed, rows, m) u64 LE, then rows*m fixed-size cells.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, 0, 4+4*8+s.rows*s.m*32)
 	buf = append(buf, srMagic[:]...)
-	var hdr [32]byte
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.k))
-	binary.LittleEndian.PutUint64(hdr[8:], s.seed)
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.rows))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(s.m))
-	buf = append(buf, hdr[:]...)
+	buf = s.appendHeader(buf)
 	for r := 0; r < s.rows; r++ {
 		for b := 0; b < s.m; b++ {
 			buf = s.cells[r][b].AppendBinary(buf)
@@ -30,9 +136,31 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// MarshalBinaryCompact emits the SRK2 envelope with the compact cell
+// payload: bytes proportional to the non-zero state.
+func (s *Sketch) MarshalBinaryCompact() ([]byte, error) {
+	buf := append([]byte(nil), srMagic2[:]...)
+	buf = s.appendHeader(buf)
+	return s.AppendCells(buf, wire.FormatCompact), nil
+}
+
+func (s *Sketch) appendHeader(buf []byte) []byte {
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.k))
+	binary.LittleEndian.PutUint64(hdr[8:], s.seed)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.rows))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(s.m))
+	return append(buf, hdr[:]...)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, accepting both the
+// legacy SRK1 and the tagged SRK2 envelopes.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
-	if len(data) < 36 || [4]byte(data[0:4]) != srMagic {
+	if len(data) < 36 {
+		return ErrBadEncoding
+	}
+	magic := [4]byte(data[0:4])
+	if magic != srMagic && magic != srMagic2 {
 		return ErrBadEncoding
 	}
 	k := int(binary.LittleEndian.Uint64(data[4:]))
@@ -48,16 +176,150 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	}
 	rest := data[36:]
 	var err error
-	for r := 0; r < rows; r++ {
-		for b := 0; b < m; b++ {
-			if rest, err = fresh.cells[r][b].DecodeBinary(rest); err != nil {
-				return err
+	if magic == srMagic {
+		for r := 0; r < rows; r++ {
+			for b := 0; b < m; b++ {
+				if rest, err = fresh.cells[r][b].DecodeBinary(rest); err != nil {
+					return err
+				}
 			}
 		}
+	} else if rest, err = fresh.DecodeCells(rest); err != nil {
+		return err
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
 	}
 	*s = *fresh
 	return nil
+}
+
+// Footprint aliases the shared space report, so bank and sketch reports
+// accumulate directly into composite sketches' sketchcore.Footprint sums.
+type Footprint = sketchcore.Footprint
+
+// bankCellAt serves wire.AppendRuns/RunsSize over the bank's flat cells.
+func (b *Bank) bankCellAt(i int) (int64, int64, uint64) {
+	c := &b.cells[i]
+	return c.w, c.s, c.f
+}
+
+// AppendStateTagged appends one tagged encoding of the bank's cell state
+// (headerless; the owning sketch's envelope carries n, k, seed).
+func (b *Bank) AppendStateTagged(buf []byte, format byte) []byte {
+	buf = append(buf, format)
+	switch format {
+	case wire.FormatDense:
+		return wire.AppendDenseCells(buf, len(b.cells), b.bankCellAt)
+	case wire.FormatCompact:
+		return wire.AppendRuns(buf, len(b.cells), b.bankCellAt)
+	default:
+		panic(fmt.Sprintf("sparserec: unknown wire format %d", format))
+	}
+}
+
+// decodeState reads one tagged bank payload; merge folds instead of
+// replacing.
+func (b *Bank) decodeState(data []byte, merge bool) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, ErrBadEncoding
+	}
+	format, data := data[0], data[1:]
+	rowCells := b.rows * b.m
+	switch format {
+	case wire.FormatDense:
+		rest, err := wire.DecodeDenseCells(data, len(b.cells), func(i int, w, s int64, f uint64) {
+			if merge {
+				c := &b.cells[i]
+				c.w += w
+				c.s += s
+				c.f = hashing.AddMod61(c.f, f)
+				if w != 0 || s != 0 || f != 0 {
+					b.markNode(i / rowCells)
+				}
+			} else {
+				b.cells[i] = bcell{w: w, s: s, f: f}
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		if !merge {
+			b.rebuildOcc()
+		}
+		return rest, nil
+	case wire.FormatCompact:
+		if !merge {
+			b.Reset() // occupancy-guided zeroing
+		}
+		rest, err := wire.DecodeRuns(data, len(b.cells), func(i int, w, s int64, f uint64) {
+			if merge {
+				c := &b.cells[i]
+				c.w += w
+				c.s += s
+				c.f = hashing.AddMod61(c.f, f)
+			} else {
+				b.cells[i] = bcell{w: w, s: s, f: f}
+			}
+			b.markNode(i / rowCells)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		}
+		return rest, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown format tag %d", ErrBadEncoding, format)
+	}
+}
+
+// DecodeStateTagged reads one tagged bank payload produced by
+// AppendStateTagged, replacing the bank's state.
+func (b *Bank) DecodeStateTagged(data []byte) ([]byte, error) {
+	return b.decodeState(data, false)
+}
+
+// MergeStateTagged folds one tagged bank payload into the bank without
+// materializing a second bank.
+func (b *Bank) MergeStateTagged(data []byte) ([]byte, error) {
+	return b.decodeState(data, true)
+}
+
+// Footprint reports the bank's space accounting. Both the non-zero count
+// and the compact-size dry pass skip unoccupied node rows.
+func (b *Bank) Footprint() Footprint {
+	rowCells := b.rows * b.m
+	rs := wire.NewRunsSizer(len(b.cells))
+	nonzero := 0
+	for wi, w := range b.occ {
+		lo := wi << 6
+		hi := lo + 64
+		if hi > b.n {
+			hi = b.n
+		}
+		if w == 0 {
+			rs.Zeros((hi - lo) * rowCells)
+			continue
+		}
+		for node := lo; node < hi; node++ {
+			if w&(1<<(uint(node)&63)) == 0 {
+				rs.Zeros(rowCells)
+				continue
+			}
+			base := node * rowCells
+			for j := 0; j < rowCells; j++ {
+				c := &b.cells[base+j]
+				rs.Cell(c.w, c.s, c.f)
+				if c.w != 0 || c.s != 0 || c.f != 0 {
+					nonzero++
+				}
+			}
+		}
+	}
+	return Footprint{
+		ResidentBytes:    int64(b.Words()) * 8,
+		TotalCells:       int64(len(b.cells)),
+		NonzeroCells:     int64(nonzero),
+		WireDenseBytes:   int64(1 + len(b.cells)*24),
+		WireCompactBytes: int64(1 + rs.Size()),
+	}
 }

@@ -138,8 +138,15 @@ func (s *Sketch) Sub(other *Sketch) {
 }
 
 func (s *Sketch) mustMatch(other *Sketch) {
-	if s.k != other.k || s.m != other.m || s.rows != other.rows || s.seed != other.seed {
-		panic("sparserec: merging incompatible sketches")
+	switch {
+	case s.k != other.k:
+		panic("sparserec: incompatible merge: k mismatch")
+	case s.rows != other.rows:
+		panic("sparserec: incompatible merge: rows mismatch")
+	case s.m != other.m:
+		panic("sparserec: incompatible merge: buckets mismatch")
+	case s.seed != other.seed:
+		panic("sparserec: incompatible merge: seed mismatch")
 	}
 }
 

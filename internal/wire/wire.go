@@ -1,0 +1,288 @@
+// Package wire holds the shared cell-state wire codec under every sketch
+// layer's marshal surface: format tags, zigzag varints, and a run-length
+// encoding for flat arrays of (w, s, f) recovery-cell aggregates.
+//
+// Two formats cover the space/occupancy trade-off:
+//
+//   - FormatDense: fixed 24 bytes per cell (w, s, f as u64 LE). Size is
+//     independent of content; right for sketches near full occupancy and
+//     for bit-stable golden encodings.
+//   - FormatCompact: runs of zero cells collapse to one varint, non-zero
+//     cells encode as zigzag-varint w and s plus the 8-byte fingerprint.
+//     Size is proportional to the non-zero state — the wire format for the
+//     paper's distributed/MapReduce deployment, where per-site sketches are
+//     sparse and bytes shipped to the coordinator are the scarce resource.
+//
+// The ENCODER is canonical for a given cell state (maximal runs, minimal
+// varints): encoding any state, decoding it, and re-encoding reproduces
+// the bytes — the property the compact round-trip fuzz target pins. The
+// decoder is deliberately more liberal (it accepts zero-length runs and
+// literal-encoded zero cells), so byte-level identity is guaranteed only
+// for encoder-produced payloads, not for arbitrary accepted input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Format tags, carried as the leading byte of every tagged cell-state
+// encoding so decoders can dispatch and future formats can slot in.
+const (
+	// FormatDense is the fixed-size 24-byte-per-cell encoding.
+	FormatDense byte = 0
+	// FormatCompact is the zero-run-length + varint-cell encoding.
+	FormatCompact byte = 1
+)
+
+// ErrBadEncoding is returned for corrupt, truncated, or non-canonical
+// cell-state bytes.
+var ErrBadEncoding = errors.New("wire: bad encoding")
+
+// Zigzag maps a signed value to an unsigned one with small magnitudes
+// staying small (the usual protobuf transform).
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendUvarint appends v in varint form.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// Uvarint reads one varint off the front of data.
+func Uvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, ErrBadEncoding
+	}
+	return v, data[n:], nil
+}
+
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendCell appends one non-zero cell: zigzag-varint w, zigzag-varint s,
+// fingerprint as fixed 8-byte LE (fingerprints are uniform mod 2^61-1, so a
+// varint would only pad them).
+func AppendCell(buf []byte, w, s int64, f uint64) []byte {
+	buf = binary.AppendUvarint(buf, Zigzag(w))
+	buf = binary.AppendUvarint(buf, Zigzag(s))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], f)
+	return append(buf, tmp[:]...)
+}
+
+// DecodeCell reads one cell encoded by AppendCell.
+func DecodeCell(data []byte) (w, s int64, f uint64, rest []byte, err error) {
+	zw, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, 0, nil, ErrBadEncoding
+	}
+	data = data[n:]
+	zs, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, 0, nil, ErrBadEncoding
+	}
+	data = data[n:]
+	if len(data) < 8 {
+		return 0, 0, 0, nil, ErrBadEncoding
+	}
+	return Unzigzag(zw), Unzigzag(zs), binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// cellSize returns AppendCell's encoded size for the cell.
+func cellSize(w, s int64) int {
+	return uvarintLen(Zigzag(w)) + uvarintLen(Zigzag(s)) + 8
+}
+
+// AppendRuns appends the compact run-length encoding of n cells served by
+// get: alternating maximal (zeroRun, literalRun) varint pairs, each literal
+// run followed by its cells, until all n are covered. A trailing zero run
+// carries no literal-run count. The leading varint is the cell count, an
+// integrity check against decoding into a differently shaped sketch.
+func AppendRuns(buf []byte, n int, get func(i int) (w, s int64, f uint64)) []byte {
+	buf = binary.AppendUvarint(buf, uint64(n))
+	i := 0
+	for i < n {
+		z := 0
+		for i+z < n {
+			w, s, f := get(i + z)
+			if w != 0 || s != 0 || f != 0 {
+				break
+			}
+			z++
+		}
+		buf = binary.AppendUvarint(buf, uint64(z))
+		i += z
+		if i == n {
+			break
+		}
+		lit := 0
+		for i+lit < n {
+			w, s, f := get(i + lit)
+			if w == 0 && s == 0 && f == 0 {
+				break
+			}
+			lit++
+		}
+		buf = binary.AppendUvarint(buf, uint64(lit))
+		for j := i; j < i+lit; j++ {
+			w, s, f := get(j)
+			buf = AppendCell(buf, w, s, f)
+		}
+		i += lit
+	}
+	return buf
+}
+
+// AppendDenseCells appends n cells in the fixed dense layout: w, s, f as
+// u64 LE, 24 bytes per cell — the shared dense arm under the tagged cell
+// codecs (the arena's dense arm is the separate nested AGM2 encoding).
+func AppendDenseCells(buf []byte, n int, get func(i int) (w, s int64, f uint64)) []byte {
+	var tmp [8]byte
+	for i := 0; i < n; i++ {
+		w, s, f := get(i)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(w))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(s))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], f)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// DecodeDenseCells reads n cells written by AppendDenseCells, calling set
+// for every cell, and returns the remaining bytes.
+func DecodeDenseCells(data []byte, n int, set func(i int, w, s int64, f uint64)) ([]byte, error) {
+	if len(data) < n*24 {
+		return nil, ErrBadEncoding
+	}
+	for i := 0; i < n; i++ {
+		off := i * 24
+		set(i,
+			int64(binary.LittleEndian.Uint64(data[off:])),
+			int64(binary.LittleEndian.Uint64(data[off+8:])),
+			binary.LittleEndian.Uint64(data[off+16:]))
+	}
+	return data[n*24:], nil
+}
+
+// RunsSizer computes AppendRuns' encoded size incrementally, letting a
+// caller that can PROVE whole regions are zero (an occupancy bitmap) skip
+// them arithmetically with Zeros(k) instead of touching k cells. Feeding
+// every cell through Cell() yields exactly RunsSize; interleaving Zeros()
+// for known-zero regions yields the same total without the memory traffic.
+type RunsSizer struct {
+	size     int
+	zrun     uint64
+	inLit    bool
+	litLen   uint64
+	litBytes int
+}
+
+// NewRunsSizer starts a size computation for n cells.
+func NewRunsSizer(n int) *RunsSizer {
+	return &RunsSizer{size: uvarintLen(uint64(n))}
+}
+
+// Zeros accounts for k consecutive zero cells.
+func (rs *RunsSizer) Zeros(k int) {
+	if k == 0 {
+		return
+	}
+	if rs.inLit {
+		rs.flushLit()
+	}
+	rs.zrun += uint64(k)
+}
+
+// Cell accounts for one cell (zero cells route to the current zero run).
+func (rs *RunsSizer) Cell(w, s int64, f uint64) {
+	if w == 0 && s == 0 && f == 0 {
+		rs.Zeros(1)
+		return
+	}
+	if !rs.inLit {
+		// A zero-run varint (possibly encoding 0) precedes every literal
+		// run — mirror AppendRuns exactly.
+		rs.size += uvarintLen(rs.zrun)
+		rs.zrun = 0
+		rs.inLit = true
+	}
+	rs.litLen++
+	rs.litBytes += cellSize(w, s)
+}
+
+func (rs *RunsSizer) flushLit() {
+	rs.size += uvarintLen(rs.litLen) + rs.litBytes
+	rs.litLen, rs.litBytes, rs.inLit = 0, 0, false
+}
+
+// Size finalizes and returns the encoded size. Terminal: feed no more
+// cells afterwards.
+func (rs *RunsSizer) Size() int {
+	if rs.inLit {
+		rs.flushLit()
+	} else if rs.zrun > 0 {
+		rs.size += uvarintLen(rs.zrun)
+		rs.zrun = 0
+	}
+	return rs.size
+}
+
+// DecodeRuns reads a compact encoding of exactly n cells, calling set for
+// every literal (non-zero-encoded) cell. Cells inside zero runs are never
+// reported: decoders into fresh state rely on it already being zero, and
+// merge folds rely on adding nothing. Returns the remaining bytes.
+func DecodeRuns(data []byte, n int, set func(i int, w, s int64, f uint64)) ([]byte, error) {
+	got, data, err := Uvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if got != uint64(n) {
+		return nil, ErrBadEncoding
+	}
+	i := 0
+	for i < n {
+		z, rest, err := Uvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		if z > uint64(n-i) {
+			return nil, ErrBadEncoding
+		}
+		i += int(z)
+		if i == n {
+			break
+		}
+		lit, rest, err := Uvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		if lit == 0 || lit > uint64(n-i) {
+			return nil, ErrBadEncoding
+		}
+		for j := 0; j < int(lit); j++ {
+			w, s, f, rest, err := DecodeCell(data)
+			if err != nil {
+				return nil, err
+			}
+			data = rest
+			set(i+j, w, s, f)
+		}
+		i += int(lit)
+	}
+	return data, nil
+}

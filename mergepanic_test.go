@@ -1,0 +1,110 @@
+package graphsketch
+
+import (
+	"testing"
+
+	"graphsketch/internal/l0"
+	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/sparserec"
+)
+
+// TestIncompatibleMergePanicMessages pins the shared convention for
+// incompatible-merge panics across the three cell-bank layers: the message
+// is "<pkg>: incompatible merge: <dimension> mismatch", naming the first
+// mismatching dimension, so an operator mixing sketches from misconfigured
+// sites sees WHICH parameter diverged rather than a generic complaint.
+func TestIncompatibleMergePanicMessages(t *testing.T) {
+	mustPanic := func(t *testing.T, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("expected panic %q, got none", want)
+			}
+			if got, ok := r.(string); !ok || got != want {
+				t.Fatalf("panic = %v, want %q", r, want)
+			}
+		}()
+		f()
+	}
+
+	cases := []struct {
+		name string
+		want string
+		run  func()
+	}{
+		{
+			"l0 universe", "l0: incompatible merge: universe mismatch",
+			func() { l0.New(1<<10, 1).Add(l0.New(1<<12, 1)) },
+		},
+		{
+			"l0 reps", "l0: incompatible merge: reps mismatch",
+			func() { l0.NewWithReps(1<<10, 1, 4).Add(l0.NewWithReps(1<<10, 1, 5)) },
+		},
+		{
+			"l0 seed", "l0: incompatible merge: seed mismatch",
+			func() { l0.New(1<<10, 1).Add(l0.New(1<<10, 2)) },
+		},
+		{
+			"sparserec k", "sparserec: incompatible merge: k mismatch",
+			func() { sparserec.New(4, 1).Add(sparserec.New(8, 1)) },
+		},
+		{
+			"sparserec seed", "sparserec: incompatible merge: seed mismatch",
+			func() { sparserec.New(4, 1).Add(sparserec.New(4, 2)) },
+		},
+		{
+			"sparserec bank n", "sparserec: incompatible merge: n mismatch",
+			func() { sparserec.NewBank(4, 2, 1).Add(sparserec.NewBank(5, 2, 1)) },
+		},
+		{
+			"sparserec bank seed", "sparserec: incompatible merge: seed mismatch",
+			func() { sparserec.NewBank(4, 2, 1).Add(sparserec.NewBank(4, 2, 9)) },
+		},
+		{
+			"sketchcore slots", "sketchcore: incompatible merge: slots mismatch",
+			func() {
+				a := sketchcore.New(sketchcore.Config{Slots: 4, Universe: 16, Reps: 2, Seed: 1})
+				a.Add(sketchcore.New(sketchcore.Config{Slots: 5, Universe: 16, Reps: 2, Seed: 1}))
+			},
+		},
+		{
+			"sketchcore reps", "sketchcore: incompatible merge: reps mismatch",
+			func() {
+				a := sketchcore.New(sketchcore.Config{Slots: 4, Universe: 16, Reps: 2, Seed: 1})
+				a.Add(sketchcore.New(sketchcore.Config{Slots: 4, Universe: 16, Reps: 3, Seed: 1}))
+			},
+		},
+		{
+			"sketchcore universe", "sketchcore: incompatible merge: universe mismatch",
+			func() {
+				a := sketchcore.New(sketchcore.Config{Slots: 4, Universe: 16, Reps: 2, Seed: 1})
+				a.Add(sketchcore.New(sketchcore.Config{Slots: 4, Universe: 17, Reps: 2, Seed: 1}))
+			},
+		},
+		{
+			"sketchcore seed", "sketchcore: incompatible merge: seed mismatch",
+			func() {
+				a := sketchcore.New(sketchcore.Config{Slots: 4, Universe: 16, Reps: 2, Seed: 1})
+				a.Add(sketchcore.New(sketchcore.Config{Slots: 4, Universe: 16, Reps: 2, Seed: 2}))
+			},
+		},
+		{
+			"sketchcore mode", "sketchcore: incompatible merge: seeding mode mismatch",
+			func() {
+				a := sketchcore.New(sketchcore.Config{Slots: 2, Universe: 16, Reps: 2, Seed: 1})
+				a.Add(sketchcore.New(sketchcore.Config{Slots: 2, Universe: 16, Reps: 2, SlotSeeds: []uint64{1, 2}}))
+			},
+		},
+		{
+			"sketchcore slot seeds", "sketchcore: incompatible merge: slot seeds mismatch",
+			func() {
+				a := sketchcore.New(sketchcore.Config{Slots: 2, Universe: 16, Reps: 2, SlotSeeds: []uint64{1, 2}})
+				a.Add(sketchcore.New(sketchcore.Config{Slots: 2, Universe: 16, Reps: 2, SlotSeeds: []uint64{1, 3}}))
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { mustPanic(t, tc.want, tc.run) })
+	}
+}
