@@ -13,6 +13,7 @@ import (
 	"graphsketch/internal/agm"
 	"graphsketch/internal/baseline"
 	"graphsketch/internal/core/mincut"
+	"graphsketch/internal/core/spanner"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/sketchcore"
@@ -116,6 +117,19 @@ type BenchReport struct {
 	WireDenseBytes   int     `json:"wire_dense_bytes"`
 	WireCompactBytes int     `json:"wire_compact_bytes"`
 	CompactWireRatio float64 `json:"compact_wire_ratio"`
+	// SpannerBitIdentical reports whether the banked/planned spanner
+	// constructions (BASWANA-SEN and RECURSECONNECT) reproduced, edge for
+	// edge, the retained scalar map-based baseline path — the property
+	// check standing in for a wire golden, which this path has none of.
+	SpannerBitIdentical bool `json:"spanner_bit_identical"`
+	// SpannerSpeedup is spanner-build-baseline ns/op divided by
+	// spanner-build ns/op; RecurseSpeedup likewise for recurse-connect.
+	SpannerSpeedup float64 `json:"spanner_speedup"`
+	RecurseSpeedup float64 `json:"recurse_speedup"`
+	// RecurseAllocRatio is recurse-connect-baseline allocs/op divided by
+	// recurse-connect allocs/op (the map-and-per-supernode-sampler churn
+	// the banked path eliminates).
+	RecurseAllocRatio float64 `json:"recurse_alloc_ratio"`
 }
 
 // benchCommand implements `gsketch bench [-n N] [-updates M] [-workers
@@ -124,9 +138,12 @@ type BenchReport struct {
 // baseline, the per-update arena path, the batched arena path, and sharded
 // parallel ingest; then measures the extraction (decode) paths —
 // spanning-forest Boruvka, min-cut witness post-processing, and Fig 3
-// sparsifier recovery — on a smaller ingested workload. Every row carries
-// allocation counts; bit-identity of batch and parallel ingest is verified
-// and reported. Output is JSON.
+// sparsifier recovery — on a smaller ingested workload; then the k-way
+// merge and wire-format rows; and finally the Sec. 5 spanner construction
+// rows (banked/planned path vs the retained scalar baseline, with the
+// spanner_bit_identical property check). Every row carries allocation
+// counts; bit-identity of batch and parallel ingest is verified and
+// reported. Output is JSON.
 func benchCommand(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	n := fs.Int("n", 256, "vertex count")
@@ -139,6 +156,10 @@ func benchCommand(args []string, out io.Writer) error {
 	mergeN := fs.Int("merge-n", 512, "vertex count for the k-way merge / wire-format benchmarks")
 	mergeUpdates := fs.Int("merge-updates", 128, "total stream length for the merge benchmarks (kept sparse: per-site occupancy is the point)")
 	mergeSites := fs.Int("merge-sites", 8, "number of per-site sketches the coordinator aggregates")
+	spannerN := fs.Int("spanner-n", 96, "vertex count for the spanner construction benchmarks")
+	spannerUpdates := fs.Int("spanner-updates", 60_000, "stream length for the spanner construction benchmarks")
+	spannerK := fs.Int("spanner-k", 3, "BASWANA-SEN pass count (stretch 2k-1)")
+	recurseK := fs.Int("recurse-k", 4, "RECURSECONNECT stretch parameter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,6 +171,9 @@ func benchCommand(args []string, out io.Writer) error {
 	}
 	if *mergeN < 2 || *mergeUpdates < 1 || *mergeSites < 2 {
 		return fmt.Errorf("-merge-n must be >= 2, -merge-updates >= 1, -merge-sites >= 2")
+	}
+	if *spannerN < 2 || *spannerUpdates < 1 || *spannerK < 1 || *recurseK < 2 {
+		return fmt.Errorf("-spanner-n must be >= 2, -spanner-updates >= 1, -spanner-k >= 1, -recurse-k >= 2")
 	}
 	var workers []int
 	for _, tok := range strings.Split(*workersCSV, ",") {
@@ -422,6 +446,75 @@ func benchCommand(args []string, out io.Writer) error {
 	if err := rtCompact.UnmarshalBinary(compactBytes); err != nil || !rtCompact.Equal(sites[0]) {
 		report.CompactRoundTrip = false
 	}
+
+	// Spanner construction rows: the Sec. 5 adaptive (multi-pass) pipeline.
+	// The baseline rows run the retained scalar path — k raw stream replays
+	// through per-vertex map-allocated samplers; the rebuilt rows run the
+	// banked/planned path (coalesced pass plan, arena-banked group
+	// samplers, phase-reused arenas) on the same stream and seed, single
+	// worker so the comparison is structural rather than parallel. Words
+	// on these rows is the constructed spanner's edge count (the output a
+	// serving system retains); the rebuilt rows also attach the builder's
+	// retained-arena footprint.
+	spst := stream.UniformUpdates(*spannerN, *spannerUpdates, *seed+0x5a)
+	const spanReps = 3
+	var baseBS, baseRC baseline.SpannerResult
+	measure("spanner-build-baseline", 1, spanReps, func() int {
+		for i := 0; i < spanReps; i++ {
+			baseBS = baseline.BaswanaSen(spst, *spannerK, *seed)
+		}
+		return baseBS.Spanner.NumEdges()
+	})
+	baseBSNs := report.Results[len(report.Results)-1].NsPerOp
+
+	var newBS spanner.BSResult
+	var bsBuilder *spanner.BSBuilder
+	measure("spanner-build", 1, spanReps, func() int {
+		bsBuilder = spanner.NewBSBuilder(*spannerN, *spannerK, *seed)
+		bsBuilder.SetIngestWorkers(1)
+		bsBuilder.SetDecodeWorkers(1)
+		for i := 0; i < spanReps; i++ {
+			newBS = bsBuilder.Build(spst)
+		}
+		return newBS.Spanner.NumEdges()
+	})
+	footprint(bsBuilder.Footprint())
+	newBSNs := report.Results[len(report.Results)-1].NsPerOp
+	if newBSNs > 0 {
+		report.SpannerSpeedup = baseBSNs / newBSNs
+	}
+
+	measure("recurse-connect-baseline", 1, spanReps, func() int {
+		for i := 0; i < spanReps; i++ {
+			baseRC = baseline.RecurseConnect(spst, *recurseK, *seed)
+		}
+		return baseRC.Spanner.NumEdges()
+	})
+	baseRCRow := report.Results[len(report.Results)-1]
+
+	var newRC spanner.RCResult
+	var rcBuilder *spanner.RCBuilder
+	measure("recurse-connect", 1, spanReps, func() int {
+		rcBuilder = spanner.NewRCBuilder(*spannerN, *recurseK, *seed)
+		rcBuilder.SetIngestWorkers(1)
+		rcBuilder.SetDecodeWorkers(1)
+		for i := 0; i < spanReps; i++ {
+			newRC = rcBuilder.Build(spst)
+		}
+		return newRC.Spanner.NumEdges()
+	})
+	footprint(rcBuilder.Footprint())
+	newRCRow := report.Results[len(report.Results)-1]
+	if newRCRow.NsPerOp > 0 {
+		report.RecurseSpeedup = baseRCRow.NsPerOp / newRCRow.NsPerOp
+	}
+	if newRCRow.AllocsPerOp > 0 {
+		report.RecurseAllocRatio = baseRCRow.AllocsPerOp / newRCRow.AllocsPerOp
+	}
+	report.SpannerBitIdentical = graphsEqual(newBS.Spanner, baseBS.Spanner) &&
+		newBS.Passes == baseBS.Passes &&
+		graphsEqual(newRC.Spanner, baseRC.Spanner) &&
+		newRC.Passes == baseRC.Passes
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -9,7 +9,8 @@ import (
 func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	var buf bytes.Buffer
 	err := benchCommand([]string{"-n", "32", "-updates", "20000", "-workers", "1,2",
-		"-merge-n", "64", "-merge-updates", "64", "-merge-sites", "4"}, &buf)
+		"-merge-n", "64", "-merge-updates", "64", "-merge-sites", "4",
+		"-spanner-n", "48", "-spanner-updates", "8000"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,9 +19,9 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 		t.Fatalf("bench output is not valid JSON: %v\n%s", err, buf.String())
 	}
 	// baseline, arena-scalar, arena, parallel x2, 3 decode rows, 3 merge
-	// rows, 2 wire rows.
-	if len(rep.Results) != 13 {
-		t.Fatalf("want 13 results, got %d", len(rep.Results))
+	// rows, 2 wire rows, 4 spanner rows.
+	if len(rep.Results) != 17 {
+		t.Fatalf("want 17 results, got %d", len(rep.Results))
 	}
 	if !rep.ParallelBitIdentical {
 		t.Fatal("parallel ingest must be bit-identical to sequential")
@@ -47,7 +48,9 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 		}
 		switch r.Name {
 		case "forest-extract", "mincut-decode", "sparsify-decode",
-			"merge-pairwise", "merge-many", "merge-bytes", "wire-dense", "wire-compact":
+			"merge-pairwise", "merge-many", "merge-bytes", "wire-dense", "wire-compact",
+			"spanner-build-baseline", "spanner-build",
+			"recurse-connect-baseline", "recurse-connect":
 			decodes++
 			if r.NsPerUpdate != 0 {
 				t.Fatalf("row %q must not join the ns/update trajectory", r.Name)
@@ -58,8 +61,18 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 			}
 		}
 	}
-	if decodes != 8 {
-		t.Fatalf("want 8 decode/merge/wire rows, got %d", decodes)
+	if decodes != 12 {
+		t.Fatalf("want 12 decode/merge/wire/spanner rows, got %d", decodes)
+	}
+	if !rep.SpannerBitIdentical {
+		t.Fatal("banked/planned spanner paths must match the retained baseline")
+	}
+	if rep.SpannerSpeedup <= 1 || rep.RecurseSpeedup <= 1 {
+		t.Fatalf("rebuilt spanner paths should beat the scalar baseline: bs %.2f, rc %.2f",
+			rep.SpannerSpeedup, rep.RecurseSpeedup)
+	}
+	if rep.RecurseAllocRatio <= 1 {
+		t.Fatalf("banked recurse-connect should allocate less than the baseline: ratio %.2f", rep.RecurseAllocRatio)
 	}
 }
 
@@ -80,5 +93,11 @@ func TestBenchCommandRejectsBadSizes(t *testing.T) {
 	}
 	if err := benchCommand([]string{"-updates", "0"}, &buf); err == nil {
 		t.Fatal("-updates 0 must be rejected")
+	}
+	if err := benchCommand([]string{"-spanner-n", "1"}, &buf); err == nil {
+		t.Fatal("-spanner-n 1 must be rejected")
+	}
+	if err := benchCommand([]string{"-recurse-k", "1"}, &buf); err == nil {
+		t.Fatal("-recurse-k 1 must be rejected")
 	}
 }

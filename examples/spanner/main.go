@@ -7,10 +7,14 @@
 //   - RECURSECONNECT:        ~log2(k) passes, stretch <= k^{log2 5}-1.
 //
 // The tradeoff the paper proves is passes vs stretch; sizes are similar.
+// Each build reports its per-pass wall time and the retained sampler-arena
+// footprint, so running this example doubles as a smoke check of the
+// banked/planned construction path.
 package main
 
 import (
 	"fmt"
+	"strings"
 
 	"graphsketch"
 )
@@ -20,28 +24,48 @@ const (
 	seed = 2025
 )
 
+// phaseMillis renders a result's per-pass wall times.
+func phaseMillis(ns []int64) string {
+	parts := make([]string, len(ns))
+	for i, v := range ns {
+		parts[i] = fmt.Sprintf("%.2f", float64(v)/1e6)
+	}
+	return strings.Join(parts, "+") + "ms"
+}
+
 func main() {
 	st := graphsketch.PreferentialAttachment(n, 4, seed)
 	g := graphsketch.FromStream(st)
 	fmt.Printf("social graph: %d vertices, %d edges, diameter %d\n",
 		n, g.NumEdges(), g.Diameter())
 
-	fmt.Printf("\n%-18s %7s %7s %9s %9s\n", "algorithm", "passes", "edges", "stretch", "bound")
+	fmt.Printf("\n%-18s %7s %7s %9s %9s  %s\n", "algorithm", "passes", "edges", "stretch", "bound", "per-pass wall")
 	for _, k := range []int{2, 3, 4, 8} {
 		bs := graphsketch.BaswanaSenSpanner(st, k, seed)
-		fmt.Printf("%-18s %7d %7d %9.2f %9.0f\n",
+		fmt.Printf("%-18s %7d %7d %9.2f %9.0f  %s\n",
 			fmt.Sprintf("baswana-sen k=%d", k), bs.Passes, bs.Spanner.NumEdges(),
-			graphsketch.MeasureStretch(g, bs.Spanner, 16, seed), bs.StretchBound)
+			graphsketch.MeasureStretch(g, bs.Spanner, 16, seed), bs.StretchBound,
+			phaseMillis(bs.PhaseNanos))
 	}
 	for _, k := range []int{4, 8, 16} {
 		rc := graphsketch.RecurseConnectSpanner(st, k, seed)
-		fmt.Printf("%-18s %7d %7d %9.2f %9.1f\n",
+		fmt.Printf("%-18s %7d %7d %9.2f %9.1f  %s\n",
 			fmt.Sprintf("recurse-conn k=%d", k), rc.Passes, rc.Spanner.NumEdges(),
-			graphsketch.MeasureStretch(g, rc.Spanner, 16, seed), rc.StretchBound)
+			graphsketch.MeasureStretch(g, rc.Spanner, 16, seed), rc.StretchBound,
+			phaseMillis(rc.PhaseNanos))
 	}
 
-	// Distance queries through the k=3 Baswana-Sen spanner.
-	bs := graphsketch.BaswanaSenSpanner(st, 3, seed)
+	// The incremental sketch: updates accumulate, Build() memoizes, and the
+	// construction arenas persist across builds. Each pass sweeps the
+	// coalesced plan instead of the raw update log.
+	sk := graphsketch.NewBaswanaSenSketch(n, 3, seed)
+	sk.Ingest(st)
+	bs := sk.Build()
+	fp := sk.Footprint()
+	fmt.Printf("\nk=3 sketch: plan %d edges (log %d updates), arenas %d KiB resident, %d/%d cells non-zero, %d B compact wire\n",
+		bs.PlanEdges, st.Len(), fp.ResidentBytes/1024, fp.NonzeroCells, fp.TotalCells, fp.WireCompactBytes)
+
+	// Distance queries through the memoized k=3 Baswana-Sen spanner.
 	fmt.Printf("\nsample distance queries (k=3 spanner, %d of %d edges):\n",
 		bs.Spanner.NumEdges(), g.NumEdges())
 	pairs := [][2]int{{0, n - 1}, {1, n - 2}, {5, 70}, {12, 63}}

@@ -758,20 +758,147 @@ type SpannerResult struct {
 	Passes int
 	// StretchBound is the construction's guarantee.
 	StretchBound float64
+	// PhaseNanos is the wall time of each executed pass (plan sweep plus
+	// decode), one entry per pass.
+	PhaseNanos []int64
+	// PlanEdges is the size of the coalesced pass plan: the distinct
+	// surviving edges each pass sweeps, versus the raw update count a
+	// scalar replay would re-filter every pass.
+	PlanEdges int
 }
 
 // BaswanaSenSpanner builds a (2k-1)-spanner in k passes over the stream.
+// One-shot form of BaswanaSenSketch.
 func BaswanaSenSpanner(st *Stream, k int, seed uint64) SpannerResult {
 	r := spanner.BaswanaSen(st, k, seed)
-	return SpannerResult{Spanner: r.Spanner, Passes: r.Passes, StretchBound: float64(r.StretchBound)}
+	return SpannerResult{
+		Spanner: r.Spanner, Passes: r.Passes, StretchBound: float64(r.StretchBound),
+		PhaseNanos: r.PhaseNanos, PlanEdges: r.PlanEdges,
+	}
 }
 
 // RecurseConnectSpanner builds a (k^{log2 5}-1)-spanner in ~log2(k) passes
-// (Theorem 5.1).
+// (Theorem 5.1). One-shot form of RecurseConnectSketch.
 func RecurseConnectSpanner(st *Stream, k int, seed uint64) SpannerResult {
 	r := spanner.RecurseConnect(st, k, seed)
-	return SpannerResult{Spanner: r.Spanner, Passes: r.Passes, StretchBound: r.StretchBound}
+	return SpannerResult{
+		Spanner: r.Spanner, Passes: r.Passes, StretchBound: r.StretchBound,
+		PhaseNanos: r.PhaseNanos, PlanEdges: r.PlanEdges,
+	}
 }
+
+// BaswanaSenSketch is the incremental form of the Sec. 5 BASWANA-SEN
+// emulation: it accumulates a dynamic update log (the adaptive construction
+// is multi-pass, so the stream must be replayable — Definition 2's
+// r-adaptive sketching model), builds the (2k-1)-spanner on demand, and
+// memoizes the result until the next update. Construction arenas are
+// allocated once and reseeded pass to pass and build to build.
+type BaswanaSenSketch struct {
+	bld *spanner.BSBuilder
+	st  *stream.Stream
+	res *SpannerResult
+}
+
+// NewBaswanaSenSketch creates a spanner sketch for n vertices with pass
+// count k (stretch 2k-1).
+func NewBaswanaSenSketch(n, k int, seed uint64) *BaswanaSenSketch {
+	return &BaswanaSenSketch{bld: spanner.NewBSBuilder(n, k, seed), st: &stream.Stream{N: n}}
+}
+
+// Update appends a signed multiplicity change to edge {u, v} and
+// invalidates the memoized spanner.
+func (s *BaswanaSenSketch) Update(u, v int, delta int64) {
+	s.st.Updates = append(s.st.Updates, stream.Update{U: u, V: v, Delta: delta})
+	s.res = nil
+}
+
+// UpdateBatch appends a slice of updates.
+func (s *BaswanaSenSketch) UpdateBatch(ups []Update) {
+	s.st.Updates = append(s.st.Updates, ups...)
+	s.res = nil
+}
+
+// Ingest appends a whole stream.
+func (s *BaswanaSenSketch) Ingest(st *Stream) { s.UpdateBatch(st.Updates) }
+
+// SetIngestWorkers shards each pass's plan sweep across w goroutines
+// (bit-identical for every setting).
+func (s *BaswanaSenSketch) SetIngestWorkers(w int) { s.bld.SetIngestWorkers(w) }
+
+// SetDecodeWorkers fans the retirement decode across w goroutines
+// (0 restores the GOMAXPROCS default; bit-identical for every setting).
+func (s *BaswanaSenSketch) SetDecodeWorkers(w int) { s.bld.SetDecodeWorkers(w) }
+
+// Build constructs the spanner for the accumulated stream. The result is
+// memoized: repeated calls without intervening updates return the same
+// value (treat the graph as read-only).
+func (s *BaswanaSenSketch) Build() SpannerResult {
+	if s.res == nil {
+		r := s.bld.Build(s.st)
+		s.res = &SpannerResult{
+			Spanner: r.Spanner, Passes: r.Passes, StretchBound: float64(r.StretchBound),
+			PhaseNanos: r.PhaseNanos, PlanEdges: r.PlanEdges,
+		}
+	}
+	return *s.res
+}
+
+// Footprint reports the space of the retained construction arenas (the
+// join-sampler arena and the group-sampler bank, reused across builds).
+func (s *BaswanaSenSketch) Footprint() Footprint { return s.bld.Footprint() }
+
+// RecurseConnectSketch is the incremental form of RECURSECONNECT
+// (Theorem 5.1): log k passes at stretch k^{log2 5}-1, with the update log,
+// memoization, and arena reuse of BaswanaSenSketch.
+type RecurseConnectSketch struct {
+	bld *spanner.RCBuilder
+	st  *stream.Stream
+	res *SpannerResult
+}
+
+// NewRecurseConnectSketch creates a spanner sketch for n vertices with
+// stretch parameter k.
+func NewRecurseConnectSketch(n, k int, seed uint64) *RecurseConnectSketch {
+	return &RecurseConnectSketch{bld: spanner.NewRCBuilder(n, k, seed), st: &stream.Stream{N: n}}
+}
+
+// Update appends a signed multiplicity change to edge {u, v} and
+// invalidates the memoized spanner.
+func (s *RecurseConnectSketch) Update(u, v int, delta int64) {
+	s.st.Updates = append(s.st.Updates, stream.Update{U: u, V: v, Delta: delta})
+	s.res = nil
+}
+
+// UpdateBatch appends a slice of updates.
+func (s *RecurseConnectSketch) UpdateBatch(ups []Update) {
+	s.st.Updates = append(s.st.Updates, ups...)
+	s.res = nil
+}
+
+// Ingest appends a whole stream.
+func (s *RecurseConnectSketch) Ingest(st *Stream) { s.UpdateBatch(st.Updates) }
+
+// SetIngestWorkers shards each pass's plan sweep across w goroutines.
+func (s *RecurseConnectSketch) SetIngestWorkers(w int) { s.bld.SetIngestWorkers(w) }
+
+// SetDecodeWorkers fans the per-supernode collection across w goroutines.
+func (s *RecurseConnectSketch) SetDecodeWorkers(w int) { s.bld.SetDecodeWorkers(w) }
+
+// Build constructs the spanner for the accumulated stream, memoized until
+// the next update (treat the returned graph as read-only).
+func (s *RecurseConnectSketch) Build() SpannerResult {
+	if s.res == nil {
+		r := s.bld.Build(s.st)
+		s.res = &SpannerResult{
+			Spanner: r.Spanner, Passes: r.Passes, StretchBound: r.StretchBound,
+			PhaseNanos: r.PhaseNanos, PlanEdges: r.PlanEdges,
+		}
+	}
+	return *s.res
+}
+
+// Footprint reports the space of the retained construction banks.
+func (s *RecurseConnectSketch) Footprint() Footprint { return s.bld.Footprint() }
 
 // MeasureStretch returns the worst observed distance ratio d_H/d_G over
 // BFS from `sources` random roots (+Inf if H fails to span G).

@@ -1,0 +1,352 @@
+// Retained pre-overhaul spanner construction path: scalar per-update
+// replays of the raw stream, one freshly allocated sampler per live vertex
+// (or supernode) per pass, and map-based contraction bookkeeping. Kept as
+// the perf baseline for the `spanner-build` / `recurse-connect` bench rows
+// and as the reference implementation the banked/planned path is
+// property-tested bit-identical against.
+//
+// One deliberate change from the historical code: RECURSECONNECT's center
+// relabeling used to iterate a Go map (`for c := range centers`), making
+// supernode ids — and therefore all later-pass sampler seeds and the final
+// spanner — nondeterministic across runs of the same seed. The baseline
+// relabels centers in ascending id order instead, which is what the greedy
+// loop produces anyway; the rebuilt path matches this deterministic order.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"graphsketch/internal/core/spanner"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/stream"
+)
+
+// SpannerResult reports a baseline-built spanner.
+type SpannerResult struct {
+	Spanner *graph.Graph
+	Passes  int
+}
+
+// BaswanaSen is the retained scalar BASWANA-SEN emulation: k full stream
+// replays through per-update sampler feeds, fresh sketch families per
+// phase.
+func BaswanaSen(st *stream.Stream, k int, seed uint64) SpannerResult {
+	n := st.N
+	if k < 1 {
+		k = 1
+	}
+	sp := graph.New(n)
+	// member[v] = root of the tree containing v, or -1 if v has retired.
+	member := make([]int, n)
+	for v := range member {
+		member[v] = v
+	}
+	isRoot := make([]bool, n)
+	for v := range isRoot {
+		isRoot[v] = true
+	}
+	sampleProb := math.Pow(float64(n), -1.0/float64(k))
+	rng := hashing.NewRNG(hashing.DeriveSeed(seed, 0xb5))
+	groupBudget := int(math.Ceil(4*math.Pow(float64(n), 1.0/float64(k)))) + 4
+
+	addedStamp := make([]int, n)
+	for i := range addedStamp {
+		addedStamp[i] = -1
+	}
+	stamp := 0
+	var collectBuf []uint64
+
+	passes := 0
+	for phase := 1; phase <= k-1; phase++ {
+		selected := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if isRoot[v] && rng.Float64() < sampleProb {
+				selected[v] = true
+			}
+		}
+		passSeed := hashing.DeriveSeed(seed, uint64(phase))
+		liveSlot := make([]int, n)
+		var joinSeeds []uint64
+		for v := 0; v < n; v++ {
+			if member[v] == -1 {
+				liveSlot[v] = -1
+				continue
+			}
+			liveSlot[v] = len(joinSeeds)
+			joinSeeds = append(joinSeeds, hashing.DeriveSeed(passSeed, uint64(v)))
+		}
+		if len(joinSeeds) == 0 {
+			break
+		}
+		joinSamp := sketchcore.New(sketchcore.Config{
+			Slots: len(joinSeeds), Universe: uint64(n), Reps: l0.DefaultReps, SlotSeeds: joinSeeds,
+		})
+		groupSamp := make([]*spanner.GroupSampler, n)
+		for v := 0; v < n; v++ {
+			if member[v] == -1 {
+				continue
+			}
+			groupSamp[v] = spanner.NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, 0x10000+uint64(v)))
+		}
+		for _, up := range st.Updates {
+			if up.U == up.V {
+				continue
+			}
+			feed := func(a, b int) {
+				if member[a] == -1 || member[b] == -1 {
+					return
+				}
+				if member[a] == member[b] {
+					return
+				}
+				if selected[member[b]] {
+					joinSamp.Update(liveSlot[a], uint64(b), up.Delta)
+				}
+				groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
+			}
+			feed(up.U, up.V)
+			feed(up.V, up.U)
+		}
+		passes++
+		newMember := make([]int, n)
+		copy(newMember, member)
+		for v := 0; v < n; v++ {
+			if member[v] == -1 {
+				continue
+			}
+			if selected[member[v]] {
+				continue
+			}
+			if w, _, ok := joinSamp.Sample(liveSlot[v]); ok {
+				sp.AddEdge(v, int(w), 1)
+				newMember[v] = member[w]
+				continue
+			}
+			collectBuf = groupSamp[v].CollectInto(collectBuf[:0])
+			for _, item := range collectBuf {
+				w := int(item)
+				g := member[w]
+				if g == -1 || g == member[v] || addedStamp[g] == stamp {
+					continue
+				}
+				addedStamp[g] = stamp
+				sp.AddEdge(v, w, 1)
+			}
+			stamp++
+			newMember[v] = -1
+		}
+		member = newMember
+		for v := range isRoot {
+			isRoot[v] = isRoot[v] && selected[v]
+		}
+	}
+
+	// Final clean-up pass: one edge to every adjacent tree.
+	passSeed := hashing.DeriveSeed(seed, 0xf1a1)
+	groupSamp := make([]*spanner.GroupSampler, n)
+	for v := 0; v < n; v++ {
+		if member[v] != -1 {
+			groupSamp[v] = spanner.NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, uint64(v)))
+		}
+	}
+	for _, up := range st.Updates {
+		if up.U == up.V {
+			continue
+		}
+		feed := func(a, b int) {
+			if member[a] == -1 || member[b] == -1 || member[a] == member[b] {
+				return
+			}
+			groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
+		}
+		feed(up.U, up.V)
+		feed(up.V, up.U)
+	}
+	passes++
+	for v := 0; v < n; v++ {
+		if member[v] == -1 {
+			continue
+		}
+		collectBuf = groupSamp[v].CollectInto(collectBuf[:0])
+		for _, item := range collectBuf {
+			w := int(item)
+			g := member[w]
+			if g == -1 || g == member[v] || addedStamp[g] == stamp {
+				continue
+			}
+			addedStamp[g] = stamp
+			sp.AddEdge(v, w, 1)
+		}
+		stamp++
+	}
+	return SpannerResult{Spanner: sp, Passes: passes}
+}
+
+// RecurseConnect is the retained map-based RECURSECONNECT: per-pass
+// map[int]*GroupSampler, nested witness maps, scalar stream replays.
+func RecurseConnect(st *stream.Stream, k int, seed uint64) SpannerResult {
+	n := st.N
+	if k < 2 {
+		k = 2
+	}
+	sp := graph.New(n)
+	sn := make([]int, n)
+	for v := range sn {
+		sn[v] = v
+	}
+	numSuper := n
+	passes := 0
+
+	maxPasses := int(math.Ceil(math.Log2(float64(k))))
+	for i := 0; i < maxPasses && numSuper > 1; i++ {
+		di := int(math.Ceil(math.Pow(float64(n), math.Pow(2, float64(i))/float64(k))))
+		if di < 2 {
+			di = 2
+		}
+		live := liveSupernodes(sn, n)
+		if len(live) <= 1 {
+			break
+		}
+		samp := make(map[int]*spanner.GroupSampler, len(live))
+		passSeed := hashing.DeriveSeed(seed, 0x2c00+uint64(i))
+		for _, p := range live {
+			samp[p] = spanner.NewGroupSampler(uint64(n)*uint64(n), di, hashing.DeriveSeed(passSeed, uint64(p)))
+		}
+		for _, up := range st.Updates {
+			if up.U == up.V {
+				continue
+			}
+			pu, pv := sn[up.U], sn[up.V]
+			if pu == -1 || pv == -1 || pu == pv {
+				continue
+			}
+			idx := stream.EdgeIndex(up.U, up.V, n)
+			samp[pu].Update(uint64(pv), idx, up.Delta)
+			samp[pv].Update(uint64(pu), idx, up.Delta)
+		}
+		passes++
+
+		type witness struct{ u, v int }
+		hAdj := make(map[int]map[int]witness, len(live))
+		for _, p := range live {
+			hAdj[p] = map[int]witness{}
+		}
+		for _, p := range live {
+			for _, item := range samp[p].Collect() {
+				u, v := stream.EdgeFromIndex(item, n)
+				pu, pv := sn[u], sn[v]
+				if pu == -1 || pv == -1 || pu == pv {
+					continue
+				}
+				hAdj[pu][pv] = witness{u, v}
+				hAdj[pv][pu] = witness{u, v}
+			}
+		}
+		for p, nbrs := range hAdj {
+			for q, w := range nbrs {
+				if p < q {
+					sp.AddEdge(w.u, w.v, 1)
+				}
+			}
+		}
+
+		high := make([]int, 0, len(live))
+		for _, p := range live {
+			if len(hAdj[p]) >= di {
+				high = append(high, p)
+			}
+		}
+		sort.Ints(high) // deterministic
+		centers := map[int]bool{}
+		assigned := map[int]int{} // supernode -> center
+		var centerOrder []int     // creation order == ascending id
+		for _, q := range high {
+			if _, done := assigned[q]; done {
+				continue
+			}
+			centers[q] = true
+			centerOrder = append(centerOrder, q)
+			assigned[q] = q
+			for nb := range hAdj[q] {
+				if _, done := assigned[nb]; !done {
+					assigned[nb] = q
+				}
+			}
+			for nb := range hAdj[q] {
+				for nb2 := range hAdj[nb] {
+					if _, done := assigned[nb2]; !done && len(hAdj[nb2]) >= di {
+						assigned[nb2] = q
+					}
+				}
+			}
+		}
+
+		// Collapse, relabeling centers in creation (ascending id) order.
+		newID := map[int]int{}
+		for _, c := range centerOrder {
+			newID[c] = len(newID)
+		}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			p := sn[v]
+			if p == -1 {
+				next[v] = -1
+				continue
+			}
+			if c, ok := assigned[p]; ok {
+				next[v] = newID[c]
+				continue
+			}
+			next[v] = -1
+		}
+		sn = next
+		numSuper = len(newID)
+	}
+
+	live := liveSupernodes(sn, n)
+	if len(live) > 1 {
+		passSeed := hashing.DeriveSeed(seed, 0x2cff)
+		samp := make(map[int]*spanner.GroupSampler, len(live))
+		for _, p := range live {
+			samp[p] = spanner.NewGroupSampler(uint64(n)*uint64(n), len(live), hashing.DeriveSeed(passSeed, uint64(p)))
+		}
+		for _, up := range st.Updates {
+			if up.U == up.V {
+				continue
+			}
+			pu, pv := sn[up.U], sn[up.V]
+			if pu == -1 || pv == -1 || pu == pv {
+				continue
+			}
+			idx := stream.EdgeIndex(up.U, up.V, n)
+			samp[pu].Update(uint64(pv), idx, up.Delta)
+			samp[pv].Update(uint64(pu), idx, up.Delta)
+		}
+		passes++
+		for _, p := range live {
+			for _, item := range samp[p].Collect() {
+				u, v := stream.EdgeFromIndex(item, n)
+				sp.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return SpannerResult{Spanner: sp, Passes: passes}
+}
+
+// liveSupernodes is the retained map-deduped live-id scan.
+func liveSupernodes(sn []int, n int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for v := 0; v < n; v++ {
+		if sn[v] != -1 && !seen[sn[v]] {
+			seen[sn[v]] = true
+			out = append(out, sn[v])
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -2,6 +2,7 @@ package spanner
 
 import (
 	"math"
+	"time"
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
@@ -16,120 +17,225 @@ type BSResult struct {
 	Passes  int
 	// StretchBound is the guarantee 2k-1.
 	StretchBound int
+	// PhaseNanos is the wall time of each executed pass (plan sweep plus
+	// decode), one entry per pass.
+	PhaseNanos []int64
+	// PlanEdges is the size of the coalesced pass plan: the distinct
+	// surviving edges each pass actually sweeps, versus Stream.Len() raw
+	// updates for the scalar replay.
+	PlanEdges int
 }
 
 // BaswanaSen builds a (2k-1)-spanner of the graph defined by the dynamic
-// stream st, in k passes (the Sec. 5 "Part 1 / Part 2" emulation). Each
-// pass i knows the clustering from pass i-1 and builds two sketch families:
+// stream st, in k passes (the Sec. 5 "Part 1 / Part 2" emulation). One-shot
+// form of BSBuilder.Build.
+func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
+	return NewBSBuilder(st.N, k, seed).Build(st)
+}
+
+// BSBuilder is the reusable BASWANA-SEN construction: the join-sampler
+// arena and the group-sampler bank are allocated once and reseeded between
+// passes (and between builds), the stream is coalesced into one pass plan
+// swept per phase, and the retirement decode fans out across worker
+// goroutines. Each pass i knows the clustering from pass i-1 and builds two
+// sketch families:
 //
 //   - per live vertex, an l0-sampler over its edges into *sampled* trees
 //     (case: vertex joins a tree, contributing one tree edge);
-//   - per live vertex, a GroupSampler over its edges grouped by the far
-//     endpoint's tree (case: vertex has no sampled neighbor, stores one
+//   - per live vertex, a banked GroupSampler over its edges grouped by the
+//     far endpoint's tree (case: vertex has no sampled neighbor, stores one
 //     edge per adjacent tree — the set L(u) — and retires).
 //
 // The final pass adds, for every surviving vertex, one edge to every
-// adjacent T_{k-1} tree.
-func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
-	n := st.N
+// adjacent T_{k-1} tree. Output is bit-identical to the retained scalar
+// map-based construction (internal/baseline) by linearity of the coalesced
+// plan and bit-compatibility of the banked samplers.
+type BSBuilder struct {
+	n, k          int
+	seed          uint64
+	ingestWorkers int
+	decodeWorkers int
+
+	groupBudget int
+
+	// Arenas reused across passes and builds.
+	join *sketchcore.Arena
+	bank *GroupBank
+
+	// Per-pass scratch.
+	member, newMember []int
+	isRoot, selected  []bool
+	liveSlot          []int
+	joinSeeds         []uint64
+	bankSeeds         []uint64
+	addedStamp        []int
+	stamp             int
+	candidates        []int
+	dec               decodeScratch
+}
+
+// NewBSBuilder creates a builder for streams on n vertices with pass count
+// k (stretch 2k-1) and the given seed. Arenas are allocated on first Build.
+func NewBSBuilder(n, k int, seed uint64) *BSBuilder {
 	if k < 1 {
 		k = 1
 	}
+	if n < 0 {
+		n = 0
+	}
+	return &BSBuilder{n: n, k: k, seed: seed}
+}
+
+// SetIngestWorkers shards each pass's plan sweep across w goroutines
+// (w <= 1 sequential; the merged state is bit-identical by linearity).
+func (b *BSBuilder) SetIngestWorkers(w int) { b.ingestWorkers = w }
+
+// SetDecodeWorkers fans the retirement decode (join sampling + group
+// collection) across w goroutines (0 = GOMAXPROCS). The spanner is
+// bit-identical for every setting: workers only sample; edges are applied
+// sequentially in vertex order.
+func (b *BSBuilder) SetDecodeWorkers(w int) { b.decodeWorkers = w }
+
+// Footprint reports the space of the builder's retained sampler state (the
+// join arena plus the group bank, reused across passes and builds).
+func (b *BSBuilder) Footprint() sketchcore.Footprint {
+	var f sketchcore.Footprint
+	if b.join != nil {
+		f.Accum(b.join.Footprint())
+	}
+	if b.bank != nil {
+		f.Accum(b.bank.Footprint())
+	}
+	return f
+}
+
+// ensureScratch allocates the arenas and scratch on first use.
+func (b *BSBuilder) ensureScratch() {
+	if b.join != nil {
+		return
+	}
+	n := b.n
+	b.groupBudget = int(math.Ceil(4*math.Pow(float64(n), 1.0/float64(b.k)))) + 4
+	b.joinSeeds = make([]uint64, n)
+	b.bankSeeds = make([]uint64, n)
+	b.join = sketchcore.New(sketchcore.Config{
+		Slots: n, Universe: uint64(n), Reps: l0.DefaultReps,
+		SlotSeeds: b.joinSeeds, DeferTables: true,
+	})
+	b.bank = NewGroupBank(n, uint64(n), b.groupBudget, b.bankSeeds)
+	b.member = make([]int, n)
+	b.newMember = make([]int, n)
+	b.isRoot = make([]bool, n)
+	b.selected = make([]bool, n)
+	b.liveSlot = make([]int, n)
+	b.addedStamp = make([]int, n)
+}
+
+// Build constructs the spanner for st (st.N must equal the builder's n).
+func (b *BSBuilder) Build(st *stream.Stream) BSResult {
+	if st.N != b.n {
+		panic("spanner: stream vertex count does not match builder")
+	}
+	n, k := b.n, b.k
+	if n == 0 {
+		// Empty graph: only the (trivial) final pass runs, as in the
+		// retained scalar path.
+		return BSResult{Spanner: graph.New(0), Passes: 1, StretchBound: 2*k - 1, PhaseNanos: []int64{0}}
+	}
+	b.ensureScratch()
+	plan := st.Coalesce()
 	spanner := graph.New(n)
-	// member[v] = root of the tree containing v, or -1 if v has retired.
-	member := make([]int, n)
+
+	member := b.member
 	for v := range member {
 		member[v] = v // phase 0: every vertex is its own tree T_0[v] = {v}
 	}
-	isRoot := make([]bool, n)
+	isRoot := b.isRoot
 	for v := range isRoot {
 		isRoot[v] = true
 	}
-	sampleProb := math.Pow(float64(n), -1.0/float64(k))
-	rng := hashing.NewRNG(hashing.DeriveSeed(seed, 0xb5))
-	groupBudget := int(math.Ceil(4*math.Pow(float64(n), 1.0/float64(k)))) + 4
-
-	// Retirement scratch, shared by every pass: per-tree "already stored an
-	// edge" stamps (tree ids are root vertices, so [0, n)) and the Collect
-	// drain buffer — no per-vertex map or slice allocation in the decode
-	// loops below.
-	addedStamp := make([]int, n)
-	for i := range addedStamp {
-		addedStamp[i] = -1
+	for i := range b.addedStamp {
+		b.addedStamp[i] = -1
 	}
-	stamp := 0
-	var collectBuf []uint64
+	b.stamp = 0
+	sampleProb := math.Pow(float64(n), -1.0/float64(k))
+	rng := hashing.NewRNG(hashing.DeriveSeed(b.seed, 0xb5))
 
 	passes := 0
+	var phaseNanos []int64
 	for phase := 1; phase <= k-1; phase++ {
-		// Sample the surviving roots.
-		selected := make([]bool, n)
+		t0 := time.Now()
+		// Sample the surviving roots (rng consumption matches the scalar
+		// path exactly: one draw per surviving root).
+		selected := b.selected
 		for v := 0; v < n; v++ {
-			if isRoot[v] && rng.Float64() < sampleProb {
-				selected[v] = true
-			}
+			selected[v] = isRoot[v] && rng.Float64() < sampleProb
 		}
-		// ---- one pass over the stream with adaptive sketches ----
-		passSeed := hashing.DeriveSeed(seed, uint64(phase))
-		// One join sampler per *live* vertex, banked in a single per-slot
-		// arena (slots must hash independently: each samples its own edge
-		// set into sampled trees). Retired vertices get no slot — at late
-		// phases most of the graph has retired, and allocating n slots
-		// anyway would undo the old per-live-vertex allocation savings.
-		liveSlot := make([]int, n)
-		var joinSeeds []uint64
+		passSeed := hashing.DeriveSeed(b.seed, uint64(phase))
+		// Live-vertex slot compaction: retired vertices get no sampler
+		// member — at late phases most of the graph has retired.
+		live := 0
 		for v := 0; v < n; v++ {
 			if member[v] == -1 {
-				liveSlot[v] = -1
+				b.liveSlot[v] = -1
 				continue
 			}
-			liveSlot[v] = len(joinSeeds)
-			joinSeeds = append(joinSeeds, hashing.DeriveSeed(passSeed, uint64(v)))
+			b.liveSlot[v] = live
+			b.joinSeeds[live] = hashing.DeriveSeed(passSeed, uint64(v))
+			b.bankSeeds[live] = hashing.DeriveSeed(passSeed, 0x10000+uint64(v))
+			live++
 		}
-		if len(joinSeeds) == 0 {
+		if live == 0 {
 			break // every vertex retired: no edge can join or be stored anymore
 		}
-		joinSamp := sketchcore.New(sketchcore.Config{
-			Slots: len(joinSeeds), Universe: uint64(n), Reps: l0.DefaultReps, SlotSeeds: joinSeeds,
-		})
-		groupSamp := make([]*GroupSampler, n)
-		for v := 0; v < n; v++ {
-			if member[v] == -1 {
-				continue
-			}
-			groupSamp[v] = NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, 0x10000+uint64(v)))
+		// Prefix reseed: slot compaction puts every live vertex below
+		// `live`, so hash rederivation cost tracks the surviving graph.
+		b.join.Reseed(b.joinSeeds[:live])
+		b.bank.ReseedPrefix(b.bankSeeds[:live])
+
+		// ---- the pass: one sharded sweep over the coalesced plan ----
+		self := &bsPassShard{
+			member: member, selected: selected, liveSlot: b.liveSlot,
+			join: b.join, bank: b.bank,
 		}
-		for _, up := range st.Updates {
-			if up.U == up.V {
-				continue
-			}
-			feed := func(a, b int) {
-				if member[a] == -1 || member[b] == -1 {
-					return // edges at retired vertices are out of play
+		sketchcore.ShardedIngest(plan.Updates, b.ingestWorkers, self,
+			func() *bsPassShard {
+				return &bsPassShard{
+					member: member, selected: selected, liveSlot: b.liveSlot,
+					join: b.join.CloneEmpty(), bank: b.bank.CloneEmpty(),
 				}
-				if member[a] == member[b] {
-					return // intra-tree edge
-				}
-				if selected[member[b]] {
-					joinSamp.Update(liveSlot[a], uint64(b), up.Delta)
-				}
-				groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
-			}
-			feed(up.U, up.V)
-			feed(up.V, up.U)
-		}
+			},
+			func(sh *bsPassShard) {
+				b.join.Add(sh.join)
+				b.bank.Add(sh.bank)
+			})
 		passes++
+
 		// ---- post-pass: apply the Baswana-Sen phase ----
-		newMember := make([]int, n)
-		copy(newMember, member)
+		// Candidates are the live vertices of unsampled trees; the decode
+		// (join sampling, group collection) runs vertex-parallel, the edge
+		// application stays sequential in vertex order.
+		cands := b.candidates[:0]
 		for v := 0; v < n; v++ {
-			if member[v] == -1 {
-				continue
+			if member[v] != -1 && !selected[member[v]] {
+				cands = append(cands, v)
 			}
-			if selected[member[v]] {
-				continue // v's tree survives; v stays in it
+		}
+		b.candidates = cands
+		b.dec.run(len(cands), b.workers(), func(w *decodeWorker, i int) {
+			v := cands[i]
+			if idx, _, ok := b.join.Sample(b.liveSlot[v]); ok {
+				w.join(i, idx)
+				return
 			}
-			if w, _, ok := joinSamp.Sample(liveSlot[v]); ok {
+			w.collect(i, func(buf []uint64) []uint64 {
+				return b.bank.CollectInto(b.liveSlot[v], buf)
+			})
+		})
+		newMember := b.newMember
+		copy(newMember, member)
+		for i, v := range cands {
+			if joined, w := b.dec.joined(i); joined {
 				// Join the sampled tree through neighbor w.
 				spanner.AddEdge(v, int(w), 1)
 				newMember[v] = member[w]
@@ -137,66 +243,148 @@ func BaswanaSen(st *stream.Stream, k int, seed uint64) BSResult {
 			}
 			// No sampled neighbor: store one edge per adjacent tree (L(v)),
 			// then retire.
-			collectBuf = groupSamp[v].CollectInto(collectBuf[:0])
-			for _, item := range collectBuf {
+			for _, item := range b.dec.items[i] {
 				w := int(item)
 				g := member[w]
-				if g == -1 || g == member[v] || addedStamp[g] == stamp {
+				if g == -1 || g == member[v] || b.addedStamp[g] == b.stamp {
 					continue
 				}
-				addedStamp[g] = stamp
+				b.addedStamp[g] = b.stamp
 				spanner.AddEdge(v, w, 1)
 			}
-			stamp++
+			b.stamp++
 			newMember[v] = -1
 		}
+		b.member, b.newMember = newMember, member
 		member = newMember
 		for v := range isRoot {
 			isRoot[v] = isRoot[v] && selected[v]
 		}
-		// Vertices of dead trees have moved or retired; roots of dead trees
-		// were handled like everyone else.
+		phaseNanos = append(phaseNanos, time.Since(t0).Nanoseconds())
 	}
 
 	// ---- final clean-up pass: one edge to every adjacent tree ----
-	passSeed := hashing.DeriveSeed(seed, 0xf1a1)
-	groupSamp := make([]*GroupSampler, n)
-	for v := 0; v < n; v++ {
-		if member[v] != -1 {
-			groupSamp[v] = NewGroupSampler(uint64(n), groupBudget, hashing.DeriveSeed(passSeed, uint64(v)))
-		}
-	}
-	for _, up := range st.Updates {
-		if up.U == up.V {
-			continue
-		}
-		feed := func(a, b int) {
-			if member[a] == -1 || member[b] == -1 || member[a] == member[b] {
-				return
-			}
-			groupSamp[a].Update(uint64(member[b]), uint64(b), up.Delta)
-		}
-		feed(up.U, up.V)
-		feed(up.V, up.U)
-	}
-	passes++
+	t0 := time.Now()
+	passSeed := hashing.DeriveSeed(b.seed, 0xf1a1)
+	live := 0
 	for v := 0; v < n; v++ {
 		if member[v] == -1 {
+			b.liveSlot[v] = -1
 			continue
 		}
-		collectBuf = groupSamp[v].CollectInto(collectBuf[:0])
-		for _, item := range collectBuf {
-			w := int(item)
-			g := member[w]
-			if g == -1 || g == member[v] || addedStamp[g] == stamp {
-				continue
-			}
-			addedStamp[g] = stamp
-			spanner.AddEdge(v, w, 1)
-		}
-		stamp++
+		b.liveSlot[v] = live
+		b.bankSeeds[live] = hashing.DeriveSeed(passSeed, uint64(v))
+		live++
 	}
-	return BSResult{Spanner: spanner, Passes: passes, StretchBound: 2*k - 1}
+	if live > 0 {
+		b.bank.ReseedPrefix(b.bankSeeds[:live])
+		self := &bsFinalShard{member: member, liveSlot: b.liveSlot, bank: b.bank}
+		sketchcore.ShardedIngest(plan.Updates, b.ingestWorkers, self,
+			func() *bsFinalShard {
+				return &bsFinalShard{member: member, liveSlot: b.liveSlot, bank: b.bank.CloneEmpty()}
+			},
+			func(sh *bsFinalShard) { b.bank.Add(sh.bank) })
+		cands := b.candidates[:0]
+		for v := 0; v < n; v++ {
+			if member[v] != -1 {
+				cands = append(cands, v)
+			}
+		}
+		b.candidates = cands
+		b.dec.run(len(cands), b.workers(), func(w *decodeWorker, i int) {
+			w.collect(i, func(buf []uint64) []uint64 {
+				return b.bank.CollectInto(b.liveSlot[cands[i]], buf)
+			})
+		})
+		for i, v := range cands {
+			for _, item := range b.dec.items[i] {
+				w := int(item)
+				g := member[w]
+				if g == -1 || g == member[v] || b.addedStamp[g] == b.stamp {
+					continue
+				}
+				b.addedStamp[g] = b.stamp
+				spanner.AddEdge(v, w, 1)
+			}
+			b.stamp++
+		}
+	}
+	passes++ // the final pass runs (trivially) even with no survivors
+	phaseNanos = append(phaseNanos, time.Since(t0).Nanoseconds())
+
+	return BSResult{
+		Spanner: spanner, Passes: passes, StretchBound: 2*k - 1,
+		PhaseNanos: phaseNanos, PlanEdges: plan.Len(),
+	}
+}
+
+// workers resolves the decode worker count.
+func (b *BSBuilder) workers() int { return resolveWorkers(b.decodeWorkers) }
+
+// bsPassShard is one shard's view of a BASWANA-SEN pass: the (read-only)
+// clustering plus this shard's join arena and group bank.
+type bsPassShard struct {
+	member   []int
+	selected []bool
+	liveSlot []int
+	join     *sketchcore.Arena
+	bank     *GroupBank
+}
+
+// Update feeds one edge update (the Updater interface; the batched path
+// below is what plan sweeps use).
+func (p *bsPassShard) Update(u, v int, delta int64) {
+	if u == v {
+		return
+	}
+	p.UpdateBatch([]stream.Update{{U: u, V: v, Delta: delta}})
+}
+
+// UpdateBatch sweeps a slice of coalesced plan edges: per edge, the
+// clustering filter runs once, then each live endpoint feeds its join
+// sampler (when the far tree is sampled) and its group sampler.
+func (p *bsPassShard) UpdateBatch(ups []stream.Update) {
+	member, selected, liveSlot := p.member, p.selected, p.liveSlot
+	for _, up := range ups {
+		mu, mv := member[up.U], member[up.V]
+		if mu == -1 || mv == -1 || mu == mv {
+			continue // retired endpoint or intra-tree edge: out of play
+		}
+		if selected[mv] {
+			p.join.Update(liveSlot[up.U], uint64(up.V), up.Delta)
+		}
+		p.bank.Update(liveSlot[up.U], uint64(mv), uint64(up.V), up.Delta)
+		if selected[mu] {
+			p.join.Update(liveSlot[up.V], uint64(up.U), up.Delta)
+		}
+		p.bank.Update(liveSlot[up.V], uint64(mu), uint64(up.U), up.Delta)
+	}
+}
+
+// bsFinalShard is the final pass's shard view: group sampling only.
+type bsFinalShard struct {
+	member   []int
+	liveSlot []int
+	bank     *GroupBank
+}
+
+func (p *bsFinalShard) Update(u, v int, delta int64) {
+	if u == v {
+		return
+	}
+	p.UpdateBatch([]stream.Update{{U: u, V: v, Delta: delta}})
+}
+
+func (p *bsFinalShard) UpdateBatch(ups []stream.Update) {
+	member, liveSlot := p.member, p.liveSlot
+	for _, up := range ups {
+		mu, mv := member[up.U], member[up.V]
+		if mu == -1 || mv == -1 || mu == mv {
+			continue
+		}
+		p.bank.Update(liveSlot[up.U], uint64(mv), uint64(up.V), up.Delta)
+		p.bank.Update(liveSlot[up.V], uint64(mu), uint64(up.U), up.Delta)
+	}
 }
 
 // MeasureStretch returns the maximum over sampled vertex pairs of

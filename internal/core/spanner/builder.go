@@ -1,0 +1,111 @@
+package spanner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps a SetDecodeWorkers setting to an effective count
+// (0 = GOMAXPROCS), the same convention as the mincut/sparsifier decoders.
+func resolveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// decodeScratch is the reusable fan-out under the spanner decode steps
+// (retirement in BASWANA-SEN, per-supernode collection in RECURSECONNECT):
+// n independent items are claimed off an atomic counter by up to `workers`
+// goroutines, each recording either a join sample or a collected item list
+// for its item. Sampling is read-only on the arenas, collected lists land
+// in per-worker append buffers, and the caller applies results sequentially
+// in item order — so the construction is bit-identical for every worker
+// count, mirroring PR 3's level-parallel mincut decode.
+type decodeScratch struct {
+	joinIdx []uint64
+	joinOK  []bool
+	items   [][]uint64
+	bufs    [][]uint64 // per-worker collect buffers, reused across passes
+}
+
+// decodeWorker is one worker's handle into the scratch.
+type decodeWorker struct {
+	d  *decodeScratch
+	id int
+}
+
+// join records a successful join sample for item i.
+func (w *decodeWorker) join(i int, idx uint64) {
+	w.d.joinOK[i] = true
+	w.d.joinIdx[i] = idx
+}
+
+// collect records item i's collected list, filled by fill appending into
+// the worker's buffer. Earlier recorded slices stay valid across buffer
+// growth (they keep the old backing array alive until the next pass).
+func (w *decodeWorker) collect(i int, fill func([]uint64) []uint64) {
+	buf := w.d.bufs[w.id]
+	start := len(buf)
+	buf = fill(buf)
+	w.d.bufs[w.id] = buf
+	w.d.items[i] = buf[start:len(buf):len(buf)]
+}
+
+// run fans fn over items [0, n) with the given worker count.
+func (d *decodeScratch) run(n, workers int, fn func(w *decodeWorker, i int)) {
+	if cap(d.joinIdx) < n {
+		d.joinIdx = make([]uint64, n)
+		d.joinOK = make([]bool, n)
+		d.items = make([][]uint64, n)
+	}
+	d.joinIdx = d.joinIdx[:n]
+	d.joinOK = d.joinOK[:n]
+	d.items = d.items[:n]
+	for i := range d.joinOK {
+		d.joinOK[i] = false
+		d.items[i] = nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(d.bufs) < workers {
+		d.bufs = append(d.bufs, nil)
+	}
+	for i := 0; i < workers; i++ {
+		d.bufs[i] = d.bufs[i][:0]
+	}
+	if workers == 1 {
+		w := &decodeWorker{d: d}
+		for i := 0; i < n; i++ {
+			fn(w, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &decodeWorker{d: d, id: id}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// joined reports whether item i recorded a join sample, and its index.
+func (d *decodeScratch) joined(i int) (bool, uint64) {
+	return d.joinOK[i], d.joinIdx[i]
+}

@@ -1,0 +1,167 @@
+package spanner
+
+import (
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
+)
+
+// GroupBank is the arena-banked form of GroupSampler: `members` logical
+// group samplers — one per live vertex (BASWANA-SEN) or live supernode
+// (RECURSECONNECT) — stored in a single per-slot-seeded sketchcore.Arena
+// instead of a map or slice of individually allocated samplers. Member m's
+// (rep, bucket) grid occupies the contiguous arena slot range
+// [m*grid, (m+1)*grid), so a construction pass costs one arena allocation
+// (reused across passes via Reseed) rather than one sampler allocation per
+// live vertex per pass.
+//
+// Bit-compatibility: member m seeded with s holds exactly the cells of
+// NewGroupSampler(universe, budget, s) after the same updates, and
+// CollectInto scans the same (rep, bucket) order, so banked construction
+// reproduces the per-vertex samplers' outputs bit for bit (pinned by the
+// groupbank parity test and the spanner new-vs-baseline property test).
+type GroupBank struct {
+	universe uint64
+	members  int
+	budget   int
+	reps     int             // group-scatter repetitions per member
+	buckets  int             // buckets per repetition
+	grid     int             // reps*buckets arena slots per member
+	hash     []hashing.Mixer // group-to-bucket hashes, member*reps + r
+	seeds    []uint64        // current per-member seeds
+	slotSeed []uint64        // Reseed staging scratch, members*grid
+	cells    *sketchcore.Arena
+}
+
+// NewGroupBank creates a bank of `members` group samplers for items in
+// [0, universe), each aiming to surface up to `budget` distinct groups,
+// seeded per member from memberSeeds (len == members).
+func NewGroupBank(members int, universe uint64, budget int, memberSeeds []uint64) *GroupBank {
+	if members < 1 {
+		panic("spanner: group bank needs at least one member")
+	}
+	if len(memberSeeds) != members {
+		panic("spanner: len(memberSeeds) must equal members")
+	}
+	b := &GroupBank{
+		universe: universe,
+		members:  members,
+		budget:   budget,
+		reps:     groupSamplerReps,
+		buckets:  groupBuckets(budget),
+	}
+	b.grid = b.reps * b.buckets
+	b.hash = make([]hashing.Mixer, members*b.reps)
+	b.seeds = make([]uint64, members)
+	b.slotSeed = make([]uint64, members*b.grid)
+	b.stageSeeds(memberSeeds)
+	b.cells = sketchcore.New(sketchcore.Config{
+		Slots:     members * b.grid,
+		Universe:  universe,
+		Reps:      bucketSamplerReps,
+		SlotSeeds: b.slotSeed,
+		// Bank slots each see a scattered handful of one member's edges:
+		// direct fingerprint terms beat per-slot table builds.
+		DeferTables: true,
+	})
+	return b
+}
+
+// stageSeeds fills the group hashes and the per-slot seed staging from
+// fresh member seeds.
+func (b *GroupBank) stageSeeds(memberSeeds []uint64) {
+	copy(b.seeds, memberSeeds)
+	for m, s := range memberSeeds {
+		base := m * b.grid
+		for r := 0; r < b.reps; r++ {
+			b.hash[m*b.reps+r] = hashing.NewMixer(groupHashSeed(s, r))
+			for k := 0; k < b.buckets; k++ {
+				b.slotSeed[base+r*b.buckets+k] = groupSlotSeed(s, r, k)
+			}
+		}
+	}
+}
+
+// Reseed zeroes the bank and re-derives every member's hashes from fresh
+// seeds — the phase-reuse primitive: one bank allocation serves every pass
+// of a spanner construction. len(memberSeeds) must equal Members(). Banks
+// previously spawned with CloneEmpty must not be used past a Reseed.
+func (b *GroupBank) Reseed(memberSeeds []uint64) {
+	if len(memberSeeds) != b.members {
+		panic("spanner: Reseed needs len(memberSeeds) == members")
+	}
+	b.ReseedPrefix(memberSeeds)
+}
+
+// ReseedPrefix is Reseed for the first len(memberSeeds) members only —
+// for consumers whose used prefix shrinks pass by pass (live-vertex
+// compaction): reseed cost tracks the live count, not the bank capacity.
+// Members past the prefix keep stale hash state over guaranteed-zero cells
+// and must not be updated or collected until a later reseed covers them.
+func (b *GroupBank) ReseedPrefix(memberSeeds []uint64) {
+	if len(memberSeeds) < 1 || len(memberSeeds) > b.members {
+		panic("spanner: ReseedPrefix needs 1 <= len(memberSeeds) <= members")
+	}
+	b.stageSeeds(memberSeeds)
+	b.cells.Reseed(b.slotSeed[:len(memberSeeds)*b.grid])
+}
+
+// Members returns the number of logical samplers in the bank.
+func (b *GroupBank) Members() int { return b.members }
+
+// Update adds delta to item, which belongs to group, in member's sampler.
+func (b *GroupBank) Update(member int, group, item uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	base := member * b.grid
+	h := b.hash[member*b.reps : member*b.reps+b.reps]
+	for r := 0; r < b.reps; r++ {
+		k := int(h[r].Bounded(group, uint64(b.buckets)))
+		b.cells.Update(base+r*b.buckets+k, item, delta)
+	}
+}
+
+// CollectInto appends one sampled item per non-empty (rep, bucket) cell of
+// member, in the same grid order as GroupSampler.CollectInto. The caller
+// deduplicates by group; items may repeat across repetitions.
+func (b *GroupBank) CollectInto(member int, out []uint64) []uint64 {
+	base := member * b.grid
+	for slot := base; slot < base+b.grid; slot++ {
+		if idx, _, ok := b.cells.Sample(slot); ok {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Add merges another bank built with identical parameters and seeds — the
+// shard-merge of a sharded construction pass, legal by linearity.
+func (b *GroupBank) Add(other *GroupBank) {
+	if b.universe != other.universe || b.members != other.members ||
+		b.budget != other.budget {
+		panic("spanner: merging incompatible group banks")
+	}
+	for i := range b.seeds {
+		if b.seeds[i] != other.seeds[i] {
+			panic("spanner: merging incompatible group banks")
+		}
+	}
+	b.cells.Add(other.cells)
+}
+
+// CloneEmpty returns a bank with b's shape and seeding but all-zero state —
+// the shard-spawn primitive for ShardedIngest phase replays. Hash state is
+// shared; the clone dies at b's next Reseed.
+func (b *GroupBank) CloneEmpty() *GroupBank {
+	c := *b
+	c.cells = b.cells.CloneEmpty()
+	return &c
+}
+
+// Reset zeroes the bank's cell state, touching only occupied slot rows.
+func (b *GroupBank) Reset() { b.cells.Reset() }
+
+// Footprint reports the bank grid's space accounting.
+func (b *GroupBank) Footprint() sketchcore.Footprint {
+	return b.cells.Footprint()
+}

@@ -45,33 +45,33 @@ const groupSamplerReps = 4
 // only costs one candidate item, so lean repetitions suffice.
 const bucketSamplerReps = 3
 
-// NewGroupSampler creates a sampler for items in [0, universe) that aims to
-// surface up to `budget` distinct groups.
-func NewGroupSampler(universe uint64, budget int, seed uint64) *GroupSampler {
+// groupBuckets maps a distinct-group budget to the bucket count per
+// repetition (shared by GroupSampler and GroupBank so banked members stay
+// bit-compatible with standalone samplers).
+func groupBuckets(budget int) int {
 	if budget < 1 {
 		budget = 1
 	}
-	gs := &GroupSampler{
-		universe: universe,
-		reps:     groupSamplerReps,
-		buckets:  2*budget + 4,
-		seed:     seed,
-	}
-	gs.hash = make([]hashing.Mixer, gs.reps)
-	slotSeeds := make([]uint64, gs.reps*gs.buckets)
-	for r := 0; r < gs.reps; r++ {
-		gs.hash[r] = hashing.NewMixer(hashing.DeriveSeed(seed, 0x95+uint64(r)))
-		for b := 0; b < gs.buckets; b++ {
-			slotSeeds[r*gs.buckets+b] = hashing.DeriveSeed(seed, uint64(r)<<20|uint64(b))
-		}
-	}
-	gs.cells = sketchcore.New(sketchcore.Config{
-		Slots:     gs.reps * gs.buckets,
-		Universe:  universe,
-		Reps:      bucketSamplerReps,
-		SlotSeeds: slotSeeds,
-	})
-	return gs
+	return 2*budget + 4
+}
+
+// groupHashSeed derives repetition r's group-to-bucket hash seed.
+func groupHashSeed(seed uint64, r int) uint64 {
+	return hashing.DeriveSeed(seed, 0x95+uint64(r))
+}
+
+// groupSlotSeed derives the l0 seed of bucket (r, b).
+func groupSlotSeed(seed uint64, r, b int) uint64 {
+	return hashing.DeriveSeed(seed, uint64(r)<<20|uint64(b))
+}
+
+// NewGroupSampler creates a sampler for items in [0, universe) that aims to
+// surface up to `budget` distinct groups. Delegates to the shape
+// constructor in marshal.go, which the SPG1 wire decoder shares — one
+// seeding path, so unmarshaled samplers stay bit-compatible with fresh
+// ones by construction.
+func NewGroupSampler(universe uint64, budget int, seed uint64) *GroupSampler {
+	return newGroupSamplerShape(universe, groupBuckets(budget), seed)
 }
 
 // Update adds delta to item, which belongs to group.

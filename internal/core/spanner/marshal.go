@@ -1,0 +1,138 @@
+package spanner
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/sketchcore"
+)
+
+// Wire format: magic "SPG1" — universe, seed, reps, buckets (u64 LE each),
+// then one format-tagged cell payload of the rep x bucket sampler grid (the
+// shared internal/wire codec: dense 24-byte cells or the compact
+// run-length form). Hashes and per-bucket l0 seeds are reconstructed from
+// the seed, so the encoding carries only state — the distributed form of a
+// spanner pass ships per-site sampler state to a coordinator that merges
+// and then decodes one construction step.
+
+var spgMagic = [4]byte{'S', 'P', 'G', '1'}
+
+// ErrBadEncoding is returned for corrupt or incompatible encodings.
+var ErrBadEncoding = errors.New("spanner: bad encoding")
+
+// newGroupSamplerShape reconstructs a sampler from its wire shape (bucket
+// count rather than budget). buckets must be a groupBuckets output.
+func newGroupSamplerShape(universe uint64, buckets int, seed uint64) *GroupSampler {
+	gs := &GroupSampler{
+		universe: universe,
+		reps:     groupSamplerReps,
+		buckets:  buckets,
+		seed:     seed,
+	}
+	gs.hash = make([]hashing.Mixer, gs.reps)
+	slotSeeds := make([]uint64, gs.reps*gs.buckets)
+	for r := 0; r < gs.reps; r++ {
+		gs.hash[r] = hashing.NewMixer(groupHashSeed(seed, r))
+		for b := 0; b < gs.buckets; b++ {
+			slotSeeds[r*gs.buckets+b] = groupSlotSeed(seed, r, b)
+		}
+	}
+	gs.cells = sketchcore.New(sketchcore.Config{
+		Slots:       gs.reps * gs.buckets,
+		Universe:    universe,
+		Reps:        bucketSamplerReps,
+		SlotSeeds:   slotSeeds,
+		DeferTables: true,
+	})
+	return gs
+}
+
+// appendHeader writes the SPG1 envelope header.
+func (gs *GroupSampler) appendHeader(buf []byte) []byte {
+	buf = append(buf, spgMagic[:]...)
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], gs.universe)
+	binary.LittleEndian.PutUint64(hdr[8:], gs.seed)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(gs.reps))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(gs.buckets))
+	return append(buf, hdr[:]...)
+}
+
+// MarshalBinary serializes the sampler with the dense (fixed-size,
+// byte-stable) cell payload.
+func (gs *GroupSampler) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+32+1+gs.cells.StateSize())
+	buf = gs.appendHeader(buf)
+	return gs.cells.AppendStateTagged(buf, sketchcore.FormatDense), nil
+}
+
+// MarshalBinaryCompact serializes with the compact run-length payload:
+// bytes proportional to the sampler's non-zero state — the format a site
+// ships when its share of the pass left the grid sparse.
+func (gs *GroupSampler) MarshalBinaryCompact() ([]byte, error) {
+	buf := make([]byte, 0, 4+32+1+gs.cells.CompactStateSize())
+	buf = gs.appendHeader(buf)
+	return gs.cells.AppendStateTagged(buf, sketchcore.FormatCompact), nil
+}
+
+// decodeHeader validates an SPG1 header and returns its parameters and the
+// remaining bytes.
+func decodeHeader(data []byte) (universe, seed uint64, buckets int, rest []byte, err error) {
+	if len(data) < 36 || [4]byte(data[0:4]) != spgMagic {
+		return 0, 0, 0, nil, ErrBadEncoding
+	}
+	universe = binary.LittleEndian.Uint64(data[4:])
+	seed = binary.LittleEndian.Uint64(data[12:])
+	reps := binary.LittleEndian.Uint64(data[20:])
+	bkt := binary.LittleEndian.Uint64(data[28:])
+	if reps != groupSamplerReps {
+		return 0, 0, 0, nil, fmt.Errorf("%w: unsupported rep count %d", ErrBadEncoding, reps)
+	}
+	if bkt < uint64(groupBuckets(1)) || bkt > 1<<30 || bkt%2 != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: implausible bucket count %d", ErrBadEncoding, bkt)
+	}
+	return universe, seed, int(bkt), data[36:], nil
+}
+
+// UnmarshalBinary reconstructs the sampler (including mergeability) from
+// either payload format.
+func (gs *GroupSampler) UnmarshalBinary(data []byte) error {
+	universe, seed, buckets, rest, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	fresh := newGroupSamplerShape(universe, buckets, seed)
+	rest, err = fresh.cells.DecodeStateTagged(rest)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	*gs = *fresh
+	return nil
+}
+
+// MergeBinary folds a serialized sampler (either format, same parameters)
+// directly into gs without materializing a second sampler — bit-identical
+// to UnmarshalBinary + Add. On error the receiver may hold a partially
+// folded prefix; discard it rather than retrying the same bytes.
+func (gs *GroupSampler) MergeBinary(data []byte) error {
+	universe, seed, buckets, rest, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	if universe != gs.universe || seed != gs.seed || buckets != gs.buckets {
+		return fmt.Errorf("%w: parameter mismatch", ErrBadEncoding)
+	}
+	rest, err = gs.cells.MergeStateTagged(rest)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package spanner_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/core/spanner"
+	"graphsketch/internal/stream"
+)
+
+// TestStreamShuffleDeterministic: Shuffle is a pure function of (stream,
+// seed) — the property that makes shuffled-replay spanner tests meaningful
+// — and permutes without altering the multiset of updates.
+func TestStreamShuffleDeterministic(t *testing.T) {
+	st := stream.GNP(40, 0.3, 3).WithChurn(500, 5)
+	a, b := st.Shuffle(7), st.Shuffle(7)
+	if len(a.Updates) != len(b.Updates) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Updates), len(b.Updates))
+	}
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatalf("update %d differs between same-seed shuffles", i)
+		}
+	}
+	am, sm := a.Multiplicities(), st.Multiplicities()
+	if len(am) != len(sm) {
+		t.Fatalf("shuffle changed the surviving edge set: %d vs %d", len(am), len(sm))
+	}
+	for idx, w := range sm {
+		if am[idx] != w {
+			t.Fatalf("edge %d multiplicity %d after shuffle, want %d", idx, am[idx], w)
+		}
+	}
+}
+
+// TestStreamPartitionCoversStream: Partition is deterministic per seed and
+// the sites' updates partition the shuffled stream.
+func TestStreamPartitionCoversStream(t *testing.T) {
+	st := stream.GNP(40, 0.3, 11).WithChurn(300, 13)
+	parts := st.Partition(4, 17)
+	again := st.Partition(4, 17)
+	total := 0
+	merged := &stream.Stream{N: st.N}
+	for i, p := range parts {
+		if len(p.Updates) != len(again[i].Updates) {
+			t.Fatalf("site %d differs between same-seed partitions", i)
+		}
+		for j := range p.Updates {
+			if p.Updates[j] != again[i].Updates[j] {
+				t.Fatalf("site %d update %d differs between same-seed partitions", i, j)
+			}
+		}
+		total += len(p.Updates)
+		merged.Updates = append(merged.Updates, p.Updates...)
+	}
+	if total != st.Len() {
+		t.Fatalf("sites hold %d updates, stream has %d", total, st.Len())
+	}
+	mm, sm := merged.Multiplicities(), st.Multiplicities()
+	if len(mm) != len(sm) {
+		t.Fatalf("partition lost edges: %d vs %d", len(mm), len(sm))
+	}
+	for idx, w := range sm {
+		if mm[idx] != w {
+			t.Fatalf("edge %d multiplicity %d across sites, want %d", idx, mm[idx], w)
+		}
+	}
+}
+
+// TestBaswanaSenShuffleInvariant: the spanner construction must be
+// invariant under any reordering of the stream — deletions land in a
+// different order yet cancel identically inside the linear samplers (the
+// deletion-tolerance claim of Sec. 1.1, exercised end to end). The
+// concatenation of Partition sites is such a reordering, so a distributed
+// replay agrees too.
+func TestBaswanaSenShuffleInvariant(t *testing.T) {
+	st := stream.GNP(48, 0.3, 19).WithChurn(1500, 23)
+	want := spanner.BaswanaSen(st, 3, 29)
+	for _, shufSeed := range []uint64{1, 2, 3} {
+		got := spanner.BaswanaSen(st.Shuffle(shufSeed), 3, 29)
+		edgesEqual(t, "shuffled", got.Spanner, want.Spanner)
+		if got.Passes != want.Passes {
+			t.Fatalf("passes %d after shuffle, want %d", got.Passes, want.Passes)
+		}
+	}
+	parts := st.Partition(3, 31)
+	replay := &stream.Stream{N: st.N}
+	for _, p := range parts {
+		replay.Updates = append(replay.Updates, p.Updates...)
+	}
+	got := spanner.BaswanaSen(replay, 3, 29)
+	edgesEqual(t, "partition-replay", got.Spanner, want.Spanner)
+}
+
+// TestRecurseConnectShuffleInvariant: same invariance for RECURSECONNECT.
+func TestRecurseConnectShuffleInvariant(t *testing.T) {
+	st := stream.GNP(48, 0.3, 37).WithChurn(1500, 41)
+	want := spanner.RecurseConnect(st, 4, 43)
+	got := spanner.RecurseConnect(st.Shuffle(47), 4, 43)
+	edgesEqual(t, "shuffled", got.Spanner, want.Spanner)
+}

@@ -45,8 +45,17 @@ func FingerprintBase(seed uint64) uint64 {
 
 // FingerprintTerm returns the fingerprint contribution of adding delta at
 // index under base z: signedMod(delta) * z^index mod p. Arenas compute it
-// once per update and add it to every affected cell.
+// once per update and add it to every affected cell. The unit-delta cases
+// skip the signedMod multiply, mirroring FingerprintTermTab; the two are
+// bit-identical for every (z, index, delta) since PowTable.Pow matches
+// PowMod61.
 func FingerprintTerm(z, index uint64, delta int64) uint64 {
+	switch delta {
+	case 1:
+		return hashing.PowMod61(z, index)
+	case -1:
+		return NegateMod61(hashing.PowMod61(z, index))
+	}
 	return hashing.MulMod61(signedMod(delta), hashing.PowMod61(z, index))
 }
 

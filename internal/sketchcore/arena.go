@@ -52,6 +52,15 @@ type Config struct {
 	// independent hash functions and fingerprint base, matching
 	// l0.NewWithReps(Universe, SlotSeeds[i], Reps) per slot.
 	SlotSeeds []uint64
+	// DeferTables, in per-slot mode, disables the lazy per-slot power
+	// tables: fingerprint terms and decode checks use direct
+	// square-and-multiply on the slot's base instead (bit-identical by
+	// PowTable's contract). Right for banks whose slots each see only a
+	// handful of updates — the spanner group and join samplers — where a
+	// table build (256 mulmods and an allocation per window, per touched
+	// slot) never amortizes. Ignored in shared mode, whose single table is
+	// built eagerly and shared by every update.
+	DeferTables bool
 }
 
 // Arena is a flat bank of l0-samplers. See the package comment for layout.
@@ -62,8 +71,12 @@ type Arena struct {
 	universe uint64
 	seed     uint64
 	shared   bool
-	mix      []hashing.Mixer // shared: [rep]; per-slot: [slot*reps + rep]
-	z        []uint64        // shared: [0]; per-slot: [slot]
+	// deferTables suppresses per-slot power-table builds (see
+	// Config.DeferTables); terms and decodes fall back to PowMod61 on the
+	// slot's base, bit-identical to the table-served path.
+	deferTables bool
+	mix         []hashing.Mixer // shared: [rep]; per-slot: [slot*reps + rep]
+	z           []uint64        // shared: [0]; per-slot: [slot]
 	// pow holds the windowed z^index tables (same indexing as z). Shared
 	// mode builds its single table eagerly; per-slot mode builds each
 	// slot's table lazily on first update (or first non-empty decode),
@@ -115,12 +128,13 @@ func New(cfg Config) *Arena {
 		panic("sketchcore: len(SlotSeeds) must equal Slots")
 	}
 	a := &Arena{
-		slots:    cfg.Slots,
-		reps:     cfg.Reps,
-		levels:   hashing.SamplerLevels(cfg.Universe),
-		universe: cfg.Universe,
-		seed:     cfg.Seed,
-		shared:   cfg.SlotSeeds == nil,
+		slots:       cfg.Slots,
+		reps:        cfg.Reps,
+		levels:      hashing.SamplerLevels(cfg.Universe),
+		universe:    cfg.Universe,
+		seed:        cfg.Seed,
+		shared:      cfg.SlotSeeds == nil,
+		deferTables: cfg.DeferTables && cfg.SlotSeeds != nil,
 	}
 	a.cells = make([]acell, a.slots*a.reps*a.levels)
 	a.occ = make([]uint64, (a.slots+63)/64)
@@ -135,14 +149,58 @@ func New(cfg Config) *Arena {
 		a.mix = make([]hashing.Mixer, a.slots*a.reps)
 		a.z = make([]uint64, a.slots)
 		a.pow = make([]*hashing.PowTable, a.slots)
-		for i, si := range cfg.SlotSeeds {
-			for r := 0; r < a.reps; r++ {
-				a.mix[i*a.reps+r] = hashing.NewMixer(hashing.SamplerMixerSeed(si, r))
-			}
-			a.z[i] = onesparse.FingerprintBase(hashing.SamplerCellSeed(si))
-		}
+		a.seedSlots(cfg.SlotSeeds)
 	}
 	return a
+}
+
+// seedSlots derives every slot's level mixers and fingerprint base from its
+// seed, dropping any built power table (per-slot mode only).
+func (a *Arena) seedSlots(slotSeeds []uint64) {
+	for i, si := range slotSeeds {
+		for r := 0; r < a.reps; r++ {
+			a.mix[i*a.reps+r] = hashing.NewMixer(hashing.SamplerMixerSeed(si, r))
+		}
+		a.z[i] = onesparse.FingerprintBase(hashing.SamplerCellSeed(si))
+		a.pow[i] = nil
+	}
+}
+
+// Reseed zeroes the cell state and re-derives the hash functions and
+// fingerprint bases of the first len(slotSeeds) slots from fresh seeds —
+// the phase-reuse primitive for multi-pass consumers (the spanner
+// builders): one arena allocation serves every pass, with only the cheap
+// hash state recomputed between passes. Per-slot mode only;
+// 1 <= len(slotSeeds) <= Slots. Slots past the reseeded prefix keep their
+// previous (stale) hash state with guaranteed-zero cells: a consumer that
+// reseeds a prefix (live-vertex compaction shrinks the used prefix pass by
+// pass) must not update or sample past it until the next Reseed covers
+// those slots. Hash state is rewritten in place, so arenas previously
+// spawned with CloneEmpty must not be used past their origin's Reseed.
+func (a *Arena) Reseed(slotSeeds []uint64) {
+	if a.shared {
+		panic("sketchcore: Reseed requires a per-slot arena")
+	}
+	if len(slotSeeds) < 1 || len(slotSeeds) > a.slots {
+		panic("sketchcore: Reseed needs 1 <= len(slotSeeds) <= Slots")
+	}
+	a.Reset()
+	a.seedSlots(slotSeeds)
+}
+
+// CloneEmpty returns an arena with a's shape, seeding, and table policy but
+// all-zero cell state — the shard-spawn primitive for ShardedIngest
+// consumers that already hold a configured arena. Immutable hash state
+// (mixers, fingerprint bases) is shared; the lazily built per-slot table
+// index is copied so clone and original can build tables independently
+// (the tables themselves are immutable and safely shared).
+func (a *Arena) CloneEmpty() *Arena {
+	c := *a
+	c.cells = make([]acell, len(a.cells))
+	c.occ = make([]uint64, len(a.occ))
+	c.pow = append([]*hashing.PowTable(nil), a.pow...)
+	c.plan = nil
+	return &c
 }
 
 // maxExp returns the largest z exponent the bank's power tables must cover:
@@ -293,6 +351,16 @@ func (a *Arena) applyCell(i int, delta, is int64, term uint64) {
 	cellAdd(&a.cells[i], delta, is, term)
 }
 
+// termOf computes the fingerprint term of (index, delta) under slot's base:
+// table-served in the default policy, direct square-and-multiply under
+// DeferTables — bit-identical either way.
+func (a *Arena) termOf(slot int, index uint64, delta int64) uint64 {
+	if a.deferTables {
+		return onesparse.FingerprintTerm(a.z[slot], index, delta)
+	}
+	return onesparse.FingerprintTermTab(a.powOf(slot), index, delta)
+}
+
 // Update adds delta to coordinate index of one slot. Works in both seeding
 // modes; expected O(reps) cell touches (the level distribution is
 // geometric).
@@ -301,7 +369,7 @@ func (a *Arena) Update(slot int, index uint64, delta int64) {
 		return
 	}
 	a.markSlot(slot)
-	term := onesparse.FingerprintTermTab(a.powOf(slot), index, delta)
+	term := a.termOf(slot, index, delta)
 	is := int64(index) * delta
 	for r := 0; r < a.reps; r++ {
 		l := a.mixOf(slot, r).Level(index)
@@ -542,15 +610,25 @@ func sampleCells(cells []acell, reps, levels int, z uint64, tab *hashing.PowTabl
 }
 
 // Sample draws a near-uniform element of the support of slot's vector, or
-// ok=false if the slot is empty or every repetition fails.
+// ok=false if the slot is empty or every repetition fails. Slots the
+// occupancy bitmap never saw state for answer immediately (their cells are
+// provably zero) — the fast path for decode loops draining sparse banks,
+// bit-identical since sampleCells on an all-zero row also fails.
 func (a *Arena) Sample(slot int) (index uint64, weight int64, ok bool) {
+	if !a.SlotOccupied(slot) {
+		return 0, 0, false
+	}
 	b := a.cellBase(slot, 0)
 	e := b + a.reps*a.levels
-	tab := a.peekPow(slot)
-	if tab == nil && !a.IsZero(slot) {
-		// Per-slot slot populated by merge or wire decode rather than local
-		// updates: build its table now so decoding stays O(1) per candidate.
-		tab = a.powOf(slot)
+	var tab *hashing.PowTable
+	if !a.deferTables {
+		tab = a.peekPow(slot)
+		if tab == nil && !a.IsZero(slot) {
+			// Per-slot slot populated by merge or wire decode rather than
+			// local updates: build its table now so decoding stays O(1) per
+			// candidate.
+			tab = a.powOf(slot)
+		}
 	}
 	return sampleCells(a.cells[b:e], a.reps, a.levels, a.zOf(slot), tab)
 }

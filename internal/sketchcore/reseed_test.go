@@ -1,0 +1,174 @@
+package sketchcore
+
+import (
+	"testing"
+
+	"graphsketch/internal/hashing"
+)
+
+func perSlotSeeds(base uint64, slots int) []uint64 {
+	seeds := make([]uint64, slots)
+	for i := range seeds {
+		seeds[i] = hashing.DeriveSeed(base, uint64(i))
+	}
+	return seeds
+}
+
+// TestArenaReseedMatchesFresh: an arena carrying state from one seeding,
+// reseeded, must be bit-identical to a freshly constructed arena with the
+// new seeds — the phase-reuse contract the spanner builders rely on.
+func TestArenaReseedMatchesFresh(t *testing.T) {
+	const slots, universe = 12, 1 << 10
+	mk := func(seeds []uint64) *Arena {
+		return New(Config{Slots: slots, Universe: universe, Reps: 3, SlotSeeds: seeds})
+	}
+	s1, s2 := perSlotSeeds(7, slots), perSlotSeeds(11, slots)
+	a := mk(s1)
+	for i := 0; i < 200; i++ {
+		a.Update(i%slots, uint64(i*37)%universe, int64(i%5)-2)
+	}
+	a.Reseed(s2)
+	fresh := mk(s2)
+	for i := 0; i < 150; i++ {
+		a.Update(i%slots, uint64(i*53)%universe, 1)
+		fresh.Update(i%slots, uint64(i*53)%universe, 1)
+	}
+	if !a.Equal(fresh) {
+		t.Fatal("reseeded arena state differs from a fresh arena with the same seeds")
+	}
+	for s := 0; s < slots; s++ {
+		ai, aw, aok := a.Sample(s)
+		fi, fw, fok := fresh.Sample(s)
+		if ai != fi || aw != fw || aok != fok {
+			t.Fatalf("slot %d: reseeded sample (%d,%d,%v) != fresh (%d,%d,%v)", s, ai, aw, aok, fi, fw, fok)
+		}
+	}
+}
+
+func TestArenaReseedPanics(t *testing.T) {
+	shared := New(Config{Slots: 4, Universe: 64, Reps: 2, Seed: 3})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Reseed on a shared arena must panic")
+			}
+		}()
+		shared.Reseed(make([]uint64, 4))
+	}()
+	perSlot := New(Config{Slots: 4, Universe: 64, Reps: 2, SlotSeeds: perSlotSeeds(1, 4)})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Reseed with an oversized seed slice must panic")
+			}
+		}()
+		perSlot.Reseed(make([]uint64, 5))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Reseed with an empty seed slice must panic")
+			}
+		}()
+		perSlot.Reseed(nil)
+	}()
+}
+
+// TestArenaReseedPrefix: reseeding only a prefix must leave those slots
+// bit-identical to a fresh arena's, with the tail provably empty.
+func TestArenaReseedPrefix(t *testing.T) {
+	const slots, universe = 10, 1 << 9
+	s1, s2 := perSlotSeeds(3, slots), perSlotSeeds(5, 6)
+	a := New(Config{Slots: slots, Universe: universe, Reps: 3, SlotSeeds: s1})
+	for i := 0; i < 200; i++ {
+		a.Update(i%slots, uint64(i*31)%universe, 1)
+	}
+	a.Reseed(s2) // prefix of 6
+	fresh := New(Config{Slots: 6, Universe: universe, Reps: 3, SlotSeeds: s2})
+	for i := 0; i < 120; i++ {
+		a.Update(i%6, uint64(i*41)%universe, 1)
+		fresh.Update(i%6, uint64(i*41)%universe, 1)
+	}
+	for s := 0; s < 6; s++ {
+		ai, aw, aok := a.Sample(s)
+		fi, fw, fok := fresh.Sample(s)
+		if ai != fi || aw != fw || aok != fok {
+			t.Fatalf("prefix slot %d: sample (%d,%d,%v) != fresh (%d,%d,%v)", s, ai, aw, aok, fi, fw, fok)
+		}
+	}
+	for s := 6; s < slots; s++ {
+		if !a.IsZero(s) {
+			t.Fatalf("tail slot %d not zero after prefix reseed", s)
+		}
+	}
+}
+
+// TestArenaDeferTablesBitIdentical: the direct-term policy must produce the
+// exact cell state and samples of the table-served default.
+func TestArenaDeferTablesBitIdentical(t *testing.T) {
+	const slots, universe = 8, 1 << 14
+	seeds := perSlotSeeds(31, slots)
+	tab := New(Config{Slots: slots, Universe: universe, Reps: 3, SlotSeeds: seeds})
+	direct := New(Config{Slots: slots, Universe: universe, Reps: 3, SlotSeeds: seeds, DeferTables: true})
+	x := uint64(9)
+	for i := 0; i < 500; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		slot, idx, d := int(x%slots), (x>>8)%universe, int64(x%7)-3
+		tab.Update(slot, idx, d)
+		direct.Update(slot, idx, d)
+	}
+	for i := range tab.cells {
+		if tab.cells[i] != direct.cells[i] {
+			t.Fatalf("cell %d differs between table-served and direct-term policies", i)
+		}
+	}
+	for s := 0; s < slots; s++ {
+		ti, tw, tok := tab.Sample(s)
+		di, dw, dok := direct.Sample(s)
+		if ti != di || tw != dw || tok != dok {
+			t.Fatalf("slot %d: table sample (%d,%d,%v) != direct (%d,%d,%v)", s, ti, tw, tok, di, dw, dok)
+		}
+	}
+}
+
+// TestArenaCloneEmpty: shape and seeding shared, state independent — and
+// merging the shards back reproduces a sequential replay (the shard-spawn
+// contract).
+func TestArenaCloneEmpty(t *testing.T) {
+	const slots, universe = 6, 1 << 8
+	seeds := perSlotSeeds(17, slots)
+	whole := New(Config{Slots: slots, Universe: universe, Reps: 3, SlotSeeds: seeds, DeferTables: true})
+	self := New(Config{Slots: slots, Universe: universe, Reps: 3, SlotSeeds: seeds, DeferTables: true})
+	shard := self.CloneEmpty()
+	for s := 0; s < slots; s++ {
+		if shard.SlotOccupied(s) {
+			t.Fatalf("fresh clone has occupied slot %d", s)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		slot, idx, d := i%slots, uint64(i*29)%universe, int64(1)
+		whole.Update(slot, idx, d)
+		if i%2 == 0 {
+			self.Update(slot, idx, d)
+		} else {
+			shard.Update(slot, idx, d)
+		}
+	}
+	self.Add(shard)
+	if !self.Equal(whole) {
+		t.Fatal("self + CloneEmpty shard != sequential replay")
+	}
+}
+
+func TestArenaSampleUnoccupiedSlot(t *testing.T) {
+	a := New(Config{Slots: 4, Universe: 64, Reps: 2, SlotSeeds: perSlotSeeds(5, 4)})
+	a.Update(1, 7, 1)
+	if _, _, ok := a.Sample(0); ok {
+		t.Fatal("unoccupied slot must not sample")
+	}
+	if idx, _, ok := a.Sample(1); !ok || idx != 7 {
+		t.Fatalf("occupied slot: sample (%d, ok=%v), want (7, true)", idx, ok)
+	}
+}

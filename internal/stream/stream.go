@@ -11,7 +11,11 @@
 // (distributed streams, Sec. 1.1).
 package stream
 
-import "graphsketch/internal/hashing"
+import (
+	"sort"
+
+	"graphsketch/internal/hashing"
+)
 
 // Update is one stream element: Delta (usually +1 or -1) applied to the
 // multiplicity of undirected edge {U, V}.
@@ -62,6 +66,34 @@ func (s *Stream) Multiplicities() map[uint64]int64 {
 
 // Len returns the number of stream updates.
 func (s *Stream) Len() int { return len(s.Updates) }
+
+// Coalesce returns the stream's canonical coalesced form: one update per
+// surviving edge, endpoints ordered U < V, Delta the signed sum of every
+// update to that edge, sorted by edge index, with self-loops and edges
+// whose multiplicity cancelled to zero dropped.
+//
+// Every sketch in this repository is a linear function of the
+// edge-multiplicity vector, so replaying the coalesced stream leaves any
+// sketch in a state bit-identical to replaying the raw stream: per cell,
+// the weight and index-weighted aggregates are the same wrapping int64
+// sums regrouped, and the fingerprint sum regroups identically in
+// GF(2^61-1). Multi-pass consumers (the Section 5 spanner builders) build
+// this once and sweep it once per pass — a stream with heavy churn or
+// duplicate edges collapses to at most one entry per distinct edge.
+func (s *Stream) Coalesce() *Stream {
+	mult := s.Multiplicities()
+	idxs := make([]uint64, 0, len(mult))
+	for idx := range mult {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := &Stream{N: s.N, Updates: make([]Update, len(idxs))}
+	for i, idx := range idxs {
+		u, v := EdgeFromIndex(idx, s.N)
+		out.Updates[i] = Update{U: u, V: v, Delta: mult[idx]}
+	}
+	return out
+}
 
 // Clone returns a deep copy of the stream.
 func (s *Stream) Clone() *Stream {

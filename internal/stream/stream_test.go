@@ -268,3 +268,36 @@ func TestStarDegrees(t *testing.T) {
 		t.Fatalf("star edges: %d", s.Len())
 	}
 }
+
+func TestCoalesceMatchesMultiplicities(t *testing.T) {
+	s := GNP(30, 0.3, 51).WithChurn(400, 53)
+	c := s.Coalesce()
+	want := s.Multiplicities()
+	if c.Len() != len(want) {
+		t.Fatalf("coalesced length %d, want %d surviving edges", c.Len(), len(want))
+	}
+	var prev uint64
+	for i, up := range c.Updates {
+		if up.U >= up.V {
+			t.Fatalf("update %d not canonical: %d >= %d", i, up.U, up.V)
+		}
+		idx := EdgeIndex(up.U, up.V, s.N)
+		if i > 0 && idx <= prev {
+			t.Fatalf("update %d out of order", i)
+		}
+		prev = idx
+		if up.Delta == 0 {
+			t.Fatalf("update %d carries zero delta", i)
+		}
+		if want[idx] != up.Delta {
+			t.Fatalf("edge %d delta %d, want %d", idx, up.Delta, want[idx])
+		}
+	}
+	// Coalescing is idempotent and shuffle-invariant.
+	c2 := s.Shuffle(99).Coalesce()
+	for i := range c.Updates {
+		if c.Updates[i] != c2.Updates[i] {
+			t.Fatalf("coalesced update %d differs after shuffle", i)
+		}
+	}
+}
