@@ -8,9 +8,10 @@ import (
 
 func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	var buf bytes.Buffer
+	// -cpus "" skips the multi-core sweep; TestBenchCommandCpuSweep owns it.
 	err := benchCommand([]string{"-n", "32", "-updates", "20000", "-workers", "1,2",
 		"-merge-n", "64", "-merge-updates", "64", "-merge-sites", "4",
-		"-spanner-n", "48", "-spanner-updates", "8000"}, &buf)
+		"-spanner-n", "48", "-spanner-updates", "8000", "-cpus", ""}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +74,60 @@ func TestBenchCommandEmitsValidJSON(t *testing.T) {
 	}
 	if rep.RecurseAllocRatio <= 1 {
 		t.Fatalf("banked recurse-connect should allocate less than the baseline: ratio %.2f", rep.RecurseAllocRatio)
+	}
+}
+
+func TestBenchCommandCpuSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := benchCommand([]string{"-n", "32", "-updates", "5000", "-workers", "1",
+		"-cpus", "1,2", "-sweep-n", "90",
+		"-decode-n", "32", "-decode-updates", "5000",
+		"-merge-n", "64", "-merge-updates", "64", "-merge-sites", "4",
+		"-spanner-n", "48", "-spanner-updates", "8000"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bench output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.GoVersion == "" || rep.GoArch == "" || rep.GoOS == "" || rep.NumCPU <= 0 || rep.GoMaxProcs <= 0 {
+		t.Fatalf("machine-context header incomplete: %q %q %q %d %d",
+			rep.GoVersion, rep.GoOS, rep.GoArch, rep.NumCPU, rep.GoMaxProcs)
+	}
+	sweep := map[string][]int{}
+	for _, r := range rep.Results {
+		if r.Cpus == 0 {
+			continue
+		}
+		sweep[r.Name] = append(sweep[r.Name], r.Cpus)
+		if r.Name == "multicore-ingest" {
+			if r.NsPerUpdate != r.NsPerOp {
+				t.Fatalf("ingest sweep row: ns_per_update %v != ns_per_op %v", r.NsPerUpdate, r.NsPerOp)
+			}
+		} else if r.NsPerUpdate != 0 {
+			t.Fatalf("sweep row %q must not join the ns/update trajectory", r.Name)
+		}
+		if r.Cpus == 1 && r.ParallelEfficiency != 1 {
+			t.Fatalf("%q at cpus=1: efficiency %v, want the 1.0 reference", r.Name, r.ParallelEfficiency)
+		}
+		if r.ParallelEfficiency <= 0 {
+			t.Fatalf("%q at cpus=%d: missing parallel efficiency", r.Name, r.Cpus)
+		}
+	}
+	for _, name := range []string{"multicore-ingest", "multicore-merge", "multicore-decode"} {
+		if got := sweep[name]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Fatalf("%s sweep rows at cpus %v, want [1 2]", name, got)
+		}
+	}
+	if rep.ParallelEfficiency <= 0 {
+		t.Fatal("report must carry the min parallel efficiency at the largest cpus setting")
+	}
+	// Bit-identity across worker/cpu counts is the non-negotiable part of
+	// the sweep; efficiency thresholds live in CI where core counts are known.
+	if !rep.ParallelBitIdentical || !rep.MergeBitIdentical || !rep.DecodeBitIdentical {
+		t.Fatalf("sweep broke bit-identity: ingest=%v merge=%v decode=%v",
+			rep.ParallelBitIdentical, rep.MergeBitIdentical, rep.DecodeBitIdentical)
 	}
 }
 

@@ -104,8 +104,9 @@ func (c *ConnectivitySketch) Ingest(s *Stream) { c.fs.Ingest(s) }
 // (bit-identical to the same Update calls, with per-edge hashing hoisted).
 func (c *ConnectivitySketch) UpdateBatch(ups []Update) { c.fs.UpdateBatch(ups) }
 
-// IngestParallel replays a stream sharded across worker goroutines and
-// merges by linearity; bit-identical to Ingest.
+// IngestParallel replays a stream with workers applying each staged
+// batch to independent sampler banks in parallel; bit-identical to
+// Ingest. workers <= 0 defaults to GOMAXPROCS.
 func (c *ConnectivitySketch) IngestParallel(s *Stream, workers int) { c.fs.IngestParallel(s, workers) }
 
 // Add merges a sketch built with the same (n, seed).

@@ -23,6 +23,8 @@
 package agm
 
 import (
+	"runtime"
+
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/sketchcore"
@@ -116,12 +118,27 @@ func (fs *ForestSketch) Ingest(s *stream.Stream) {
 }
 
 // IngestParallel replays a stream with the given number of worker
-// goroutines: contiguous shards go into per-worker sketches that are merged
-// back by linearity, bit-identical to a sequential Ingest.
+// goroutines (workers <= 0 defaults to GOMAXPROCS), bit-identical to a
+// sequential Ingest. The parallel axis is the round bank, not the stream:
+// each chunk is staged once into the shared slot-sorted plan, and the
+// workers then claim round banks off an atomic counter and apply the plan
+// concurrently (sketchcore.ApplyPlanBanks). Every bank runs the exact
+// sequential apply, so bit-identity needs no linearity argument at all —
+// and unlike shard-per-worker replay there are no duplicate sketch
+// allocations, no merge-back pass, and each worker's working set is one
+// bank rather than a whole sketch. Distributed sites that genuinely hold
+// disjoint substreams still use Add/MergeMany on separately built sketches.
 func (fs *ForestSketch) IngestParallel(s *stream.Stream, workers int) {
-	sketchcore.ShardedIngest(s.Updates, workers, fs,
-		func() *ForestSketch { return NewForestSketch(fs.n, fs.seed) },
-		func(sh *ForestSketch) { fs.Add(sh) })
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		fs.Ingest(s)
+		return
+	}
+	sketchcore.ReplayPlanned(s.Updates, fs.n, &fs.plan, func(p *sketchcore.EdgePlan) {
+		sketchcore.ApplyPlanBanks(fs.banks, p, workers)
+	})
 }
 
 // Add merges another ForestSketch (same n and seed required): the

@@ -6,9 +6,9 @@ import (
 	"graphsketch/internal/stream"
 )
 
-// TestForestIngestParallelBitIdentical: sharded parallel ingest + merge
-// must leave exactly the same sampler state as a sequential replay, for
-// every worker count (including degenerate ones).
+// TestForestIngestParallelBitIdentical: bank-parallel planned ingest must
+// leave exactly the same sampler state as a sequential replay, for every
+// worker count (including degenerate ones and more workers than banks).
 func TestForestIngestParallelBitIdentical(t *testing.T) {
 	st := stream.GNP(48, 0.25, 3).WithChurn(4000, 4)
 	seq := NewForestSketch(48, 9)

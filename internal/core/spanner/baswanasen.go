@@ -87,7 +87,8 @@ func NewBSBuilder(n, k int, seed uint64) *BSBuilder {
 }
 
 // SetIngestWorkers shards each pass's plan sweep across w goroutines
-// (w <= 1 sequential; the merged state is bit-identical by linearity).
+// (w <= 0 defaults to GOMAXPROCS, w == 1 sequential; the merged state is
+// bit-identical by linearity).
 func (b *BSBuilder) SetIngestWorkers(w int) { b.ingestWorkers = w }
 
 // SetDecodeWorkers fans the retirement decode (join sampling + group

@@ -112,7 +112,8 @@ func NewRCBuilder(n, k int, seed uint64) *RCBuilder {
 }
 
 // SetIngestWorkers shards each pass's plan sweep across w goroutines
-// (w <= 1 sequential; bit-identical by linearity).
+// (w <= 0 defaults to GOMAXPROCS, w == 1 sequential; bit-identical by
+// linearity).
 func (b *RCBuilder) SetIngestWorkers(w int) { b.ingestWorkers = w }
 
 // SetDecodeWorkers fans the per-supernode collection across w goroutines

@@ -1,0 +1,211 @@
+package hashing
+
+import "math/bits"
+
+// Interleaved GF(2^61-1) batch kernels.
+//
+// Every scalar field primitive in this package — mulmod61, PowTable.Pow,
+// Mixer.Level, PolyHash.Bounded — ends in a 128-bit multiply whose fold has
+// a ~7-cycle dependency chain, so a loop of dependent calls runs at chain
+// latency while the multiplier sits mostly idle. The kernels here evaluate
+// four INDEPENDENT instances per step, shaped so the compiler keeps the
+// four multiply-fold chains in separate registers: throughput becomes
+// multiplier-bound instead of latency-bound.
+//
+// Bit-identity is load-bearing: each lane performs exactly the scalar
+// operation sequence (a windowed-zero byte multiplies by table entry 1,
+// and mulmod61(r, 1) == r exactly for canonical r — see PowBatch), so
+// every wire format, golden, and parity guarantee built on the scalar
+// kernels carries over unchanged. FuzzMulMod61Lanes and the lane property
+// tests pin this.
+
+// MulMod61x2 computes out[i] = a[i]*b[i] mod 2^61-1 for two independent
+// lanes, bit-identical to MulMod61 per lane.
+func MulMod61x2(a, b, out *[2]uint64) {
+	r0 := mulmod61(a[0], b[0])
+	r1 := mulmod61(a[1], b[1])
+	out[0], out[1] = r0, r1
+}
+
+// MulMod61x4 computes out[i] = a[i]*b[i] mod 2^61-1 for four independent
+// lanes, bit-identical to MulMod61 per lane. The four products share no
+// data, so their multiply-fold chains issue back to back.
+func MulMod61x4(a, b, out *[4]uint64) {
+	r0 := mulmod61(a[0], b[0])
+	r1 := mulmod61(a[1], b[1])
+	r2 := mulmod61(a[2], b[2])
+	r3 := mulmod61(a[3], b[3])
+	out[0], out[1], out[2], out[3] = r0, r1, r2, r3
+}
+
+// PowBatch fills out[i] = base^exps[i] mod 2^61-1 for every exponent,
+// bit-identical to Pow per element. Exponents are evaluated four at a time
+// with the window multiplies interleaved across lanes; a lane whose
+// remaining exponent bytes are zero multiplies by table entry 1, which is
+// exact (mulmod61(r, 1) == r for canonical r < p), so the lanes stay in
+// lockstep without per-lane branches. Exponents past a sized table's
+// coverage fall back to the scalar path, like Pow itself.
+func (t *PowTable) PowBatch(exps, out []uint64) {
+	if len(out) < len(exps) {
+		panic("hashing: PowBatch output shorter than input")
+	}
+	win := t.win
+	i := 0
+	for ; i+4 <= len(exps); i += 4 {
+		e0, e1, e2, e3 := exps[i], exps[i+1], exps[i+2], exps[i+3]
+		w := &win[0]
+		r0 := w[e0&powWindowMask]
+		r1 := w[e1&powWindowMask]
+		r2 := w[e2&powWindowMask]
+		r3 := w[e3&powWindowMask]
+		e0 >>= powWindowBits
+		e1 >>= powWindowBits
+		e2 >>= powWindowBits
+		e3 >>= powWindowBits
+		for wi := 1; wi < len(win) && e0|e1|e2|e3 != 0; wi++ {
+			w = &win[wi]
+			r0 = mulmod61(r0, w[e0&powWindowMask])
+			r1 = mulmod61(r1, w[e1&powWindowMask])
+			r2 = mulmod61(r2, w[e2&powWindowMask])
+			r3 = mulmod61(r3, w[e3&powWindowMask])
+			e0 >>= powWindowBits
+			e1 >>= powWindowBits
+			e2 >>= powWindowBits
+			e3 >>= powWindowBits
+		}
+		if e0|e1|e2|e3 != 0 {
+			// Some lane's exponent outruns the sized table: re-evaluate the
+			// whole group on the scalar fallback path (rare by construction —
+			// tables are sized to the consumer's index universe).
+			out[i] = t.Pow(exps[i])
+			out[i+1] = t.Pow(exps[i+1])
+			out[i+2] = t.Pow(exps[i+2])
+			out[i+3] = t.Pow(exps[i+3])
+			continue
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = r0, r1, r2, r3
+	}
+	for ; i < len(exps); i++ {
+		out[i] = t.Pow(exps[i])
+	}
+}
+
+// LevelsBatch writes the capped subsampling level of every index into a
+// strided byte buffer: out[i*stride] = min(Level(idxs[i]), max), four
+// independent hash chains per step. Banked samplers stage per-(edge, rep)
+// levels this way — rep r of a reps-strided buffer — so the replay loop
+// reads one byte per cell write instead of rehashing.
+func (m Mixer) LevelsBatch(idxs []uint64, out []byte, stride, max int) {
+	if stride < 1 {
+		panic("hashing: LevelsBatch stride must be >= 1")
+	}
+	if len(idxs) > 0 && (len(idxs)-1)*stride >= len(out) {
+		panic("hashing: LevelsBatch output shorter than strided input")
+	}
+	const c = 0x9e3779b97f4a7c15
+	seed, hi := m.seed, m.seed>>32
+	i := 0
+	for ; i+4 <= len(idxs); i += 4 {
+		x0 := Mix64(idxs[i]^seed) ^ hi
+		x1 := Mix64(idxs[i+1]^seed) ^ hi
+		x2 := Mix64(idxs[i+2]^seed) ^ hi
+		x3 := Mix64(idxs[i+3]^seed) ^ hi
+		l0 := bits.TrailingZeros64(^Mix64(x0 + c))
+		l1 := bits.TrailingZeros64(^Mix64(x1 + c))
+		l2 := bits.TrailingZeros64(^Mix64(x2 + c))
+		l3 := bits.TrailingZeros64(^Mix64(x3 + c))
+		if l0 > max {
+			l0 = max
+		}
+		if l1 > max {
+			l1 = max
+		}
+		if l2 > max {
+			l2 = max
+		}
+		if l3 > max {
+			l3 = max
+		}
+		out[i*stride] = byte(l0)
+		out[(i+1)*stride] = byte(l1)
+		out[(i+2)*stride] = byte(l2)
+		out[(i+3)*stride] = byte(l3)
+	}
+	for ; i < len(idxs); i++ {
+		l := m.Level(idxs[i])
+		if l > max {
+			l = max
+		}
+		out[i*stride] = byte(l)
+	}
+}
+
+// BoundedBatch fills out[i] = Bounded(xs[i], n) for every evaluation
+// point, four interleaved Horner chains per step — the row-sweep kernel
+// under sparserec.Bank's batched update path. Bit-identical to Bounded
+// per element.
+func (p PolyHash) BoundedBatch(xs []uint64, n uint64, out []uint32) {
+	if len(out) < len(xs) {
+		panic("hashing: BoundedBatch output shorter than input")
+	}
+	coeffs := p.coeffs
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x0 := xs[i] % MersennePrime61
+		x1 := xs[i+1] % MersennePrime61
+		x2 := xs[i+2] % MersennePrime61
+		x3 := xs[i+3] % MersennePrime61
+		var a0, a1, a2, a3 uint64
+		for j := len(coeffs) - 1; j >= 0; j-- {
+			cj := coeffs[j]
+			a0 = AddMod61(mulmod61(a0, x0), cj)
+			a1 = AddMod61(mulmod61(a1, x1), cj)
+			a2 = AddMod61(mulmod61(a2, x2), cj)
+			a3 = AddMod61(mulmod61(a3, x3), cj)
+		}
+		h0, _ := bits.Mul64(a0<<3, n)
+		h1, _ := bits.Mul64(a1<<3, n)
+		h2, _ := bits.Mul64(a2<<3, n)
+		h3, _ := bits.Mul64(a3<<3, n)
+		out[i], out[i+1], out[i+2], out[i+3] = uint32(h0), uint32(h1), uint32(h2), uint32(h3)
+	}
+	for ; i < len(xs); i++ {
+		out[i] = uint32(p.Bounded(xs[i], n))
+	}
+}
+
+// BoundedRows evaluates each of up to four polynomial hashes at the same
+// point x and reduces into [0, n) — the per-item bucket kernel of the
+// k-recovery table's update and peel paths, where the row hashes are
+// independent chains over one x. Rows beyond the first four, or rows with
+// ragged coefficient counts, fall back to the scalar path. Bit-identical
+// to hs[r].Bounded(x, n) per row.
+func BoundedRows(hs []PolyHash, x, n uint64, out []uint32) {
+	if len(out) < len(hs) {
+		panic("hashing: BoundedRows output shorter than rows")
+	}
+	r := 0
+	for ; r+4 <= len(hs); r += 4 {
+		c0, c1, c2, c3 := hs[r].coeffs, hs[r+1].coeffs, hs[r+2].coeffs, hs[r+3].coeffs
+		k := len(c0)
+		if len(c1) != k || len(c2) != k || len(c3) != k {
+			break
+		}
+		xm := x % MersennePrime61
+		var a0, a1, a2, a3 uint64
+		for j := k - 1; j >= 0; j-- {
+			a0 = AddMod61(mulmod61(a0, xm), c0[j])
+			a1 = AddMod61(mulmod61(a1, xm), c1[j])
+			a2 = AddMod61(mulmod61(a2, xm), c2[j])
+			a3 = AddMod61(mulmod61(a3, xm), c3[j])
+		}
+		h0, _ := bits.Mul64(a0<<3, n)
+		h1, _ := bits.Mul64(a1<<3, n)
+		h2, _ := bits.Mul64(a2<<3, n)
+		h3, _ := bits.Mul64(a3<<3, n)
+		out[r], out[r+1], out[r+2], out[r+3] = uint32(h0), uint32(h1), uint32(h2), uint32(h3)
+	}
+	for ; r < len(hs); r++ {
+		out[r] = uint32(hs[r].Bounded(x, n))
+	}
+}

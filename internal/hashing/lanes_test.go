@@ -1,0 +1,216 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laneEdgeCases are the operands most likely to expose a broken Mersenne
+// fold: 0, 1, the canonical maximum p-1, the non-canonical p and p+1
+// (== 0 and 1 mod p), and values adjacent to 128-bit overflow boundaries.
+var laneEdgeCases = []uint64{
+	0, 1, 2,
+	MersennePrime61 - 1,
+	MersennePrime61,
+	MersennePrime61 + 1,
+	1 << 60, (1 << 60) - 1, (1 << 60) + 1,
+	1<<61 - 2, 1 << 61, 1<<61 + 1,
+	^uint64(0), ^uint64(0) - 1, ^uint64(0) >> 1,
+	0x9e3779b97f4a7c15,
+}
+
+func TestMulMod61LanesMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	check4 := func(a, b [4]uint64) {
+		var out [4]uint64
+		MulMod61x4(&a, &b, &out)
+		for i := 0; i < 4; i++ {
+			if want := MulMod61(a[i], b[i]); out[i] != want {
+				t.Fatalf("MulMod61x4 lane %d: %d*%d = %d, want %d", i, a[i], b[i], out[i], want)
+			}
+		}
+		var a2, b2, out2 [2]uint64
+		copy(a2[:], a[:2])
+		copy(b2[:], b[:2])
+		MulMod61x2(&a2, &b2, &out2)
+		for i := 0; i < 2; i++ {
+			if want := MulMod61(a2[i], b2[i]); out2[i] != want {
+				t.Fatalf("MulMod61x2 lane %d: %d*%d = %d, want %d", i, a2[i], b2[i], out2[i], want)
+			}
+		}
+	}
+	// Exhaustive over edge-case pairs, lane-rotated so every case visits
+	// every lane position.
+	for _, x := range laneEdgeCases {
+		for _, y := range laneEdgeCases {
+			check4(
+				[4]uint64{x, y, x ^ y, rng.Uint64()},
+				[4]uint64{y, x, rng.Uint64(), x ^ y},
+			)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var a, b [4]uint64
+		for i := range a {
+			a[i], b[i] = rng.Uint64(), rng.Uint64()
+		}
+		check4(a, b)
+	}
+}
+
+// FuzzMulMod61Lanes is the differential fuzz of the interleaved mulmod
+// kernels against the scalar MulMod61 they must be bit-identical to.
+func FuzzMulMod61Lanes(f *testing.F) {
+	for _, x := range laneEdgeCases {
+		f.Add(x, x, MersennePrime61-x, x>>1)
+		f.Add(x, uint64(MersennePrime61), x, ^x)
+	}
+	f.Fuzz(func(t *testing.T, a0, a1, b0, b1 uint64) {
+		a := [4]uint64{a0, a1, b0 ^ b1, a0 + b1}
+		b := [4]uint64{b0, b1, a0 | a1, a1 - b0}
+		var out4 [4]uint64
+		MulMod61x4(&a, &b, &out4)
+		for i := 0; i < 4; i++ {
+			if want := MulMod61(a[i], b[i]); out4[i] != want {
+				t.Fatalf("MulMod61x4 lane %d: %d*%d = %d, want %d", i, a[i], b[i], out4[i], want)
+			}
+		}
+		a2 := [2]uint64{a0, a1}
+		b2 := [2]uint64{b0, b1}
+		var out2 [2]uint64
+		MulMod61x2(&a2, &b2, &out2)
+		for i := 0; i < 2; i++ {
+			if want := MulMod61(a2[i], b2[i]); out2[i] != want {
+				t.Fatalf("MulMod61x2 lane %d: %d*%d = %d, want %d", i, a2[i], b2[i], out2[i], want)
+			}
+		}
+	})
+}
+
+// TestPowBatchMatchesPow covers the full-width table, a sized table whose
+// fallback path triggers on out-of-coverage exponents, and every tail
+// length of the 4-lane grouping.
+func TestPowBatchMatchesPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := NewPowTable(MulMod61(rng.Uint64()%MersennePrime61, 1) | 2)
+	sized := NewPowTableMax(full.Base(), 1<<16-1)
+	for _, tab := range []*PowTable{full, sized} {
+		for n := 0; n <= 9; n++ { // exercise every mod-4 tail
+			exps := make([]uint64, n)
+			for i := range exps {
+				switch i % 3 {
+				case 0:
+					exps[i] = laneEdgeCases[rng.Intn(len(laneEdgeCases))]
+				case 1:
+					exps[i] = rng.Uint64() >> 40 // inside sized coverage
+				default:
+					exps[i] = rng.Uint64() // often past sized coverage
+				}
+			}
+			out := make([]uint64, n)
+			tab.PowBatch(exps, out)
+			for i, e := range exps {
+				if want := tab.Pow(e); out[i] != want {
+					t.Fatalf("PowBatch[%d] exp=%d: got %d, want %d", i, e, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPowBatchPanicsOnShortOutput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PowBatch accepted a short output buffer")
+		}
+	}()
+	NewPowTable(3).PowBatch(make([]uint64, 4), make([]uint64, 3))
+}
+
+func TestLevelsBatchMatchesLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMixer(0xfeedface)
+	for _, stride := range []int{1, 3, 4} {
+		for n := 0; n <= 9; n++ {
+			for _, max := range []int{0, 3, 63} {
+				idxs := make([]uint64, n)
+				for i := range idxs {
+					idxs[i] = rng.Uint64()
+				}
+				out := make([]byte, n*stride+1)
+				m.LevelsBatch(idxs, out, stride, max)
+				for i, idx := range idxs {
+					want := m.Level(idx)
+					if want > max {
+						want = max
+					}
+					if int(out[i*stride]) != want {
+						t.Fatalf("LevelsBatch stride=%d max=%d [%d]: got %d, want %d",
+							stride, max, i, out[i*stride], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoundedBatchMatchesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := NewPolyHash(0xabcdef, 4)
+	for _, n := range []uint64{1, 2, 17, 1 << 20} {
+		for size := 0; size <= 9; size++ {
+			xs := make([]uint64, size)
+			for i := range xs {
+				if i%2 == 0 {
+					xs[i] = laneEdgeCases[rng.Intn(len(laneEdgeCases))]
+				} else {
+					xs[i] = rng.Uint64()
+				}
+			}
+			out := make([]uint32, size)
+			p.BoundedBatch(xs, n, out)
+			for i, x := range xs {
+				if want := uint32(p.Bounded(x, n)); out[i] != want {
+					t.Fatalf("BoundedBatch n=%d [%d] x=%d: got %d, want %d", n, i, x, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedRowsMatchesBounded covers the interleaved quad path, short row
+// sets, rows beyond four, and the ragged-coefficient fallback.
+func TestBoundedRowsMatchesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mkRows := func(count, k int) []PolyHash {
+		hs := make([]PolyHash, count)
+		for r := range hs {
+			hs[r] = NewPolyHash(rng.Uint64(), k)
+		}
+		return hs
+	}
+	cases := [][]PolyHash{
+		mkRows(4, 4),
+		mkRows(2, 4),
+		mkRows(7, 3),
+		// Ragged: quad group bails to the scalar loop.
+		append(mkRows(2, 4), mkRows(2, 3)...),
+	}
+	for ci, hs := range cases {
+		for trial := 0; trial < 200; trial++ {
+			x := rng.Uint64()
+			if trial < len(laneEdgeCases) {
+				x = laneEdgeCases[trial]
+			}
+			n := uint64(1 + rng.Intn(1<<16))
+			out := make([]uint32, len(hs))
+			BoundedRows(hs, x, n, out)
+			for r := range hs {
+				if want := uint32(hs[r].Bounded(x, n)); out[r] != want {
+					t.Fatalf("case %d BoundedRows row %d x=%d n=%d: got %d, want %d",
+						ci, r, x, n, out[r], want)
+				}
+			}
+		}
+	}
+}

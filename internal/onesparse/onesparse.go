@@ -75,6 +75,32 @@ func FingerprintTermTab(tab *hashing.PowTable, index uint64, delta int64) uint64
 	return hashing.MulMod61(signedMod(delta), tab.Pow(index))
 }
 
+// TermPairs expands a batch of raw fingerprint powers into signed term
+// pairs: pairs[2i] holds the term of (index_i, deltas[i]) given
+// pow[i] = z^index_i (as PowTable.PowBatch produces), and pairs[2i+1] its
+// negation — the layout the cache-blocked arena replay indexes directly
+// with an entry's packed edge<<1|sign key. Bit-identical per element to
+// FingerprintTermTab + NegateMod61: the same unit-delta fast paths, the
+// same signedMod multiply otherwise.
+func TermPairs(pow []uint64, deltas []int64, pairs []uint64) {
+	if len(deltas) < len(pow) || len(pairs) < 2*len(pow) {
+		panic("onesparse: TermPairs buffers shorter than input")
+	}
+	for i, zp := range pow {
+		var t uint64
+		switch deltas[i] {
+		case 1:
+			t = zp
+		case -1:
+			t = NegateMod61(zp)
+		default:
+			t = hashing.MulMod61(signedMod(deltas[i]), zp)
+		}
+		pairs[2*i] = t
+		pairs[2*i+1] = NegateMod61(t)
+	}
+}
+
 // NegateMod61 maps a fingerprint term t to -t mod p, the contribution of
 // the opposite-signed update.
 func NegateMod61(t uint64) uint64 {

@@ -82,8 +82,9 @@ type Arena struct {
 	// slot's table lazily on first update (or first non-empty decode),
 	// so slots that never carry state pay nothing.
 	pow   []*hashing.PowTable
-	plan  *EdgePlan // UpdateEdges staging, lazily built, reused across calls
-	cells []acell   // cell aggregates, (slot*reps + rep)*levels + level
+	plan  *EdgePlan   // UpdateEdges staging, lazily built, reused across calls
+	batch planScratch // ApplyPlan phase-1 term/level scratch, reused across chunks
+	cells []acell     // cell aggregates, (slot*reps + rep)*levels + level
 	// occ is the slot-occupancy bitmap (bit i set => slot i may hold
 	// non-zero cells; clear => its cells are all zero). Maintained as a
 	// monotone over-approximation by every state-writing path — updates,
@@ -200,6 +201,7 @@ func (a *Arena) CloneEmpty() *Arena {
 	c.occ = make([]uint64, len(a.occ))
 	c.pow = append([]*hashing.PowTable(nil), a.pow...)
 	c.plan = nil
+	c.batch = planScratch{}
 	return &c
 }
 
@@ -413,22 +415,17 @@ func (a *Arena) UpdateEdge(uSlot, vSlot int, index uint64, delta int64) {
 // is the n^2 edge-index space — the layout every node-incidence consumer
 // (ForestSketch and everything above it) uses.
 //
-// The batch is staged chunk by chunk into an EdgePlan — per-edge index,
-// fingerprint term pair, and per-rep levels computed once; endpoint entries
+// The batch is staged chunk by chunk into an EdgePlan — long batches first
+// coalesced to one update per surviving edge; per-edge index, fingerprint
+// term pair, and per-rep levels computed once; endpoint entries
 // counting-sorted by slot — and replayed with ApplyPlan, which sweeps the
 // cell arena in slot order. Cell state afterwards is bit-identical to the
-// per-update path: every cell receives the same set of exact int64 and
-// commutative mod-p additions. Consumers stacking several banks over one
-// stream (forest sketch rounds, k-EDGECONNECT banks) should build the plan
-// once with ReplayPlanned and ApplyPlan it per bank instead.
+// per-update path: every cell receives the same exact int64 and commutative
+// mod-p sums, regrouped. Consumers stacking several banks over one stream
+// (forest sketch rounds, k-EDGECONNECT banks) should build the plan once
+// with ReplayPlanned and ApplyPlan it per bank instead.
 func (a *Arena) UpdateEdges(ups []stream.Update) {
-	if a.plan == nil {
-		a.plan = &EdgePlan{}
-	}
-	for len(ups) > 0 {
-		ups = ups[a.plan.Build(ups, a.slots):]
-		a.ApplyPlan(a.plan)
-	}
+	ReplayPlanned(ups, a.slots, &a.plan, a.ApplyPlan)
 }
 
 // UpdateAll adds delta at index to every slot of the bank (the subgraph
@@ -549,6 +546,7 @@ func (a *Arena) Clone() *Arena {
 	c.pow = append([]*hashing.PowTable(nil), a.pow...)
 	c.occ = append([]uint64(nil), a.occ...)
 	c.plan = nil
+	c.batch = planScratch{}
 	return &c
 }
 

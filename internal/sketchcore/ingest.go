@@ -1,7 +1,9 @@
 package sketchcore
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"graphsketch/internal/stream"
 )
@@ -50,14 +52,22 @@ func replayInto[S Updater](sk S, part []stream.Update) {
 // result is bit-identical to a sequential replay of the whole stream —
 // the distributed-streams property of Sec. 1.1 turned into a same-process
 // speedup. Property tests assert the bit-identity per sketch type.
+//
+// workers <= 0 defaults to runtime.GOMAXPROCS(0), so facades that leave
+// their worker count unset scale with the machine instead of silently
+// running sequential. The effective worker count is returned; the facade
+// tests pair it with ShardSpawns to prove the default engages.
 func ShardedIngest[S Updater](ups []stream.Update, workers int, self S,
-	spawn func() S, merge func(S)) {
+	spawn func() S, merge func(S)) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(ups) {
 		workers = len(ups)
 	}
 	if workers <= 1 {
 		replayInto(self, ups)
-		return
+		return 1
 	}
 	chunk := (len(ups) + workers - 1) / workers
 	shards := make([]S, workers-1)
@@ -74,6 +84,7 @@ func ShardedIngest[S Updater](ups []stream.Update, workers int, self S,
 			hi = len(ups)
 		}
 		wg.Add(1)
+		shardSpawns.Add(1)
 		go func(i int, part []stream.Update) {
 			defer wg.Done()
 			sh := spawn()
@@ -86,4 +97,57 @@ func ShardedIngest[S Updater](ups []stream.Update, workers int, self S,
 	for _, sh := range shards {
 		merge(sh)
 	}
+	return workers
 }
+
+// ApplyPlanBanks replays one staged plan into every bank, claiming banks off
+// an atomic counter across worker goroutines. This is the same-process
+// parallel-ingest kernel for multi-bank sketches (a ForestSketch holds one
+// arena per Boruvka round, a k-EDGECONNECT stack holds k of those): the plan
+// is read-only during ApplyPlan and each arena keeps its phase-1 scratch
+// internally, so concurrent applies of one plan to distinct arenas share
+// nothing and the result is bit-identical to the sequential bank loop.
+//
+// Compared to stream sharding (ShardedIngest), the parallel axis here is the
+// bank, not the shard: no per-worker sketch allocation, no merge-back pass,
+// and each worker's working set is one bank's arena rather than a whole
+// duplicate sketch — so the kernel scales on cache-limited machines where
+// shard-per-worker replay thrashes. Dynamic claiming balances the banks even
+// when workers does not divide the bank count.
+func ApplyPlanBanks(banks []*Arena, p *EdgePlan, workers int) {
+	if workers > len(banks) {
+		workers = len(banks)
+	}
+	if workers <= 1 {
+		for _, b := range banks {
+			b.ApplyPlan(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(banks) {
+					return
+				}
+				banks[i].ApplyPlan(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardSpawns counts shard goroutines launched by ShardedIngest over the
+// process lifetime (one per worker beyond the caller's own shard).
+var shardSpawns atomic.Int64
+
+// ShardSpawns returns the cumulative number of shard goroutines ShardedIngest
+// has launched — observability for the facade tests that must prove a
+// defaulted worker count actually went parallel (the facades themselves
+// return nothing).
+func ShardSpawns() int64 { return shardSpawns.Load() }

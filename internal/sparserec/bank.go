@@ -47,13 +47,17 @@ type bcell struct {
 }
 
 // bankScratch stages one chunk of a batched edge update (see
-// Bank.UpdateEdges): canonical endpoints, edge index, signed delta and
-// index-weighted delta, and the fingerprint term pair.
+// Bank.UpdateEdges): canonical endpoints, edge index, the raw z^idx powers
+// the interleaved PowBatch kernel produces, the fingerprint term pair
+// derived from them, signed delta and index-weighted delta, and the per-row
+// bucket indices the BoundedBatch kernel fills.
 type bankScratch struct {
 	u, v      []int32
 	idx       []uint64
+	pow       []uint64
 	term, neg []uint64
 	delta, is []int64
+	bkt       []uint32
 }
 
 // NewBank creates a bank of n sketches, each recovering up to k non-zeros
@@ -128,7 +132,8 @@ func (b *Bank) N() int { return b.n }
 // K returns the per-node sparsity budget.
 func (b *Bank) K() int { return b.k }
 
-// Update adds delta to coordinate index of one node's sketch.
+// Update adds delta to coordinate index of one node's sketch. The row
+// buckets are evaluated together with the interleaved BoundedRows kernel.
 func (b *Bank) Update(node int, index uint64, delta int64) {
 	if delta == 0 {
 		return
@@ -136,8 +141,9 @@ func (b *Bank) Update(node int, index uint64, delta int64) {
 	b.markNode(node)
 	term := onesparse.FingerprintTermTab(b.pow, index, delta)
 	is := int64(index) * delta
+	bkts := rowBuckets(b.hash, index, uint64(b.m))
 	for r := 0; r < b.rows; r++ {
-		c := &b.cells[(node*b.rows+r)*b.m+int(b.hash[r].Bounded(index, uint64(b.m)))]
+		c := &b.cells[(node*b.rows+r)*b.m+int(bkts[r])]
 		c.w += delta
 		c.s += is
 		c.f = hashing.AddMod61(c.f, term)
@@ -156,8 +162,9 @@ func (b *Bank) UpdateEdge(u, v int, index uint64, delta int64) {
 	term := onesparse.FingerprintTermTab(b.pow, index, delta)
 	negTerm := onesparse.NegateMod61(term)
 	is := int64(index) * delta
+	bkts := rowBuckets(b.hash, index, uint64(b.m))
 	for r := 0; r < b.rows; r++ {
-		bkt := int(b.hash[r].Bounded(index, uint64(b.m)))
+		bkt := int(bkts[r])
 		cu := &b.cells[(u*b.rows+r)*b.m+bkt]
 		cv := &b.cells[(v*b.rows+r)*b.m+bkt]
 		cu.w += delta
@@ -175,10 +182,12 @@ const bankChunk = 256
 
 // UpdateEdges applies a batch of node-incidence edge updates: for each
 // update, +delta at EdgeIndex(u, v, n) in the lower endpoint's sketch and
-// -delta in the higher's. It stages the per-edge invariants (index,
-// fingerprint term pair, weighted sums) for a chunk, then sweeps the hash
-// rows row-major across the chunk so each row's polynomial hash state stays
-// hot. Bit-identical to per-update UpdateEdge calls.
+// -delta in the higher's. It stages the per-edge invariants for a chunk —
+// fingerprint powers through the interleaved PowBatch kernel, term pairs
+// expanded from them — then sweeps the hash rows row-major across the
+// chunk, each row's buckets batch-evaluated with the four-lane BoundedBatch
+// kernel so no dependent Horner chain survives into the cell-write loop.
+// Bit-identical to per-update UpdateEdge calls.
 func (b *Bank) UpdateEdges(ups []stream.Update) {
 	n := uint64(b.n)
 	sc := &b.batch
@@ -186,10 +195,12 @@ func (b *Bank) UpdateEdges(ups []stream.Update) {
 		sc.u = make([]int32, bankChunk)
 		sc.v = make([]int32, bankChunk)
 		sc.idx = make([]uint64, bankChunk)
+		sc.pow = make([]uint64, bankChunk)
 		sc.term = make([]uint64, bankChunk)
 		sc.neg = make([]uint64, bankChunk)
 		sc.delta = make([]int64, bankChunk)
 		sc.is = make([]int64, bankChunk)
+		sc.bkt = make([]uint32, bankChunk)
 	}
 	for len(ups) > 0 {
 		chunk := ups
@@ -207,13 +218,10 @@ func (b *Bank) UpdateEdges(ups []stream.Update) {
 				u, v = v, u
 			}
 			idx := uint64(u)*n + uint64(v)
-			t := onesparse.FingerprintTermTab(b.pow, idx, up.Delta)
 			b.markNode(u)
 			b.markNode(v)
 			sc.u[m], sc.v[m] = int32(u), int32(v)
 			sc.idx[m] = idx
-			sc.term[m] = t
-			sc.neg[m] = onesparse.NegateMod61(t)
 			sc.delta[m] = up.Delta
 			sc.is[m] = int64(idx) * up.Delta
 			m++
@@ -221,10 +229,25 @@ func (b *Bank) UpdateEdges(ups []stream.Update) {
 		su, sv := sc.u[:m], sc.v[:m]
 		sidx, sterm, sneg := sc.idx[:m], sc.term[:m], sc.neg[:m]
 		sdelta, sis := sc.delta[:m], sc.is[:m]
+		spow, sbkt := sc.pow[:m], sc.bkt[:m]
+		b.pow.PowBatch(sidx, spow)
+		for e, zp := range spow {
+			var t uint64
+			switch sdelta[e] {
+			case 1:
+				t = zp
+			case -1:
+				t = onesparse.NegateMod61(zp)
+			default:
+				t = onesparse.FingerprintTermTab(b.pow, sidx[e], sdelta[e])
+			}
+			sterm[e] = t
+			sneg[e] = onesparse.NegateMod61(t)
+		}
 		for r := 0; r < b.rows; r++ {
-			h := b.hash[r]
+			b.hash[r].BoundedBatch(sidx, uint64(b.m), sbkt)
 			for e := range sidx {
-				bkt := int(h.Bounded(sidx[e], uint64(b.m)))
+				bkt := int(sbkt[e])
 				cu := &b.cells[(int(su[e])*b.rows+r)*b.m+bkt]
 				cv := &b.cells[(int(sv[e])*b.rows+r)*b.m+bkt]
 				cu.w += sdelta[e]

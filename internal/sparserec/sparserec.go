@@ -46,6 +46,17 @@ func tableShape(k int) (rows, m int) {
 	return DefaultRows, 2*k + 8
 }
 
+// rowBuckets evaluates every row hash at one index with the interleaved
+// BoundedRows kernel — the four Horner chains issue together instead of
+// serializing — returning the per-row buckets by value. Row counts are
+// pinned to DefaultRows by tableShape, so the fixed-size result never
+// truncates. Bit-identical per row to hash[r].Bounded(index, m).
+func rowBuckets(hs []hashing.PolyHash, index, m uint64) [DefaultRows]uint32 {
+	var bk [DefaultRows]uint32
+	hashing.BoundedRows(hs, index, m, bk[:])
+	return bk
+}
+
 // rowHashSeed and fingerprintSeed are the seed derivations shared by Sketch
 // and Bank — one place, so the two layouts can never desync.
 func rowHashSeed(seed uint64, r int) uint64 { return hashing.DeriveSeed(seed, uint64(r)+1) }
@@ -105,15 +116,16 @@ func newWithTab(k int, seed uint64, tab *hashing.PowTable) *Sketch {
 func (s *Sketch) K() int { return s.k }
 
 // Update adds delta to coordinate index. The fingerprint term is computed
-// once from the power table and shared by every row's cell.
+// once from the power table and shared by every row's cell, and the row
+// buckets are evaluated together with the interleaved BoundedRows kernel.
 func (s *Sketch) Update(index uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
 	term := onesparse.FingerprintTermTab(s.tab, index, delta)
+	bkts := rowBuckets(s.hash, index, uint64(s.m))
 	for r := 0; r < s.rows; r++ {
-		b := s.hash[r].Bounded(index, uint64(s.m))
-		s.cells[r][b].UpdateTerm(index, delta, term)
+		s.cells[r][bkts[r]].UpdateTerm(index, delta, term)
 	}
 }
 
@@ -210,10 +222,12 @@ func (w *Sketch) decodeDestructive() ([]Item, bool) {
 			return nil, false
 		}
 		// Subtract the item everywhere and requeue affected buckets; the
-		// peel term is one table lookup shared across rows.
+		// peel term is one table lookup shared across rows, and the row
+		// buckets come from one interleaved BoundedRows evaluation.
 		peel := onesparse.FingerprintTermTab(w.tab, idx, -weight)
+		bkts := rowBuckets(w.hash, idx, uint64(w.m))
 		for r := 0; r < w.rows; r++ {
-			b := int(w.hash[r].Bounded(idx, uint64(w.m)))
+			b := int(bkts[r])
 			w.cells[r][b].UpdateTerm(idx, -weight, peel)
 			queue = append(queue, rb{r, b})
 		}
