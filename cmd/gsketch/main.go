@@ -12,6 +12,9 @@
 //	gsketch bench [flags]     measure forest-sketch ingest throughput
 //	                          (arena vs pointer baseline, parallel worker
 //	                          scaling) and emit machine-readable JSON
+//	gsketch sim [flags]       run the fault-injection failure matrix
+//	                          (message loss, corruption, site crashes) and
+//	                          emit per-scenario recovery/retransmission rows
 package main
 
 import (
@@ -34,6 +37,11 @@ func main() {
 		runCommand(args[1:])
 	case "bench":
 		if err := benchCommand(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gsketch:", err)
+			os.Exit(1)
+		}
+	case "sim":
+		if err := simCommand(args[1:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "gsketch:", err)
 			os.Exit(1)
 		}
@@ -65,5 +73,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch> | bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch> | bench [flags] | sim [flags]")
 }

@@ -1,20 +1,25 @@
 // Distributed: the stream is split across four ingestion sites (think four
 // data centers each seeing a share of the edge updates). Each site builds
-// its own sketches, SERIALIZES them in the compact wire format, and ships
-// the bytes; the coordinator folds the payloads with MergeBytes — no
-// second sketch is ever materialized — and queries the merged sketch.
-// Linearity guarantees the merged sketch is byte-identical to the sketch a
-// single site would have built from the whole stream (Sec. 1.1), verified
-// here against the single-site run and the exact graph. Because each site
-// saw only a quarter of a small stream, its sketch is mostly zeros, and
-// the compact encoding ships a tiny fraction of the dense bytes — the
-// space economics the paper's distributed/MapReduce setting lives on.
+// its own sketch, SERIALIZES it in the compact wire format, and ships the
+// bytes; the coordinator folds the payloads with MergeBytes — no second
+// sketch is ever materialized. Linearity guarantees the merged sketch is
+// byte-identical to the sketch a single site would have built from the
+// whole stream (Sec. 1.1), and that guarantee is what makes fault
+// tolerance cheap: a lost payload is just re-requested, a crashed site
+// replays its WAL, and the fold happens whenever the bytes arrive.
+//
+// Act 1 runs the clean protocol by hand and measures the wire economics.
+// Act 2 reruns the deployment on the fault-injecting runtime — messages
+// dropped, duplicated, and corrupted; sites crashing mid-ingest with torn
+// WAL tails — and shows the coordinator still converging to the exact
+// same bytes.
 package main
 
 import (
 	"fmt"
 
 	"graphsketch"
+	rt "graphsketch/internal/runtime"
 )
 
 const (
@@ -38,74 +43,80 @@ func main() {
 	}
 	fmt.Println(" updates each")
 
-	// Per-site sketches (same seed: that is the protocol contract). Sites
-	// ship compact wire bytes; the coordinator folds them with MergeBytes.
-	mergedConn := graphsketch.NewConnectivitySketch(n, seed)
-	mergedCut := graphsketch.NewMinCutSketchK(n, 8, seed)
-	mergedSpars := graphsketch.NewSparsifier(n, 0.5, seed)
+	// ---- Act 1: the clean protocol, by hand. Same seed at every site:
+	// that is the protocol contract making the sketches summable.
+	merged := graphsketch.NewConnectivitySketch(n, seed)
 	var wireCompact, wireDense int
 	for i, p := range parts {
 		conn := graphsketch.NewConnectivitySketch(n, seed)
-		cut := graphsketch.NewMinCutSketchK(n, 8, seed)
-		spars := graphsketch.NewSparsifier(n, 0.5, seed)
 		conn.Ingest(p)
-		cut.Ingest(p)
-		spars.Ingest(p)
-		for _, payload := range []struct {
-			enc  func() ([]byte, error)
-			fold func([]byte) error
-			fp   graphsketch.Footprint
-		}{
-			{conn.MarshalBinaryCompact, mergedConn.MergeBytes, conn.Footprint()},
-			{cut.MarshalBinaryCompact, mergedCut.MergeBytes, cut.Footprint()},
-			{spars.MarshalBinaryCompact, mergedSpars.MergeBytes, spars.Footprint()},
-		} {
-			wb, err := payload.enc()
-			if err != nil {
-				panic(err)
-			}
-			if err := payload.fold(wb); err != nil {
-				panic(err)
-			}
-			wireCompact += len(wb)
-			wireDense += int(payload.fp.WireDenseBytes)
+		wb, err := conn.MarshalBinaryCompact()
+		if err != nil {
+			panic(err)
 		}
-		fmt.Printf("site %d sketched and shipped\n", i)
+		if err := merged.MergeBytes(wb); err != nil {
+			panic(err)
+		}
+		wireCompact += len(wb)
+		wireDense += int(conn.Footprint().WireDenseBytes)
+		fmt.Printf("site %d sketched and shipped %d compact bytes\n", i, len(wb))
 	}
 	fmt.Printf("\nwire traffic: %d compact bytes vs %d dense (%.1f%% — %.0fx smaller)\n",
 		wireCompact, wireDense, 100*float64(wireCompact)/float64(wireDense),
 		float64(wireDense)/float64(wireCompact))
+	fmt.Printf("merged sketch answers: connected = %v\n", merged.Connected())
 
-	g := graphsketch.FromStream(st)
-	exact, _ := g.StoerWagner()
-
-	fmt.Printf("\nmerged sketch answers:\n")
-	fmt.Printf("  connected: %v\n", mergedConn.Connected())
-	res, err := mergedCut.MinCut()
+	// The linearity oracle: one uninterrupted site over the whole stream.
+	whole := graphsketch.NewConnectivitySketch(n, seed)
+	whole.Ingest(st)
+	reference, err := whole.MarshalBinaryCompact()
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("  min cut: %d (exact %d)\n", res.Value, exact)
-	h, err := mergedSpars.Sparsify()
+	mergedBytes, err := merged.MarshalBinaryCompact()
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("  sparsifier: %d of %d edges, max cut error %.3f\n",
-		h.NumEdges(), g.NumEdges(), graphsketch.MaxCutError(g, h, 50, seed))
+	fmt.Printf("linearity: merged == single-site bytes: %v\n\n",
+		string(mergedBytes) == string(reference))
 
-	// The linearity check: a single-site run with the same seed must agree
-	// exactly with the merged run.
-	wholeCut := graphsketch.NewMinCutSketchK(n, 8, seed)
-	wholeCut.Ingest(st)
-	wres, err := wholeCut.MinCut()
+	// ---- Act 2: the same deployment on the fault-injecting runtime. A
+	// fifth of the messages are dropped, a quarter duplicated, some
+	// corrupted in flight (caught by the checksummed envelope); sites crash
+	// after random batches and recover from their write-ahead logs, some
+	// with torn tails. The coordinator retries with backoff and dedupes by
+	// payload epoch until it holds one valid payload per site.
+	cluster := rt.NewCluster(rt.ClusterConfig{
+		Sites:         sites,
+		BatchSize:     40,
+		SnapshotEvery: 120,
+		Faults: rt.FaultPlan{
+			Seed: seed, DropProb: 0.20, DupProb: 0.25, CorruptProb: 0.15,
+			DelayBase: 500, DelayJitter: 4000,
+		},
+		Crashes: rt.CrashPlan{
+			Seed: seed ^ 0xC0FFEE, CrashProb: 0.20, TornTailProb: 0.5, MaxTornBytes: 80,
+		},
+		RecoveryPerUpdate: 1,
+	}, n, func() rt.Sketch { return graphsketch.NewConnectivitySketch(n, seed) })
+	if err := cluster.Ingest(st); err != nil {
+		panic(err)
+	}
+	cluster.Collect()
+	rep, err := cluster.Report(st.Len(), reference)
 	if err != nil {
 		panic(err)
 	}
-	if wres.Value == res.Value && wres.Level == res.Level {
-		fmt.Printf("  linearity: merged == single-site (value %d, level %d) ✓\n",
-			res.Value, res.Level)
-	} else {
-		fmt.Printf("  LINEARITY VIOLATION: merged (%d,%d) vs single (%d,%d)\n",
-			res.Value, res.Level, wres.Value, wres.Level)
+	fmt.Println("fault-injected rerun:")
+	fmt.Printf("  crashes survived: %d (WAL replays cost %dus virtual time)\n",
+		rep.Crashes, rep.RecoveryTimeUs)
+	fmt.Printf("  transport: %d messages, %d dropped, %d duplicated, %d corrupted\n",
+		rep.Net.Messages, rep.Net.Dropped, rep.Net.Duplicate, rep.Net.Corrupted)
+	fmt.Printf("  retries: %d retransmissions, %d bytes re-shipped, %d corrupt payloads rejected\n",
+		rep.Retransmissions, rep.RetransmittedBytes, rep.CorruptPayloads)
+	fmt.Printf("  coverage %.2f, merged bytes identical to single-site run: %v\n",
+		rep.Coverage, rep.BitIdentical)
+	if !rep.BitIdentical {
+		panic("fault-injected run diverged from the single-site reference")
 	}
 }

@@ -1,0 +1,134 @@
+package graphsketch
+
+import (
+	"testing"
+
+	"graphsketch/internal/wire"
+)
+
+// Fuzz targets for the public decode surface: truncated, bit-flipped, or
+// arbitrary bytes fed to every facade UnmarshalBinary must return an
+// error or decode cleanly — never panic, never allocate beyond the decode
+// cell budget. The corpus seeds real payloads of every envelope this
+// package emits (AGM2/AGM3, AGT1, MCS1, SPS1, SPB1, SPW1, SGS1) in both
+// wire formats, so mutation starts from deep inside valid encodings.
+
+// fuzzUnmarshalers builds one small instance of every facade sketch type
+// and returns a decode function per type plus seed payloads.
+func fuzzUnmarshalers(tb testing.TB) (decoders []func([]byte) error, seeds [][]byte) {
+	st := GNP(24, 0.3, 99).WithChurn(60, 7)
+	marshal := func(tb testing.TB, sk interface {
+		MarshalBinary() ([]byte, error)
+		MarshalBinaryCompact() ([]byte, error)
+	}) {
+		dense, err := sk.MarshalBinary()
+		if err != nil {
+			tb.Fatalf("dense marshal: %v", err)
+		}
+		compact, err := sk.MarshalBinaryCompact()
+		if err != nil {
+			tb.Fatalf("compact marshal: %v", err)
+		}
+		seeds = append(seeds, dense, compact)
+	}
+
+	conn := NewConnectivitySketch(24, 1)
+	conn.Ingest(st)
+	marshal(tb, conn)
+	decoders = append(decoders, func(b []byte) error {
+		var s ConnectivitySketch
+		return s.UnmarshalBinary(b)
+	})
+
+	mst := NewMSTSketch(24, 100, 2)
+	mst.Ingest(stWeighted())
+	marshal(tb, mst)
+	decoders = append(decoders, func(b []byte) error {
+		var s MSTSketch
+		return s.UnmarshalBinary(b)
+	})
+
+	mc := NewMinCutSketch(24, 0.5, 3)
+	mc.Ingest(st)
+	marshal(tb, mc)
+	decoders = append(decoders, func(b []byte) error {
+		var s MinCutSketch
+		return s.UnmarshalBinary(b)
+	})
+
+	ss := NewSimpleSparsifier(24, 0.9, 4)
+	ss.Ingest(st)
+	marshal(tb, ss)
+	decoders = append(decoders, func(b []byte) error {
+		var s SimpleSparsifier
+		return s.UnmarshalBinary(b)
+	})
+
+	sp := NewSparsifier(24, 0.9, 5)
+	sp.Ingest(st)
+	marshal(tb, sp)
+	decoders = append(decoders, func(b []byte) error {
+		var s Sparsifier
+		return s.UnmarshalBinary(b)
+	})
+
+	ws := NewWeightedSparsifier(24, 0.9, 100, 6)
+	ws.Ingest(stWeighted())
+	marshal(tb, ws)
+	decoders = append(decoders, func(b []byte) error {
+		var s WeightedSparsifier
+		return s.UnmarshalBinary(b)
+	})
+
+	sg := NewSubgraphSketch(24, 3, 64, 7)
+	sg.Ingest(st)
+	marshal(tb, sg)
+	decoders = append(decoders, func(b []byte) error {
+		var s SubgraphSketch
+		return s.UnmarshalBinary(b)
+	})
+
+	return decoders, seeds
+}
+
+func stWeighted() *Stream { return WeightedGNP(24, 0.3, 100, 11) }
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to every facade decoder.
+func FuzzUnmarshalBinary(f *testing.F) {
+	decoders, seeds := fuzzUnmarshalers(f)
+	for _, s := range seeds {
+		f.Add(s)
+		f.Add(s[:len(s)/2]) // truncations in the corpus
+		mut := append([]byte(nil), s...)
+		mut[len(mut)/3] ^= 0x40 // a bit flip in the corpus
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Small budget: a fuzzed header declaring a huge shape must fail
+		// fast, not thrash the allocator.
+		prev := wire.SetDecodeCellBudget(1 << 22)
+		defer wire.SetDecodeCellBudget(prev)
+		for _, dec := range decoders {
+			_ = dec(data) // must not panic; errors are the expected outcome
+		}
+	})
+}
+
+// FuzzMergeBytes feeds arbitrary bytes to wire-level merges, whose decode
+// path (header check, per-bank fold) is distinct from UnmarshalBinary.
+func FuzzMergeBytes(f *testing.F) {
+	conn := NewConnectivitySketch(24, 1)
+	conn.Update(1, 2, 1)
+	compact, _ := conn.MarshalBinaryCompact()
+	dense, _ := conn.MarshalBinary()
+	f.Add(compact)
+	f.Add(dense)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prev := wire.SetDecodeCellBudget(1 << 22)
+		defer wire.SetDecodeCellBudget(prev)
+		dst := NewConnectivitySketch(24, 1)
+		_ = dst.MergeBytes(data)
+		mc := NewMinCutSketch(24, 0.5, 3)
+		_ = mc.MergeBytes(data)
+	})
+}

@@ -32,6 +32,7 @@ package graphsketch
 
 import (
 	"errors"
+	"fmt"
 
 	"graphsketch/internal/agm"
 	"graphsketch/internal/core/mincut"
@@ -80,6 +81,22 @@ func FromStream(s *Stream) *Graph { return graph.FromStream(s) }
 // header), a wire merge needs an already-constructed destination to verify
 // parameters against.
 var errUninitializedMerge = errors.New("graphsketch: MergeBytes on a zero-value sketch; construct it (or UnmarshalBinary) first")
+
+// ErrBadEncoding is the sentinel every UnmarshalBinary / MergeBytes failure
+// wraps: truncated, corrupted, oversized, or parameter-mismatched payloads
+// all satisfy errors.Is(err, ErrBadEncoding). No payload content, however
+// malformed, panics these entry points — corrupt bytes are an input
+// condition, not a programmer error.
+var ErrBadEncoding = errors.New("graphsketch: bad encoding")
+
+// wrapBadEncoding routes an internal decode/merge error into the facade
+// sentinel, preserving the detailed message.
+func wrapBadEncoding(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+}
 
 // ---------------------------------------------------------------------------
 // Connectivity & bipartiteness (the [4] primitives, Theorem 2.3 substrate)
@@ -138,7 +155,7 @@ func (c *ConnectivitySketch) UnmarshalBinary(data []byte) error {
 	if c.fs == nil {
 		c.fs = &agm.ForestSketch{}
 	}
-	return c.fs.UnmarshalBinary(data)
+	return wrapBadEncoding(c.fs.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (either format, same n and seed)
@@ -151,7 +168,7 @@ func (c *ConnectivitySketch) MergeBytes(data []byte) error {
 	if c.fs == nil {
 		return errUninitializedMerge
 	}
-	return c.fs.MergeBinary(data)
+	return wrapBadEncoding(c.fs.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
@@ -255,7 +272,7 @@ func (m *MSTSketch) UnmarshalBinary(data []byte) error {
 	if m.sk == nil {
 		m.sk = &agm.MSTSketch{}
 	}
-	return m.sk.UnmarshalBinary(data)
+	return wrapBadEncoding(m.sk.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (same parameters) directly into m.
@@ -266,7 +283,7 @@ func (m *MSTSketch) MergeBytes(data []byte) error {
 	if m.sk == nil {
 		return errUninitializedMerge
 	}
-	return m.sk.MergeBinary(data)
+	return wrapBadEncoding(m.sk.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
@@ -342,7 +359,7 @@ func (m *MinCutSketch) UnmarshalBinary(data []byte) error {
 	if m.sk == nil {
 		m.sk = &mincut.Sketch{}
 	}
-	return m.sk.UnmarshalBinary(data)
+	return wrapBadEncoding(m.sk.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (same config) directly into m
@@ -354,7 +371,7 @@ func (m *MinCutSketch) MergeBytes(data []byte) error {
 	if m.sk == nil {
 		return errUninitializedMerge
 	}
-	return m.sk.MergeBinary(data)
+	return wrapBadEncoding(m.sk.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
@@ -428,7 +445,7 @@ func (s *SimpleSparsifier) UnmarshalBinary(data []byte) error {
 	if s.sk == nil {
 		s.sk = &sparsify.Simple{}
 	}
-	return s.sk.UnmarshalBinary(data)
+	return wrapBadEncoding(s.sk.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (same config) directly into s.
@@ -439,7 +456,7 @@ func (s *SimpleSparsifier) MergeBytes(data []byte) error {
 	if s.sk == nil {
 		return errUninitializedMerge
 	}
-	return s.sk.MergeBinary(data)
+	return wrapBadEncoding(s.sk.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
@@ -509,7 +526,7 @@ func (s *Sparsifier) UnmarshalBinary(data []byte) error {
 	if s.sk == nil {
 		s.sk = &sparsify.Sketch{}
 	}
-	return s.sk.UnmarshalBinary(data)
+	return wrapBadEncoding(s.sk.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (same config) directly into s.
@@ -520,7 +537,7 @@ func (s *Sparsifier) MergeBytes(data []byte) error {
 	if s.sk == nil {
 		return errUninitializedMerge
 	}
-	return s.sk.MergeBinary(data)
+	return wrapBadEncoding(s.sk.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
@@ -598,7 +615,7 @@ func (w *WeightedSparsifier) UnmarshalBinary(data []byte) error {
 	if w.sk == nil {
 		w.sk = &sparsify.Weighted{}
 	}
-	return w.sk.UnmarshalBinary(data)
+	return wrapBadEncoding(w.sk.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (same config) directly into w.
@@ -609,7 +626,7 @@ func (w *WeightedSparsifier) MergeBytes(data []byte) error {
 	if w.sk == nil {
 		return errUninitializedMerge
 	}
-	return w.sk.MergeBinary(data)
+	return wrapBadEncoding(w.sk.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
@@ -709,7 +726,7 @@ func (s *SubgraphSketch) UnmarshalBinary(data []byte) error {
 	if s.sk == nil {
 		s.sk = &subgraph.Sketch{}
 	}
-	return s.sk.UnmarshalBinary(data)
+	return wrapBadEncoding(s.sk.UnmarshalBinary(data))
 }
 
 // MergeBytes folds a serialized sketch (same parameters) directly into s.
@@ -720,7 +737,7 @@ func (s *SubgraphSketch) MergeBytes(data []byte) error {
 	if s.sk == nil {
 		return errUninitializedMerge
 	}
-	return s.sk.MergeBinary(data)
+	return wrapBadEncoding(s.sk.MergeBinary(data))
 }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"graphsketch/internal/hashing"
 	"graphsketch/internal/wire"
 )
 
@@ -67,6 +68,9 @@ func (fs *ForestSketch) MarshalBinary() ([]byte, error) {
 // MarshalBinaryFormat emits the AGM3 envelope with the chosen per-bank
 // format tag.
 func (fs *ForestSketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := appendHeader(nil, fsMagic3, uint64(fs.n), fs.seed, uint64(fs.rounds))
 	return fs.AppendState(buf, format), nil
 }
@@ -96,7 +100,22 @@ func decodeFSHeader(data []byte) (n int, seed uint64, rounds int, tagged bool, r
 	if n < 1 || n > 1<<24 || rounds < 1 || rounds > 128 {
 		return 0, 0, 0, false, nil, fmt.Errorf("%w: implausible shape n=%d rounds=%d", ErrBadEncoding, n, rounds)
 	}
+	if err := forestCellBudget(n, rounds, 1); err != nil {
+		return 0, 0, 0, false, nil, err
+	}
 	return n, seed, rounds, tagged, data[28:], nil
+}
+
+// forestCellBudget bounds the total cell count copies of a ForestSketch
+// shape would materialize against the wire decode budget, BEFORE any arena
+// is allocated — individually plausible header fields can still multiply
+// into an allocation no real deployment would construct.
+func forestCellBudget(n, rounds, copies int) error {
+	levels := hashing.SamplerLevels(uint64(n) * uint64(n))
+	if err := wire.CheckCellBudget(int64(copies), int64(rounds), int64(n), samplerReps, int64(levels)); err != nil {
+		return fmt.Errorf("%w: declared shape exceeds decode budget", ErrBadEncoding)
+	}
+	return nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, accepting both
@@ -162,6 +181,9 @@ func (fs *ForestSketch) MergeBinary(data []byte) error {
 // MarshalBinaryFormat emits the EdgeConnectSketch envelope: magic "AGE1",
 // (n, k, seed) header, then the tagged state of all k forest banks.
 func (ec *EdgeConnectSketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := appendHeader(nil, ecMagic, uint64(ec.n), uint64(ec.k), ec.seed)
 	return ec.AppendState(buf, format), nil
 }
@@ -185,6 +207,9 @@ func decodeECHeader(data []byte) (n, k int, seed uint64, rest []byte, err error)
 	seed = binary.LittleEndian.Uint64(data[20:])
 	if n < 1 || n > 1<<24 || k < 1 || k > 1<<16 {
 		return 0, 0, 0, nil, fmt.Errorf("%w: implausible shape n=%d k=%d", ErrBadEncoding, n, k)
+	}
+	if err := forestCellBudget(n, boruvkaRounds(n), k); err != nil {
+		return 0, 0, 0, nil, err
 	}
 	return n, k, seed, data[28:], nil
 }
@@ -228,6 +253,9 @@ func (ec *EdgeConnectSketch) MergeBinary(data []byte) error {
 // MarshalBinaryFormat emits the MSTSketch envelope: magic "AGT1",
 // (n, classes, seed) header, then the tagged state of every prefix class.
 func (m *MSTSketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := appendHeader(nil, mstMagic, uint64(m.n), uint64(m.classes), m.seed)
 	return m.AppendState(buf, format), nil
 }
@@ -251,6 +279,9 @@ func decodeMSTHeader(data []byte) (n, classes int, seed uint64, rest []byte, err
 	seed = binary.LittleEndian.Uint64(data[20:])
 	if n < 1 || n > 1<<24 || classes < 1 || classes > 64 {
 		return 0, 0, 0, nil, fmt.Errorf("%w: implausible shape n=%d classes=%d", ErrBadEncoding, n, classes)
+	}
+	if err := forestCellBudget(n, boruvkaRounds(n), classes); err != nil {
+		return 0, 0, 0, nil, err
 	}
 	return n, classes, seed, data[28:], nil
 }

@@ -31,6 +31,9 @@ func wrapBad(err error) error {
 // MarshalBinaryFormat serializes the sketch with the chosen per-bank
 // format tag (sketchcore.FormatDense or FormatCompact).
 func (s *Sketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := append([]byte(nil), mcMagic[:]...)
 	var hdr [40]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.cfg.N))

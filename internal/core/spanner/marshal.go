@@ -7,6 +7,7 @@ import (
 
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/wire"
 )
 
 // Wire format: magic "SPG1" — universe, seed, reps, buckets (u64 LE each),
@@ -90,8 +91,15 @@ func decodeHeader(data []byte) (universe, seed uint64, buckets int, rest []byte,
 	if reps != groupSamplerReps {
 		return 0, 0, 0, nil, fmt.Errorf("%w: unsupported rep count %d", ErrBadEncoding, reps)
 	}
-	if bkt < uint64(groupBuckets(1)) || bkt > 1<<30 || bkt%2 != 0 {
+	// groupBuckets outputs are O(budget) and real passes use budgets far
+	// below 2^22; combined with the cell-budget check below this keeps a
+	// corrupted count from driving a multi-GiB grid allocation.
+	if bkt < uint64(groupBuckets(1)) || bkt > 1<<22 || bkt%2 != 0 {
 		return 0, 0, 0, nil, fmt.Errorf("%w: implausible bucket count %d", ErrBadEncoding, bkt)
+	}
+	levels := hashing.SamplerLevels(universe)
+	if err := wire.CheckCellBudget(groupSamplerReps, int64(bkt), bucketSamplerReps, int64(levels)); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("%w: declared shape exceeds decode budget", ErrBadEncoding)
 	}
 	return universe, seed, int(bkt), data[36:], nil
 }

@@ -132,6 +132,9 @@ func decodeSimpleHeader(data []byte) (SimpleConfig, []byte, error) {
 
 // MarshalBinaryFormat serializes the sketch with the chosen bank format.
 func (s *Simple) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := append([]byte(nil), simpleMagic[:]...)
 	buf = appendSimpleHeader(buf, s.cfg)
 	return s.AppendState(buf, format), nil
@@ -198,6 +201,9 @@ func (s *Simple) MergeBinary(data []byte) error {
 // MarshalBinaryFormat serializes the Fig 3 sketch: magic, config, the
 // rough Simple's state, then every level's recovery-bank state.
 func (s *Sketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := append([]byte(nil), betterMagic[:]...)
 	var hdr [48]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.cfg.N))
@@ -347,6 +353,9 @@ func (s *Sketch) Footprint() sketchcore.Footprint {
 // MarshalBinaryFormat serializes the weighted sparsifier: magic, config,
 // then every weight class's Simple state.
 func (w *Weighted) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := append([]byte(nil), weightedMagic[:]...)
 	var hdr [40]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(w.cfg.N))

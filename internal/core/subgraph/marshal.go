@@ -28,6 +28,9 @@ func wrapBad(err error) error {
 
 // MarshalBinaryFormat serializes the sketch with the chosen cell format.
 func (s *Sketch) MarshalBinaryFormat(format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
 	buf := append([]byte(nil), sgMagic[:]...)
 	var hdr [32]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.n))

@@ -1,0 +1,188 @@
+package runtime_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"graphsketch"
+	"graphsketch/internal/runtime"
+	"graphsketch/internal/stream"
+)
+
+// chaosFaults is the pinned fault matrix: every fault class at once, at
+// rates high enough that most runs see drops, duplicates, corruption,
+// reordering, AND crashes, yet full coverage is still reachable within
+// the coordinator's retry budget.
+func chaosFaults(seed uint64) runtime.ClusterConfig {
+	return runtime.ClusterConfig{
+		Sites:         4,
+		BatchSize:     100,
+		SnapshotEvery: 300,
+		Faults: runtime.FaultPlan{
+			Seed:        seed,
+			DropProb:    0.20,
+			DupProb:     0.25,
+			CorruptProb: 0.15,
+			DelayBase:   500,
+			DelayJitter: 4_000, // 8x the base: heavy reordering
+		},
+		Crashes: runtime.CrashPlan{
+			Seed:         seed ^ 0xC0FFEE,
+			CrashProb:    0.15,
+			TornTailProb: 0.5,
+			MaxTornBytes: 80,
+		},
+		RecoveryPerUpdate: 1,
+	}
+}
+
+// runChaos drives one full simulated run and returns its report.
+func runChaos(t *testing.T, seed uint64, cfg runtime.ClusterConfig) runtime.Report {
+	t.Helper()
+	st := stream.GNP(walTestN, 0.2, seed).WithChurn(300, seed^3)
+	ref := graphsketch.NewConnectivitySketch(walTestN, seed)
+	ref.UpdateBatch(st.Updates)
+	refBytes := compactOf(t, ref)
+
+	cl := runtime.NewCluster(cfg, walTestN, connFactory(seed))
+	if err := cl.Ingest(st); err != nil {
+		t.Fatalf("seed %d: ingest: %v", seed, err)
+	}
+	cl.Collect()
+	rep, err := cl.Report(st.Len(), refBytes)
+	if err != nil {
+		t.Fatalf("seed %d: report: %v", seed, err)
+	}
+	return rep
+}
+
+// TestChaosBitIdentity is the headline property: under seeded
+// drop/duplicate/reorder/corrupt/crash schedules, whenever coverage
+// reaches 1.0 the coordinator's merged sketch is bit-identical to the
+// uninterrupted single-site run. With a 10-attempt retry budget the
+// pinned seeds all reach full coverage.
+func TestChaosBitIdentity(t *testing.T) {
+	sawCrash, sawCorrupt, sawDup, sawDrop := false, false, false, false
+	for seed := uint64(1); seed <= 12; seed++ {
+		rep := runChaos(t, seed, chaosFaults(seed))
+		if rep.Coverage != 1.0 {
+			t.Fatalf("seed %d: coverage %.2f, want 1.0 (collect=%dus retrans=%d)",
+				seed, rep.Coverage, rep.CollectTimeUs, rep.Retransmissions)
+		}
+		if !rep.BitIdentical {
+			t.Fatalf("seed %d: merged sketch not bit-identical at full coverage: %+v", seed, rep)
+		}
+		if rep.CollectTimeUs < 0 {
+			t.Fatalf("seed %d: full coverage but no collect latency", seed)
+		}
+		sawCrash = sawCrash || rep.Crashes > 0
+		sawCorrupt = sawCorrupt || rep.CorruptPayloads > 0
+		sawDup = sawDup || rep.Net.Duplicate > 0
+		sawDrop = sawDrop || rep.Net.Dropped > 0
+		if rep.Crashes != rep.Recoveries {
+			t.Fatalf("seed %d: %d crashes but %d recoveries", seed, rep.Crashes, rep.Recoveries)
+		}
+	}
+	// The matrix must actually exercise every fault class across seeds,
+	// or the bit-identity claim is vacuous.
+	if !sawCrash || !sawCorrupt || !sawDup || !sawDrop {
+		t.Fatalf("fault classes not all exercised: crash=%v corrupt=%v dup=%v drop=%v",
+			sawCrash, sawCorrupt, sawDup, sawDrop)
+	}
+}
+
+// TestChaosDeterminism pins that the same seed replays the same schedule:
+// two full runs produce byte-equal reports.
+func TestChaosDeterminism(t *testing.T) {
+	a := runChaos(t, 5, chaosFaults(5))
+	b := runChaos(t, 5, chaosFaults(5))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestGracefulDegradation pins the partial-answer contract: with one site
+// permanently dead, the coordinator answers from the remaining sites and
+// reports the reduced coverage; the degraded answer equals the sketch of
+// the union of the covered partitions.
+func TestGracefulDegradation(t *testing.T) {
+	const seed = 9
+	st := stream.GNP(walTestN, 0.2, seed)
+	cfg := runtime.ClusterConfig{Sites: 4, BatchSize: 100}
+	cfg.Faults.Seed = seed
+	cl := runtime.NewCluster(cfg, walTestN, connFactory(seed))
+	if err := cl.Ingest(st); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Site 2 dies after ingest and never recovers: its pulls go unanswered.
+	cl.Sites()[2].Crash(0)
+	cl.Collect()
+	sk, cov, err := cl.Coordinator().Query()
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if cov != 0.75 {
+		t.Fatalf("coverage %.2f, want 0.75", cov)
+	}
+	// Reference: the union of the three covered partitions.
+	parts := st.Partition(4, seed)
+	ref := graphsketch.NewConnectivitySketch(walTestN, seed)
+	for i, p := range parts {
+		if i == 2 {
+			continue
+		}
+		ref.UpdateBatch(p.Updates)
+	}
+	if !bytes.Equal(compactOf(t, sk), compactOf(t, ref)) {
+		t.Fatal("degraded answer is not the sketch of the covered partitions")
+	}
+	rep, err := cl.Report(st.Len(), nil)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if rep.Coverage != 0.75 || rep.CollectTimeUs != -1 {
+		t.Fatalf("degraded report wrong: %+v", rep)
+	}
+}
+
+// TestAllPayloadsCorrupted pins that a hostile link (every payload bit-
+// flipped) exhausts retries without panicking or accepting bad state.
+func TestAllPayloadsCorrupted(t *testing.T) {
+	cfg := runtime.ClusterConfig{Sites: 2, BatchSize: 100}
+	cfg.Faults = runtime.FaultPlan{Seed: 3, CorruptProb: 1.0}
+	st := stream.GNP(walTestN, 0.2, 3)
+	cl := runtime.NewCluster(cfg, walTestN, connFactory(3))
+	if err := cl.Ingest(st); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	cl.Collect()
+	sk, cov, err := cl.Coordinator().Query()
+	if err != nil || sk == nil {
+		t.Fatalf("query: %v", err)
+	}
+	if cov != 0 {
+		t.Fatalf("coverage %.2f from fully corrupted link, want 0", cov)
+	}
+	if cl.Coordinator().CorruptPayloads == 0 {
+		t.Fatal("no corrupt payloads counted")
+	}
+}
+
+// TestEpochIdempotence pins that duplicated deliveries are dropped by
+// epoch, not re-merged: heavy duplication still yields bit-identity.
+func TestEpochIdempotence(t *testing.T) {
+	sawStaleOrDup := false
+	for seed := uint64(20); seed < 26; seed++ {
+		cfg := runtime.ClusterConfig{Sites: 3, BatchSize: 100}
+		cfg.Faults = runtime.FaultPlan{Seed: seed, DupProb: 0.9, DelayJitter: 3_000}
+		rep := runChaos(t, seed, cfg)
+		if rep.Coverage != 1.0 || !rep.BitIdentical {
+			t.Fatalf("seed %d: coverage=%.2f identical=%v under duplication", seed, rep.Coverage, rep.BitIdentical)
+		}
+		sawStaleOrDup = sawStaleOrDup || rep.StalePayloads > 0 || rep.Net.Duplicate > 0
+	}
+	if !sawStaleOrDup {
+		t.Fatal("duplication schedule never duplicated anything")
+	}
+}

@@ -1,0 +1,206 @@
+package runtime
+
+import (
+	"fmt"
+
+	"graphsketch/internal/hashing"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
+)
+
+// CrashPlan is a seeded schedule of site process deaths during ingest.
+type CrashPlan struct {
+	Seed uint64
+	// CrashProb is the chance, after each ingested batch, that the site
+	// dies on the spot (losing its in-memory sketch, keeping its WAL).
+	CrashProb float64
+	// TornTailProb is the chance a crash additionally tears the WAL tail
+	// (a partial final record), forcing the driver to re-feed the updates
+	// the torn record covered.
+	TornTailProb float64
+	// MaxTornBytes bounds how many tail bytes a torn write loses.
+	MaxTornBytes int
+}
+
+// ClusterConfig assembles a simulated deployment.
+type ClusterConfig struct {
+	Sites         int
+	BatchSize     int // updates per ingest batch (and WAL record)
+	SnapshotEvery int // updates between site snapshots, 0 = never
+	Faults        FaultPlan
+	Crashes       CrashPlan
+	// RecoveryLatency is the virtual time a site recovery costs: base +
+	// PerUpdate per replayed update (microseconds).
+	RecoveryBase      int64
+	RecoveryPerUpdate int64
+}
+
+// Report is the outcome of one simulated run — the bench rows.
+type Report struct {
+	Sites        int     `json:"sites"`
+	Updates      int     `json:"updates"`
+	Coverage     float64 `json:"coverage"`
+	BitIdentical bool    `json:"bit_identical"`
+
+	Crashes        int   `json:"crashes"`
+	Recoveries     int   `json:"recoveries"`
+	RecoveryTimeUs int64 `json:"recovery_time_us"` // site WAL replays (virtual)
+	CollectTimeUs  int64 `json:"collect_time_us"`  // pull round to full coverage, -1 if degraded
+
+	Retransmissions    int64    `json:"retransmissions"`
+	RetransmittedBytes int64    `json:"retransmitted_bytes"`
+	CorruptPayloads    int64    `json:"corrupt_payloads"`
+	StalePayloads      int64    `json:"stale_payloads"`
+	WalBytes           int64    `json:"wal_bytes"`
+	Net                NetStats `json:"net"`
+}
+
+// Cluster wires sites, a coordinator, and the faulty transport together.
+type Cluster struct {
+	cfg     ClusterConfig
+	factory Factory
+	net     *Network
+	sites   []*Site
+	coord   *Coordinator
+
+	recoveryTimeUs     int64
+	retransmittedBytes int64
+}
+
+// NewCluster builds a deployment: cfg.Sites site workers plus one
+// coordinator, all on one in-process network with cfg.Faults applied.
+func NewCluster(cfg ClusterConfig, n int, factory Factory) *Cluster {
+	if cfg.Sites < 1 {
+		cfg.Sites = 1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1024
+	}
+	if cfg.RecoveryBase <= 0 {
+		cfg.RecoveryBase = 2_000 // 2ms process restart
+	}
+	c := &Cluster{cfg: cfg, factory: factory, net: NewNetwork(cfg.Faults)}
+	ids := make([]string, cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		s := NewSite(fmt.Sprintf("site-%d", i), n, factory)
+		s.SnapshotEvery = cfg.SnapshotEvery
+		c.sites = append(c.sites, s)
+		ids[i] = s.ID
+		c.registerSite(s)
+	}
+	c.coord = NewCoordinator("coord", factory, c.net, ids)
+	return c
+}
+
+// Coordinator exposes the coordinator (for degraded-query tests).
+func (c *Cluster) Coordinator() *Coordinator { return c.coord }
+
+// Sites exposes the site workers.
+func (c *Cluster) Sites() []*Site { return c.sites }
+
+// registerSite installs the site's transport handler: answer pulls with a
+// freshly marshaled, sealed, epoch-stamped payload. Every response after
+// the first is re-shipped state — the retransmitted-bytes bench row.
+func (c *Cluster) registerSite(s *Site) {
+	served := 0
+	c.net.Register(s.ID, func(now int64, m Message) {
+		if m.Kind != "pull" || !s.Alive() {
+			return
+		}
+		payload, epoch, err := s.Payload()
+		if err != nil {
+			return
+		}
+		sealed := wire.Seal(payload)
+		if served > 0 {
+			c.retransmittedBytes += int64(len(sealed))
+		}
+		served++
+		c.net.Send(Message{From: s.ID, To: c.coord.ID, Kind: "payload", Epoch: epoch, Data: sealed})
+	})
+}
+
+// Ingest partitions the stream across the sites and feeds each site its
+// partition in batches, injecting seeded crashes. A crashed site recovers
+// immediately (costing virtual recovery time) and the driver re-feeds
+// whatever the WAL lost — the at-least-once contract a durable ingest
+// queue provides, made exactly-once by the WAL position.
+func (c *Cluster) Ingest(st *stream.Stream) error {
+	parts := st.Partition(len(c.sites), c.cfg.Faults.Seed)
+	rng := hashing.NewRNG(c.cfg.Crashes.Seed ^ 0x1234567deadbeef)
+	for i, s := range c.sites {
+		ups := parts[i].Updates
+		pos := 0
+		for pos < len(ups) {
+			end := pos + c.cfg.BatchSize
+			if end > len(ups) {
+				end = len(ups)
+			}
+			if err := s.Ingest(ups[pos:end]); err != nil {
+				return err
+			}
+			pos = end
+			if c.cfg.Crashes.CrashProb > 0 && rng.Float64() < c.cfg.Crashes.CrashProb {
+				torn := 0
+				if rng.Float64() < c.cfg.Crashes.TornTailProb {
+					max := c.cfg.Crashes.MaxTornBytes
+					if max <= 0 {
+						max = 64
+					}
+					torn = 1 + rng.Intn(max)
+				}
+				s.Crash(torn)
+				recovered, err := s.Recover()
+				if err != nil {
+					return err
+				}
+				c.recoveryTimeUs += c.cfg.RecoveryBase + c.cfg.RecoveryPerUpdate*int64(recovered)
+				// Re-feed what the torn tail lost. WAL replay reports the
+				// durable position, so the overlap is exactly zero.
+				pos = recovered
+			}
+		}
+	}
+	return nil
+}
+
+// Collect runs the pull round over the faulty transport to completion.
+func (c *Cluster) Collect() {
+	c.coord.Collect()
+	c.net.Run(1_000_000)
+}
+
+// Report assembles the run's bench rows. reference, when non-nil, is the
+// canonical compact payload of an uninterrupted single-site run over the
+// same stream; bit-identity is only asserted at coverage 1.0.
+func (c *Cluster) Report(updates int, reference []byte) (Report, error) {
+	sk, cov, err := c.coord.Query()
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		Sites:              len(c.sites),
+		Updates:            updates,
+		Coverage:           cov,
+		CollectTimeUs:      c.coord.CollectLatency(),
+		RecoveryTimeUs:     c.recoveryTimeUs,
+		Retransmissions:    c.coord.Retransmissions,
+		RetransmittedBytes: c.retransmittedBytes,
+		CorruptPayloads:    c.coord.CorruptPayloads,
+		StalePayloads:      c.coord.StalePayloads,
+		Net:                c.net.Stats,
+	}
+	for _, s := range c.sites {
+		r.Crashes += s.Crashes
+		r.Recoveries += s.Recoveries
+		r.WalBytes += int64(s.WAL().Bytes())
+	}
+	if reference != nil && cov == 1.0 {
+		merged, err := sk.MarshalBinaryCompact()
+		if err != nil {
+			return Report{}, err
+		}
+		r.BitIdentical = string(merged) == string(reference)
+	}
+	return r, nil
+}

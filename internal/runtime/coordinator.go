@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsketch/internal/wire"
+)
+
+// Coordinator collects per-site payloads over the faulty transport and
+// answers queries by folding whatever it has into a factory-fresh sketch.
+//
+// Robustness decisions, all downstream of linearity:
+//
+//   - Validated-bytes store: a payload is checksummed (wire.Open) on
+//     arrival and kept as bytes; folding happens at query time into a
+//     fresh sketch. A corrupt payload therefore never touches sketch
+//     state, and the documented partial-fold hazard of MergeBytes can
+//     only ever poison a throwaway query sketch, not the store.
+//   - Epochs: each site versions its payloads; the coordinator keeps the
+//     highest epoch per site and drops duplicates/stale re-sends, making
+//     retransmission idempotent.
+//   - Retry with exponential backoff: a pull that has not produced a
+//     valid payload by its deadline is re-sent with doubled timeout,
+//     up to MaxAttempts.
+//   - Graceful degradation: Query folds the sites it has; Coverage
+//     reports the fraction, so a caller can decide whether a partial
+//     answer is good enough.
+type Coordinator struct {
+	ID      string
+	factory Factory
+	net     *Network
+	sites   []string
+
+	payloads map[string][]byte
+	epochs   map[string]uint64
+	attempts map[string]int
+
+	// RetryTimeout is the first pull's deadline; it doubles per attempt.
+	RetryTimeout int64
+	MaxAttempts  int
+
+	// Retransmissions counts pulls after the first per site (the sites
+	// track the re-shipped bytes themselves).
+	Retransmissions int64
+	CorruptPayloads int64
+	StalePayloads   int64
+
+	// FullCoverageAt is the virtual time the last site's payload landed
+	// (-1 until coverage hits 1.0).
+	FullCoverageAt int64
+	startedAt      int64
+}
+
+// NewCoordinator creates a coordinator pulling from the given sites.
+func NewCoordinator(id string, factory Factory, net *Network, sites []string) *Coordinator {
+	c := &Coordinator{
+		ID:             id,
+		factory:        factory,
+		net:            net,
+		sites:          append([]string(nil), sites...),
+		payloads:       make(map[string][]byte),
+		epochs:         make(map[string]uint64),
+		attempts:       make(map[string]int),
+		RetryTimeout:   20_000, // 20ms virtual
+		MaxAttempts:    10,
+		FullCoverageAt: -1,
+	}
+	net.Register(id, c.onMessage)
+	return c
+}
+
+// Collect starts one pull round: every site is asked for its payload, with
+// per-site retry timers. Call net.Run to drive it.
+func (c *Coordinator) Collect() {
+	c.startedAt = c.net.Now()
+	for _, s := range c.sites {
+		c.pull(s)
+	}
+}
+
+func (c *Coordinator) pull(site string) {
+	c.attempts[site]++
+	attempt := c.attempts[site]
+	if attempt > 1 {
+		c.Retransmissions++
+	}
+	c.net.Send(Message{From: c.ID, To: site, Kind: "pull"})
+	// Exponential backoff: timeout doubles per attempt. The timer always
+	// fires; it re-pulls only if no valid payload has landed by then.
+	timeout := c.RetryTimeout << (attempt - 1)
+	c.net.After(timeout, func(now int64) {
+		if _, ok := c.payloads[site]; ok {
+			return
+		}
+		if c.attempts[site] >= c.MaxAttempts {
+			return
+		}
+		c.pull(site)
+	})
+}
+
+func (c *Coordinator) onMessage(now int64, m Message) {
+	if m.Kind != "payload" {
+		return
+	}
+	payload, _, err := wire.Open(m.Data)
+	if err != nil {
+		// Checksum or framing failure: count it and re-pull immediately —
+		// no backoff wait, the site is clearly alive.
+		c.CorruptPayloads++
+		if _, ok := c.payloads[m.From]; !ok && c.attempts[m.From] < c.MaxAttempts {
+			c.pull(m.From)
+		}
+		return
+	}
+	if have, ok := c.epochs[m.From]; ok && m.Epoch <= have {
+		c.StalePayloads++ // duplicate or out-of-order re-send: idempotent drop
+		return
+	}
+	c.payloads[m.From] = append([]byte(nil), payload...)
+	c.epochs[m.From] = m.Epoch
+	if len(c.payloads) == len(c.sites) && c.FullCoverageAt < 0 {
+		c.FullCoverageAt = now
+	}
+}
+
+// Coverage reports the fraction of sites whose payload has been applied.
+func (c *Coordinator) Coverage() float64 {
+	if len(c.sites) == 0 {
+		return 1
+	}
+	return float64(len(c.payloads)) / float64(len(c.sites))
+}
+
+// CollectLatency returns the virtual time from Collect() to full
+// coverage, or -1 if coverage never reached 1.0.
+func (c *Coordinator) CollectLatency() int64 {
+	if c.FullCoverageAt < 0 {
+		return -1
+	}
+	return c.FullCoverageAt - c.startedAt
+}
+
+// Query folds the available payloads (in deterministic site order) into a
+// fresh sketch and returns it with the coverage fraction. With coverage
+// 1.0 the result is bit-identical to a single sketch fed the whole
+// stream, by linearity; with less it is an exact sketch of the union of
+// the covered partitions.
+func (c *Coordinator) Query() (Sketch, float64, error) {
+	sk := c.factory()
+	ids := make([]string, 0, len(c.payloads))
+	for id := range c.payloads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := sk.MergeBytes(c.payloads[id]); err != nil {
+			// A validated payload failing to fold means parameter drift
+			// between factory and site — a deployment bug, surfaced.
+			return nil, 0, fmt.Errorf("coordinator: fold %s: %w", id, err)
+		}
+	}
+	return sk, c.Coverage(), nil
+}

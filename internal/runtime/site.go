@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"fmt"
+
+	"graphsketch/internal/stream"
+)
+
+// Site is one stream-partition worker. Its in-memory sketch is volatile;
+// its WAL is durable. Crash() models a process death (memory wiped, WAL
+// kept, possibly with a torn tail); Recover() rebuilds the sketch from
+// durable state and by linearity lands bit-identical to the lost one.
+type Site struct {
+	ID      string
+	factory Factory
+	sk      Sketch
+	wal     *WAL
+	applied int // updates reflected in the in-memory sketch
+	epoch   uint64
+	alive   bool
+
+	// pending holds the updates not yet re-applied after a torn-tail
+	// crash: the tail of the partition from the recovered position on.
+	partition []stream.Update
+
+	// SnapshotEvery triggers a WAL snapshot after that many appended
+	// updates (0 disables); CompactEvery triggers log compaction.
+	SnapshotEvery int
+	sinceSnap     int
+
+	Crashes    int
+	Recoveries int
+}
+
+// NewSite creates a live site with an empty sketch and WAL.
+func NewSite(id string, n int, factory Factory) *Site {
+	return &Site{
+		ID:      id,
+		factory: factory,
+		sk:      factory(),
+		wal:     NewWAL(n),
+		alive:   true,
+	}
+}
+
+// Alive reports whether the site currently holds a live sketch.
+func (s *Site) Alive() bool { return s.alive }
+
+// Applied reports how many updates the in-memory sketch reflects.
+func (s *Site) Applied() int { return s.applied }
+
+// WAL exposes the durable state (tests tear its tail).
+func (s *Site) WAL() *WAL { return s.wal }
+
+// Ingest appends one batch to the WAL, then applies it to the sketch —
+// WAL-first, so a crash between the two loses nothing.
+func (s *Site) Ingest(batch []stream.Update) error {
+	if !s.alive {
+		return fmt.Errorf("site %s: ingest while crashed", s.ID)
+	}
+	s.wal.Append(batch)
+	s.sk.UpdateBatch(batch)
+	s.applied += len(batch)
+	s.sinceSnap += len(batch)
+	if s.SnapshotEvery > 0 && s.sinceSnap >= s.SnapshotEvery {
+		if err := s.wal.Snapshot(s.sk); err != nil {
+			return fmt.Errorf("site %s: snapshot: %w", s.ID, err)
+		}
+		s.sinceSnap = 0
+	}
+	return nil
+}
+
+// Crash wipes the site's volatile state. tornBytes > 0 additionally
+// truncates the WAL tail, modeling a crash mid-append.
+func (s *Site) Crash(tornBytes int) {
+	s.sk = nil
+	s.applied = 0
+	s.alive = false
+	s.Crashes++
+	if tornBytes > 0 {
+		s.wal.TearTail(tornBytes)
+	}
+}
+
+// Recover rebuilds the sketch from the WAL. Returns how many updates the
+// recovered sketch reflects — less than before the crash if the tail was
+// torn; the cluster driver re-feeds the site its partition from that
+// position (idempotent by construction, not by luck: the WAL position
+// says exactly which prefix is already inside the sketch).
+func (s *Site) Recover() (int, error) {
+	sk, n, err := s.wal.Recover(s.factory)
+	if err != nil {
+		return 0, fmt.Errorf("site %s: %w", s.ID, err)
+	}
+	s.sk = sk
+	s.applied = n
+	s.alive = true
+	s.sinceSnap = 0
+	s.Recoveries++
+	return n, nil
+}
+
+// Payload marshals the current sketch compactly and bumps the payload
+// epoch. The bytes are NOT yet enveloped; the caller seals them so the
+// envelope can be applied per transmission.
+func (s *Site) Payload() (data []byte, epoch uint64, err error) {
+	if !s.alive {
+		return nil, 0, fmt.Errorf("site %s: payload while crashed", s.ID)
+	}
+	data, err = s.sk.MarshalBinaryCompact()
+	if err != nil {
+		return nil, 0, fmt.Errorf("site %s: marshal: %w", s.ID, err)
+	}
+	s.epoch++
+	return data, s.epoch, nil
+}

@@ -1,0 +1,162 @@
+package runtime
+
+import (
+	"container/heap"
+
+	"graphsketch/internal/hashing"
+)
+
+// The in-process transport: a single-threaded virtual-time event loop.
+// Nodes register handlers, sends become delivery events after a simulated
+// latency, and a seeded fault plan perturbs each send (drop, duplicate,
+// corrupt, delay) with decisions consumed in deterministic event order —
+// the same seed always yields the same schedule, which is what lets the
+// chaos tests pin exact outcomes and run cleanly under -race.
+
+// Message is one transport datagram.
+type Message struct {
+	From, To string
+	// Kind routes the message inside a node's handler ("pull", "payload").
+	Kind string
+	// Epoch versions payloads for idempotent re-merge: the coordinator
+	// ignores a payload whose epoch it has already applied for that site,
+	// which makes duplicated or re-sent messages harmless.
+	Epoch uint64
+	Data  []byte
+}
+
+// FaultPlan is a seeded schedule of transport faults. Probabilities are
+// per send; a duplicated message is delivered twice with independent
+// delays (which also reorders), and a corrupted one has a single bit
+// flipped somewhere in its payload.
+type FaultPlan struct {
+	Seed        uint64
+	DropProb    float64
+	DupProb     float64
+	CorruptProb float64
+	// DelayBase is the minimum one-way latency; DelayJitter the extra
+	// uniform jitter on top (virtual microseconds). Jitter is what makes
+	// reordering possible even without duplication.
+	DelayBase   int64
+	DelayJitter int64
+}
+
+// NetStats counts transport-level activity for the bench rows.
+type NetStats struct {
+	Messages  int64 `json:"messages"`
+	Bytes     int64 `json:"bytes"`
+	Dropped   int64 `json:"dropped"`
+	Duplicate int64 `json:"duplicated"`
+	Corrupted int64 `json:"corrupted"`
+}
+
+type event struct {
+	at  int64
+	seq uint64 // tiebreak so equal-time events fire in schedule order
+	fn  func(now int64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	return h[i].at < h[j].at || (h[i].at == h[j].at && h[i].seq < h[j].seq)
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event        { return h[0] }
+func (h *eventHeap) PushEvent(e event) { heap.Push(h, e) }
+
+// Network is the deterministic in-process transport.
+type Network struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	nodes  map[string]func(now int64, m Message)
+	rng    *hashing.RNG
+	plan   FaultPlan
+	Stats  NetStats
+}
+
+// NewNetwork creates a transport applying the given fault plan.
+func NewNetwork(plan FaultPlan) *Network {
+	if plan.DelayBase <= 0 {
+		plan.DelayBase = 500 // 0.5ms default one-way latency
+	}
+	return &Network{
+		nodes: make(map[string]func(int64, Message)),
+		rng:   hashing.NewRNG(plan.Seed ^ 0x9e3779b97f4a7c15),
+		plan:  plan,
+	}
+}
+
+// Register installs a node's message handler.
+func (n *Network) Register(id string, h func(now int64, m Message)) { n.nodes[id] = h }
+
+// Now returns the current virtual time (microseconds).
+func (n *Network) Now() int64 { return n.now }
+
+// After schedules fn at now+d.
+func (n *Network) After(d int64, fn func(now int64)) {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	n.events.PushEvent(event{at: n.now + d, seq: n.seq, fn: fn})
+}
+
+// delay draws one one-way latency from the plan.
+func (n *Network) delay() int64 {
+	d := n.plan.DelayBase
+	if n.plan.DelayJitter > 0 {
+		d += int64(n.rng.Intn(int(n.plan.DelayJitter)))
+	}
+	return d
+}
+
+// Send routes one message through the fault plan. The payload slice is
+// cloned before any corruption so senders can retain their buffers.
+func (n *Network) Send(m Message) {
+	n.Stats.Messages++
+	n.Stats.Bytes += int64(len(m.Data))
+	if n.rng.Float64() < n.plan.DropProb {
+		n.Stats.Dropped++
+		return
+	}
+	deliveries := 1
+	if n.rng.Float64() < n.plan.DupProb {
+		n.Stats.Duplicate++
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		dm := m
+		if len(m.Data) > 0 {
+			dm.Data = append([]byte(nil), m.Data...)
+			if n.rng.Float64() < n.plan.CorruptProb {
+				n.Stats.Corrupted++
+				bit := n.rng.Intn(len(dm.Data) * 8)
+				dm.Data[bit/8] ^= 1 << (bit % 8)
+			}
+		}
+		n.After(n.delay(), func(now int64) {
+			if h, ok := n.nodes[dm.To]; ok {
+				h(now, dm)
+			}
+		})
+	}
+}
+
+// Run drains the event loop, advancing virtual time, until no events
+// remain or the step limit trips (a backstop against retry livelock in a
+// misconfigured plan). Returns the final virtual time.
+func (n *Network) Run(maxSteps int) int64 {
+	for steps := 0; n.events.Len() > 0 && steps < maxSteps; steps++ {
+		e := heap.Pop(&n.events).(event)
+		if e.at > n.now {
+			n.now = e.at
+		}
+		e.fn(n.now)
+	}
+	return n.now
+}

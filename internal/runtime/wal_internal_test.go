@@ -1,0 +1,27 @@
+package runtime
+
+import (
+	"testing"
+
+	"graphsketch/internal/stream"
+)
+
+// FuzzDecodeBatch pins that WAL record decoding never panics and never
+// fabricates updates from unframed bytes.
+func FuzzDecodeBatch(f *testing.F) {
+	w := NewWAL(16)
+	w.Append([]stream.Update{{U: 1, V: 2, Delta: 1}, {U: 3, V: 4, Delta: -1}})
+	f.Add(w.log)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ups, rest, ok := decodeBatch(data)
+		if !ok {
+			return
+		}
+		// A valid frame must fully consume its declared payload.
+		if len(ups)+len(rest) > len(data) {
+			t.Fatalf("decode fabricated data: %d updates + %d rest from %d bytes", len(ups), len(rest), len(data))
+		}
+	})
+}

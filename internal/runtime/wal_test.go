@@ -1,0 +1,161 @@
+package runtime_test
+
+import (
+	"bytes"
+	"testing"
+
+	"graphsketch"
+	"graphsketch/internal/runtime"
+	"graphsketch/internal/stream"
+)
+
+const walTestN = 48
+
+func connFactory(seed uint64) runtime.Factory {
+	return func() runtime.Sketch { return graphsketch.NewConnectivitySketch(walTestN, seed) }
+}
+
+// compactOf marshals a sketch's canonical compact payload or fails.
+func compactOf(t *testing.T, sk runtime.Sketch) []byte {
+	t.Helper()
+	b, err := sk.MarshalBinaryCompact()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// testStream builds a deletion-heavy stream (churn exercises cancellation
+// through the WAL path).
+func testStream(seed uint64) *stream.Stream {
+	return stream.GNP(walTestN, 0.15, seed).WithChurn(400, seed^1)
+}
+
+// TestRecoveryBitIdentity is the core WAL property: for random crash
+// points (with and without torn tails and snapshots), crash + recover +
+// re-feed yields a sketch bit-identical to the uninterrupted run.
+func TestRecoveryBitIdentity(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		st := testStream(seed)
+		ref := graphsketch.NewConnectivitySketch(walTestN, seed)
+		ref.UpdateBatch(st.Updates)
+		want := compactOf(t, ref)
+
+		for _, cfg := range []struct {
+			name      string
+			snapEvery int
+			crashAt   int // batch index to crash after
+			torn      int // WAL tail bytes lost in the crash
+		}{
+			{"no-snapshot", 0, 3, 0},
+			{"no-snapshot-torn", 0, 3, 17},
+			{"snapshots", 150, 5, 0},
+			{"snapshots-torn", 150, 5, 23},
+			{"crash-at-start", 0, 0, 9999},
+		} {
+			s := runtime.NewSite("s", walTestN, connFactory(seed))
+			s.SnapshotEvery = cfg.snapEvery
+			batch := 100
+			pos, bi := 0, 0
+			for pos < len(st.Updates) {
+				end := min(pos+batch, len(st.Updates))
+				if err := s.Ingest(st.Updates[pos:end]); err != nil {
+					t.Fatalf("%s: ingest: %v", cfg.name, err)
+				}
+				pos = end
+				if bi == cfg.crashAt {
+					s.Crash(cfg.torn)
+					recovered, err := s.Recover()
+					if err != nil {
+						t.Fatalf("%s: recover: %v", cfg.name, err)
+					}
+					if recovered > pos {
+						t.Fatalf("%s: recovered %d > fed %d", cfg.name, recovered, pos)
+					}
+					pos = recovered // re-feed what the torn tail lost
+				}
+				bi++
+			}
+			got, _, err := s.Payload()
+			if err != nil {
+				t.Fatalf("%s: payload: %v", cfg.name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d %s: recovered sketch not bit-identical", seed, cfg.name)
+			}
+		}
+	}
+}
+
+// TestCompactBitNeutral pins that WAL compaction (stream.Coalesce) does
+// not change what recovery produces.
+func TestCompactBitNeutral(t *testing.T) {
+	st := testStream(42)
+	w := runtime.NewWAL(walTestN)
+	for pos := 0; pos < len(st.Updates); pos += 128 {
+		w.Append(st.Updates[pos:min(pos+128, len(st.Updates))])
+	}
+	plain, nPlain, err := w.Recover(connFactory(42))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	sizeBefore := w.Bytes()
+	w.Compact()
+	compacted, nCompact, err := w.Recover(connFactory(42))
+	if err != nil {
+		t.Fatalf("recover after compact: %v", err)
+	}
+	if !bytes.Equal(compactOf(t, plain), compactOf(t, compacted)) {
+		t.Fatal("compaction changed the recovered sketch")
+	}
+	if w.Bytes() >= sizeBefore {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", sizeBefore, w.Bytes())
+	}
+	if nCompact > nPlain {
+		t.Fatalf("compacted replay count %d > plain %d", nCompact, nPlain)
+	}
+}
+
+// TestTornTailTolerated pins that any truncation of the log is treated as
+// end-of-log: recovery never errors and never replays more than was fed.
+func TestTornTailTolerated(t *testing.T) {
+	st := testStream(7)
+	for _, torn := range []int{1, 3, 7, 8, 9, 40, 1000, 1 << 20} {
+		w := runtime.NewWAL(walTestN)
+		for pos := 0; pos < len(st.Updates); pos += 256 {
+			w.Append(st.Updates[pos:min(pos+256, len(st.Updates))])
+		}
+		w.TearTail(torn)
+		sk, n, err := w.Recover(connFactory(7))
+		if err != nil {
+			t.Fatalf("torn=%d: recover: %v", torn, err)
+		}
+		if sk == nil || n > len(st.Updates) {
+			t.Fatalf("torn=%d: bad recovery (n=%d)", torn, n)
+		}
+	}
+}
+
+// TestSnapshotDropsLog pins that snapshotting bounds durable bytes: after
+// a snapshot the log restarts empty but recovery still sees everything.
+func TestSnapshotDropsLog(t *testing.T) {
+	st := testStream(11)
+	s := runtime.NewSite("s", walTestN, connFactory(11))
+	s.SnapshotEvery = 200
+	if err := s.Ingest(st.Updates); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	ref := graphsketch.NewConnectivitySketch(walTestN, 11)
+	ref.UpdateBatch(st.Updates)
+	s.Crash(0)
+	if _, err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	got, _, err := s.Payload()
+	if err != nil {
+		t.Fatalf("payload: %v", err)
+	}
+	if !bytes.Equal(got, compactOf(t, ref)) {
+		t.Fatal("snapshot+log recovery not bit-identical")
+	}
+}

@@ -191,6 +191,11 @@ func (a *Arena) MergeStateDense(data []byte) ([]byte, error) {
 // in that format. FormatDense writes the AGM2 nested payload; FormatCompact
 // writes the run-length encoding of the exact-level cells, whose size is
 // proportional to the non-zero state rather than the arena capacity.
+//
+// format must be a known tag: every exported marshal boundary validates
+// caller-supplied format bytes with wire.ValidFormat and returns an error,
+// so reaching the default branch here is a programmer error inside the
+// library, not an input condition.
 func (a *Arena) AppendStateTagged(buf []byte, format byte) []byte {
 	buf = append(buf, format)
 	switch format {
@@ -202,7 +207,7 @@ func (a *Arena) AppendStateTagged(buf []byte, format byte) []byte {
 			return c.w, c.s, c.f
 		})
 	default:
-		panic(fmt.Sprintf("sketchcore: unknown wire format %d", format))
+		panic(fmt.Sprintf("sketchcore: unknown wire format %d (unvalidated caller)", format))
 	}
 }
 

@@ -32,7 +32,9 @@ func (s *Sketch) cellAt(i int) (int64, int64, uint64) {
 
 // AppendCells appends one tagged encoding of the sketch's cell state
 // (headerless — the envelope, or a parent sketch like l0norm, carries the
-// construction parameters).
+// construction parameters). format must be pre-validated with
+// wire.ValidFormat at the exported marshal boundary; the default branch is
+// a programmer-error assertion, not an input condition.
 func (s *Sketch) AppendCells(buf []byte, format byte) []byte {
 	n := s.rows * s.m
 	buf = append(buf, format)
@@ -170,6 +172,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if k < 1 || k > 1<<20 || rows < 1 || rows > 64 || m < 1 || m > 1<<24 {
 		return fmt.Errorf("%w: implausible shape k=%d rows=%d m=%d", ErrBadEncoding, k, rows, m)
 	}
+	wantRows, wantM := tableShape(k)
+	if err := wire.CheckCellBudget(int64(wantRows), int64(wantM)); err != nil {
+		return fmt.Errorf("%w: declared shape exceeds decode budget", ErrBadEncoding)
+	}
 	fresh := New(k, seed)
 	if fresh.rows != rows || fresh.m != m {
 		return fmt.Errorf("%w: shape mismatch for k=%d", ErrBadEncoding, k)
@@ -205,7 +211,8 @@ func (b *Bank) bankCellAt(i int) (int64, int64, uint64) {
 }
 
 // AppendStateTagged appends one tagged encoding of the bank's cell state
-// (headerless; the owning sketch's envelope carries n, k, seed).
+// (headerless; the owning sketch's envelope carries n, k, seed). As with
+// AppendCells, format must be pre-validated at the exported boundary.
 func (b *Bank) AppendStateTagged(buf []byte, format byte) []byte {
 	buf = append(buf, format)
 	switch format {

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Checksummed envelope: the integrity layer every payload crosses before a
+// decoder sees it. Sketch payloads ship between processes (site ->
+// coordinator, WAL -> recovery, snapshot -> restore) and a flipped bit in
+// transit must surface as ErrBadEncoding at the envelope boundary, never as
+// a misdecoded sketch or a panic deep inside a cell codec. The envelope is
+// versioned so future layouts can dispatch on the version byte.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "GSE1"
+//	version byte     1
+//	length  u32      payload byte count
+//	crc     u32      CRC32C (Castagnoli) of the payload
+//	payload [length]byte
+//
+// CRC32C is used (rather than CRC32/IEEE) for its better burst-error
+// detection and hardware support; both are in the standard library.
+
+// envelopeMagic brands sealed payloads so foreign bytes fail fast.
+var envelopeMagic = [4]byte{'G', 'S', 'E', '1'}
+
+// EnvelopeVersion is the current envelope layout version.
+const EnvelopeVersion byte = 1
+
+// EnvelopeOverhead is the fixed byte cost Seal adds around a payload.
+const EnvelopeOverhead = 4 + 1 + 4 + 4
+
+// crcTable is the Castagnoli polynomial table shared by Seal and Open.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data — exported so WAL framing can reuse
+// the same polynomial without a second table.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// AppendSealed appends the sealed envelope for payload to buf.
+func AppendSealed(buf, payload []byte) []byte {
+	buf = append(buf, envelopeMagic[:]...)
+	buf = append(buf, EnvelopeVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, Checksum(payload))
+	return append(buf, payload...)
+}
+
+// Seal wraps payload in a fresh envelope.
+func Seal(payload []byte) []byte {
+	return AppendSealed(make([]byte, 0, EnvelopeOverhead+len(payload)), payload)
+}
+
+// Open validates one envelope at the front of data and returns its payload
+// (aliasing data, not a copy) plus the bytes after the envelope. Any
+// truncation, unknown magic/version, length overrun, or checksum mismatch
+// returns ErrBadEncoding.
+func Open(data []byte) (payload, rest []byte, err error) {
+	if len(data) < EnvelopeOverhead {
+		return nil, nil, ErrBadEncoding
+	}
+	if [4]byte(data[:4]) != envelopeMagic || data[4] != EnvelopeVersion {
+		return nil, nil, ErrBadEncoding
+	}
+	n := binary.LittleEndian.Uint32(data[5:9])
+	crc := binary.LittleEndian.Uint32(data[9:13])
+	body := data[EnvelopeOverhead:]
+	if uint64(n) > uint64(len(body)) {
+		return nil, nil, ErrBadEncoding
+	}
+	payload = body[:n]
+	if Checksum(payload) != crc {
+		return nil, nil, ErrBadEncoding
+	}
+	return payload, body[n:], nil
+}

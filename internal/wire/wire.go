@@ -39,6 +39,53 @@ const (
 // cell-state bytes.
 var ErrBadEncoding = errors.New("wire: bad encoding")
 
+// ValidFormat reports whether b names a known cell-state format tag.
+// Exported marshal entry points validate caller-supplied format bytes here
+// and return an error, keeping panics for the internal (programmer-error)
+// dispatch paths only.
+func ValidFormat(b byte) bool { return b == FormatDense || b == FormatCompact }
+
+// decodeCellBudget caps the total number of recovery cells any single
+// decode is allowed to materialize from header-declared dimensions. A
+// corrupted (or hostile) header can otherwise declare plausible-looking
+// per-field values whose product allocates tens of GiB before the first
+// payload byte is validated — compact payloads for near-empty sketches are
+// legitimately tiny, so payload length alone cannot bound the allocation.
+// The default (2^30 cells, ~24 GiB dense) admits every shape the library
+// constructs in practice while refusing absurd products; servers decoding
+// payloads from untrusted peers should lower it to their real ceiling.
+var decodeCellBudget int64 = 1 << 30
+
+// DecodeCellBudget returns the current decode cell budget.
+func DecodeCellBudget() int64 { return decodeCellBudget }
+
+// SetDecodeCellBudget replaces the decode cell budget, returning the
+// previous value. Intended for tests (fuzz harnesses shrink it so corrupt
+// headers fail fast instead of thrashing the allocator) and for servers
+// decoding untrusted payloads. Not safe for concurrent use with decoders.
+func SetDecodeCellBudget(v int64) int64 {
+	prev := decodeCellBudget
+	decodeCellBudget = v
+	return prev
+}
+
+// CheckCellBudget validates that the product of the given header-declared
+// dimensions stays within the decode cell budget, without overflowing.
+// Non-positive dimensions are rejected outright.
+func CheckCellBudget(dims ...int64) error {
+	prod := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return ErrBadEncoding
+		}
+		if prod > decodeCellBudget/d {
+			return ErrBadEncoding
+		}
+		prod *= d
+	}
+	return nil
+}
+
 // Zigzag maps a signed value to an unsigned one with small magnitudes
 // staying small (the usual protobuf transform).
 func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
@@ -162,9 +209,12 @@ func AppendDenseCells(buf []byte, n int, get func(i int) (w, s int64, f uint64))
 }
 
 // DecodeDenseCells reads n cells written by AppendDenseCells, calling set
-// for every cell, and returns the remaining bytes.
+// for every cell, and returns the remaining bytes. The cell count is
+// validated against the remaining payload BEFORE any work (overflow-safe:
+// n*24 is never formed), so a corrupted length field fails with
+// ErrBadEncoding instead of driving a huge read.
 func DecodeDenseCells(data []byte, n int, set func(i int, w, s int64, f uint64)) ([]byte, error) {
-	if len(data) < n*24 {
+	if n < 0 || n > len(data)/24 {
 		return nil, ErrBadEncoding
 	}
 	for i := 0; i < n; i++ {
@@ -245,6 +295,9 @@ func (rs *RunsSizer) Size() int {
 // reported: decoders into fresh state rely on it already being zero, and
 // merge folds rely on adding nothing. Returns the remaining bytes.
 func DecodeRuns(data []byte, n int, set func(i int, w, s int64, f uint64)) ([]byte, error) {
+	if n < 0 {
+		return nil, ErrBadEncoding
+	}
 	got, data, err := Uvarint(data)
 	if err != nil {
 		return nil, err
@@ -272,6 +325,13 @@ func DecodeRuns(data []byte, n int, set func(i int, w, s int64, f uint64)) ([]by
 		}
 		data = rest
 		if lit == 0 || lit > uint64(n-i) {
+			return nil, ErrBadEncoding
+		}
+		// A literal cell is at least 10 bytes (two 1-byte varints + the
+		// 8-byte fingerprint): a literal-run count the remaining payload
+		// cannot possibly back is corrupt, caught here instead of after
+		// lit callback-driven decode iterations.
+		if lit > uint64(len(data)/10)+1 {
 			return nil, ErrBadEncoding
 		}
 		for j := 0; j < int(lit); j++ {

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleCells(n int) []struct {
+	w, s int64
+	f    uint64
+} {
+	cells := make([]struct {
+		w, s int64
+		f    uint64
+	}, n)
+	for i := range cells {
+		if i%3 == 0 {
+			continue // leave zero runs for the compact encoder
+		}
+		cells[i].w = int64(i) - 7
+		cells[i].s = int64(i) * 1001
+		cells[i].f = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	return cells
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 300)}
+	for _, p := range payloads {
+		sealed := Seal(p)
+		if len(sealed) != EnvelopeOverhead+len(p) {
+			t.Fatalf("sealed size %d want %d", len(sealed), EnvelopeOverhead+len(p))
+		}
+		got, rest, err := Open(sealed)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, p) || len(rest) != 0 {
+			t.Fatalf("payload mismatch: got %x want %x (rest %d)", got, p, len(rest))
+		}
+	}
+	// Two envelopes back to back: Open peels one at a time.
+	sealed := AppendSealed(Seal([]byte("one")), []byte("two"))
+	p1, rest, err := Open(sealed)
+	if err != nil || string(p1) != "one" {
+		t.Fatalf("first envelope: %q %v", p1, err)
+	}
+	p2, rest, err := Open(rest)
+	if err != nil || string(p2) != "two" || len(rest) != 0 {
+		t.Fatalf("second envelope: %q %v rest=%d", p2, err, len(rest))
+	}
+}
+
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	sealed := Seal([]byte("the payload under test"))
+	// Truncations at every prefix length must error, never panic.
+	for n := 0; n < len(sealed); n++ {
+		if _, _, err := Open(sealed[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes: want error", n)
+		}
+	}
+	// Single bit flips anywhere in the envelope must error.
+	for i := 0; i < len(sealed); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(sealed)
+			mut[i] ^= 1 << bit
+			if _, _, err := Open(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d: want error", i, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeDenseCellsBounds(t *testing.T) {
+	cells := sampleCells(16)
+	buf := AppendDenseCells(nil, len(cells), func(i int) (int64, int64, uint64) {
+		return cells[i].w, cells[i].s, cells[i].f
+	})
+	if _, err := DecodeDenseCells(buf, -1, nil); err == nil {
+		t.Fatal("negative n: want error")
+	}
+	if _, err := DecodeDenseCells(buf, len(cells)+1, nil); err == nil {
+		t.Fatal("n beyond payload: want error")
+	}
+	// A count that would overflow n*24 must be caught, not wrap around.
+	if _, err := DecodeDenseCells(buf, int(^uint(0)>>1)/8, nil); err == nil {
+		t.Fatal("overflowing n: want error")
+	}
+	got := 0
+	rest, err := DecodeDenseCells(buf, len(cells), func(i int, w, s int64, f uint64) {
+		if w != cells[i].w || s != cells[i].s || f != cells[i].f {
+			t.Fatalf("cell %d mismatch", i)
+		}
+		got++
+	})
+	if err != nil || len(rest) != 0 || got != len(cells) {
+		t.Fatalf("dense round trip: err=%v rest=%d got=%d", err, len(rest), got)
+	}
+}
+
+func TestDecodeRunsBounds(t *testing.T) {
+	cells := sampleCells(64)
+	buf := AppendRuns(nil, len(cells), func(i int) (int64, int64, uint64) {
+		return cells[i].w, cells[i].s, cells[i].f
+	})
+	if _, err := DecodeRuns(buf, -1, nil); err == nil {
+		t.Fatal("negative n: want error")
+	}
+	if _, err := DecodeRuns(buf, len(cells)+1, nil); err == nil {
+		t.Fatal("wrong n: want error")
+	}
+	// A literal-run count far beyond what the remaining bytes can back
+	// must be rejected before the decode loop runs.
+	crafted := AppendUvarint(nil, 1<<20) // declared cell count
+	crafted = AppendUvarint(crafted, 0)  // zero run of 0
+	crafted = AppendUvarint(crafted, 1<<20)
+	if _, err := DecodeRuns(crafted, 1<<20, func(i int, w, s int64, f uint64) {}); err == nil {
+		t.Fatal("unbacked literal run: want error")
+	}
+	decoded := make([]struct {
+		w, s int64
+		f    uint64
+	}, len(cells))
+	rest, err := DecodeRuns(buf, len(cells), func(i int, w, s int64, f uint64) {
+		decoded[i].w, decoded[i].s, decoded[i].f = w, s, f
+	})
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("compact round trip: err=%v rest=%d", err, len(rest))
+	}
+	for i := range cells {
+		if decoded[i] != cells[i] {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+}
+
+func TestCellBudget(t *testing.T) {
+	prev := SetDecodeCellBudget(1000)
+	defer SetDecodeCellBudget(prev)
+	if err := CheckCellBudget(10, 10, 10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := CheckCellBudget(10, 101); err == nil {
+		t.Fatal("over budget: want error")
+	}
+	if err := CheckCellBudget(0); err == nil {
+		t.Fatal("zero dim: want error")
+	}
+	if err := CheckCellBudget(-4, 2); err == nil {
+		t.Fatal("negative dim: want error")
+	}
+	// Products that overflow int64 must be rejected, not wrapped.
+	if err := CheckCellBudget(1<<40, 1<<40); err == nil {
+		t.Fatal("overflowing product: want error")
+	}
+}
+
+func TestValidFormat(t *testing.T) {
+	if !ValidFormat(FormatDense) || !ValidFormat(FormatCompact) {
+		t.Fatal("known formats rejected")
+	}
+	if ValidFormat(2) || ValidFormat(0xFF) {
+		t.Fatal("unknown formats accepted")
+	}
+}
+
+// FuzzOpen pins that envelope validation never panics and that valid
+// envelopes round-trip.
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Seal(nil))
+	f.Add(Seal([]byte("seed payload")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, _, err := Open(data)
+		if err == nil {
+			resealed := Seal(payload)
+			if re, _, err2 := Open(resealed); err2 != nil || !bytes.Equal(re, payload) {
+				t.Fatalf("reseal round trip failed: %v", err2)
+			}
+		}
+		// Sealing arbitrary bytes always opens cleanly.
+		if got, _, err := Open(Seal(data)); err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("Seal/Open identity failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeRuns pins that the compact cell decoder never panics and never
+// reports more cells than declared, whatever the input bytes.
+func FuzzDecodeRuns(f *testing.F) {
+	cells := sampleCells(32)
+	f.Add(AppendRuns(nil, len(cells), func(i int) (int64, int64, uint64) {
+		return cells[i].w, cells[i].s, cells[i].f
+	}), 32)
+	f.Add([]byte{0x00}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		seen := 0
+		_, err := DecodeRuns(data, n, func(i int, w, s int64, f uint64) {
+			if i < 0 || i >= n {
+				t.Fatalf("cell index %d out of [0,%d)", i, n)
+			}
+			seen++
+		})
+		if err == nil && seen > n {
+			t.Fatalf("decoded %d cells, declared %d", seen, n)
+		}
+	})
+}

@@ -1,8 +1,11 @@
 package graphsketch
 
 import (
+	"encoding/binary"
+	"errors"
 	"testing"
 
+	"graphsketch/internal/agm"
 	"graphsketch/internal/l0"
 	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/sparserec"
@@ -107,4 +110,82 @@ func TestIncompatibleMergePanicMessages(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) { mustPanic(t, tc.want, tc.run) })
 	}
+}
+
+// TestWireErrorSurface pins the other side of the convention: everything
+// reachable through wire bytes — truncation, corruption, parameter
+// mismatch, unknown format tags, absurd header dimensions — is an ERROR
+// satisfying errors.Is(err, ErrBadEncoding), never a panic. Panics are
+// reserved for in-process programmer errors (the table above); bytes are
+// input.
+func TestWireErrorSurface(t *testing.T) {
+	sk := NewConnectivitySketch(32, 7)
+	sk.Update(1, 2, 1)
+	sk.Update(3, 4, 1)
+	payload, err := sk.MarshalBinaryCompact()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	mustBad := func(t *testing.T, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("want error, got nil")
+		}
+		if !errors.Is(err, ErrBadEncoding) {
+			t.Fatalf("error %v does not wrap ErrBadEncoding", err)
+		}
+	}
+
+	t.Run("unmarshal truncated", func(t *testing.T) {
+		for _, n := range []int{0, 3, 27, 28, len(payload) / 2, len(payload) - 1} {
+			var got ConnectivitySketch
+			mustBad(t, got.UnmarshalBinary(payload[:n]))
+		}
+	})
+	t.Run("unmarshal bit flips", func(t *testing.T) {
+		// Flip one bit in each region: magic, header fields, body.
+		for _, pos := range []int{0, 5, 21, 30, len(payload) - 1} {
+			mut := append([]byte(nil), payload...)
+			mut[pos] ^= 0x10
+			var got ConnectivitySketch
+			if err := got.UnmarshalBinary(mut); err != nil {
+				mustBad(t, err)
+			}
+			// Some body flips decode (the compact codec has no whole-payload
+			// checksum — transport integrity is the envelope layer's job);
+			// what is pinned here is that nothing panics.
+		}
+	})
+	t.Run("merge parameter mismatch", func(t *testing.T) {
+		other := NewConnectivitySketch(64, 7) // wrong n
+		mustBad(t, other.MergeBytes(payload))
+		reseeded := NewConnectivitySketch(32, 8) // wrong seed
+		mustBad(t, reseeded.MergeBytes(payload))
+	})
+	t.Run("merge uninitialized", func(t *testing.T) {
+		var zero ConnectivitySketch
+		if err := zero.MergeBytes(payload); err == nil {
+			t.Fatal("zero-value MergeBytes must error")
+		}
+	})
+	t.Run("unknown format tag", func(t *testing.T) {
+		if _, err := agm.NewForestSketch(16, 1).MarshalBinaryFormat(7); !errors.Is(err, agm.ErrBadEncoding) {
+			t.Fatalf("MarshalBinaryFormat(7) = %v, want ErrBadEncoding", err)
+		}
+		// A payload whose per-bank tag byte is unknown must error on decode.
+		mut := append([]byte(nil), payload...)
+		mut[28] = 0xEE // first bank's format tag (after the 28-byte header)
+		var got ConnectivitySketch
+		mustBad(t, got.UnmarshalBinary(mut))
+	})
+	t.Run("oversized header rejected before allocation", func(t *testing.T) {
+		// Patch the header to declare n = 2^24 (plausible per-field, an
+		// ~0.5 TiB sketch in aggregate): the decode-cell budget must
+		// refuse it without constructing anything.
+		mut := append([]byte(nil), payload...)
+		binary.LittleEndian.PutUint64(mut[4:], 1<<24)
+		var got ConnectivitySketch
+		mustBad(t, got.UnmarshalBinary(mut))
+	})
 }
