@@ -14,7 +14,12 @@
 //	                          scaling) and emit machine-readable JSON
 //	gsketch sim [flags]       run the fault-injection failure matrix
 //	                          (message loss, corruption, site crashes) and
-//	                          emit per-scenario recovery/retransmission rows
+//	                          emit per-scenario recovery/retransmission rows;
+//	                          -mode=serve instead SIGKILLs real serve
+//	                          processes mid-ingest and checks exact recovery
+//	gsketch serve [flags]     run the multi-tenant sketch service (WAL-
+//	                          durable ingest, epoch-snapshot queries,
+//	                          graceful drain on SIGTERM)
 package main
 
 import (
@@ -42,6 +47,11 @@ func main() {
 		}
 	case "sim":
 		if err := simCommand(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gsketch:", err)
+			os.Exit(1)
+		}
+	case "serve":
+		if err := serveCommand(args[1:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "gsketch:", err)
 			os.Exit(1)
 		}
@@ -73,5 +83,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch> | bench [flags] | sim [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gsketch list | all | <experiment-id>... | run <sketch> | bench [flags] | sim [flags] | serve [flags]")
 }

@@ -68,19 +68,37 @@ type SimReport struct {
 // simCommand runs the fault-injection failure matrix: one simulated
 // distributed deployment per scenario, each checked for bit-identity
 // against an uninterrupted single-site run over the same stream.
+//
+// With -mode=serve it instead runs the service-level chaos harness: real
+// `gsketch serve` child processes SIGKILLed mid-ingest at seeded offsets,
+// restarted on the same data directory, and re-fed only the
+// unacknowledged suffix — every seed's recovered payload must be
+// bit-identical to an uninterrupted run.
 func simCommand(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	mode := fs.String("mode", "cluster", "cluster (in-process failure matrix) or serve (SIGKILL real serve processes)")
 	n := fs.Int("n", 96, "vertex count")
 	p := fs.Float64("p", 0.2, "GNP edge probability")
 	churn := fs.Int("churn", 300, "insert+delete churn pairs appended to the stream")
-	sites := fs.Int("sites", 4, "site workers")
+	sites := fs.Int("sites", 4, "site workers (cluster mode)")
 	batch := fs.Int("batch", 100, "updates per ingest batch (and WAL record)")
 	snapshotEvery := fs.Int("snapshot-every", 300, "updates between site snapshots (0 = never)")
 	seed := fs.Uint64("seed", 1, "base seed for stream, faults, and crashes")
+	seeds := fs.Int("seeds", 8, "kill-and-recover rounds (serve mode)")
 	scenarios := fs.String("scenarios", "clean,lossy,corrupting,crashy,chaos",
-		"comma-separated failure-matrix columns to run")
+		"comma-separated failure-matrix columns to run (cluster mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *mode {
+	case "serve":
+		return simServe(serveSimOpts{
+			N: *n, P: *p, Churn: *churn, Batch: *batch,
+			SnapshotEvery: *snapshotEvery, Seeds: *seeds, BaseSeed: *seed,
+		}, out)
+	case "cluster":
+	default:
+		return fmt.Errorf("unknown -mode %q (known: cluster, serve)", *mode)
 	}
 
 	st := stream.GNP(*n, *p, *seed).WithChurn(*churn, *seed^0x5eed)

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"graphsketch/internal/service"
+	"graphsketch/internal/stream"
+)
+
+// serveSimOpts parameterizes the kill-and-recover harness.
+type serveSimOpts struct {
+	N             int
+	P             float64
+	Churn         int
+	Batch         int
+	SnapshotEvery int
+	Seeds         int
+	BaseSeed      uint64
+}
+
+// ServeSimRow is one kill-and-recover round against a real `gsketch
+// serve` process: where the SIGKILL landed, what the restarted server
+// reported as durable, how much the client re-fed, and whether the final
+// payload is bit-identical to an uninterrupted ingest.
+type ServeSimRow struct {
+	Seed        uint64  `json:"seed"`
+	Updates     int     `json:"updates"`
+	FedAtKill   int     `json:"fed_at_kill"`   // updates handed to the server (incl. in-flight)
+	AckedAtKill int     `json:"acked_at_kill"` // last synchronous ack before the kill
+	RefeedFrom  int     `json:"refeed_from"`   // durable position the restart reported
+	Dropped     int     `json:"dropped"`       // fed but not durable: lost in flight
+	ReplayedB   int64   `json:"replayed_bytes"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+
+	WalDurable   int  `json:"wal_durable_updates"`
+	WalReplay    int  `json:"wal_replay_updates"`
+	WalLogB      int  `json:"wal_log_bytes"`
+	WalSnapB     int  `json:"wal_snapshot_bytes"`
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// ServeSimReport is the machine-readable output of `gsketch sim
+// -mode=serve`; CI gates on every row being bit-identical.
+type ServeSimReport struct {
+	N             int           `json:"n"`
+	Updates       int           `json:"updates"`
+	BatchSize     int           `json:"batch_size"`
+	SnapshotEvery int           `json:"snapshot_every"`
+	Rows          []ServeSimRow `json:"results"`
+}
+
+// serveChild is one spawned `gsketch serve` process on a shared data dir.
+type serveChild struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnServe starts the current binary as a serve child and waits for its
+// ready line.
+func spawnServe(dir string, opts serveSimOpts) (*serveChild, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe, "serve",
+		"-addr=127.0.0.1:0",
+		"-dir", dir,
+		"-fsync", "interval", "-fsync-every", "16",
+		"-snapshot-every", fmt.Sprint(opts.SnapshotEvery),
+		"-epoch-every", "128",
+		"-n", fmt.Sprint(opts.N), "-k", "4", "-eps", "1.0", "-spanner-k", "2",
+		"-seed", fmt.Sprint(opts.BaseSeed),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	line, err := bufio.NewReader(stdout).ReadBytes('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("serve child died before ready line: %w", err)
+	}
+	var ready struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.Unmarshal(line, &ready); err != nil || ready.Addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("bad ready line %q: %v", bytes.TrimSpace(line), err)
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return &serveChild{cmd: cmd, addr: ready.Addr}, nil
+}
+
+func (c *serveChild) client() *service.Client {
+	return &service.Client{Base: "http://" + c.addr}
+}
+
+// sigkill delivers the real thing and reaps the child.
+func (c *serveChild) sigkill() {
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}
+
+// simServe runs the kill-and-recover matrix against real serve processes:
+// for each seed, SIGKILL the server mid-ingest at a seeded offset, restart
+// it on the same directory, re-feed only the unacknowledged suffix from
+// the reported durable position, and require the final payload to be
+// bit-identical to a local uninterrupted run. Returns an error (CI gate)
+// if any row fails.
+func simServe(opts serveSimOpts, out io.Writer) error {
+	cfg := service.BundleConfig{N: opts.N, K: 4, Eps: 1.0, SpannerK: 2, Seed: opts.BaseSeed}
+	rep := ServeSimReport{N: opts.N, BatchSize: opts.Batch, SnapshotEvery: opts.SnapshotEvery}
+	for i := 0; i < opts.Seeds; i++ {
+		seed := opts.BaseSeed + uint64(i)
+		st := stream.GNP(opts.N, opts.P, seed).WithChurn(opts.Churn, seed^0x5eed)
+		rep.Updates = len(st.Updates)
+
+		// Local oracle: the same bundle shape fed the whole stream.
+		ref := service.NewBundle(cfg)
+		ref.UpdateBatch(st.Updates)
+		want, err := ref.MarshalBinaryCompact()
+		if err != nil {
+			return err
+		}
+
+		row, err := runServeRound(st, seed, opts, want)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, row := range rep.Rows {
+		if !row.BitIdentical {
+			return fmt.Errorf("seed %d: recovered payload not bit-identical", row.Seed)
+		}
+	}
+	return nil
+}
+
+// runServeRound is one seed's kill-and-recover round.
+func runServeRound(st *stream.Stream, seed uint64, opts serveSimOpts, want []byte) (ServeSimRow, error) {
+	dir, err := os.MkdirTemp("", "gsketch-sim-serve-*")
+	if err != nil {
+		return ServeSimRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	child, err := spawnServe(dir, opts)
+	if err != nil {
+		return ServeSimRow{}, err
+	}
+	c := child.client()
+
+	row := ServeSimRow{Seed: seed, Updates: len(st.Updates)}
+	killAt := int(seed*137) % (len(st.Updates) / 2)
+	pos := 0
+	for pos < killAt {
+		end := min(pos+opts.Batch, killAt)
+		acked, err := c.Ingest("t", pos, st.Updates[pos:end])
+		if err != nil {
+			child.sigkill()
+			return row, fmt.Errorf("ingest: %w", err)
+		}
+		pos = acked
+	}
+	row.AckedAtKill = pos
+
+	// SIGKILL while one more batch is in flight: its fate (durable or
+	// lost) is what the position handshake resolves after restart.
+	inflight := min(pos+opts.Batch, len(st.Updates))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Ingest("t", pos, st.Updates[pos:inflight]) // ack may never come
+	}()
+	time.Sleep(time.Duration(seed%5) * time.Millisecond)
+	child.sigkill()
+	wg.Wait()
+	row.FedAtKill = inflight
+
+	start := time.Now()
+	child2, err := spawnServe(dir, opts)
+	if err != nil {
+		return row, fmt.Errorf("restart: %w", err)
+	}
+	defer child2.sigkill()
+	c2 := child2.client()
+	refeedFrom, err := c2.Position("t")
+	if err != nil {
+		return row, fmt.Errorf("position after restart: %w", err)
+	}
+	row.RecoveryMs = float64(time.Since(start).Microseconds()) / 1000
+	row.RefeedFrom = refeedFrom
+	row.Dropped = row.FedAtKill - refeedFrom
+	if row.Dropped < 0 {
+		row.Dropped = 0
+	}
+
+	for p := refeedFrom; p < len(st.Updates); {
+		end := min(p+opts.Batch, len(st.Updates))
+		row.ReplayedB += int64(len(service.EncodeUpdates(st.Updates[p:end])))
+		acked, err := c2.Ingest("t", p, st.Updates[p:end])
+		if err != nil {
+			return row, fmt.Errorf("re-feed: %w", err)
+		}
+		p = acked
+	}
+
+	fp, err := c2.Footprint("t")
+	if err != nil {
+		return row, fmt.Errorf("footprint: %w", err)
+	}
+	row.WalDurable, row.WalReplay = fp.WALDurable, fp.WALReplay
+	row.WalLogB, row.WalSnapB = fp.WALLogBytes, fp.WALSnapshotBytes
+
+	sealed, err := c2.Payload("t")
+	if err != nil {
+		return row, fmt.Errorf("payload: %w", err)
+	}
+	got, err := service.DecodeSealed(sealed)
+	if err != nil {
+		return row, fmt.Errorf("open payload: %w", err)
+	}
+	row.BitIdentical = bytes.Equal(got, want)
+	return row, nil
+}

@@ -1,76 +1,170 @@
 // Netflow: monitor a stream of IP-flow records where flows open (edge
 // insert) and close (edge delete) continuously — the dynamic graph stream
-// the paper's introduction motivates. A single linear sketch per property
-// tracks the live communication graph; snapshots answer queries at any
-// moment without replaying history.
+// the paper's introduction motivates. This version runs the full service
+// stack: a `gsketch serve` instance ingests the flow stream over its HTTP
+// API with positioned (exactly-once) batches, answers queries from epoch
+// snapshots WHILE ingest is running, and survives an injected mid-stream
+// crash — the restarted server reports its durable position and the
+// collector re-feeds only the unacknowledged suffix.
 //
 // Scenario: three subnets with heavy internal traffic. A thin set of
 // gateway links connects them. We watch (a) whether the network partitions
-// when gateways flap, and (b) how fragile the connectivity is (min cut),
-// and (c) triangle density (a proxy for scanning/peer-to-peer behavior).
+// when gateways flap and (b) how fragile the connectivity is (min cut),
+// live, against a server we kill halfway through.
 package main
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
 
 	"graphsketch"
+	rt "graphsketch/internal/runtime"
+	"graphsketch/internal/service"
 )
 
 const (
 	hosts   = 30 // 3 subnets x 10 hosts
 	subnets = 3
 	seed    = 7
+	tenant  = "netflow"
+	batch   = 64
 )
 
-func subnet(h int) int { return h / (hosts / subnets) }
+func serverConfig(dir string) service.Config {
+	return service.Config{
+		Dir:           dir,
+		Bundle:        service.BundleConfig{N: hosts, K: 6, Eps: 1.0, SpannerK: 2, Seed: seed},
+		Fsync:         rt.FsyncInterval,
+		SnapshotEvery: 1500,
+		EpochEvery:    200,
+	}
+}
+
+// start boots a server on dir and fronts it with an HTTP listener.
+func start(dir string) (*service.Server, *httptest.Server, *service.Client) {
+	srv, err := service.NewServer(serverConfig(dir))
+	if err != nil {
+		panic(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	return srv, hs, &service.Client{Base: hs.URL}
+}
+
+// feed streams ups[from:] to the server in positioned batches and returns
+// the final acknowledged position.
+func feed(c *service.Client, ups []graphsketch.Update, from int) int {
+	pos := from
+	for pos < len(ups) {
+		end := min(pos+batch, len(ups))
+		acked, err := c.Ingest(tenant, pos, ups[pos:end])
+		if err != nil {
+			panic(err)
+		}
+		pos = acked
+	}
+	return pos
+}
+
+func report(c *service.Client, label string) {
+	// Flush publishes a fresh epoch (and snapshots the WAL), so the phase
+	// boundary queries below see every acknowledged update.
+	if _, err := c.Flush(tenant); err != nil {
+		panic(err)
+	}
+	mc, err := c.MinCut(tenant)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("== %s ==\n", label)
+	if mc.Value == 0 {
+		fmt.Printf("  NETWORK PARTITIONED\n")
+	} else {
+		fmt.Printf("  connectivity fragility (min cut): %d link(s)\n", mc.Value)
+	}
+	sp, err := c.Sparsify(tenant)
+	if err != nil {
+		panic(err)
+	}
+	fp, err := c.Footprint(tenant)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  sparsifier: %d edges, total weight %d\n", sp.Edges, sp.TotalWeight)
+	fmt.Printf("  durable: %d updates (%d B snapshot + %d B log), epoch staleness %d\n\n",
+		fp.WALDurable, fp.WALSnapshotBytes, fp.WALLogBytes, mc.Staleness)
+}
 
 func main() {
-	// Phase 1: internal traffic + two gateway links per subnet pair.
-	st := graphsketch.DisjointCliques(hosts, subnets)
-	gateways := []graphsketch.Update{
-		{U: 0, V: 10, Delta: 1}, {U: 1, V: 11, Delta: 1}, // subnet 0-1
-		{U: 10, V: 20, Delta: 1}, {U: 11, V: 21, Delta: 1}, // subnet 1-2
+	dir, err := os.MkdirTemp("", "netflow-*")
+	if err != nil {
+		panic(err)
 	}
-	st.Updates = append(st.Updates, gateways...)
-	st = st.WithChurn(5000, seed) // flows opening and closing
+	defer os.RemoveAll(dir)
 
-	report("initial network (gateways up)", st)
+	// Phase 1: internal traffic + two gateway links per subnet pair, with
+	// flows opening and closing (churn).
+	st := graphsketch.DisjointCliques(hosts, subnets)
+	st.Updates = append(st.Updates,
+		graphsketch.Update{U: 0, V: 10, Delta: 1}, graphsketch.Update{U: 1, V: 11, Delta: 1}, // subnet 0-1
+		graphsketch.Update{U: 10, V: 20, Delta: 1}, graphsketch.Update{U: 11, V: 21, Delta: 1}, // subnet 1-2
+	)
+	st = st.WithChurn(5000, seed)
+
+	srv, hs, c := start(dir)
+
+	// Query while ingesting: feed the first half, then ask for the min cut
+	// mid-stream. The answer comes from the freshest published epoch — it
+	// never blocks ingest, and reports how stale it is.
+	half := len(st.Updates) / 2
+	feed(c, st.Updates[:half], 0)
+	if mid, err := c.MinCut(tenant); err == nil {
+		fmt.Printf("mid-ingest query at epoch %d: pos %d/%d acked, staleness %d\n\n",
+			mid.Epoch, mid.Pos, mid.Acked, mid.Staleness)
+	}
+	feed(c, st.Updates, half)
+	report(c, "initial network (gateways up)")
+
+	// Injected crash: kill the server with updates already durable, restart
+	// on the same directory, and resume from the reported position. The WAL
+	// position handshake makes the re-feed exactly-once, so the sketch's
+	// linear state is bit-identical to an uninterrupted run.
+	srv.Kill()
+	hs.Close()
+	restart := time.Now()
+	srv, hs, c = start(dir)
+	resume, err := c.Position(tenant)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("-- injected crash: recovered %d durable updates in %s, resuming --\n\n",
+		resume, time.Since(restart).Round(time.Millisecond))
+	if resume != len(st.Updates) {
+		feed(c, st.Updates, resume)
+	}
 
 	// Phase 2: one gateway per pair flaps down (deletes).
 	st.Updates = append(st.Updates,
 		graphsketch.Update{U: 0, V: 10, Delta: -1},
 		graphsketch.Update{U: 10, V: 20, Delta: -1},
 	)
-	report("after gateway flaps (one link per pair left)", st)
+	feed(c, st.Updates, len(st.Updates)-2)
+	report(c, "after gateway flaps (one link per pair left)")
 
 	// Phase 3: remaining gateways fail: the network partitions.
 	st.Updates = append(st.Updates,
 		graphsketch.Update{U: 1, V: 11, Delta: -1},
 		graphsketch.Update{U: 11, V: 21, Delta: -1},
 	)
-	report("after full gateway failure", st)
-}
+	feed(c, st.Updates, len(st.Updates)-2)
+	report(c, "after full gateway failure")
 
-func report(label string, st *graphsketch.Stream) {
-	conn := graphsketch.NewConnectivitySketch(hosts, seed)
-	mc := graphsketch.NewMinCutSketchK(hosts, 6, seed)
-	tri := graphsketch.NewSubgraphSketch(hosts, 3, 80, seed)
-	for _, up := range st.Updates {
-		conn.Update(up.U, up.V, up.Delta)
-		mc.Update(up.U, up.V, up.Delta)
-		tri.Update(up.U, up.V, up.Delta)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		panic(err)
 	}
-	fmt.Printf("== %s ==\n", label)
-	fmt.Printf("  components: %d\n", conn.Components())
-	if conn.Connected() {
-		res, err := mc.MinCut()
-		if err != nil {
-			panic(err)
-		}
-		fmt.Printf("  connectivity fragility (min cut): %d link(s)\n", res.Value)
-	} else {
-		fmt.Printf("  NETWORK PARTITIONED\n")
-	}
-	gamma, eff := tri.Gamma(graphsketch.PatternTriangle)
-	fmt.Printf("  triangle density gamma: %.3f (%d samples)\n\n", gamma, eff)
+	hs.Close()
 }

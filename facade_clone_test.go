@@ -1,0 +1,86 @@
+package graphsketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeCloneIndependence pins the epoch-snapshot contract on the
+// facade Clone hooks: a clone captures the sketch's exact state (compact
+// bytes identical), and further updates to the original never perturb the
+// clone (and vice versa). This is the primitive the concurrent service's
+// query-while-ingesting path is built on.
+func TestFacadeCloneIndependence(t *testing.T) {
+	const n, seed = 48, 11
+	st := GNP(n, 0.15, seed).WithChurn(200, seed^0x5eed)
+	half := st.Updates[:len(st.Updates)/2]
+	rest := st.Updates[len(st.Updates)/2:]
+
+	marshal := func(t *testing.T, m interface{ MarshalBinaryCompact() ([]byte, error) }) []byte {
+		t.Helper()
+		b, err := m.MarshalBinaryCompact()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+
+	t.Run("connectivity", func(t *testing.T) {
+		sk := NewConnectivitySketch(n, seed)
+		sk.UpdateBatch(half)
+		cl := sk.Clone()
+		at := marshal(t, sk)
+		if got := marshal(t, cl); !bytes.Equal(got, at) {
+			t.Fatal("clone bytes differ from original at clone point")
+		}
+		sk.UpdateBatch(rest)
+		if got := marshal(t, cl); !bytes.Equal(got, at) {
+			t.Fatal("updating the original perturbed the clone")
+		}
+		cl.Update(0, 1, 5)
+		full := NewConnectivitySketch(n, seed)
+		full.UpdateBatch(st.Updates)
+		if got, want := marshal(t, sk), marshal(t, full); !bytes.Equal(got, want) {
+			t.Fatal("updating the clone perturbed the original")
+		}
+	})
+
+	t.Run("mincut", func(t *testing.T) {
+		sk := NewMinCutSketchK(n, 4, seed)
+		sk.UpdateBatch(half)
+		cl := sk.Clone()
+		at := marshal(t, sk)
+		sk.UpdateBatch(rest)
+		if got := marshal(t, cl); !bytes.Equal(got, at) {
+			t.Fatal("updating the original perturbed the clone")
+		}
+		// The clone answers queries for its epoch while the original moved on.
+		res, err := cl.MinCut()
+		if err != nil {
+			t.Fatalf("clone MinCut: %v", err)
+		}
+		ref := NewMinCutSketchK(n, 4, seed)
+		ref.UpdateBatch(half)
+		want, err := ref.MinCut()
+		if err != nil {
+			t.Fatalf("ref MinCut: %v", err)
+		}
+		if res.Value != want.Value {
+			t.Fatalf("clone MinCut = %d, want %d (epoch state leaked)", res.Value, want.Value)
+		}
+	})
+
+	t.Run("simple-sparsifier", func(t *testing.T) {
+		sk := NewSimpleSparsifier(n, 1.0, seed)
+		sk.UpdateBatch(half)
+		cl := sk.Clone()
+		at := marshal(t, sk)
+		sk.UpdateBatch(rest)
+		if got := marshal(t, cl); !bytes.Equal(got, at) {
+			t.Fatal("updating the original perturbed the clone")
+		}
+		if _, err := cl.Sparsify(); err != nil {
+			t.Fatalf("clone Sparsify: %v", err)
+		}
+	})
+}

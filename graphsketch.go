@@ -140,6 +140,13 @@ func (c *ConnectivitySketch) MergeMany(others []*ConnectivitySketch) {
 	c.fs.MergeMany(srcs)
 }
 
+// Clone returns a deep, independent copy: updating either sketch never
+// perturbs the other. This is the epoch-snapshot hook the concurrent
+// service uses — clone under the writer, query the clone concurrently.
+func (c *ConnectivitySketch) Clone() *ConnectivitySketch {
+	return &ConnectivitySketch{fs: c.fs.Clone()}
+}
+
 // MarshalBinary serializes the sketch in the dense AGM2 format
 // (byte-stable across releases).
 func (c *ConnectivitySketch) MarshalBinary() ([]byte, error) { return c.fs.MarshalBinary() }
@@ -347,6 +354,11 @@ func (m *MinCutSketch) MergeMany(others []*MinCutSketch) {
 	m.sk.MergeMany(srcs)
 }
 
+// Clone returns a deep, independent copy (the decode memo is not carried
+// over; the clone recomputes MinCut on first call). Epoch-snapshot hook:
+// queries run on the clone while the original keeps ingesting.
+func (m *MinCutSketch) Clone() *MinCutSketch { return &MinCutSketch{sk: m.sk.Clone()} }
+
 // MarshalBinary serializes the sketch (dense-tagged banks).
 func (m *MinCutSketch) MarshalBinary() ([]byte, error) { return m.sk.MarshalBinary() }
 
@@ -429,6 +441,13 @@ func (s *SimpleSparsifier) MergeMany(others []*SimpleSparsifier) {
 		srcs[i] = o.sk
 	}
 	s.sk.MergeMany(srcs)
+}
+
+// Clone returns a deep, independent copy (the decode memo is not carried
+// over; the clone recomputes Sparsify on first call). Epoch-snapshot hook:
+// queries run on the clone while the original keeps ingesting.
+func (s *SimpleSparsifier) Clone() *SimpleSparsifier {
+	return &SimpleSparsifier{sk: s.sk.Clone()}
 }
 
 // MarshalBinary serializes the sketch (dense-tagged banks).

@@ -50,6 +50,19 @@ func NewEdgeConnectSketch(n, k int, seed uint64) *EdgeConnectSketch {
 // K returns the connectivity parameter.
 func (ec *EdgeConnectSketch) K() int { return ec.k }
 
+// Clone returns a deep copy of the k forest banks. The decode cache is not
+// carried over (the clone recomputes its witness on first use), so the
+// clone is safe to hand to a concurrent reader while the original keeps
+// ingesting.
+func (ec *EdgeConnectSketch) Clone() *EdgeConnectSketch {
+	c := &EdgeConnectSketch{n: ec.n, k: ec.k, seed: ec.seed}
+	c.banks = make([]*ForestSketch, len(ec.banks))
+	for i, b := range ec.banks {
+		c.banks[i] = b.Clone()
+	}
+	return c
+}
+
 // Update applies a signed multiplicity change to edge {u, v}.
 func (ec *EdgeConnectSketch) Update(u, v int, delta int64) {
 	ec.witness = nil // sketch state diverges from any cached decode

@@ -106,6 +106,19 @@ func New(cfg Config) *Sketch {
 	return s
 }
 
+// Clone returns a deep copy: every level's k-EDGECONNECT bank is cloned,
+// batch-sort scratch and the decode cache are unshared (the clone
+// recomputes MinCut on first call). Epoch-snapshot primitive for the
+// concurrent service: queries run on the clone while the original ingests.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{cfg: s.cfg, levelMix: s.levelMix, decWorkers: s.decWorkers}
+	c.ecs = make([]*agm.EdgeConnectSketch, len(s.ecs))
+	for i, ec := range s.ecs {
+		c.ecs[i] = ec.Clone()
+	}
+	return c
+}
+
 // K returns the derived edge-connectivity parameter.
 func (s *Sketch) K() int { return s.cfg.K }
 

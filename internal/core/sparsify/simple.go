@@ -114,6 +114,19 @@ func NewSimple(cfg SimpleConfig) *Simple {
 // Config returns the filled configuration.
 func (s *Simple) Config() SimpleConfig { return s.cfg }
 
+// Clone returns a deep copy: every level's k-EDGECONNECT bank is cloned,
+// batch-sort scratch and the decode cache are unshared (the clone
+// recomputes Sparsify on first call). Epoch-snapshot primitive for the
+// concurrent service: queries run on the clone while the original ingests.
+func (s *Simple) Clone() *Simple {
+	c := &Simple{cfg: s.cfg, levelMix: s.levelMix, decWorkers: s.decWorkers}
+	c.ecs = make([]*agm.EdgeConnectSketch, len(s.ecs))
+	for i, ec := range s.ecs {
+		c.ecs[i] = ec.Clone()
+	}
+	return c
+}
+
 // Update applies a signed multiplicity change to edge {u, v}.
 func (s *Simple) Update(u, v int, delta int64) {
 	if u == v || delta == 0 {

@@ -47,12 +47,20 @@ type Report struct {
 	RecoveryTimeUs int64 `json:"recovery_time_us"` // site WAL replays (virtual)
 	CollectTimeUs  int64 `json:"collect_time_us"`  // pull round to full coverage, -1 if degraded
 
-	Retransmissions    int64    `json:"retransmissions"`
-	RetransmittedBytes int64    `json:"retransmitted_bytes"`
-	CorruptPayloads    int64    `json:"corrupt_payloads"`
-	StalePayloads      int64    `json:"stale_payloads"`
-	WalBytes           int64    `json:"wal_bytes"`
-	Net                NetStats `json:"net"`
+	Retransmissions    int64 `json:"retransmissions"`
+	RetransmittedBytes int64 `json:"retransmitted_bytes"`
+	CorruptPayloads    int64 `json:"corrupt_payloads"`
+	StalePayloads      int64 `json:"stale_payloads"`
+	// WalBytes splits into the snapshot portion (scales with live sketch
+	// state) and the log tail (scales with updates since the snapshot);
+	// WalDurableUpdates is the summed durable positions, WalReplayUpdates
+	// what recovery would actually replay (smaller once logs compact).
+	WalBytes          int64    `json:"wal_bytes"`
+	WalLogBytes       int64    `json:"wal_log_bytes"`
+	WalSnapshotBytes  int64    `json:"wal_snapshot_bytes"`
+	WalDurableUpdates int64    `json:"wal_durable_updates"`
+	WalReplayUpdates  int64    `json:"wal_replay_updates"`
+	Net               NetStats `json:"net"`
 }
 
 // Cluster wires sites, a coordinator, and the faulty transport together.
@@ -194,6 +202,10 @@ func (c *Cluster) Report(updates int, reference []byte) (Report, error) {
 		r.Crashes += s.Crashes
 		r.Recoveries += s.Recoveries
 		r.WalBytes += int64(s.WAL().Bytes())
+		r.WalLogBytes += int64(s.WAL().LogBytes())
+		r.WalSnapshotBytes += int64(s.WAL().SnapshotBytes())
+		r.WalDurableUpdates += int64(s.WAL().DurableUpdates())
+		r.WalReplayUpdates += int64(s.WAL().ReplayUpdates())
 	}
 	if reference != nil && cov == 1.0 {
 		merged, err := sk.MarshalBinaryCompact()

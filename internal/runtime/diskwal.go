@@ -1,0 +1,418 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
+)
+
+// DiskWAL promotes WAL from a crash simulation to real durability: the
+// framed log and the sealed snapshot live in files, so a SIGKILLed process
+// recovers by reopening its data directory. The in-memory WAL remains the
+// single source of replay/compaction logic; DiskWAL mirrors its state and
+// keeps the files in sync.
+//
+// On-disk layout (directory per WAL):
+//
+//	wal.log       24-byte header (magic, generation, n) + framed records
+//	              appended exactly as the in-memory WAL frames them
+//	snapshot.bin  32-byte header (magic, generation, n, covered updates)
+//	              + the sealed compact sketch payload
+//
+// Both files are replaced atomically (write tmp, fsync, rename, fsync
+// dir), and the GENERATION number makes the snapshot/log pair crash-safe
+// without a cross-file transaction: taking a snapshot first publishes
+// snapshot.bin at generation g+1 (covering every logged update), then
+// resets wal.log to an empty generation-g+1 log. A crash between the two
+// leaves a generation-g log whose records are all covered by the
+// generation-g+1 snapshot; Open sees gen(log) < gen(snapshot) and discards
+// the log, so no update is ever replayed twice. A torn final record (crash
+// mid-append) is detected by the CRC framing and truncated away; the lost
+// suffix is exactly what the server never acknowledged.
+//
+// Fsync policy decides when appends reach the platter. Note the policy
+// only matters for machine-level failures (power loss): a SIGKILLed
+// process loses nothing under any policy, because every append is a
+// completed write(2) into the OS page cache.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the log after every append — maximum durability,
+	// one fsync per acknowledged batch.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs every Every appends (and on snapshot/close):
+	// bounded data loss under power failure, amortized fsync cost.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS — survives process crashes,
+	// not power loss.
+	FsyncNever
+)
+
+// String names the policy for JSON rows and flag round-trips.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy inverts String (flag surface for `gsketch serve`).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, never)", s)
+}
+
+// DiskConfig parameterizes a DiskWAL.
+type DiskConfig struct {
+	Policy FsyncPolicy
+	// Every is the append count between syncs under FsyncInterval
+	// (default 64).
+	Every int
+}
+
+var (
+	logMagic  = [8]byte{'G', 'S', 'K', 'W', 'A', 'L', '1', 0}
+	snapMagic = [8]byte{'G', 'S', 'K', 'S', 'N', 'P', '1', 0}
+)
+
+const (
+	logHeaderSize  = 8 + 8 + 8     // magic, generation, n
+	snapHeaderSize = 8 + 8 + 8 + 8 // magic, generation, n, covered updates
+)
+
+// LogPath returns the log file path inside a WAL directory (exported so
+// chaos harnesses can tear the tail of a killed server's log).
+func LogPath(dir string) string { return filepath.Join(dir, "wal.log") }
+
+// SnapshotPath returns the snapshot file path inside a WAL directory.
+func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.bin") }
+
+// DiskWAL is a disk-backed write-ahead log. Not safe for concurrent use:
+// the service gives each tenant a single writer goroutine, which is the
+// only code that touches the WAL.
+type DiskWAL struct {
+	mem WAL // mirror: replay, compaction, and counters live here
+	dir string
+	cfg DiskConfig
+	gen uint64
+
+	logF     *os.File
+	unsynced int
+}
+
+// OpenDiskWAL opens (or creates) the WAL in dir for streams on n vertices
+// and performs torn-tail-tolerant recovery of its durable state: parse the
+// snapshot, discard a log superseded by it, replay the log's valid record
+// prefix, and truncate any torn tail so the next append lands on a clean
+// boundary.
+func OpenDiskWAL(dir string, n int, cfg DiskConfig) (*DiskWAL, error) {
+	if cfg.Every <= 0 {
+		cfg.Every = 64
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// Stray temp files are debris from a crash mid-replace: the rename
+	// never happened, so the live files are authoritative.
+	for _, p := range []string{LogPath(dir) + ".tmp", SnapshotPath(dir) + ".tmp"} {
+		os.Remove(p)
+	}
+	w := &DiskWAL{mem: WAL{n: n}, dir: dir, cfg: cfg}
+
+	snapGen, err := w.loadSnapshot(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.loadLog(n, snapGen); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// loadSnapshot parses snapshot.bin into the mirror, returning its
+// generation (0 when no snapshot exists).
+func (w *DiskWAL) loadSnapshot(n int) (uint64, error) {
+	data, err := os.ReadFile(SnapshotPath(w.dir))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if len(data) < snapHeaderSize || [8]byte(data[:8]) != snapMagic {
+		return 0, fmt.Errorf("wal: snapshot %s: bad header", SnapshotPath(w.dir))
+	}
+	gen := binary.LittleEndian.Uint64(data[8:])
+	if got := binary.LittleEndian.Uint64(data[16:]); got != uint64(n) {
+		return 0, fmt.Errorf("wal: snapshot n = %d, want %d", got, n)
+	}
+	covered := binary.LittleEndian.Uint64(data[24:])
+	sealed := data[snapHeaderSize:]
+	// Validate the envelope now so a corrupt snapshot fails at open, not at
+	// first query after hours of appends.
+	if _, _, err := wire.Open(sealed); err != nil {
+		return 0, fmt.Errorf("wal: snapshot envelope: %w", err)
+	}
+	w.mem.snapshot = append([]byte(nil), sealed...)
+	w.mem.snapPos = int(covered)
+	w.mem.pos = int(covered)
+	w.gen = gen
+	return gen, nil
+}
+
+// loadLog parses wal.log, discards it when superseded by the snapshot,
+// replays its valid record prefix into the mirror, and truncates any torn
+// tail. Leaves w.logF positioned for appends.
+func (w *DiskWAL) loadLog(n int, snapGen uint64) error {
+	path := LogPath(w.dir)
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err) || (err == nil && len(data) == 0):
+		return w.resetLogFile(snapGen)
+	case err != nil:
+		return fmt.Errorf("wal: log: %w", err)
+	}
+	if len(data) < logHeaderSize || [8]byte(data[:8]) != logMagic {
+		return fmt.Errorf("wal: log %s: bad header", path)
+	}
+	logGen := binary.LittleEndian.Uint64(data[8:])
+	if got := binary.LittleEndian.Uint64(data[16:]); got != uint64(n) {
+		return fmt.Errorf("wal: log n = %d, want %d", got, n)
+	}
+	if logGen > w.gen {
+		return fmt.Errorf("wal: log generation %d ahead of snapshot %d", logGen, w.gen)
+	}
+	if logGen < snapGen {
+		// The crash window between snapshot publish and log reset: every
+		// record here is covered by the snapshot. Replaying it would
+		// double-count, so the log is discarded wholesale.
+		return w.resetLogFile(snapGen)
+	}
+	// Walk the framed records; the valid prefix is durable, anything after
+	// the first short/checksum-failing record is a torn tail.
+	body := data[logHeaderSize:]
+	valid, count, endPos := 0, 0, w.mem.snapPos
+	for rest := body; len(rest) > 0; {
+		ups, pos, next, ok := decodeBatch(rest)
+		if !ok {
+			break
+		}
+		count += len(ups)
+		endPos = pos
+		valid = len(body) - len(next)
+		rest = next
+	}
+	w.mem.log = append([]byte(nil), body[:valid]...)
+	w.mem.logUpdates = count
+	w.mem.pos = endPos
+	if valid < len(body) {
+		if err := os.Truncate(path, int64(logHeaderSize+valid)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: log: %w", err)
+	}
+	w.logF = f
+	return nil
+}
+
+// logHeader builds the 24-byte log file header for a generation.
+func (w *DiskWAL) logHeader(gen uint64) []byte {
+	hdr := make([]byte, logHeaderSize)
+	copy(hdr, logMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(w.mem.n))
+	return hdr
+}
+
+// resetLogFile atomically replaces wal.log with an empty generation-gen
+// log (plus optional records) and repoints the append handle at it.
+func (w *DiskWAL) resetLogFile(gen uint64, records ...[]byte) error {
+	content := w.logHeader(gen)
+	for _, r := range records {
+		content = append(content, r...)
+	}
+	if err := writeFileAtomic(LogPath(w.dir), content); err != nil {
+		return fmt.Errorf("wal: reset log: %w", err)
+	}
+	syncDir(w.dir)
+	if w.logF != nil {
+		w.logF.Close()
+	}
+	f, err := os.OpenFile(LogPath(w.dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset log: %w", err)
+	}
+	w.logF = f
+	w.unsynced = 0
+	return nil
+}
+
+// Append frames one update batch, mirrors it in memory, writes it to the
+// log file, and applies the fsync policy. The write(2) completing is what
+// makes the batch survive a SIGKILL; the fsync (policy permitting) is what
+// makes it survive power loss.
+func (w *DiskWAL) Append(ups []stream.Update) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	before := len(w.mem.log)
+	w.mem.Append(ups)
+	if _, err := w.logF.Write(w.mem.log[before:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.unsynced++
+	switch w.cfg.Policy {
+	case FsyncAlways:
+		w.unsynced = 0
+		if err := w.logF.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	case FsyncInterval:
+		if w.unsynced >= w.cfg.Every {
+			w.unsynced = 0
+			if err := w.logF.Sync(); err != nil {
+				return fmt.Errorf("wal: fsync: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the sketch's sealed compact payload at generation
+// gen+1, publishes it atomically, then resets the log. The sketch passed
+// in must reflect exactly the updates appended so far (the single-writer
+// loop guarantees it).
+func (w *DiskWAL) Snapshot(sk Sketch) error {
+	payload, err := sk.MarshalBinaryCompact()
+	if err != nil {
+		return fmt.Errorf("wal: snapshot marshal: %w", err)
+	}
+	sealed := wire.Seal(payload)
+	gen := w.gen + 1
+	covered := w.mem.pos
+
+	hdr := make([]byte, snapHeaderSize, snapHeaderSize+len(sealed))
+	copy(hdr, snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(w.mem.n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(covered))
+	if err := writeFileAtomic(SnapshotPath(w.dir), append(hdr, sealed...)); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	syncDir(w.dir)
+	// Crash boundary: snapshot (gen+1) published, log still at gen. Open
+	// resolves it by discarding the superseded log — no double replay.
+	if err := w.resetLogFile(gen); err != nil {
+		return err
+	}
+	w.gen = gen
+	w.mem.snapshot = sealed
+	w.mem.snapPos = covered
+	w.mem.log = w.mem.log[:0]
+	w.mem.logUpdates = 0
+	return nil
+}
+
+// Compact rewrites the log as one coalesced batch (bit-neutral by
+// linearity) and atomically replaces the file, keeping the generation.
+func (w *DiskWAL) Compact() error {
+	w.mem.Compact()
+	return w.resetLogFile(w.gen, w.mem.log)
+}
+
+// Recover rebuilds a sketch from the mirrored durable state (see
+// WAL.Recover).
+func (w *DiskWAL) Recover(factory Factory) (Sketch, int, error) {
+	return w.mem.Recover(factory)
+}
+
+// DurableUpdates reports the raw stream position the durable state
+// reflects — the exact position an ingest driver re-feeds from after a
+// crash.
+func (w *DiskWAL) DurableUpdates() int { return w.mem.DurableUpdates() }
+
+// ReplayUpdates reports how many updates log replay applies at recovery.
+func (w *DiskWAL) ReplayUpdates() int { return w.mem.ReplayUpdates() }
+
+// Bytes reports the durable footprint (log + snapshot).
+func (w *DiskWAL) Bytes() int { return w.mem.Bytes() }
+
+// LogBytes reports the framed log-tail bytes a recovery replays.
+func (w *DiskWAL) LogBytes() int { return w.mem.LogBytes() }
+
+// SnapshotBytes reports the sealed snapshot payload bytes.
+func (w *DiskWAL) SnapshotBytes() int { return w.mem.SnapshotBytes() }
+
+// SnapshotUpdates reports how many updates the snapshot covers.
+func (w *DiskWAL) SnapshotUpdates() int { return w.mem.SnapshotUpdates() }
+
+// Close syncs and releases the log handle. A killed process never calls
+// Close — that is the point; Open recovers without it.
+func (w *DiskWAL) Close() error {
+	if w.logF == nil {
+		return nil
+	}
+	var err error
+	if w.cfg.Policy != FsyncNever {
+		err = w.logF.Sync()
+	}
+	if cerr := w.logF.Close(); err == nil {
+		err = cerr
+	}
+	w.logF = nil
+	return err
+}
+
+// writeFileAtomic publishes data at path via tmp + fsync + rename, so
+// readers (and crash recovery) only ever see the old or the new content.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best-effort: some filesystems refuse directory syncs; a failure
+// narrows the power-loss window, it does not affect crash recovery.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -15,37 +15,72 @@ import (
 // sketch the site lost.
 //
 // Record framing is [u32 len][u32 crc32c][payload] with the batch payload
-// encoded as uvarint count then (uvarint u, uvarint v, zigzag-varint
-// delta) per update. Replay is torn-tail tolerant: a crash mid-append
-// leaves a short or checksum-failing final record, which replay treats as
-// end-of-log rather than corruption — exactly the contract a real
-// fsync-per-record log gives you.
+// encoded as uvarint END POSITION (the raw stream position the durable
+// state reflects once this record is applied), uvarint count, then
+// (uvarint u, uvarint v, zigzag-varint delta) per update. Carrying the
+// position explicitly is what keeps the re-feed contract exact under
+// compaction: a coalesced record replays fewer updates than were
+// acknowledged, but its position still names the acknowledged prefix.
+// Replay is torn-tail tolerant: a crash mid-append leaves a short or
+// checksum-failing final record, which replay treats as end-of-log rather
+// than corruption — exactly the contract a real fsync-per-record log gives
+// you.
 type WAL struct {
 	n        int    // vertex count, pinned so replay can rebuild streams
 	log      []byte // framed batch records appended since the snapshot
 	snapshot []byte // sealed compact sketch payload, nil until first snapshot
-	// snapUpdates counts the updates folded into the snapshot;
-	// logUpdates counts those in the live log. Their sum is the durable
-	// update count a recovered sketch must reflect.
-	snapUpdates int
-	logUpdates  int
+	// pos is the raw stream position the durable state reflects (every
+	// update ever appended), monotone even across Compact. snapPos is the
+	// position the snapshot covers. logUpdates counts the updates the log
+	// records actually replay — the recovery cost, <= pos-snapPos once the
+	// log has been compacted.
+	pos        int
+	snapPos    int
+	logUpdates int
 }
 
 // NewWAL creates an empty log for streams on n vertices.
 func NewWAL(n int) *WAL { return &WAL{n: n} }
 
-// DurableUpdates reports how many updates a full recovery replays.
-func (w *WAL) DurableUpdates() int { return w.snapUpdates + w.logUpdates }
+// DurableUpdates reports the raw stream position the durable state
+// reflects — the exact position an ingest driver re-feeds from after a
+// crash.
+func (w *WAL) DurableUpdates() int { return w.pos }
+
+// ReplayUpdates reports how many updates log replay applies at recovery
+// (the recovery cost; less than the position once the log is compacted).
+func (w *WAL) ReplayUpdates() int { return w.logUpdates }
 
 // Bytes reports the durable footprint (log + snapshot).
 func (w *WAL) Bytes() int { return len(w.log) + len(w.snapshot) }
+
+// LogBytes reports the framed log-tail bytes a recovery replays (the part
+// of the durable footprint that scales with updates since the snapshot).
+func (w *WAL) LogBytes() int { return len(w.log) }
+
+// SnapshotBytes reports the sealed snapshot payload bytes (the part that
+// scales with the sketch's non-zero state, not the stream length).
+func (w *WAL) SnapshotBytes() int { return len(w.snapshot) }
+
+// SnapshotUpdates reports the raw stream position the snapshot covers; the
+// difference DurableUpdates()-SnapshotUpdates() is what log replay spans.
+func (w *WAL) SnapshotUpdates() int { return w.snapPos }
 
 // Append encodes one update batch as a framed record at the log tail.
 func (w *WAL) Append(ups []stream.Update) {
 	if len(ups) == 0 {
 		return
 	}
-	payload := wire.AppendUvarint(nil, uint64(len(ups)))
+	w.pos += len(ups)
+	w.appendRecord(ups, w.pos)
+}
+
+// appendRecord frames ups as one record whose replay lands on posAfter.
+// Compaction uses it to rewrite history without moving the position; a
+// zero-length ups is legal and encodes a pure position marker.
+func (w *WAL) appendRecord(ups []stream.Update, posAfter int) {
+	payload := wire.AppendUvarint(nil, uint64(posAfter))
+	payload = wire.AppendUvarint(payload, uint64(len(ups)))
 	for _, u := range ups {
 		payload = wire.AppendUvarint(payload, uint64(u.U))
 		payload = wire.AppendUvarint(payload, uint64(u.V))
@@ -66,60 +101,68 @@ func (w *WAL) TearTail(n int) {
 	w.log = w.log[:len(w.log)-n]
 }
 
-// decodeBatch reads one framed record, returning the updates and the rest.
-// ok=false means the tail is torn or corrupt: replay stops there.
-func decodeBatch(data []byte) (ups []stream.Update, rest []byte, ok bool) {
+// decodeBatch reads one framed record, returning the updates, the position
+// the record replays to, and the rest. ok=false means the tail is torn or
+// corrupt: replay stops there.
+func decodeBatch(data []byte) (ups []stream.Update, posAfter int, rest []byte, ok bool) {
 	if len(data) < 8 {
-		return nil, nil, false
+		return nil, 0, nil, false
 	}
 	n := binary.LittleEndian.Uint32(data)
 	crc := binary.LittleEndian.Uint32(data[4:])
 	body := data[8:]
 	if uint64(n) > uint64(len(body)) {
-		return nil, nil, false
+		return nil, 0, nil, false
 	}
 	payload := body[:n]
 	if wire.Checksum(payload) != crc {
-		return nil, nil, false
+		return nil, 0, nil, false
+	}
+	pos, payload, err := wire.Uvarint(payload)
+	if err != nil {
+		return nil, 0, nil, false
 	}
 	count, payload, err := wire.Uvarint(payload)
 	if err != nil || count > uint64(len(payload)) {
-		return nil, nil, false
+		return nil, 0, nil, false
 	}
 	ups = make([]stream.Update, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var u, v, zd uint64
 		if u, payload, err = wire.Uvarint(payload); err != nil {
-			return nil, nil, false
+			return nil, 0, nil, false
 		}
 		if v, payload, err = wire.Uvarint(payload); err != nil {
-			return nil, nil, false
+			return nil, 0, nil, false
 		}
 		if zd, payload, err = wire.Uvarint(payload); err != nil {
-			return nil, nil, false
+			return nil, 0, nil, false
 		}
 		ups = append(ups, stream.Update{U: int(u), V: int(v), Delta: wire.Unzigzag(zd)})
 	}
 	if len(payload) != 0 {
-		return nil, nil, false
+		return nil, 0, nil, false
 	}
-	return ups, body[n:], true
+	return ups, int(pos), body[n:], true
 }
 
 // replayLog walks the framed records, returning all updates up to the
-// first torn/corrupt record (tolerated as end-of-log).
-func (w *WAL) replayLog() []stream.Update {
-	var all []stream.Update
+// first torn/corrupt record (tolerated as end-of-log), the position the
+// valid prefix replays to, and the byte length of that prefix.
+func (w *WAL) replayLog() (all []stream.Update, endPos, validLen int) {
+	endPos = w.snapPos
 	data := w.log
 	for len(data) > 0 {
-		ups, rest, ok := decodeBatch(data)
+		ups, pos, rest, ok := decodeBatch(data)
 		if !ok {
 			break
 		}
 		all = append(all, ups...)
+		endPos = pos
+		validLen = len(w.log) - len(rest)
 		data = rest
 	}
-	return all
+	return all, endPos, validLen
 }
 
 // Snapshot captures the sketch's current compact payload (sealed in a
@@ -131,7 +174,7 @@ func (w *WAL) Snapshot(sk Sketch) error {
 		return err
 	}
 	w.snapshot = wire.Seal(payload)
-	w.snapUpdates += w.logUpdates
+	w.snapPos = w.pos
 	w.log = w.log[:0]
 	w.logUpdates = 0
 	return nil
@@ -141,25 +184,29 @@ func (w *WAL) Snapshot(sk Sketch) error {
 // per edge with non-zero net multiplicity, sorted. By linearity the
 // coalesced replay is bit-neutral — the compaction a long-running site
 // applies so its durable state tracks the live edge set, not the stream
-// length.
+// length. The rewritten record keeps the original end position, so re-feed
+// contracts survive compaction exactly.
 func (w *WAL) Compact() {
-	ups := w.replayLog()
+	ups, endPos, _ := w.replayLog()
 	if len(ups) == 0 {
 		return
 	}
 	co := (&stream.Stream{N: w.n, Updates: ups}).Coalesce()
 	w.log = w.log[:0]
 	w.logUpdates = 0
-	w.Append(co.Updates)
-	// Appending counted the coalesced updates; the durable count must keep
-	// meaning "updates replayed at recovery", which is now the coalesced
-	// number. Nothing else to fix up.
+	w.pos = endPos
+	// A fully cancelled log still needs a position marker, or replay would
+	// report the snapshot position and the driver would re-feed acked
+	// updates (double-count). appendRecord accepts zero updates for this.
+	w.appendRecord(co.Updates, endPos)
 }
 
 // Recover rebuilds the site's sketch from durable state: a factory-fresh
 // sketch, the snapshot payload folded in via MergeBytes, then the log tail
-// replayed through UpdateBatch. Returns the sketch and how many updates
-// (snapshot-covered + replayed) it reflects.
+// replayed through UpdateBatch. Returns the sketch and the raw stream
+// position it reflects — the exact position to re-feed from. A torn tail
+// is dropped from the log in the process, so post-recovery appends land on
+// a clean record boundary.
 func (w *WAL) Recover(factory Factory) (Sketch, int, error) {
 	sk := factory()
 	if w.snapshot != nil {
@@ -171,9 +218,15 @@ func (w *WAL) Recover(factory Factory) (Sketch, int, error) {
 			return nil, 0, fmt.Errorf("wal: snapshot restore: %w", err)
 		}
 	}
-	ups := w.replayLog()
+	ups, endPos, validLen := w.replayLog()
 	if len(ups) > 0 {
 		sk.UpdateBatch(ups)
 	}
-	return sk, w.snapUpdates + len(ups), nil
+	// Resync the mirror to the valid prefix: the torn bytes are gone for
+	// good (their updates were never acknowledged as durable), and new
+	// appends must not land after an undecodable record.
+	w.log = w.log[:validLen]
+	w.pos = endPos
+	w.logUpdates = len(ups)
+	return sk, endPos, nil
 }

@@ -15,9 +15,12 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ups, rest, ok := decodeBatch(data)
+		ups, pos, rest, ok := decodeBatch(data)
 		if !ok {
 			return
+		}
+		if pos < 0 {
+			t.Fatalf("decode produced negative position %d", pos)
 		}
 		// A valid frame must fully consume its declared payload.
 		if len(ups)+len(rest) > len(data) {

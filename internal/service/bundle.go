@@ -1,0 +1,247 @@
+// Package service is the concurrent multi-tenant sketch service: a
+// registry of tenant bundles, each fed by a single-writer ingest loop with
+// a bounded queue, durable through a disk-backed WAL, and queryable
+// against epoch-cloned snapshots that never block ingest. Everything in
+// the service leans on AGM linearity: durable replay is bit-identical to
+// the lost state, epoch clones are true point-in-time copies, and re-feeds
+// from the durable position are exact, not approximate.
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"graphsketch"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
+)
+
+// BundleConfig fixes a tenant's sketch shape. Every replica (and every
+// recovery) must use the same config — the compact payload pins it so a
+// mismatched merge fails loudly instead of aliasing hash space.
+type BundleConfig struct {
+	// N is the vertex universe size.
+	N int `json:"n"`
+	// K is the min-cut sketch's edge-connectivity bound (NewMinCutSketchK).
+	K int `json:"k"`
+	// Eps is the sparsifier's accuracy parameter.
+	Eps float64 `json:"eps"`
+	// SpannerK is the Baswana–Sen stretch parameter (spanner queries build
+	// a (2k-1)-spanner from the bundle's coalesced update log).
+	SpannerK int `json:"spanner_k"`
+	// Seed derives all hash functions.
+	Seed uint64 `json:"seed"`
+}
+
+// DefaultBundleConfig sizes a bundle for interactive use on n vertices.
+func DefaultBundleConfig(n int, seed uint64) BundleConfig {
+	return BundleConfig{N: n, K: 6, Eps: 1.0, SpannerK: 2, Seed: seed}
+}
+
+// Bundle is one tenant's sketch state: a min-cut sketch, a cut sparsifier,
+// and a coalesced update log for multi-pass spanner construction. It
+// implements runtime.Sketch, so the WAL machinery recovers it
+// bit-identically, plus Clone for epoch snapshots and Footprint for
+// budget accounting.
+type Bundle struct {
+	cfg BundleConfig
+	mc  *graphsketch.MinCutSketch
+	sp  *graphsketch.SimpleSparsifier
+	// spLog is the coalesced live edge set as a replayable stream — the
+	// Baswana–Sen construction is r-adaptive (multi-pass), so it cannot run
+	// off a linear sketch alone. Appends accumulate and re-coalesce once
+	// the log doubles, keeping it O(live edges), not O(stream length).
+	spLog     []stream.Update
+	coalesced int // prefix length known coalesced
+}
+
+// NewBundle creates an empty bundle with the given shape.
+func NewBundle(cfg BundleConfig) *Bundle {
+	return &Bundle{
+		cfg: cfg,
+		mc:  graphsketch.NewMinCutSketchK(cfg.N, cfg.K, cfg.Seed),
+		sp:  graphsketch.NewSimpleSparsifier(cfg.N, cfg.Eps, cfg.Seed),
+	}
+}
+
+// Config returns the bundle's shape.
+func (b *Bundle) Config() BundleConfig { return b.cfg }
+
+// UpdateBatch applies one batch to every member sketch and the spanner log.
+func (b *Bundle) UpdateBatch(ups []stream.Update) {
+	if len(ups) == 0 {
+		return
+	}
+	b.mc.UpdateBatch(ups)
+	b.sp.UpdateBatch(ups)
+	b.spLog = append(b.spLog, ups...)
+	if len(b.spLog) >= 64 && len(b.spLog) >= 2*b.coalesced {
+		b.coalesceLog()
+	}
+}
+
+// coalesceLog rewrites the spanner log as the sorted net edge set.
+func (b *Bundle) coalesceLog() {
+	if b.coalesced == len(b.spLog) {
+		return
+	}
+	co := (&stream.Stream{N: b.cfg.N, Updates: b.spLog}).Coalesce()
+	b.spLog = co.Updates
+	b.coalesced = len(co.Updates)
+}
+
+// Clone deep-copies the bundle — the epoch-snapshot primitive. The clone
+// shares nothing mutable with the original, so queries against it never
+// block (or observe) ingest.
+func (b *Bundle) Clone() *Bundle {
+	return &Bundle{
+		cfg:       b.cfg,
+		mc:        b.mc.Clone(),
+		sp:        b.sp.Clone(),
+		spLog:     append([]stream.Update(nil), b.spLog...),
+		coalesced: b.coalesced,
+	}
+}
+
+// MinCut estimates the global min cut from the bundle's epoch state.
+func (b *Bundle) MinCut() (graphsketch.MinCutResult, error) { return b.mc.MinCut() }
+
+// Sparsify recovers the cut sparsifier's graph.
+func (b *Bundle) Sparsify() (*graphsketch.Graph, error) { return b.sp.Sparsify() }
+
+// Spanner builds a (2k-1)-spanner from the coalesced update log. The log's
+// vertex range is validated here, not at decode time: a merged payload
+// vouches for its own section, and this is the deliberate corrupt-payload
+// fixture the service's panic-isolation middleware is tested against.
+func (b *Bundle) Spanner() graphsketch.SpannerResult {
+	// Range-check before coalescing: the edge-index round-trip inside
+	// Coalesce is only a bijection on in-range vertices, so an out-of-range
+	// entry must be caught while it is still recognizable.
+	for _, u := range b.spLog {
+		if u.U < 0 || u.U >= b.cfg.N || u.V < 0 || u.V >= b.cfg.N {
+			panic(fmt.Sprintf("service: corrupt spanner log: vertex (%d,%d) out of range [0,%d)", u.U, u.V, b.cfg.N))
+		}
+	}
+	b.coalesceLog()
+	st := &stream.Stream{N: b.cfg.N, Updates: b.spLog}
+	return graphsketch.BaswanaSenSpanner(st, b.cfg.SpannerK, b.cfg.Seed)
+}
+
+// Footprint accumulates the member sketches' resident/wire sizes plus the
+// spanner log (24 bytes per buffered update).
+func (b *Bundle) Footprint() graphsketch.Footprint {
+	fp := b.mc.Footprint()
+	fp.Accum(b.sp.Footprint())
+	fp.ResidentBytes += int64(len(b.spLog)) * 24
+	return fp
+}
+
+// ResidentBytes is the budget-accounting scalar (admission control and
+// evict-coldest run on it).
+func (b *Bundle) ResidentBytes() int64 { return b.Footprint().ResidentBytes }
+
+// MarshalBinaryCompact encodes the bundle: config header, then
+// length-prefixed member payloads, then the coalesced spanner log. The
+// encoding is canonical (members marshal canonically, the log is coalesced
+// and sorted first), which is what makes bit-identity assertions
+// meaningful end to end.
+func (b *Bundle) MarshalBinaryCompact() ([]byte, error) {
+	b.coalesceLog()
+	mcB, err := b.mc.MarshalBinaryCompact()
+	if err != nil {
+		return nil, err
+	}
+	spB, err := b.sp.MarshalBinaryCompact()
+	if err != nil {
+		return nil, err
+	}
+	out := wire.AppendUvarint(nil, uint64(b.cfg.N))
+	out = wire.AppendUvarint(out, uint64(b.cfg.K))
+	out = wire.AppendUvarint(out, math.Float64bits(b.cfg.Eps))
+	out = wire.AppendUvarint(out, uint64(b.cfg.SpannerK))
+	out = wire.AppendUvarint(out, b.cfg.Seed)
+	out = wire.AppendUvarint(out, uint64(len(mcB)))
+	out = append(out, mcB...)
+	out = wire.AppendUvarint(out, uint64(len(spB)))
+	out = append(out, spB...)
+	out = wire.AppendUvarint(out, uint64(len(b.spLog)))
+	for _, u := range b.spLog {
+		out = wire.AppendUvarint(out, uint64(u.U))
+		out = wire.AppendUvarint(out, uint64(u.V))
+		out = wire.AppendUvarint(out, wire.Zigzag(u.Delta))
+	}
+	return out, nil
+}
+
+// MergeBytes folds an encoded bundle into this one (linear: sketch states
+// add, spanner logs concatenate and re-coalesce). The config header must
+// match exactly; byte-level corruption in the member payloads errors (the
+// members' decoders are hardened). The spanner-log section's vertex range
+// is deliberately trusted here and checked at Spanner() time — see there.
+func (b *Bundle) MergeBytes(data []byte) error {
+	hdr := []uint64{uint64(b.cfg.N), uint64(b.cfg.K), math.Float64bits(b.cfg.Eps), uint64(b.cfg.SpannerK), b.cfg.Seed}
+	for _, want := range hdr {
+		got, rest, err := wire.Uvarint(data)
+		if err != nil {
+			return fmt.Errorf("service: bundle header: %w", err)
+		}
+		if got != want {
+			return fmt.Errorf("service: bundle config mismatch (%d != %d): %w", got, want, graphsketch.ErrBadEncoding)
+		}
+		data = rest
+	}
+	mcB, data, err := lengthPrefixed(data)
+	if err != nil {
+		return fmt.Errorf("service: bundle mincut section: %w", err)
+	}
+	spB, data, err := lengthPrefixed(data)
+	if err != nil {
+		return fmt.Errorf("service: bundle sparsifier section: %w", err)
+	}
+	count, data, err := wire.Uvarint(data)
+	if err != nil || count > uint64(len(data)) {
+		return fmt.Errorf("service: bundle spanner log: %w", graphsketch.ErrBadEncoding)
+	}
+	ups := make([]stream.Update, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var u, v, zd uint64
+		if u, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("service: bundle spanner log: %w", err)
+		}
+		if v, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("service: bundle spanner log: %w", err)
+		}
+		if zd, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("service: bundle spanner log: %w", err)
+		}
+		ups = append(ups, stream.Update{U: int(u), V: int(v), Delta: wire.Unzigzag(zd)})
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("service: bundle trailing bytes: %w", graphsketch.ErrBadEncoding)
+	}
+	// Merge into clones and swap, so a corrupt member payload cannot leave
+	// the bundle half-merged.
+	mc2, sp2 := b.mc.Clone(), b.sp.Clone()
+	if err := mc2.MergeBytes(mcB); err != nil {
+		return err
+	}
+	if err := sp2.MergeBytes(spB); err != nil {
+		return err
+	}
+	b.mc, b.sp = mc2, sp2
+	b.spLog = append(b.spLog, ups...)
+	b.coalesced = 0
+	return nil
+}
+
+// lengthPrefixed splits one uvarint-length-prefixed section off data.
+func lengthPrefixed(data []byte) (section, rest []byte, err error) {
+	n, rest, err := wire.Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, graphsketch.ErrBadEncoding
+	}
+	return rest[:n], rest[n:], nil
+}

@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"graphsketch/internal/runtime"
+	"graphsketch/internal/stream"
+)
+
+// chaosConfig keeps snapshot/epoch cadence small so every seed crosses
+// several snapshot generations before the kill.
+func chaosConfig(dir string) Config {
+	return Config{
+		Dir:           dir,
+		Bundle:        testBundleConfig(),
+		SnapshotEvery: 220,
+		EpochEvery:    90,
+		Fsync:         runtime.FsyncNever, // SIGKILL-safe under any policy; cheapest for tests
+		QueryTimeout:  30 * time.Second,
+	}
+}
+
+// referencePayload ingests the whole stream uninterrupted and returns the
+// canonical sealed payload — the bit-identity oracle.
+func referencePayload(t *testing.T, st *stream.Stream) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := NewServer(chaosConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for pos := 0; pos < len(st.Updates); {
+		end := min(pos+67, len(st.Updates))
+		if _, err := s.Ingest(ctx, "t", pos, st.Updates[pos:end]); err != nil {
+			t.Fatalf("reference ingest: %v", err)
+		}
+		pos = end
+	}
+	payload, pos, err := s.Payload(ctx, "t")
+	if err != nil || pos != len(st.Updates) {
+		t.Fatalf("reference payload: pos=%d err=%v", pos, err)
+	}
+	s.Drain(ctx)
+	return payload
+}
+
+// TestChaosKillRestartRefeed is the service-level recovery guarantee, run
+// for 8 pinned seeds: SIGKILL the server mid-ingest at a seeded batch
+// offset (sometimes tearing the killed log's tail, modeling a crash inside
+// write(2)), restart on the same directory, re-feed ONLY the
+// unacknowledged suffix from the reported durable position, and require
+// the final payload to be bit-identical to an uninterrupted run.
+func TestChaosKillRestartRefeed(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		st := bundleStream(seed)
+		want := referencePayload(t, st)
+		dir := t.TempDir()
+		ctx := context.Background()
+		batch := 67
+
+		// Phase 1: feed until the seeded kill offset, then kill while one
+		// more batch is in flight — that batch's fate (durable or lost) is
+		// exactly what the position handshake resolves.
+		s1, err := NewServer(chaosConfig(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		killAt := int(seed*131) % (len(st.Updates) / 2)
+		pos := 0
+		for pos < killAt {
+			end := min(pos+batch, killAt)
+			if _, err := s1.Ingest(ctx, "t", pos, st.Updates[pos:end]); err != nil {
+				t.Fatalf("seed %d: ingest: %v", seed, err)
+			}
+			pos = end
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			end := min(pos+batch, len(st.Updates))
+			_, err := s1.Ingest(ctx, "t", pos, st.Updates[pos:end])
+			if err != nil && !errors.Is(err, ErrKilled) && !errors.Is(err, ErrPositionConflict) {
+				t.Errorf("seed %d: in-flight ingest: %v", seed, err)
+			}
+		}()
+		s1.Kill()
+		wg.Wait()
+
+		// Seeded torn tail: some seeds also lose the final bytes of the
+		// log, as a real SIGKILL inside the write path would.
+		if seed%3 == 0 {
+			logPath := runtime.LogPath(s1.Config().Dir + "/t")
+			if fi, err := os.Stat(logPath); err == nil && fi.Size() > 40 {
+				if err := os.Truncate(logPath, fi.Size()-int64(5+seed)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		// Phase 2: restart, ask the server where its durable state ends,
+		// and re-feed only from there.
+		start := time.Now()
+		s2, err := NewServer(chaosConfig(dir))
+		if err != nil {
+			t.Fatalf("seed %d: restart: %v", seed, err)
+		}
+		tn, err := s2.Tenant("t", false)
+		if err != nil {
+			t.Fatalf("seed %d: reload: %v", seed, err)
+		}
+		refeedFrom := tn.Acked()
+		recovery := time.Since(start)
+		if refeedFrom > pos+batch {
+			t.Fatalf("seed %d: recovered position %d beyond fed prefix %d", seed, refeedFrom, pos+batch)
+		}
+		for p := refeedFrom; p < len(st.Updates); {
+			end := min(p+batch, len(st.Updates))
+			acked, err := s2.Ingest(ctx, "t", p, st.Updates[p:end])
+			if err != nil {
+				t.Fatalf("seed %d: re-feed: %v", seed, err)
+			}
+			p = acked
+		}
+		got, finalPos, err := s2.Payload(ctx, "t")
+		if err != nil {
+			t.Fatalf("seed %d: payload: %v", seed, err)
+		}
+		if finalPos != len(st.Updates) {
+			t.Fatalf("seed %d: final position %d, want %d", seed, finalPos, len(st.Updates))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: killed+recovered run not bit-identical (killAt=%d refeed=%d)", seed, killAt, refeedFrom)
+		}
+		s2.Drain(ctx)
+		t.Logf("seed %d: killAt=%d refeed_from=%d recovery=%s", seed, killAt, refeedFrom, recovery)
+	}
+}
+
+// TestChaosQueryWhileIngesting runs queries against epoch snapshots
+// concurrently with ingest and a mid-stream kill; under -race this pins
+// that snapshot publication and the single-writer loop share nothing
+// mutable with query goroutines, and that degraded answers report
+// coverage (staleness) instead of failing.
+func TestChaosQueryWhileIngesting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewServer(chaosConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st := bundleStream(99)
+
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tn, err := s.Tenant("t", false)
+				if err != nil {
+					continue // not created yet or mid-reload; retry
+				}
+				ep := tn.Snapshot()
+				if ep.Pos > tn.Acked() {
+					t.Error("epoch ahead of durable position")
+					return
+				}
+				if _, err := ep.MinCut(); err != nil {
+					t.Errorf("query during ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	half := len(st.Updates) / 2
+	for pos := 0; pos < half; {
+		end := min(pos+50, half)
+		if _, err := s.Ingest(ctx, "t", pos, st.Updates[pos:end]); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		pos = end
+	}
+	s.Kill()
+
+	s2, err := NewServer(chaosConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := s2.Tenant("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := tn.Acked(); p < len(st.Updates); {
+		end := min(p+50, len(st.Updates))
+		acked, err := s2.Ingest(ctx, "t", p, st.Updates[p:end])
+		if err != nil {
+			t.Fatalf("re-feed: %v", err)
+		}
+		p = acked
+	}
+	close(stop)
+	qwg.Wait()
+
+	got, _, err := s2.Payload(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, referencePayload(t, st)) {
+		t.Fatal("concurrent-query run not bit-identical")
+	}
+	s2.Drain(ctx)
+}
+
+// TestChaosDoubleKill kills, recovers, and kills again before the re-feed
+// finishes — the second recovery must still land on an exact position.
+func TestChaosDoubleKill(t *testing.T) {
+	st := bundleStream(55)
+	want := referencePayload(t, st)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1, err := NewServer(chaosConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := len(st.Updates) / 3
+	for pos := 0; pos < third; {
+		end := min(pos+67, third)
+		if _, err := s1.Ingest(ctx, "t", pos, st.Updates[pos:end]); err != nil {
+			t.Fatal(err)
+		}
+		pos = end
+	}
+	s1.Kill()
+
+	s2, err := NewServer(chaosConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := s2.Tenant("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tn.Acked()
+	for p < 2*third {
+		end := min(p+67, 2*third)
+		acked, err := s2.Ingest(ctx, "t", p, st.Updates[p:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p = acked
+	}
+	s2.Kill()
+
+	s3, err := NewServer(chaosConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err = s3.Tenant("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := tn.Acked(); p < len(st.Updates); {
+		end := min(p+67, len(st.Updates))
+		acked, err := s3.Ingest(ctx, "t", p, st.Updates[p:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p = acked
+	}
+	got, _, err := s3.Payload(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("double-kill run not bit-identical")
+	}
+	s3.Drain(ctx)
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"graphsketch/internal/stream"
+)
+
+// Client is the minimal HTTP client for a gsketch serve instance, used by
+// the chaos driver and the examples. It implements the exact re-feed
+// protocol: acks carry durable positions, and after a server restart the
+// caller re-syncs with Position and re-feeds only the unacknowledged
+// suffix.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:8080"
+	HC   *http.Client
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+// apiError carries the server's JSON error body plus the HTTP status.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("service: http %d: %s", e.Status, e.Msg) }
+
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = string(data)
+		}
+		return &apiError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = data
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Ingest sends one batch; at >= 0 asserts the current durable position.
+// Returns the acknowledged durable position.
+func (c *Client) Ingest(tenant string, at int, ups []stream.Update) (int, error) {
+	path := fmt.Sprintf("/v1/tenants/%s/updates", tenant)
+	if at >= 0 {
+		path += fmt.Sprintf("?at=%d", at)
+	}
+	var resp IngestResponse
+	if err := c.do(http.MethodPost, path, EncodeUpdates(ups), &resp); err != nil {
+		return 0, err
+	}
+	return resp.Acked, nil
+}
+
+// Position reports the tenant's durable position — the re-feed point.
+func (c *Client) Position(tenant string) (int, error) {
+	var resp IngestResponse
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/position", tenant), nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Acked, nil
+}
+
+// Payload fetches the tenant's sealed compact bundle payload.
+func (c *Client) Payload(tenant string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/payload", tenant), nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Merge posts a sealed bundle payload into the tenant.
+func (c *Client) Merge(tenant string, sealed []byte) (int, error) {
+	var resp IngestResponse
+	if err := c.do(http.MethodPost, fmt.Sprintf("/v1/tenants/%s/merge", tenant), sealed, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Acked, nil
+}
+
+// Flush forces a WAL snapshot.
+func (c *Client) Flush(tenant string) (int, error) {
+	var resp IngestResponse
+	if err := c.do(http.MethodPost, fmt.Sprintf("/v1/tenants/%s/flush", tenant), nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Acked, nil
+}
+
+// MinCut runs the mincut query.
+func (c *Client) MinCut(tenant string) (MinCutResponse, error) {
+	var resp MinCutResponse
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/query/mincut", tenant), nil, &resp)
+	return resp, err
+}
+
+// Sparsify runs the sparsify query.
+func (c *Client) Sparsify(tenant string) (SparsifyResponse, error) {
+	var resp SparsifyResponse
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/query/sparsify", tenant), nil, &resp)
+	return resp, err
+}
+
+// Spanner runs the spanner query.
+func (c *Client) Spanner(tenant string) (SpannerResponse, error) {
+	var resp SpannerResponse
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/query/spanner", tenant), nil, &resp)
+	return resp, err
+}
+
+// Footprint runs the footprint query.
+func (c *Client) Footprint(tenant string) (FootprintResponse, error) {
+	var resp FootprintResponse
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/query/footprint", tenant), nil, &resp)
+	return resp, err
+}
+
+// Healthz probes readiness.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the counter block.
+func (c *Client) Metrics() (MetricsResponse, error) {
+	var resp MetricsResponse
+	err := c.do(http.MethodGet, "/metricz", nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,341 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"graphsketch"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
+)
+
+// maxBodyBytes bounds request bodies so a hostile client cannot OOM the
+// server before decode hardening even sees the payload.
+const maxBodyBytes = 64 << 20
+
+// EncodeUpdates seals one update batch for the ingest endpoint:
+// envelope(uvarint count + (uvarint u, uvarint v, zigzag delta) each).
+func EncodeUpdates(ups []stream.Update) []byte {
+	payload := wire.AppendUvarint(nil, uint64(len(ups)))
+	for _, u := range ups {
+		payload = wire.AppendUvarint(payload, uint64(u.U))
+		payload = wire.AppendUvarint(payload, uint64(u.V))
+		payload = wire.AppendUvarint(payload, wire.Zigzag(u.Delta))
+	}
+	return wire.Seal(payload)
+}
+
+// DecodeUpdates inverts EncodeUpdates, rejecting corrupt envelopes and
+// malformed varint streams.
+func DecodeUpdates(sealed []byte) ([]stream.Update, error) {
+	payload, _, err := wire.Open(sealed)
+	if err != nil {
+		return nil, err
+	}
+	count, payload, err := wire.Uvarint(payload)
+	if err != nil || count > uint64(len(payload)) {
+		return nil, graphsketch.ErrBadEncoding
+	}
+	ups := make([]stream.Update, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var u, v, zd uint64
+		if u, payload, err = wire.Uvarint(payload); err != nil {
+			return nil, err
+		}
+		if v, payload, err = wire.Uvarint(payload); err != nil {
+			return nil, err
+		}
+		if zd, payload, err = wire.Uvarint(payload); err != nil {
+			return nil, err
+		}
+		ups = append(ups, stream.Update{U: int(u), V: int(v), Delta: wire.Unzigzag(zd)})
+	}
+	if len(payload) != 0 {
+		return nil, graphsketch.ErrBadEncoding
+	}
+	return ups, nil
+}
+
+// SealPayload wraps a compact bundle payload in the checksummed wire
+// envelope the merge and payload endpoints speak.
+func SealPayload(payload []byte) []byte { return wire.Seal(payload) }
+
+// DecodeSealed opens a sealed payload, verifying the envelope.
+func DecodeSealed(sealed []byte) ([]byte, error) {
+	payload, _, err := wire.Open(sealed)
+	return payload, err
+}
+
+// QueryMeta rides on every query response: which epoch served it and how
+// stale that epoch is relative to the durable position — degraded answers
+// report their coverage instead of failing.
+type QueryMeta struct {
+	Tenant    string `json:"tenant"`
+	Pos       int    `json:"pos"`
+	Acked     int    `json:"acked"`
+	Staleness int    `json:"staleness"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// MinCutResponse is the mincut query row.
+type MinCutResponse struct {
+	QueryMeta
+	Value        int64 `json:"value"`
+	Level        int   `json:"level"`
+	WitnessCut   int64 `json:"witness_cut"`
+	WitnessEdges int   `json:"witness_edges"`
+}
+
+// SparsifyResponse is the sparsify query row.
+type SparsifyResponse struct {
+	QueryMeta
+	Edges       int   `json:"edges"`
+	TotalWeight int64 `json:"total_weight"`
+}
+
+// SpannerResponse is the spanner query row.
+type SpannerResponse struct {
+	QueryMeta
+	Edges        int     `json:"edges"`
+	StretchBound float64 `json:"stretch_bound"`
+	Passes       int     `json:"passes"`
+}
+
+// FootprintResponse is the footprint query row, including the durable
+// byte split (snapshot vs log) so operators can see what recovery costs.
+type FootprintResponse struct {
+	QueryMeta
+	Footprint        graphsketch.Footprint `json:"footprint"`
+	WALDurable       int                   `json:"wal_durable_updates"`
+	WALReplay        int                   `json:"wal_replay_updates"`
+	WALLogBytes      int                   `json:"wal_log_bytes"`
+	WALSnapshotBytes int                   `json:"wal_snapshot_bytes"`
+}
+
+// IngestResponse acknowledges a durable batch (or, on a position conflict,
+// reports the authoritative position to re-sync from).
+type IngestResponse struct {
+	Acked int    `json:"acked"`
+	Error string `json:"error,omitempty"`
+}
+
+// MetricsResponse is the /metricz row.
+type MetricsResponse struct {
+	IngestBatches  int64    `json:"ingest_batches"`
+	IngestUpdates  int64    `json:"ingest_updates"`
+	IngestRejected int64    `json:"ingest_rejected"`
+	Queries        int64    `json:"queries"`
+	QueryPanics    int64    `json:"query_panics"`
+	QueryTimeouts  int64    `json:"query_timeouts"`
+	Evictions      int64    `json:"evictions"`
+	Recoveries     int64    `json:"recoveries"`
+	Tenants        []string `json:"tenants"`
+	Draining       bool     `json:"draining"`
+}
+
+// Handler builds the service's HTTP surface. Every route runs under the
+// middleware: a per-request deadline and panic isolation — a panicking
+// handler (e.g. a query tripping over a corrupt merged payload) poisons
+// exactly one response, bumps a metric, and the server keeps serving.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{tenant}/updates", s.handleIngest)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/merge", s.handleMerge)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/flush", s.handleFlush)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/payload", s.handlePayload)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/position", s.handlePosition)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/query/{op}", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricz", s.handleMetrics)
+	return s.middleware(mux)
+}
+
+// middleware applies the request deadline and the panic boundary.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.QueryPanics.Add(1)
+				writeJSON(w, http.StatusInternalServerError, map[string]string{
+					"error": fmt.Sprintf("internal error: %v", rec),
+				})
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// httpStatus maps service errors onto status codes.
+func (s *Server) httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadTenantName), errors.Is(err, graphsketch.ErrBadEncoding), errors.Is(err, wire.ErrBadEncoding):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrPositionConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrTenantBudget), errors.Is(err, ErrGlobalBudget):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrKilled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.QueryTimeouts.Add(1)
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	writeJSON(w, s.httpStatus(err), map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ups, err := DecodeUpdates(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	at := -1
+	if q := r.URL.Query().Get("at"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &at); err != nil {
+			s.fail(w, fmt.Errorf("bad at=%q: %w", q, graphsketch.ErrBadEncoding))
+			return
+		}
+	}
+	pos, err := s.Ingest(r.Context(), r.PathValue("tenant"), at, ups)
+	if err != nil {
+		writeJSON(w, s.httpStatus(err), IngestResponse{Acked: pos, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Acked: pos})
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	pos, err := s.Merge(r.Context(), r.PathValue("tenant"), body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Acked: pos})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	pos, err := s.Flush(r.Context(), r.PathValue("tenant"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Acked: pos})
+}
+
+func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
+	sealed, pos, err := s.Payload(r.Context(), r.PathValue("tenant"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Gsketch-Pos", fmt.Sprint(pos))
+	w.Write(sealed)
+}
+
+func (s *Server) handlePosition(w http.ResponseWriter, r *http.Request) {
+	t, err := s.Tenant(r.PathValue("tenant"), false)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Acked: t.Acked()})
+}
+
+// handleQuery serves the four read operations against the tenant's
+// freshest epoch clone — never the live bundle, so it never blocks (or
+// observes a torn state from) the single writer.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.met.Queries.Add(1)
+	t, err := s.Tenant(r.PathValue("tenant"), false)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ep := t.Snapshot()
+	meta := QueryMeta{Tenant: t.Name(), Pos: ep.Pos, Acked: t.Acked(), Epoch: ep.Seq}
+	meta.Staleness = meta.Acked - meta.Pos
+	switch op := r.PathValue("op"); op {
+	case "mincut":
+		res, err := ep.MinCut()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, MinCutResponse{QueryMeta: meta, Value: res.Value, Level: res.Level, WitnessCut: res.WitnessCut, WitnessEdges: res.WitnessEdges})
+	case "sparsify":
+		g, err := ep.Sparsify()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SparsifyResponse{QueryMeta: meta, Edges: g.NumEdges(), TotalWeight: g.TotalWeight()})
+	case "spanner":
+		res := ep.Spanner()
+		writeJSON(w, http.StatusOK, SpannerResponse{QueryMeta: meta, Edges: res.Spanner.NumEdges(), StretchBound: res.StretchBound, Passes: res.Passes})
+	case "footprint":
+		durable, logB, snapB, replay, err := s.WALStats(r.Context(), t.Name())
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, FootprintResponse{
+			QueryMeta: meta, Footprint: ep.Footprint(),
+			WALDurable: durable, WALReplay: replay, WALLogBytes: logB, WALSnapshotBytes: snapB,
+		})
+	default:
+		s.fail(w, fmt.Errorf("unknown query %q: %w", op, graphsketch.ErrBadEncoding))
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "tenants": len(s.TenantNames())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		IngestBatches:  s.met.IngestBatches.Load(),
+		IngestUpdates:  s.met.IngestUpdates.Load(),
+		IngestRejected: s.met.IngestRejected.Load(),
+		Queries:        s.met.Queries.Load(),
+		QueryPanics:    s.met.QueryPanics.Load(),
+		QueryTimeouts:  s.met.QueryTimeouts.Load(),
+		Evictions:      s.met.Evictions.Load(),
+		Recoveries:     s.met.Recoveries.Load(),
+		Tenants:        s.TenantNames(),
+		Draining:       s.Draining(),
+	})
+}

@@ -1,0 +1,609 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphsketch"
+	"graphsketch/internal/runtime"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dir is the data root; each tenant's WAL lives under Dir/<tenant>/.
+	Dir string
+	// Bundle is the sketch shape given to every tenant.
+	Bundle BundleConfig
+	// Queue is the per-tenant ingest queue capacity in batches (default
+	// 64). A full queue is backpressure: senders block up to their
+	// deadline, they do not buffer unboundedly.
+	Queue int
+	// Fsync and FsyncEvery configure WAL durability (runtime.DiskConfig).
+	Fsync      runtime.FsyncPolicy
+	FsyncEvery int
+	// SnapshotEvery triggers a WAL snapshot after that many ingested
+	// updates (default 4096); it bounds recovery replay.
+	SnapshotEvery int
+	// EpochEvery publishes a fresh read-only epoch clone after that many
+	// ingested updates (default 256); it bounds query staleness.
+	EpochEvery int
+	// TenantBudget caps one tenant's resident bytes (0 = unlimited);
+	// ingest beyond it is rejected.
+	TenantBudget int64
+	// GlobalBudget caps the sum of resident bytes across loaded tenants
+	// (0 = unlimited); crossing it evicts the coldest tenant to disk, and
+	// rejects if eviction cannot free enough.
+	GlobalBudget int64
+	// QueryTimeout is the per-request deadline the HTTP middleware applies
+	// (default 10s).
+	QueryTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
+	if c.EpochEvery <= 0 {
+		c.EpochEvery = 256
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.Bundle.N <= 0 {
+		c.Bundle = DefaultBundleConfig(64, 1)
+	}
+	return c
+}
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	ErrDraining         = errors.New("service: draining, intake stopped")
+	ErrKilled           = errors.New("service: server killed")
+	ErrUnknownTenant    = errors.New("service: unknown tenant")
+	ErrBadTenantName    = errors.New("service: bad tenant name")
+	ErrTenantBudget     = errors.New("service: tenant memory budget exceeded")
+	ErrGlobalBudget     = errors.New("service: global memory budget exceeded")
+	ErrPositionConflict = errors.New("service: position conflict")
+)
+
+// Metrics are the server's monotone counters, all atomics so the HTTP
+// layer reads them without locks.
+type Metrics struct {
+	IngestBatches  atomic.Int64
+	IngestUpdates  atomic.Int64
+	IngestRejected atomic.Int64
+	Queries        atomic.Int64
+	QueryPanics    atomic.Int64
+	QueryTimeouts  atomic.Int64
+	Evictions      atomic.Int64
+	Recoveries     atomic.Int64
+}
+
+// Epoch is one published point-in-time snapshot: a bundle clone frozen at
+// an exact stream position. Queries serve from the freshest epoch and
+// report its staleness rather than blocking on (or racing with) the
+// writer. The bundle's logical state is immutable here, but query
+// execution mutates decode scratch inside the sketches, so concurrent
+// queries on one epoch are serialized by the epoch's mutex — never
+// against the writer, which owns a different bundle.
+type Epoch struct {
+	Bundle *Bundle
+	Pos    int
+	Seq    uint64
+
+	mu sync.Mutex
+}
+
+// MinCut runs the mincut query against the frozen epoch state.
+func (e *Epoch) MinCut() (graphsketch.MinCutResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Bundle.MinCut()
+}
+
+// Sparsify recovers the epoch's cut sparsifier.
+func (e *Epoch) Sparsify() (*graphsketch.Graph, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Bundle.Sparsify()
+}
+
+// Spanner builds the epoch's spanner (panics on the corrupt-log fixture;
+// the HTTP middleware turns that into one failed response).
+func (e *Epoch) Spanner() graphsketch.SpannerResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Bundle.Spanner()
+}
+
+// Footprint reports the epoch bundle's memory accounting.
+func (e *Epoch) Footprint() graphsketch.Footprint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Bundle.Footprint()
+}
+
+// tenant is one keyed sketch registry entry. All mutable sketch state is
+// owned by the single writer goroutine; everything crossing the boundary
+// is either a queue op or an atomic.
+type tenant struct {
+	name string
+	srv  *Server
+
+	queue chan op
+	stop  chan struct{} // drain/evict: writer flushes and exits
+	done  chan struct{} // closed when the writer has exited
+
+	snap     atomic.Pointer[Epoch]
+	acked    atomic.Int64 // durable stream position
+	resident atomic.Int64 // budget-accounting bytes, updated per batch
+	touched  atomic.Int64 // logical clock of last use (evict-coldest key)
+	closing  atomic.Bool
+
+	stopOnce sync.Once
+}
+
+type op struct {
+	ups      []stream.Update
+	expectAt int // required current position, -1 to skip the check
+	// fn runs serialized with ingest in the writer goroutine (merge,
+	// payload capture, forced flush). Exactly one of ups/fn is set.
+	fn    func(w *runtime.DiskWAL, live *Bundle) error
+	reply chan opResult
+}
+
+type opResult struct {
+	pos int
+	err error
+}
+
+// Server is the multi-tenant sketch service.
+type Server struct {
+	cfg Config
+	met Metrics
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	draining atomic.Bool
+	killed   chan struct{}
+	killOnce sync.Once
+	clock    atomic.Int64
+}
+
+// NewServer creates a server rooted at cfg.Dir (created if missing).
+// Existing tenant directories are opened lazily on first touch.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("service: config needs a data dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, tenants: make(map[string]*tenant), killed: make(chan struct{})}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics exposes the counter block.
+func (s *Server) Metrics() *Metrics { return &s.met }
+
+var tenantNameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// tenantDir maps a validated tenant name to its WAL directory.
+func (s *Server) tenantDir(name string) string { return filepath.Join(s.cfg.Dir, name) }
+
+// Tenant returns the named tenant, loading it from disk (recovery) or
+// creating it fresh when create is set. A tenant evicted to disk is
+// transparently reloaded — eviction is a memory decision, not data loss.
+func (s *Server) Tenant(name string, create bool) (*tenant, error) {
+	if !tenantNameRe.MatchString(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTenantName, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		t, ok := s.tenants[name]
+		if !ok {
+			break
+		}
+		if !t.closing.Load() {
+			t.touched.Store(s.clock.Add(1))
+			return t, nil
+		}
+		// Mid-eviction: the writer still owns the WAL directory. Wait for
+		// it to finish closing before reopening, or two writers would race
+		// on the same files.
+		s.mu.Unlock()
+		<-t.done
+		s.mu.Lock()
+		if s.tenants[name] == t {
+			delete(s.tenants, name)
+		}
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	onDisk := false
+	if _, err := os.Stat(runtime.LogPath(s.tenantDir(name))); err == nil {
+		onDisk = true
+	}
+	if !onDisk && !create {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	wal, err := runtime.OpenDiskWAL(s.tenantDir(name), s.cfg.Bundle.N, runtime.DiskConfig{Policy: s.cfg.Fsync, Every: s.cfg.FsyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	sk, pos, err := wal.Recover(func() runtime.Sketch { return NewBundle(s.cfg.Bundle) })
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if onDisk {
+		s.met.Recoveries.Add(1)
+	}
+	live := sk.(*Bundle)
+	t := &tenant{
+		name:  name,
+		srv:   s,
+		queue: make(chan op, s.cfg.Queue),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	t.acked.Store(int64(pos))
+	t.resident.Store(live.ResidentBytes())
+	t.touched.Store(s.clock.Add(1))
+	t.snap.Store(&Epoch{Bundle: live.Clone(), Pos: pos, Seq: 1})
+	s.tenants[name] = t
+	go t.run(wal, live)
+	return t, nil
+}
+
+// Snapshot returns the tenant's freshest published epoch.
+func (t *tenant) Snapshot() *Epoch { return t.snap.Load() }
+
+// Acked returns the tenant's durable stream position — the exact position
+// a client re-feeds from after a restart.
+func (t *tenant) Acked() int { return int(t.acked.Load()) }
+
+// Name returns the tenant key.
+func (t *tenant) Name() string { return t.name }
+
+// run is the tenant's single-writer loop: the only goroutine that touches
+// the WAL and the live bundle. It exits on stop (drain/evict: flush,
+// snapshot, close) or on kill (abandon everything mid-flight — the
+// SIGKILL model the chaos suite recovers from).
+func (t *tenant) run(wal *runtime.DiskWAL, live *Bundle) {
+	defer close(t.done)
+	sinceSnap, sincePub := 0, 0
+	for {
+		select {
+		case <-t.srv.killed:
+			return
+		case o := <-t.queue:
+			t.apply(o, wal, live, &sinceSnap, &sincePub)
+		case <-t.stop:
+			for {
+				select {
+				case <-t.srv.killed:
+					return
+				case o := <-t.queue:
+					t.apply(o, wal, live, &sinceSnap, &sincePub)
+				default:
+					if sinceSnap > 0 {
+						wal.Snapshot(live)
+					}
+					wal.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply executes one op in the writer goroutine. Ingest is WAL-first: the
+// append must be durable before the sketch moves or the ack is sent.
+func (t *tenant) apply(o op, wal *runtime.DiskWAL, live *Bundle, sinceSnap, sincePub *int) {
+	if o.fn != nil {
+		err := o.fn(wal, live)
+		t.finish(wal, live)
+		o.reply <- opResult{pos: wal.DurableUpdates(), err: err}
+		return
+	}
+	if o.expectAt >= 0 && o.expectAt != wal.DurableUpdates() {
+		o.reply <- opResult{pos: wal.DurableUpdates(), err: ErrPositionConflict}
+		return
+	}
+	if err := wal.Append(o.ups); err != nil {
+		o.reply <- opResult{pos: wal.DurableUpdates(), err: err}
+		return
+	}
+	live.UpdateBatch(o.ups)
+	*sinceSnap += len(o.ups)
+	*sincePub += len(o.ups)
+	if *sinceSnap >= t.srv.cfg.SnapshotEvery {
+		if err := wal.Snapshot(live); err == nil {
+			*sinceSnap = 0
+		}
+	}
+	if *sincePub >= t.srv.cfg.EpochEvery {
+		t.publish(wal, live)
+		*sincePub = 0
+	}
+	t.finish(wal, live)
+	t.srv.met.IngestBatches.Add(1)
+	t.srv.met.IngestUpdates.Add(int64(len(o.ups)))
+	o.reply <- opResult{pos: wal.DurableUpdates()}
+}
+
+// finish refreshes the tenant's cross-goroutine mirrors after any op.
+func (t *tenant) finish(wal *runtime.DiskWAL, live *Bundle) {
+	t.acked.Store(int64(wal.DurableUpdates()))
+	t.resident.Store(live.ResidentBytes())
+}
+
+// publish installs a fresh epoch clone for queries.
+func (t *tenant) publish(wal *runtime.DiskWAL, live *Bundle) {
+	prev := t.snap.Load()
+	var seq uint64 = 1
+	if prev != nil {
+		seq = prev.Seq + 1
+	}
+	t.snap.Store(&Epoch{Bundle: live.Clone(), Pos: wal.DurableUpdates(), Seq: seq})
+}
+
+// submit enqueues an op and waits for the writer's reply, honoring the
+// context deadline both while backpressured on a full queue and while
+// waiting for the ack.
+func (t *tenant) submit(ctx context.Context, o op) (int, error) {
+	select {
+	case t.queue <- o:
+	case <-t.stop:
+		return 0, ErrDraining
+	case <-t.srv.killed:
+		return 0, ErrKilled
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case r := <-o.reply:
+		return r.pos, r.err
+	case <-t.srv.killed:
+		// The batch may or may not be durable; the client must re-sync via
+		// Acked after the restart — exactly the unacknowledged window the
+		// chaos suite re-feeds.
+		return 0, ErrKilled
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Ingest appends one batch to a tenant's stream. expectAt >= 0 asserts the
+// tenant's current durable position (the exact re-feed handshake); pass -1
+// to skip the check. Returns the durable position after the batch — the
+// acknowledgement.
+func (s *Server) Ingest(ctx context.Context, tenantName string, expectAt int, ups []stream.Update) (int, error) {
+	if s.draining.Load() {
+		s.met.IngestRejected.Add(1)
+		return 0, ErrDraining
+	}
+	t, err := s.Tenant(tenantName, true)
+	if err != nil {
+		s.met.IngestRejected.Add(1)
+		return 0, err
+	}
+	if err := s.admit(t); err != nil {
+		s.met.IngestRejected.Add(1)
+		return 0, err
+	}
+	return t.submit(ctx, op{ups: ups, expectAt: expectAt, reply: make(chan opResult, 1)})
+}
+
+// Merge folds a sealed bundle payload into a tenant (serialized with its
+// ingest) and snapshots immediately so the merged state is durable — merge
+// bytes never travel through the update log.
+func (s *Server) Merge(ctx context.Context, tenantName string, sealed []byte) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	payload, _, err := wire.Open(sealed)
+	if err != nil {
+		return 0, err
+	}
+	t, err := s.Tenant(tenantName, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.admit(t); err != nil {
+		return 0, err
+	}
+	return t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		if err := live.MergeBytes(payload); err != nil {
+			return err
+		}
+		t.publish(w, live)
+		return w.Snapshot(live)
+	}})
+}
+
+// Payload captures the tenant's sealed compact bundle payload at its exact
+// current position (serialized with ingest, so no torn reads).
+func (s *Server) Payload(ctx context.Context, tenantName string) ([]byte, int, error) {
+	t, err := s.Tenant(tenantName, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	var sealed []byte
+	pos, err := t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		b, err := live.MarshalBinaryCompact()
+		if err != nil {
+			return err
+		}
+		sealed = wire.Seal(b)
+		return nil
+	}})
+	if err != nil {
+		return nil, 0, err
+	}
+	return sealed, pos, nil
+}
+
+// Flush forces a WAL snapshot for a tenant (exposed for the drain path and
+// operational tooling).
+func (s *Server) Flush(ctx context.Context, tenantName string) (int, error) {
+	t, err := s.Tenant(tenantName, false)
+	if err != nil {
+		return 0, err
+	}
+	return t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		t.publish(w, live)
+		return w.Snapshot(live)
+	}})
+}
+
+// WALStats reports a tenant's durable byte split for observability rows.
+func (s *Server) WALStats(ctx context.Context, tenantName string) (durable, logBytes, snapBytes, replay int, err error) {
+	t, err := s.Tenant(tenantName, false)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	_, err = t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		durable, logBytes, snapBytes, replay = w.DurableUpdates(), w.LogBytes(), w.SnapshotBytes(), w.ReplayUpdates()
+		return nil
+	}})
+	return durable, logBytes, snapBytes, replay, err
+}
+
+// admit enforces the memory budgets before a mutation is queued: a tenant
+// over its own budget is rejected; a global overrun first evicts the
+// coldest other tenant to disk and only rejects if that cannot free
+// enough.
+func (s *Server) admit(t *tenant) error {
+	if b := s.cfg.TenantBudget; b > 0 && t.resident.Load() > b {
+		return fmt.Errorf("%w: tenant %q resident %d > %d", ErrTenantBudget, t.name, t.resident.Load(), b)
+	}
+	if b := s.cfg.GlobalBudget; b > 0 {
+		for s.globalResident() > b {
+			if !s.evictColdest(t.name) {
+				return fmt.Errorf("%w: resident %d > %d and nothing evictable", ErrGlobalBudget, s.globalResident(), b)
+			}
+		}
+	}
+	return nil
+}
+
+// globalResident sums resident bytes across loaded tenants.
+func (s *Server) globalResident() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for _, t := range s.tenants {
+		sum += t.resident.Load()
+	}
+	return sum
+}
+
+// evictColdest flushes the least-recently-touched loaded tenant (other
+// than keep) to disk and unloads it. Returns false when there is no
+// candidate.
+func (s *Server) evictColdest(keep string) bool {
+	s.mu.Lock()
+	var victim *tenant
+	for _, t := range s.tenants {
+		if t.name == keep || t.closing.Load() {
+			continue
+		}
+		if victim == nil || t.touched.Load() < victim.touched.Load() {
+			victim = t
+		}
+	}
+	if victim != nil {
+		// The entry stays in the map (closing) until the writer has closed
+		// the WAL; Tenant waits on done before reopening the directory.
+		victim.closing.Store(true)
+	}
+	s.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	victim.stopOnce.Do(func() { close(victim.stop) })
+	<-victim.done
+	s.mu.Lock()
+	if s.tenants[victim.name] == victim {
+		delete(s.tenants, victim.name)
+	}
+	s.mu.Unlock()
+	s.met.Evictions.Add(1)
+	return true
+}
+
+// Draining reports whether intake has been stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the service down: stop intake, let every writer
+// flush its queue, snapshot, and close its WAL. Safe to call once; after
+// it returns the data directory is a clean cold start.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	for _, t := range ts {
+		t.closing.Store(true)
+		t.stopOnce.Do(func() { close(t.stop) })
+	}
+	for _, t := range ts {
+		select {
+		case <-t.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Kill hard-stops the server in place: every writer abandons its queue and
+// its WAL mid-flight with no flush and no acks — the in-process model of
+// SIGKILL the chaos suite uses under -race. Durable state is whatever
+// completed writes made it to the files.
+func (s *Server) Kill() {
+	s.killOnce.Do(func() { close(s.killed) })
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	for _, t := range ts {
+		<-t.done
+	}
+}
+
+// TenantNames lists the loaded tenants.
+func (s *Server) TenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	return names
+}

@@ -24,6 +24,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"sync/atomic"
 )
 
 // Format tags, carried as the leading byte of every tagged cell-state
@@ -54,31 +55,37 @@ func ValidFormat(b byte) bool { return b == FormatDense || b == FormatCompact }
 // The default (2^30 cells, ~24 GiB dense) admits every shape the library
 // constructs in practice while refusing absurd products; servers decoding
 // payloads from untrusted peers should lower it to their real ceiling.
-var decodeCellBudget int64 = 1 << 30
+//
+// The budget is an atomic: decode paths run concurrently in the sketch
+// service and the fuzz/chaos suites adjust it at runtime, so reads and
+// swaps must be race-clean.
+var decodeCellBudget atomic.Int64
+
+func init() { decodeCellBudget.Store(1 << 30) }
 
 // DecodeCellBudget returns the current decode cell budget.
-func DecodeCellBudget() int64 { return decodeCellBudget }
+func DecodeCellBudget() int64 { return decodeCellBudget.Load() }
 
 // SetDecodeCellBudget replaces the decode cell budget, returning the
-// previous value. Intended for tests (fuzz harnesses shrink it so corrupt
-// headers fail fast instead of thrashing the allocator) and for servers
-// decoding untrusted payloads. Not safe for concurrent use with decoders.
+// previous value. Safe for concurrent use with decoders (each decode reads
+// the budget once); in-flight decodes may observe either value. Used by
+// fuzz harnesses (shrinking it so corrupt headers fail fast instead of
+// thrashing the allocator) and by servers decoding untrusted payloads.
 func SetDecodeCellBudget(v int64) int64 {
-	prev := decodeCellBudget
-	decodeCellBudget = v
-	return prev
+	return decodeCellBudget.Swap(v)
 }
 
 // CheckCellBudget validates that the product of the given header-declared
 // dimensions stays within the decode cell budget, without overflowing.
 // Non-positive dimensions are rejected outright.
 func CheckCellBudget(dims ...int64) error {
+	budget := decodeCellBudget.Load()
 	prod := int64(1)
 	for _, d := range dims {
 		if d <= 0 {
 			return ErrBadEncoding
 		}
-		if prod > decodeCellBudget/d {
+		if prod > budget/d {
 			return ErrBadEncoding
 		}
 		prod *= d

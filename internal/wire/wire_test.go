@@ -155,6 +155,33 @@ func TestCellBudget(t *testing.T) {
 	}
 }
 
+// TestCellBudgetConcurrent pins that adjusting the budget while decoders
+// consult it is race-clean (the budget is an atomic): the concurrent sketch
+// service lowers it at runtime while query/ingest decodes run. Run under
+// -race, any interleaving must observe one of the two configured values.
+func TestCellBudgetConcurrent(t *testing.T) {
+	prev := SetDecodeCellBudget(1 << 20)
+	defer SetDecodeCellBudget(prev)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			SetDecodeCellBudget(int64(1<<20 + i))
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if err := CheckCellBudget(1024, 1024); err != nil {
+			t.Errorf("within both budgets, got %v", err)
+			break
+		}
+		if err := CheckCellBudget(1<<30, 1<<30); err == nil {
+			t.Error("over both budgets, got nil")
+			break
+		}
+	}
+	<-done
+}
+
 func TestValidFormat(t *testing.T) {
 	if !ValidFormat(FormatDense) || !ValidFormat(FormatCompact) {
 		t.Fatal("known formats rejected")
