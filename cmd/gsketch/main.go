@@ -16,10 +16,15 @@
 //	                          (message loss, corruption, site crashes) and
 //	                          emit per-scenario recovery/retransmission rows;
 //	                          -mode=serve instead SIGKILLs real serve
-//	                          processes mid-ingest and checks exact recovery
+//	                          processes mid-ingest and checks exact recovery;
+//	                          -mode=replica runs a replicated cluster through
+//	                          a partition/kill matrix and checks bit-identical
+//	                          convergence with exactly-once ingest
 //	gsketch serve [flags]     run the multi-tenant sketch service (WAL-
 //	                          durable ingest, epoch-snapshot queries,
-//	                          graceful drain on SIGTERM)
+//	                          graceful drain on SIGTERM; -peers enables
+//	                          anti-entropy replication, /readyz gates traffic
+//	                          on WAL recovery)
 package main
 
 import (

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +44,8 @@ func serveCommand(args []string, out io.Writer) error {
 	eps := fs.Float64("eps", 1.0, "sparsifier accuracy")
 	spannerK := fs.Int("spanner-k", 2, "Baswana-Sen stretch parameter (2k-1 stretch)")
 	seed := fs.Uint64("seed", 1, "hash seed shared by all tenants")
+	peers := fs.String("peers", "", "comma-separated peer base URLs to anti-entropy sync from (replication)")
+	syncEvery := fs.Duration("sync-every", 500*time.Millisecond, "anti-entropy round interval when -peers is set")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +81,33 @@ func serveCommand(args []string, out io.Writer) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
+	// Recover on-disk tenants in the background: the listener is already
+	// answering /healthz (alive) while /readyz returns 503 until every
+	// tenant WAL is replayed and its first epoch published.
+	go func() {
+		if err := srv.Preload(); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch serve: preload: %v\n", err)
+		}
+	}()
+
+	// Replication: an anti-entropy syncer pulls epoch-stamped payloads from
+	// every peer that is ahead, converging this node to bit-identical state.
+	var syncer *service.Syncer
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				urls = append(urls, p)
+			}
+		}
+		if len(urls) > 0 {
+			syncer = service.NewSyncer(srv, service.SyncConfig{
+				Peers: urls, Every: *syncEvery, JitterSeed: *seed,
+			})
+			go syncer.Run()
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -85,6 +115,9 @@ func serveCommand(args []string, out io.Writer) error {
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "gsketch serve: %v, draining\n", s)
+	}
+	if syncer != nil {
+		syncer.Stop()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

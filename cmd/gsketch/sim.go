@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	graphsketch "graphsketch"
 	rt "graphsketch/internal/runtime"
@@ -76,7 +77,7 @@ type SimReport struct {
 // bit-identical to an uninterrupted run.
 func simCommand(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
-	mode := fs.String("mode", "cluster", "cluster (in-process failure matrix) or serve (SIGKILL real serve processes)")
+	mode := fs.String("mode", "cluster", "cluster (in-process failure matrix), serve (SIGKILL real serve processes), or replica (partition/kill a replicated cluster)")
 	n := fs.Int("n", 96, "vertex count")
 	p := fs.Float64("p", 0.2, "GNP edge probability")
 	churn := fs.Int("churn", 300, "insert+delete churn pairs appended to the stream")
@@ -84,7 +85,10 @@ func simCommand(args []string, out io.Writer) error {
 	batch := fs.Int("batch", 100, "updates per ingest batch (and WAL record)")
 	snapshotEvery := fs.Int("snapshot-every", 300, "updates between site snapshots (0 = never)")
 	seed := fs.Uint64("seed", 1, "base seed for stream, faults, and crashes")
-	seeds := fs.Int("seeds", 8, "kill-and-recover rounds (serve mode)")
+	seeds := fs.Int("seeds", 8, "kill-and-recover rounds (serve/replica modes)")
+	nodes := fs.Int("nodes", 3, "cluster width (replica mode)")
+	syncEvery := fs.Duration("sync-every", 50*time.Millisecond, "anti-entropy interval for replica children (replica mode)")
+	convergeIn := fs.Duration("converge-in", 30*time.Second, "convergence deadline after heal+restart (replica mode)")
 	scenarios := fs.String("scenarios", "clean,lossy,corrupting,crashy,chaos",
 		"comma-separated failure-matrix columns to run (cluster mode)")
 	if err := fs.Parse(args); err != nil {
@@ -96,9 +100,15 @@ func simCommand(args []string, out io.Writer) error {
 			N: *n, P: *p, Churn: *churn, Batch: *batch,
 			SnapshotEvery: *snapshotEvery, Seeds: *seeds, BaseSeed: *seed,
 		}, out)
+	case "replica":
+		return simReplica(replicaSimOpts{
+			N: *n, P: *p, Churn: *churn, Batch: *batch,
+			SnapshotEvery: *snapshotEvery, Seeds: *seeds, BaseSeed: *seed,
+			Nodes: *nodes, SyncEvery: *syncEvery, ConvergeIn: *convergeIn,
+		}, out)
 	case "cluster":
 	default:
-		return fmt.Errorf("unknown -mode %q (known: cluster, serve)", *mode)
+		return fmt.Errorf("unknown -mode %q (known: cluster, serve, replica)", *mode)
 	}
 
 	st := stream.GNP(*n, *p, *seed).WithChurn(*churn, *seed^0x5eed)

@@ -332,6 +332,33 @@ func (w *DiskWAL) Snapshot(sk Sketch) error {
 	return nil
 }
 
+// InstallSnapshot durably replaces the WAL's state with a sealed compact
+// payload pulled from a replica peer, covering stream position pos (see
+// WAL.InstallSnapshot for why the local log is discarded). The snapshot
+// file is published at generation gen+1 before the log is reset, so a
+// crash between the two is resolved by Open exactly like the ordinary
+// snapshot crash window.
+func (w *DiskWAL) InstallSnapshot(sealed []byte, pos int) error {
+	if err := w.mem.InstallSnapshot(sealed, pos); err != nil {
+		return err
+	}
+	gen := w.gen + 1
+	hdr := make([]byte, snapHeaderSize, snapHeaderSize+len(sealed))
+	copy(hdr, snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(w.mem.n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(pos))
+	if err := writeFileAtomic(SnapshotPath(w.dir), append(hdr, sealed...)); err != nil {
+		return fmt.Errorf("wal: install snapshot: %w", err)
+	}
+	syncDir(w.dir)
+	if err := w.resetLogFile(gen); err != nil {
+		return err
+	}
+	w.gen = gen
+	return nil
+}
+
 // Compact rewrites the log as one coalesced batch (bit-neutral by
 // linearity) and atomically replaces the file, keeping the generation.
 func (w *DiskWAL) Compact() error {

@@ -7,6 +7,7 @@ import (
 
 	"graphsketch/internal/runtime"
 	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
 )
 
 // feedDisk appends st.Updates[from:] in fixed batches, snapshotting through
@@ -331,5 +332,82 @@ func tearFile(t *testing.T, path string, n int) {
 	}
 	if err := os.Truncate(path, sz); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDiskWALInstallSnapshot pins the replica sync-install primitive: a
+// sealed payload pulled from a peer replaces the durable state wholesale
+// at the peer's position, the local log is discarded, and both the open
+// handle and a SIGKILL-style reopen recover the installed state exactly.
+func TestDiskWALInstallSnapshot(t *testing.T) {
+	seed := uint64(17)
+	st := testStream(seed)
+	half := len(st.Updates) / 2
+
+	// The "primary": an uninterrupted run over the full stream.
+	primary := connFactory(seed)()
+	primary.UpdateBatch(st.Updates)
+	payload := compactOf(t, primary)
+	sealed := wire.Seal(payload)
+
+	// The "follower": a divergent local prefix that the install discards.
+	dir := t.TempDir()
+	w, err := runtime.OpenDiskWAL(dir, walTestN, runtime.DiskConfig{Policy: runtime.FsyncNever})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	live := connFactory(seed)()
+	feedDisk(t, w, live, st.Updates[:half], 0)
+
+	// A corrupt payload must be rejected before anything is dropped.
+	bad := append([]byte(nil), sealed...)
+	bad[len(bad)/2] ^= 0x40
+	if err := w.InstallSnapshot(bad, len(st.Updates)); err == nil {
+		t.Fatal("InstallSnapshot accepted a corrupt envelope")
+	}
+	if got := w.DurableUpdates(); got != half {
+		t.Fatalf("rejected install moved the position: %d, want %d", got, half)
+	}
+
+	if err := w.InstallSnapshot(sealed, len(st.Updates)); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if got := w.DurableUpdates(); got != len(st.Updates) {
+		t.Fatalf("position after install %d, want %d", got, len(st.Updates))
+	}
+	if w.ReplayUpdates() != 0 || w.LogBytes() != 0 {
+		t.Fatalf("install left log state: replay %d, log %d bytes", w.ReplayUpdates(), w.LogBytes())
+	}
+	sk, pos, err := w.Recover(connFactory(seed))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if pos != len(st.Updates) || !bytes.Equal(compactOf(t, sk), payload) {
+		t.Fatalf("live recover diverged: pos %d", pos)
+	}
+
+	// SIGKILL: reopen from the files alone, append past the install, and
+	// require the timeline to continue exactly from the installed position.
+	w2, err := runtime.OpenDiskWAL(dir, walTestN, runtime.DiskConfig{Policy: runtime.FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	extra := testStream(seed ^ 0xBEEF).Updates[:120]
+	if err := w2.Append(extra); err != nil {
+		t.Fatalf("append after install: %v", err)
+	}
+	sk2, pos2, err := w2.Recover(connFactory(seed))
+	if err != nil {
+		t.Fatalf("recover after append: %v", err)
+	}
+	if pos2 != len(st.Updates)+len(extra) {
+		t.Fatalf("position after install+append %d, want %d", pos2, len(st.Updates)+len(extra))
+	}
+	ref := connFactory(seed)()
+	ref.UpdateBatch(st.Updates)
+	ref.UpdateBatch(extra)
+	if !bytes.Equal(compactOf(t, sk2), compactOf(t, ref)) {
+		t.Fatal("install + append + recover not bit-identical to uninterrupted run")
 	}
 }

@@ -180,6 +180,26 @@ func (w *WAL) Snapshot(sk Sketch) error {
 	return nil
 }
 
+// InstallSnapshot replaces the durable state wholesale with a sealed
+// compact payload captured elsewhere, covering the raw stream position pos
+// — the replica sync-install primitive. The local log is discarded: the
+// remote payload is a complete state, so every locally-logged update is
+// either already inside it (it was re-fed to the new primary) or belongs
+// to an abandoned timeline the position handshake routed around. The
+// position may move backward for the same reason. The envelope is
+// validated before anything is dropped.
+func (w *WAL) InstallSnapshot(sealed []byte, pos int) error {
+	if _, _, err := wire.Open(sealed); err != nil {
+		return fmt.Errorf("wal: install snapshot envelope: %w", err)
+	}
+	w.snapshot = append([]byte(nil), sealed...)
+	w.snapPos = pos
+	w.pos = pos
+	w.log = w.log[:0]
+	w.logUpdates = 0
+	return nil
+}
+
 // Compact rewrites the log as one coalesced batch: one surviving update
 // per edge with non-zero net multiplicity, sorted. By linearity the
 // coalesced replay is bit-neutral — the compaction a long-running site

@@ -43,7 +43,7 @@ func referencePayload(t *testing.T, st *stream.Stream) []byte {
 		}
 		pos = end
 	}
-	payload, pos, err := s.Payload(ctx, "t")
+	payload, pos, _, err := s.Payload(ctx, "t")
 	if err != nil || pos != len(st.Updates) {
 		t.Fatalf("reference payload: pos=%d err=%v", pos, err)
 	}
@@ -129,7 +129,7 @@ func TestChaosKillRestartRefeed(t *testing.T) {
 			}
 			p = acked
 		}
-		got, finalPos, err := s2.Payload(ctx, "t")
+		got, finalPos, _, err := s2.Payload(ctx, "t")
 		if err != nil {
 			t.Fatalf("seed %d: payload: %v", seed, err)
 		}
@@ -216,7 +216,7 @@ func TestChaosQueryWhileIngesting(t *testing.T) {
 	close(stop)
 	qwg.Wait()
 
-	got, _, err := s2.Payload(ctx, "t")
+	got, _, _, err := s2.Payload(ctx, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestChaosDoubleKill(t *testing.T) {
 		}
 		p = acked
 	}
-	got, _, err := s3.Payload(ctx, "t")
+	got, _, _, err := s3.Payload(ctx, "t")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -106,7 +106,9 @@ type SpannerResponse struct {
 }
 
 // FootprintResponse is the footprint query row, including the durable
-// byte split (snapshot vs log) so operators can see what recovery costs.
+// byte split (snapshot vs log) so operators can see what recovery costs,
+// and the replica's observed replication lag so staleness behind a primary
+// is a reported number, not an inference.
 type FootprintResponse struct {
 	QueryMeta
 	Footprint        graphsketch.Footprint `json:"footprint"`
@@ -114,12 +116,35 @@ type FootprintResponse struct {
 	WALReplay        int                   `json:"wal_replay_updates"`
 	WALLogBytes      int                   `json:"wal_log_bytes"`
 	WALSnapshotBytes int                   `json:"wal_snapshot_bytes"`
+	// Replication lag mirrors (zero on a primary or an unreplicated node):
+	// the freshest peer position the syncer probed, how far behind it this
+	// replica's durable position and epoch are, the payload bytes pending
+	// install, and the primary epoch of the last applied install.
+	ReplPeerPos       int    `json:"repl_peer_pos"`
+	ReplUpdatesBehind int    `json:"repl_updates_behind"`
+	ReplEpochsBehind  int    `json:"repl_epochs_behind"`
+	ReplBytesPending  int    `json:"repl_bytes_pending"`
+	ReplSyncEpoch     uint64 `json:"repl_sync_epoch"`
+}
+
+// SpannerEdgeResponse is the spanner-edge membership row: whether (u,v)
+// is in the sparse certificate the epoch's spanner build retained.
+type SpannerEdgeResponse struct {
+	QueryMeta
+	U            int     `json:"u"`
+	V            int     `json:"v"`
+	InSpanner    bool    `json:"in_spanner"`
+	Edges        int     `json:"edges"`
+	StretchBound float64 `json:"stretch_bound"`
 }
 
 // IngestResponse acknowledges a durable batch (or, on a position conflict,
-// reports the authoritative position to re-sync from).
+// reports the authoritative position to re-sync from). Position responses
+// also carry the tenant's current epoch sequence so the anti-entropy probe
+// can report epochs-behind without a second request.
 type IngestResponse struct {
 	Acked int    `json:"acked"`
+	Epoch uint64 `json:"epoch,omitempty"`
 	Error string `json:"error,omitempty"`
 }
 
@@ -133,8 +158,13 @@ type MetricsResponse struct {
 	QueryTimeouts  int64    `json:"query_timeouts"`
 	Evictions      int64    `json:"evictions"`
 	Recoveries     int64    `json:"recoveries"`
+	SyncRounds     int64    `json:"sync_rounds"`
+	SyncApplied    int64    `json:"sync_applied"`
+	SyncSkipped    int64    `json:"sync_skipped"`
+	SyncFailed     int64    `json:"sync_failed"`
 	Tenants        []string `json:"tenants"`
 	Draining       bool     `json:"draining"`
+	Ready          bool     `json:"ready"`
 }
 
 // Handler builds the service's HTTP surface. Every route runs under the
@@ -145,11 +175,13 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tenants/{tenant}/updates", s.handleIngest)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/merge", s.handleMerge)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/sync", s.handleSync)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/flush", s.handleFlush)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/payload", s.handlePayload)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/position", s.handlePosition)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/query/{op}", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metricz", s.handleMetrics)
 	return s.middleware(mux)
 }
@@ -198,8 +230,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterSeconds is the backoff hint a 429 carries: budget pressure is
+// a load condition, not a permanent state, so clients should come back —
+// just not immediately.
+const retryAfterSeconds = 1
+
 func (s *Server) fail(w http.ResponseWriter, err error) {
-	writeJSON(w, s.httpStatus(err), map[string]string{"error": err.Error()})
+	status := s.httpStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -222,10 +263,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	pos, err := s.Ingest(r.Context(), r.PathValue("tenant"), at, ups)
 	if err != nil {
-		writeJSON(w, s.httpStatus(err), IngestResponse{Acked: pos, Error: err.Error()})
+		status := s.httpStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		}
+		writeJSON(w, status, IngestResponse{Acked: pos, Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Acked: pos})
+}
+
+// handleSync is the anti-entropy install endpoint: body = sealed bundle
+// payload, pos = the stream position it covers on the sending replica,
+// epoch = its epoch stamp. Deduped by position server-side, so re-sends
+// and reorders are idempotent.
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	q := r.URL.Query()
+	pos := -1
+	if _, err := fmt.Sscanf(q.Get("pos"), "%d", &pos); err != nil || pos < 0 {
+		s.fail(w, fmt.Errorf("bad pos=%q: %w", q.Get("pos"), graphsketch.ErrBadEncoding))
+		return
+	}
+	var epoch uint64
+	fmt.Sscanf(q.Get("epoch"), "%d", &epoch)
+	acked, err := s.SyncApply(r.Context(), r.PathValue("tenant"), pos, epoch, body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Acked: acked})
 }
 
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
@@ -252,13 +323,14 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
-	sealed, pos, err := s.Payload(r.Context(), r.PathValue("tenant"))
+	sealed, pos, epoch, err := s.Payload(r.Context(), r.PathValue("tenant"))
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Gsketch-Pos", fmt.Sprint(pos))
+	w.Header().Set("X-Gsketch-Epoch", fmt.Sprint(epoch))
 	w.Write(sealed)
 }
 
@@ -268,7 +340,11 @@ func (s *Server) handlePosition(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{Acked: t.Acked()})
+	var epoch uint64
+	if ep := t.Snapshot(); ep != nil {
+		epoch = ep.Seq
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Acked: t.Acked(), Epoch: epoch})
 }
 
 // handleQuery serves the four read operations against the tenant's
@@ -302,15 +378,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "spanner":
 		res := ep.Spanner()
 		writeJSON(w, http.StatusOK, SpannerResponse{QueryMeta: meta, Edges: res.Spanner.NumEdges(), StretchBound: res.StretchBound, Passes: res.Passes})
+	case "spanner-edge":
+		q := r.URL.Query()
+		u, v := -1, -1
+		_, errU := fmt.Sscanf(q.Get("u"), "%d", &u)
+		_, errV := fmt.Sscanf(q.Get("v"), "%d", &v)
+		n := ep.Bundle.Config().N
+		if errU != nil || errV != nil || u < 0 || v < 0 || u >= n || v >= n {
+			s.fail(w, fmt.Errorf("spanner-edge wants u=&v= in [0,%d): %w", n, graphsketch.ErrBadEncoding))
+			return
+		}
+		in, res := ep.SpannerEdge(u, v)
+		writeJSON(w, http.StatusOK, SpannerEdgeResponse{
+			QueryMeta: meta, U: u, V: v, InSpanner: in,
+			Edges: res.Spanner.NumEdges(), StretchBound: res.StretchBound,
+		})
 	case "footprint":
 		durable, logB, snapB, replay, err := s.WALStats(r.Context(), t.Name())
 		if err != nil {
 			s.fail(w, err)
 			return
 		}
+		behind := int(t.replPeerPos.Load()) - durable
+		if behind < 0 {
+			behind = 0
+		}
 		writeJSON(w, http.StatusOK, FootprintResponse{
 			QueryMeta: meta, Footprint: ep.Footprint(),
 			WALDurable: durable, WALReplay: replay, WALLogBytes: logB, WALSnapshotBytes: snapB,
+			ReplPeerPos:       int(t.replPeerPos.Load()),
+			ReplUpdatesBehind: behind,
+			ReplEpochsBehind:  int(t.replEpochsBehind.Load()),
+			ReplBytesPending:  int(t.replBytesPending.Load()),
+			ReplSyncEpoch:     t.syncEpoch.Load(),
 		})
 	default:
 		s.fail(w, fmt.Errorf("unknown query %q: %w", op, graphsketch.ErrBadEncoding))
@@ -325,6 +425,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": status, "tenants": len(s.TenantNames())})
 }
 
+// handleReady is the readiness probe, distinct from /healthz liveness: it
+// answers 200 only once Preload has recovered every tenant WAL on disk and
+// published each tenant's first epoch, and flips back to 503 on drain. A
+// replica that is alive but still replaying WALs must not receive
+// failover traffic — its positions would be mid-recovery lies.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		status := "recovering"
+		if s.Draining() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": status})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "tenants": len(s.TenantNames())})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		IngestBatches:  s.met.IngestBatches.Load(),
@@ -335,7 +452,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		QueryTimeouts:  s.met.QueryTimeouts.Load(),
 		Evictions:      s.met.Evictions.Load(),
 		Recoveries:     s.met.Recoveries.Load(),
+		SyncRounds:     s.met.SyncRounds.Load(),
+		SyncApplied:    s.met.SyncApplied.Load(),
+		SyncSkipped:    s.met.SyncSkipped.Load(),
+		SyncFailed:     s.met.SyncFailed.Load(),
 		Tenants:        s.TenantNames(),
 		Draining:       s.Draining(),
+		Ready:          s.Ready(),
 	})
 }

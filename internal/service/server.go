@@ -89,6 +89,12 @@ type Metrics struct {
 	QueryTimeouts  atomic.Int64
 	Evictions      atomic.Int64
 	Recoveries     atomic.Int64
+	// Replication counters: anti-entropy rounds run by this node's syncer,
+	// payload installs applied / deduped / failed on this node.
+	SyncRounds  atomic.Int64
+	SyncApplied atomic.Int64
+	SyncSkipped atomic.Int64
+	SyncFailed  atomic.Int64
 }
 
 // Epoch is one published point-in-time snapshot: a bundle clone frozen at
@@ -104,6 +110,10 @@ type Epoch struct {
 	Seq    uint64
 
 	mu sync.Mutex
+	// spanRes memoizes the epoch's spanner build: the epoch is frozen, so
+	// the first spanner or spanner-edge query pays for the construction and
+	// every later one answers from the cached certificate.
+	spanRes *graphsketch.SpannerResult
 }
 
 // MinCut runs the mincut query against the frozen epoch state.
@@ -120,12 +130,25 @@ func (e *Epoch) Sparsify() (*graphsketch.Graph, error) {
 	return e.Bundle.Sparsify()
 }
 
-// Spanner builds the epoch's spanner (panics on the corrupt-log fixture;
-// the HTTP middleware turns that into one failed response).
+// Spanner builds the epoch's spanner, memoized per epoch (panics on the
+// corrupt-log fixture; the HTTP middleware turns that into one failed
+// response, and a panicking build is never cached).
 func (e *Epoch) Spanner() graphsketch.SpannerResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.Bundle.Spanner()
+	if e.spanRes == nil {
+		res := e.Bundle.Spanner()
+		e.spanRes = &res
+	}
+	return *e.spanRes
+}
+
+// SpannerEdge reports whether edge (u,v) is in the epoch's sparse spanner
+// certificate — the membership query a high-traffic caller asks without
+// wanting the whole subgraph back.
+func (e *Epoch) SpannerEdge(u, v int) (bool, graphsketch.SpannerResult) {
+	res := e.Spanner()
+	return res.Spanner.HasEdge(u, v), res
 }
 
 // Footprint reports the epoch bundle's memory accounting.
@@ -151,6 +174,15 @@ type tenant struct {
 	resident atomic.Int64 // budget-accounting bytes, updated per batch
 	touched  atomic.Int64 // logical clock of last use (evict-coldest key)
 	closing  atomic.Bool
+
+	// Replication observability, maintained by the syncer's probe/pull
+	// rounds: the freshest peer position seen, how many epochs and bytes
+	// this replica is behind it, and the primary epoch of the last applied
+	// install. Mirrors only — correctness never reads them.
+	replPeerPos      atomic.Int64
+	replEpochsBehind atomic.Int64
+	replBytesPending atomic.Int64
+	syncEpoch        atomic.Uint64
 
 	stopOnce sync.Once
 }
@@ -178,6 +210,7 @@ type Server struct {
 	tenants map[string]*tenant
 
 	draining atomic.Bool
+	ready    atomic.Bool
 	killed   chan struct{}
 	killOnce sync.Once
 	clock    atomic.Int64
@@ -273,6 +306,34 @@ func (s *Server) Tenant(name string, create bool) (*tenant, error) {
 	go t.run(wal, live)
 	return t, nil
 }
+
+// Preload opens every tenant directory found under the data root, running
+// recovery and publishing each tenant's first epoch, then marks the server
+// ready. /readyz answers 503 until this completes: a replica that has not
+// recovered its WALs yet would serve positions and payloads that go
+// backward, and the failover client must never be routed to it.
+func (s *Server) Preload() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, statErr := os.Stat(runtime.LogPath(s.tenantDir(e.Name()))); statErr != nil {
+			continue
+		}
+		if _, err := s.Tenant(e.Name(), false); err != nil {
+			return fmt.Errorf("preload %q: %w", e.Name(), err)
+		}
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether Preload has completed — the /readyz signal.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 
 // Snapshot returns the tenant's freshest published epoch.
 func (t *tenant) Snapshot() *Epoch { return t.snap.Load() }
@@ -442,25 +503,81 @@ func (s *Server) Merge(ctx context.Context, tenantName string, sealed []byte) (i
 }
 
 // Payload captures the tenant's sealed compact bundle payload at its exact
-// current position (serialized with ingest, so no torn reads).
-func (s *Server) Payload(ctx context.Context, tenantName string) ([]byte, int, error) {
+// current position (serialized with ingest, so no torn reads), stamped
+// with the tenant's current epoch sequence.
+func (s *Server) Payload(ctx context.Context, tenantName string) ([]byte, int, uint64, error) {
 	t, err := s.Tenant(tenantName, false)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	var sealed []byte
+	var epoch uint64
 	pos, err := t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
 		b, err := live.MarshalBinaryCompact()
 		if err != nil {
 			return err
 		}
 		sealed = wire.Seal(b)
+		if ep := t.snap.Load(); ep != nil {
+			epoch = ep.Seq
+		}
 		return nil
 	}})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return sealed, pos, nil
+	return sealed, pos, epoch, nil
+}
+
+// SyncApply installs a sealed bundle payload pulled from a replica peer as
+// the tenant's complete state at the peer's stream position pos. The
+// anti-entropy receive path: deduped by position (an install at or below
+// the local durable position is a no-op, which makes duplicated and
+// reordered pulls idempotent), folded through MergeBytes into a
+// factory-fresh bundle (never the live one — a corrupt payload poisons
+// nothing), and made durable via the WAL's InstallSnapshot before the ack.
+// Positions only ever move forward here, and every state installed is some
+// replica's exact prefix state, so the position-addressed ingest protocol
+// keeps working across installs: a client whose expected position no
+// longer matches gets the authoritative one back via 409 and re-feeds.
+func (s *Server) SyncApply(ctx context.Context, tenantName string, pos int, epoch uint64, sealed []byte) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	payload, _, err := wire.Open(sealed)
+	if err != nil {
+		s.met.SyncFailed.Add(1)
+		return 0, err
+	}
+	t, err := s.Tenant(tenantName, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.admit(t); err != nil {
+		return 0, err
+	}
+	return t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		if pos <= w.DurableUpdates() {
+			s.met.SyncSkipped.Add(1)
+			return nil
+		}
+		fresh := NewBundle(s.cfg.Bundle)
+		if err := fresh.MergeBytes(payload); err != nil {
+			s.met.SyncFailed.Add(1)
+			return err
+		}
+		if err := w.InstallSnapshot(sealed, pos); err != nil {
+			s.met.SyncFailed.Add(1)
+			return err
+		}
+		*live = *fresh
+		t.syncEpoch.Store(epoch)
+		t.replBytesPending.Store(0)
+		t.replEpochsBehind.Store(0)
+		t.publish(w, live)
+		s.met.SyncApplied.Add(1)
+		return nil
+	}})
 }
 
 // Flush forces a WAL snapshot for a tenant (exposed for the drain path and

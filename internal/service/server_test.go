@@ -29,7 +29,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
-	return s, &Client{Base: hs.URL, HC: hs.Client()}
+	// A generous per-request deadline: under the race detector a single
+	// big-batch ingest can exceed the 5s production default, and a retried
+	// POST whose first attempt actually landed turns into a spurious 409.
+	return s, &Client{Base: hs.URL, HC: hs.Client(), Timeout: 2 * time.Minute}
 }
 
 // TestServeIngestAndQuery drives the full HTTP surface: positioned ingest,
@@ -134,7 +137,7 @@ func TestServeBudgetIsolation(t *testing.T) {
 	if _, err := s.Ingest(ctx, "quiet", -1, st.Updates[:50]); err != nil {
 		t.Fatalf("sibling ingest rejected: %v", err)
 	}
-	if _, _, err := s.Payload(ctx, "quiet"); err != nil {
+	if _, _, _, err := s.Payload(ctx, "quiet"); err != nil {
 		t.Fatalf("sibling payload: %v", err)
 	}
 }
@@ -218,6 +221,10 @@ func TestServeDrain(t *testing.T) {
 func TestServePanicIsolation(t *testing.T) {
 	s, c := newTestServer(t, testConfig(t))
 	defer s.Drain(context.Background())
+	// The hardened client treats 5xx as failover-class and would re-try the
+	// panicking query; this test pins the SERVER's per-request isolation, so
+	// give it exactly one attempt.
+	c.Attempts = 1
 	st := bundleStream(29)
 
 	if _, err := c.Ingest("healthy", -1, st.Updates); err != nil {

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SyncConfig parameterizes a replica's anti-entropy syncer.
+type SyncConfig struct {
+	// Peers are the other replicas' base URLs (never this node's own).
+	Peers []string
+	// Every is the anti-entropy interval (default 500ms).
+	Every time.Duration
+	// Timeout bounds each probe/pull request (default 2s). Pulls retry on
+	// the next round rather than inside one, so a partitioned peer costs
+	// one timeout per round, not a retry storm.
+	Timeout time.Duration
+	// JitterSeed seeds the pull clients' backoff jitter (tests pin it).
+	JitterSeed uint64
+}
+
+func (c SyncConfig) withDefaults() SyncConfig {
+	if c.Every <= 0 {
+		c.Every = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	return c
+}
+
+// Syncer is the anti-entropy loop that makes a serve instance a replica:
+// every round it probes each peer for the tenants it serves and their
+// durable positions, and wherever a peer is ahead it pulls the peer's
+// epoch-stamped compact payload and installs it locally through
+// Server.SyncApply.
+//
+// The protocol needs nothing beyond pull + position dedup because the
+// payloads are linear-sketch states: a payload at position P is the
+// complete, canonical state of the stream prefix [0,P), so installing the
+// highest-position payload converges a follower in one round no matter
+// how many pulls it missed — there is no log shipping to catch up on and
+// no ordering to reconstruct. Duplicated, reordered, and raced pulls are
+// all deduped by the install's position check, which is what makes the
+// loop safe to run blindly from every node at once: whoever is behind
+// converges toward whoever is ahead, and the position-addressed ingest
+// protocol keeps the (single) writing client exactly-once across the
+// resulting role changes.
+type Syncer struct {
+	srv *Server
+	cfg SyncConfig
+	// pullers are per-peer clients. Deliberately single-endpoint: a pull
+	// must answer about THIS peer or fail — failing over to another peer
+	// would report a different replica's position under the wrong label.
+	pullers []*Client
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// SyncRound reports one anti-entropy round's work, for tests and rows.
+type SyncRound struct {
+	Probed  int   // tenant/peer position probes answered
+	Pulled  int   // payloads fetched because a peer was ahead
+	Applied int   // installs that advanced local state
+	Skipped int   // installs deduped by position
+	Failed  int   // probes or pulls that errored (partitioned peer, etc.)
+	Bytes   int64 // sealed payload bytes transferred
+}
+
+// NewSyncer builds a syncer for srv against cfg.Peers.
+func NewSyncer(srv *Server, cfg SyncConfig) *Syncer {
+	cfg = cfg.withDefaults()
+	y := &Syncer{srv: srv, cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	for _, p := range cfg.Peers {
+		y.pullers = append(y.pullers, &Client{
+			Base:       p,
+			Timeout:    cfg.Timeout,
+			Attempts:   1, // retries are the next round's job
+			JitterSeed: cfg.JitterSeed,
+		})
+	}
+	return y
+}
+
+// Run loops anti-entropy rounds every cfg.Every until Stop (or the server
+// is killed). Call in a goroutine; Stop blocks until the loop exits.
+func (y *Syncer) Run() {
+	defer close(y.done)
+	ticker := time.NewTicker(y.cfg.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-y.stop:
+			return
+		case <-y.srv.killed:
+			return
+		case <-ticker.C:
+			y.RunOnce(context.Background())
+		}
+	}
+}
+
+// Stop halts the loop and waits for the in-flight round to finish.
+func (y *Syncer) Stop() {
+	y.stopOnce.Do(func() { close(y.stop) })
+	<-y.done
+}
+
+// RunOnce performs one anti-entropy round: probe every peer, pull where
+// behind, install locally. Exported so tests and harnesses can drive
+// convergence deterministically without timers.
+func (y *Syncer) RunOnce(ctx context.Context) SyncRound {
+	var round SyncRound
+	y.srv.met.SyncRounds.Add(1)
+	for _, peer := range y.pullers {
+		for _, name := range y.peerTenants(peer) {
+			y.syncTenant(ctx, peer, name, &round)
+		}
+	}
+	return round
+}
+
+// peerTenants returns the union of the peer's loaded tenants and our own:
+// a tenant the peer has never heard of is probed anyway (the probe loads
+// it from the peer's disk if it exists there), and a tenant only the peer
+// knows must be adopted locally.
+func (y *Syncer) peerTenants(peer *Client) []string {
+	seen := map[string]bool{}
+	var names []string
+	if met, err := peer.Metrics(); err == nil {
+		for _, n := range met.Tenants {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	for _, n := range y.srv.TenantNames() {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// syncTenant probes one (peer, tenant) pair and converges on it if the
+// peer is ahead.
+func (y *Syncer) syncTenant(ctx context.Context, peer *Client, name string, round *SyncRound) {
+	peerPos, peerEpoch, err := y.probe(peer, name)
+	if err != nil {
+		round.Failed++
+		y.srv.met.SyncFailed.Add(1)
+		return
+	}
+	round.Probed++
+
+	localPos := -1
+	var t *tenant
+	if lt, lerr := y.srv.Tenant(name, false); lerr == nil {
+		t = lt
+		localPos = t.Acked()
+	}
+	// Refresh the lag mirrors on every probe, not just on pulls, so a
+	// follower that is merely behind (not pulling yet) still reports it.
+	if t != nil {
+		t.replPeerPos.Store(int64(peerPos))
+		behindEpochs := int64(peerEpoch) - int64(t.syncEpoch.Load())
+		if behindEpochs < 0 || peerPos <= localPos {
+			behindEpochs = 0
+		}
+		t.replEpochsBehind.Store(behindEpochs)
+	}
+	if peerPos <= localPos {
+		return // we are the one ahead (or equal): nothing to converge
+	}
+
+	sealed, pos, epoch, err := peer.PayloadAt(name)
+	if err != nil {
+		round.Failed++
+		y.srv.met.SyncFailed.Add(1)
+		return
+	}
+	round.Pulled++
+	round.Bytes += int64(len(sealed))
+	if t != nil {
+		t.replBytesPending.Store(int64(len(sealed)))
+	}
+	before := y.srv.met.SyncApplied.Load()
+	if _, err := y.srv.SyncApply(ctx, name, pos, epoch, sealed); err != nil {
+		round.Failed++
+		return
+	}
+	if y.srv.met.SyncApplied.Load() > before {
+		round.Applied++
+	} else {
+		round.Skipped++
+	}
+}
+
+// probe asks the peer for a tenant's durable position and epoch.
+func (y *Syncer) probe(peer *Client, name string) (pos int, epoch uint64, err error) {
+	var resp IngestResponse
+	if err := peer.do("GET", "/v1/tenants/"+name+"/position", nil, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Acked, resp.Epoch, nil
+}
