@@ -46,6 +46,8 @@ func serveCommand(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "hash seed shared by all tenants")
 	peers := fs.String("peers", "", "comma-separated peer base URLs to anti-entropy sync from (replication)")
 	syncEvery := fs.Duration("sync-every", 500*time.Millisecond, "anti-entropy round interval when -peers is set")
+	noDelta := fs.Bool("no-delta", false, "disable bank-granular delta sync pulls (always pull full payloads)")
+	scrubEvery := fs.Duration("scrub-every", 5*time.Second, "background integrity scrub interval (0 disables scrubbing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,10 +104,20 @@ func serveCommand(args []string, out io.Writer) error {
 		}
 		if len(urls) > 0 {
 			syncer = service.NewSyncer(srv, service.SyncConfig{
-				Peers: urls, Every: *syncEvery, JitterSeed: *seed,
+				Peers: urls, Every: *syncEvery, JitterSeed: *seed, NoDelta: *noDelta,
 			})
 			go syncer.Run()
 		}
+	}
+
+	// Integrity: a background scrubber re-verifies every tenant's digest
+	// tree (live, published epoch, and the WAL bytes on disk) each interval,
+	// repairing single-surface rot locally and quarantining anything worse
+	// for the syncer to repair from a peer.
+	var scrubber *service.Scrubber
+	if *scrubEvery > 0 {
+		scrubber = service.NewScrubber(srv, service.ScrubConfig{Every: *scrubEvery})
+		go scrubber.Run()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -118,6 +130,9 @@ func serveCommand(args []string, out io.Writer) error {
 	}
 	if syncer != nil {
 		syncer.Stop()
+	}
+	if scrubber != nil {
+		scrubber.Stop()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -77,7 +77,7 @@ type SimReport struct {
 // bit-identical to an uninterrupted run.
 func simCommand(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
-	mode := fs.String("mode", "cluster", "cluster (in-process failure matrix), serve (SIGKILL real serve processes), or replica (partition/kill a replicated cluster)")
+	mode := fs.String("mode", "cluster", "cluster (in-process failure matrix), serve (SIGKILL real serve processes), replica (partition/kill a replicated cluster), or scrub (bit-rot detection and repair matrix)")
 	n := fs.Int("n", 96, "vertex count")
 	p := fs.Float64("p", 0.2, "GNP edge probability")
 	churn := fs.Int("churn", 300, "insert+delete churn pairs appended to the stream")
@@ -106,9 +106,14 @@ func simCommand(args []string, out io.Writer) error {
 			SnapshotEvery: *snapshotEvery, Seeds: *seeds, BaseSeed: *seed,
 			Nodes: *nodes, SyncEvery: *syncEvery, ConvergeIn: *convergeIn,
 		}, out)
+	case "scrub":
+		return simScrub(scrubSimOpts{
+			N: *n, P: *p, Churn: *churn, Batch: *batch,
+			Seeds: *seeds, BaseSeed: *seed,
+		}, out)
 	case "cluster":
 	default:
-		return fmt.Errorf("unknown -mode %q (known: cluster, serve, replica)", *mode)
+		return fmt.Errorf("unknown -mode %q (known: cluster, serve, replica, scrub)", *mode)
 	}
 
 	st := stream.GNP(*n, *p, *seed).WithChurn(*churn, *seed^0x5eed)

@@ -42,6 +42,7 @@ import (
 	"graphsketch/internal/graph"
 	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
 )
 
 // Footprint is the space report every sketch exposes: resident bytes, cell
@@ -405,6 +406,38 @@ func (m *MinCutSketch) SetDecodeWorkers(workers int) { m.sk.SetDecodeWorkers(wor
 // sizes.
 func (m *MinCutSketch) Words() int { return m.sk.Words() }
 
+// NumBanks reports the sketch's digestable bank count (one per subsampling
+// level) — the granularity the service's digest tree and delta sync
+// address.
+func (m *MinCutSketch) NumBanks() int { return m.sk.NumBanks() }
+
+// AppendBank appends one level bank's compact tagged state: exactly the
+// bytes MarshalBinaryCompact writes for that level, so per-bank digests
+// cover the full compact payload body.
+func (m *MinCutSketch) AppendBank(buf []byte, bank int) ([]byte, error) {
+	out, err := m.sk.AppendBankState(buf, bank, wire.FormatCompact)
+	return out, wrapBadEncoding(err)
+}
+
+// ReplaceBank replaces one level bank's contents with compact state bytes
+// produced by AppendBank on a same-config sketch. Banks are headerless;
+// callers must verify the assembled state (digest root) before trusting a
+// bank-wise install.
+func (m *MinCutSketch) ReplaceBank(bank int, data []byte) error {
+	return wrapBadEncoding(m.sk.ReplaceBankState(bank, data))
+}
+
+// MergeBank folds compact bank bytes produced by AppendBank on a
+// same-config sketch into one level bank (states add by linearity).
+func (m *MinCutSketch) MergeBank(bank int, data []byte) error {
+	return wrapBadEncoding(m.sk.MergeBankState(bank, data))
+}
+
+// BatchMaxLevel reports the highest subsampling level any update in ups
+// lands on (-1 for an empty batch); a batch can only change banks
+// 0..BatchMaxLevel, the bound incremental digest tracking relies on.
+func (m *MinCutSketch) BatchMaxLevel(ups []Update) int { return m.sk.BatchMaxLevel(ups) }
+
 // ---------------------------------------------------------------------------
 // Sparsification (Figs 2-3, Sec. 3.5)
 // ---------------------------------------------------------------------------
@@ -477,6 +510,33 @@ func (s *SimpleSparsifier) MergeBytes(data []byte) error {
 	}
 	return wrapBadEncoding(s.sk.MergeBinary(data))
 }
+
+// NumBanks reports the sketch's digestable bank count (one per sampling
+// level); see MinCutSketch.NumBanks.
+func (s *SimpleSparsifier) NumBanks() int { return s.sk.NumBanks() }
+
+// AppendBank appends one level bank's compact tagged state; see
+// MinCutSketch.AppendBank.
+func (s *SimpleSparsifier) AppendBank(buf []byte, bank int) ([]byte, error) {
+	out, err := s.sk.AppendBankState(buf, bank, wire.FormatCompact)
+	return out, wrapBadEncoding(err)
+}
+
+// ReplaceBank replaces one level bank's contents; see
+// MinCutSketch.ReplaceBank for the trust contract.
+func (s *SimpleSparsifier) ReplaceBank(bank int, data []byte) error {
+	return wrapBadEncoding(s.sk.ReplaceBankState(bank, data))
+}
+
+// MergeBank folds compact bank bytes produced by AppendBank on a
+// same-config sketch into one level bank; see MinCutSketch.MergeBank.
+func (s *SimpleSparsifier) MergeBank(bank int, data []byte) error {
+	return wrapBadEncoding(s.sk.MergeBankState(bank, data))
+}
+
+// BatchMaxLevel reports the highest sampling level any update in ups lands
+// on (-1 for an empty batch); see MinCutSketch.BatchMaxLevel.
+func (s *SimpleSparsifier) BatchMaxLevel(ups []Update) int { return s.sk.BatchMaxLevel(ups) }
 
 // Footprint reports resident bytes, cell occupancy, and wire bytes.
 func (s *SimpleSparsifier) Footprint() Footprint { return s.sk.Footprint() }

@@ -8,6 +8,7 @@ import (
 
 	"graphsketch/internal/agm"
 	"graphsketch/internal/sketchcore"
+	"graphsketch/internal/stream"
 	"graphsketch/internal/wire"
 )
 
@@ -119,6 +120,77 @@ func (s *Sketch) MergeBinary(data []byte) error {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
 	}
 	return nil
+}
+
+// NumBanks reports the sketch's digestable bank count: one bank per
+// subsampling level, in level order — the granularity the service's digest
+// tree and delta sync address.
+func (s *Sketch) NumBanks() int { return len(s.ecs) }
+
+// AppendBankState appends one level bank's headerless tagged state —
+// exactly the bytes MarshalBinaryFormat writes for that level, so a
+// bank-wise concatenation reproduces the envelope body.
+func (s *Sketch) AppendBankState(buf []byte, bank int, format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
+	if bank < 0 || bank >= len(s.ecs) {
+		return nil, fmt.Errorf("%w: bank %d out of [0,%d)", ErrBadEncoding, bank, len(s.ecs))
+	}
+	return s.ecs[bank].AppendState(buf, format), nil
+}
+
+// ReplaceBankState replaces one level bank's contents with tagged state
+// bytes produced by AppendBankState on a same-config sketch, consuming data
+// fully. Banks are headerless, so cross-level installs are the caller's to
+// prevent — the service verifies the assembled state's digest root before
+// trusting a bank-wise install.
+func (s *Sketch) ReplaceBankState(bank int, data []byte) error {
+	if bank < 0 || bank >= len(s.ecs) {
+		return fmt.Errorf("%w: bank %d out of [0,%d)", ErrBadEncoding, bank, len(s.ecs))
+	}
+	s.decoded = false
+	rest, err := s.ecs[bank].DecodeState(data)
+	if err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after bank %d", ErrBadEncoding, len(rest), bank)
+	}
+	return nil
+}
+
+// MergeBankState folds tagged state bytes produced by AppendBankState on a
+// same-config sketch into one level bank (linearity: states add), consuming
+// data fully.
+func (s *Sketch) MergeBankState(bank int, data []byte) error {
+	if bank < 0 || bank >= len(s.ecs) {
+		return fmt.Errorf("%w: bank %d out of [0,%d)", ErrBadEncoding, bank, len(s.ecs))
+	}
+	s.decoded = false
+	rest, err := s.ecs[bank].MergeState(data)
+	if err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after bank %d", ErrBadEncoding, len(rest), bank)
+	}
+	return nil
+}
+
+// BatchMaxLevel reports the highest subsampling level any update in ups
+// lands on (-1 for an empty batch). An update at level l mutates levels
+// 0..l (the nested-subsample invariant), so exactly banks 0..BatchMaxLevel
+// can change — the bound incremental digest tracking uses to limit
+// recomputation.
+func (s *Sketch) BatchMaxLevel(ups []stream.Update) int {
+	maxL := -1
+	for _, up := range ups {
+		if l := s.subLevel(up.U, up.V); l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
 }
 
 // MergeMany folds k sketches into s level by level in one occupancy-guided

@@ -9,6 +9,7 @@ import (
 	"graphsketch/internal/agm"
 	"graphsketch/internal/sketchcore"
 	"graphsketch/internal/sparserec"
+	"graphsketch/internal/stream"
 	"graphsketch/internal/wire"
 )
 
@@ -70,6 +71,70 @@ func (s *Simple) MergeState(data []byte) ([]byte, error) {
 		}
 	}
 	return data, nil
+}
+
+// NumBanks reports the sketch's digestable bank count: one bank per
+// sampling level, in level order (see mincut.Sketch.NumBanks).
+func (s *Simple) NumBanks() int { return len(s.ecs) }
+
+// AppendBankState appends one level bank's headerless tagged state —
+// exactly the bytes AppendState writes for that level.
+func (s *Simple) AppendBankState(buf []byte, bank int, format byte) ([]byte, error) {
+	if !wire.ValidFormat(format) {
+		return nil, fmt.Errorf("%w: unknown wire format %d", ErrBadEncoding, format)
+	}
+	if bank < 0 || bank >= len(s.ecs) {
+		return nil, fmt.Errorf("%w: bank %d out of [0,%d)", ErrBadEncoding, bank, len(s.ecs))
+	}
+	return s.ecs[bank].AppendState(buf, format), nil
+}
+
+// ReplaceBankState replaces one level bank's contents with tagged state
+// bytes produced by AppendBankState on a same-config sketch, consuming data
+// fully (see mincut.Sketch.ReplaceBankState for the trust contract).
+func (s *Simple) ReplaceBankState(bank int, data []byte) error {
+	if bank < 0 || bank >= len(s.ecs) {
+		return fmt.Errorf("%w: bank %d out of [0,%d)", ErrBadEncoding, bank, len(s.ecs))
+	}
+	s.decoded = false
+	rest, err := s.ecs[bank].DecodeState(data)
+	if err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after bank %d", ErrBadEncoding, len(rest), bank)
+	}
+	return nil
+}
+
+// MergeBankState folds tagged state bytes produced by AppendBankState on a
+// same-config sketch into one level bank, consuming data fully.
+func (s *Simple) MergeBankState(bank int, data []byte) error {
+	if bank < 0 || bank >= len(s.ecs) {
+		return fmt.Errorf("%w: bank %d out of [0,%d)", ErrBadEncoding, bank, len(s.ecs))
+	}
+	s.decoded = false
+	rest, err := s.ecs[bank].MergeState(data)
+	if err != nil {
+		return wrapBad(err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after bank %d", ErrBadEncoding, len(rest), bank)
+	}
+	return nil
+}
+
+// BatchMaxLevel reports the highest sampling level any update in ups lands
+// on (-1 for an empty batch); an update at level l mutates levels 0..l, so
+// exactly banks 0..BatchMaxLevel can change.
+func (s *Simple) BatchMaxLevel(ups []stream.Update) int {
+	maxL := -1
+	for _, up := range ups {
+		if l := s.subLevel(up.U, up.V); l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
 }
 
 // MergeMany folds k Simple sketches level by level in one occupancy-guided

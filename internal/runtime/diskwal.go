@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -156,7 +157,7 @@ func (w *DiskWAL) loadSnapshot(n int) (uint64, error) {
 		return 0, fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if len(data) < snapHeaderSize || [8]byte(data[:8]) != snapMagic {
-		return 0, fmt.Errorf("wal: snapshot %s: bad header", SnapshotPath(w.dir))
+		return 0, fmt.Errorf("wal: snapshot %s: bad header: %w", SnapshotPath(w.dir), ErrWALCorrupt)
 	}
 	gen := binary.LittleEndian.Uint64(data[8:])
 	if got := binary.LittleEndian.Uint64(data[16:]); got != uint64(n) {
@@ -165,9 +166,10 @@ func (w *DiskWAL) loadSnapshot(n int) (uint64, error) {
 	covered := binary.LittleEndian.Uint64(data[24:])
 	sealed := data[snapHeaderSize:]
 	// Validate the envelope now so a corrupt snapshot fails at open, not at
-	// first query after hours of appends.
+	// first query after hours of appends. The file was written atomically
+	// with a then-valid envelope, so a failure here is rot at rest.
 	if _, _, err := wire.Open(sealed); err != nil {
-		return 0, fmt.Errorf("wal: snapshot envelope: %w", err)
+		return 0, fmt.Errorf("wal: snapshot envelope %s: %v: %w", SnapshotPath(w.dir), err, ErrWALCorrupt)
 	}
 	w.mem.snapshot = append([]byte(nil), sealed...)
 	w.mem.snapPos = int(covered)
@@ -189,7 +191,7 @@ func (w *DiskWAL) loadLog(n int, snapGen uint64) error {
 		return fmt.Errorf("wal: log: %w", err)
 	}
 	if len(data) < logHeaderSize || [8]byte(data[:8]) != logMagic {
-		return fmt.Errorf("wal: log %s: bad header", path)
+		return fmt.Errorf("wal: log %s: bad header: %w", path, ErrWALCorrupt)
 	}
 	logGen := binary.LittleEndian.Uint64(data[8:])
 	if got := binary.LittleEndian.Uint64(data[16:]); got != uint64(n) {
@@ -204,13 +206,19 @@ func (w *DiskWAL) loadLog(n int, snapGen uint64) error {
 		// double-count, so the log is discarded wholesale.
 		return w.resetLogFile(snapGen)
 	}
-	// Walk the framed records; the valid prefix is durable, anything after
-	// the first short/checksum-failing record is a torn tail.
+	// Walk the framed records. The valid prefix is durable; a SHORT final
+	// record is a torn tail (crash mid-append) and is truncated away, but a
+	// full-length record that fails its checksum is bit-rot in acknowledged
+	// state — refusing to open is what keeps a rotted replica from serving
+	// (the service sidelines the files and repairs from a peer).
 	body := data[logHeaderSize:]
 	valid, count, endPos := 0, 0, w.mem.snapPos
 	for rest := body; len(rest) > 0; {
-		ups, pos, next, ok := decodeBatch(rest)
-		if !ok {
+		ups, pos, next, status := decodeBatch(rest)
+		if status == recCorrupt {
+			return fmt.Errorf("wal: log %s at offset %d: %w", path, logHeaderSize+valid, ErrWALCorrupt)
+		}
+		if status == recTorn {
 			break
 		}
 		count += len(ups)
@@ -370,6 +378,65 @@ func (w *DiskWAL) Compact() error {
 // WAL.Recover).
 func (w *DiskWAL) Recover(factory Factory) (Sketch, int, error) {
 	return w.mem.Recover(factory)
+}
+
+// VerifyDisk is the scrubber's at-rest integrity check: it re-reads
+// snapshot.bin and wal.log from disk and compares them byte-for-byte
+// against the in-memory mirror (which wrote them), re-validating the
+// snapshot envelope along the way. Any divergence — a flipped bit at rest,
+// a truncated file, content from a different generation — returns an error
+// wrapping ErrWALCorrupt. The check is read-only; deciding to quarantine
+// and repair is the caller's job. Like every other DiskWAL method it must
+// run on the tenant's single writer goroutine, so no append races the
+// re-read.
+func (w *DiskWAL) VerifyDisk() error {
+	snapPath := SnapshotPath(w.dir)
+	data, err := os.ReadFile(snapPath)
+	switch {
+	case os.IsNotExist(err):
+		if w.mem.snapshot != nil {
+			return fmt.Errorf("wal: verify: snapshot %s missing: %w", snapPath, ErrWALCorrupt)
+		}
+	case err != nil:
+		return fmt.Errorf("wal: verify: %w", err)
+	default:
+		if len(data) < snapHeaderSize || [8]byte(data[:8]) != snapMagic ||
+			binary.LittleEndian.Uint64(data[8:]) != w.gen ||
+			binary.LittleEndian.Uint64(data[16:]) != uint64(w.mem.n) ||
+			binary.LittleEndian.Uint64(data[24:]) != uint64(w.mem.snapPos) {
+			return fmt.Errorf("wal: verify: snapshot %s header diverged: %w", snapPath, ErrWALCorrupt)
+		}
+		sealed := data[snapHeaderSize:]
+		if !bytes.Equal(sealed, w.mem.snapshot) {
+			return fmt.Errorf("wal: verify: snapshot %s payload diverged from mirror: %w", snapPath, ErrWALCorrupt)
+		}
+		if len(sealed) > 0 {
+			if _, _, err := wire.Open(sealed); err != nil {
+				return fmt.Errorf("wal: verify: snapshot %s envelope: %v: %w", snapPath, err, ErrWALCorrupt)
+			}
+		}
+	}
+
+	logPath := LogPath(w.dir)
+	data, err = os.ReadFile(logPath)
+	switch {
+	case os.IsNotExist(err):
+		if len(w.mem.log) > 0 {
+			return fmt.Errorf("wal: verify: log %s missing: %w", logPath, ErrWALCorrupt)
+		}
+		return nil
+	case err != nil:
+		return fmt.Errorf("wal: verify: %w", err)
+	}
+	if len(data) < logHeaderSize || [8]byte(data[:8]) != logMagic ||
+		binary.LittleEndian.Uint64(data[8:]) != w.gen ||
+		binary.LittleEndian.Uint64(data[16:]) != uint64(w.mem.n) {
+		return fmt.Errorf("wal: verify: log %s header diverged: %w", logPath, ErrWALCorrupt)
+	}
+	if !bytes.Equal(data[logHeaderSize:], w.mem.log) {
+		return fmt.Errorf("wal: verify: log %s records diverged from mirror: %w", logPath, ErrWALCorrupt)
+	}
+	return nil
 }
 
 // DurableUpdates reports the raw stream position the durable state

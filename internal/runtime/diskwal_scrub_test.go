@@ -1,0 +1,155 @@
+package runtime_test
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"graphsketch/internal/runtime"
+)
+
+// flipByte XORs one byte of a file in place — the bit-rot primitive the
+// scrub chaos matrix uses against snapshot and log files.
+func flipByte(t *testing.T, path string, off int64, mask byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 || off >= int64(len(data)) {
+		t.Fatalf("flip offset %d out of range [0,%d)", off, len(data))
+	}
+	data[off] ^= mask
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskWALCorruptLogRefusesOpen pins the torn-vs-corrupt distinction: a
+// flipped bit inside a complete, previously-acknowledged log record must
+// fail the reopen with ErrWALCorrupt — truncating it away like a torn tail
+// would silently drop acknowledged updates.
+func TestDiskWALCorruptLogRefusesOpen(t *testing.T) {
+	seed := uint64(41)
+	st := testStream(seed)
+	dir := t.TempDir()
+	cfg := runtime.DiskConfig{Policy: runtime.FsyncNever}
+
+	w, err := runtime.OpenDiskWAL(dir, walTestN, cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	feedDisk(t, w, connFactory(seed)(), st.Updates, 0)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Offset 24 (log header size) + 8 (record frame) is the first payload
+	// byte of the FIRST record: the rot sits mid-log with the full record
+	// body present, so it cannot be mistaken for a crash truncation.
+	flipByte(t, runtime.LogPath(dir), 24+8, 0x01)
+
+	if _, err := runtime.OpenDiskWAL(dir, walTestN, cfg); !errors.Is(err, runtime.ErrWALCorrupt) {
+		t.Fatalf("reopen after mid-log bit flip: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestDiskWALCorruptSnapshotRefusesOpen pins that rot inside the sealed
+// snapshot payload fails the reopen with ErrWALCorrupt (the envelope CRC
+// catches it before any decode).
+func TestDiskWALCorruptSnapshotRefusesOpen(t *testing.T) {
+	seed := uint64(43)
+	st := testStream(seed)
+	dir := t.TempDir()
+	cfg := runtime.DiskConfig{Policy: runtime.FsyncNever}
+
+	w, err := runtime.OpenDiskWAL(dir, walTestN, cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	feedDisk(t, w, connFactory(seed)(), st.Updates, 200)
+	if w.SnapshotBytes() == 0 {
+		t.Fatal("no snapshot was taken")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// 32-byte header + 13-byte envelope header, then payload bytes.
+	flipByte(t, runtime.SnapshotPath(dir), 32+13+5, 0x80)
+
+	if _, err := runtime.OpenDiskWAL(dir, walTestN, cfg); !errors.Is(err, runtime.ErrWALCorrupt) {
+		t.Fatalf("reopen after snapshot bit flip: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestDiskWALVerifyDisk drives the scrubber's at-rest check: clean state
+// verifies, every class of file rot (log record, snapshot payload, missing
+// file) reports ErrWALCorrupt, and restoring the bytes verifies clean
+// again.
+func TestDiskWALVerifyDisk(t *testing.T) {
+	seed := uint64(47)
+	st := testStream(seed)
+	dir := t.TempDir()
+	cfg := runtime.DiskConfig{Policy: runtime.FsyncNever}
+
+	w, err := runtime.OpenDiskWAL(dir, walTestN, cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer w.Close()
+	live := connFactory(seed)()
+	feedDisk(t, w, live, st.Updates[:len(st.Updates)/2], 200)
+	feedDisk(t, w, live, st.Updates[len(st.Updates)/2:], 0)
+	if w.SnapshotBytes() == 0 || w.LogBytes() == 0 {
+		t.Fatalf("want both snapshot and log populated, got %d/%d bytes", w.SnapshotBytes(), w.LogBytes())
+	}
+
+	if err := w.VerifyDisk(); err != nil {
+		t.Fatalf("verify clean state: %v", err)
+	}
+
+	logPath, snapPath := runtime.LogPath(dir), runtime.SnapshotPath(dir)
+	goodLog, _ := os.ReadFile(logPath)
+	goodSnap, _ := os.ReadFile(snapPath)
+
+	flipByte(t, logPath, int64(len(goodLog))-1, 0x04)
+	if err := w.VerifyDisk(); !errors.Is(err, runtime.ErrWALCorrupt) {
+		t.Fatalf("verify after log rot: err = %v, want ErrWALCorrupt", err)
+	}
+	os.WriteFile(logPath, goodLog, 0o644)
+	if err := w.VerifyDisk(); err != nil {
+		t.Fatalf("verify after log restore: %v", err)
+	}
+
+	flipByte(t, snapPath, 40, 0x20)
+	if err := w.VerifyDisk(); !errors.Is(err, runtime.ErrWALCorrupt) {
+		t.Fatalf("verify after snapshot rot: err = %v, want ErrWALCorrupt", err)
+	}
+	os.WriteFile(snapPath, goodSnap, 0o644)
+
+	if err := os.Remove(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.VerifyDisk(); !errors.Is(err, runtime.ErrWALCorrupt) {
+		t.Fatalf("verify after snapshot removal: err = %v, want ErrWALCorrupt", err)
+	}
+	os.WriteFile(snapPath, goodSnap, 0o644)
+	if err := w.VerifyDisk(); err != nil {
+		t.Fatalf("verify after full restore: %v", err)
+	}
+
+	// A snapshot taken now rewrites both files from live state — the repair
+	// primitive the scrubber uses when the live sketch is still clean.
+	sk, _, err := w.Recover(connFactory(seed))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	flipByte(t, snapPath, 45, 0x10)
+	if err := w.Snapshot(sk); err != nil {
+		t.Fatalf("repair snapshot: %v", err)
+	}
+	if err := w.VerifyDisk(); err != nil {
+		t.Fatalf("verify after repair snapshot: %v", err)
+	}
+}

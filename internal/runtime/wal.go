@@ -2,10 +2,31 @@ package runtime
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"graphsketch/internal/stream"
 	"graphsketch/internal/wire"
+)
+
+// ErrWALCorrupt marks durable state whose bytes were altered after they
+// were written — bit-rot, not crash truncation. A crash mid-append can only
+// leave a PREFIX of a record (short header, or a declared length running
+// past end-of-file); it can never produce a full-length record whose
+// checksum fails, because the length word was written before the body. The
+// distinction matters operationally: a torn tail is silently truncated (the
+// lost suffix was never acknowledged), while corruption means acknowledged
+// durable state is gone and the tenant must be quarantined and repaired
+// from a peer rather than served.
+var ErrWALCorrupt = errors.New("wal: corrupt record (bit-rot, not torn tail)")
+
+// recStatus classifies one framed-record decode.
+type recStatus int
+
+const (
+	recOK      recStatus = iota // record decoded
+	recTorn                     // short prefix: crash-truncated tail
+	recCorrupt                  // full-length body with bad checksum/payload
 )
 
 // WAL is a site's durable state: a write-ahead log of coalesced update
@@ -102,67 +123,73 @@ func (w *WAL) TearTail(n int) {
 }
 
 // decodeBatch reads one framed record, returning the updates, the position
-// the record replays to, and the rest. ok=false means the tail is torn or
-// corrupt: replay stops there.
-func decodeBatch(data []byte) (ups []stream.Update, posAfter int, rest []byte, ok bool) {
+// the record replays to, the rest, and a verdict: recTorn when the bytes
+// are a crash-truncated prefix (replay treats it as end-of-log), recCorrupt
+// when a full-length record fails its checksum or payload decode (bit-rot —
+// acknowledged state is damaged).
+func decodeBatch(data []byte) (ups []stream.Update, posAfter int, rest []byte, status recStatus) {
 	if len(data) < 8 {
-		return nil, 0, nil, false
+		return nil, 0, nil, recTorn
 	}
 	n := binary.LittleEndian.Uint32(data)
 	crc := binary.LittleEndian.Uint32(data[4:])
 	body := data[8:]
 	if uint64(n) > uint64(len(body)) {
-		return nil, 0, nil, false
+		// The declared length runs past end-of-file: the body write never
+		// completed. This is the torn-tail shape; a checksum failure below
+		// (full body present) cannot be.
+		return nil, 0, nil, recTorn
 	}
 	payload := body[:n]
 	if wire.Checksum(payload) != crc {
-		return nil, 0, nil, false
+		return nil, 0, nil, recCorrupt
 	}
 	pos, payload, err := wire.Uvarint(payload)
 	if err != nil {
-		return nil, 0, nil, false
+		return nil, 0, nil, recCorrupt
 	}
 	count, payload, err := wire.Uvarint(payload)
 	if err != nil || count > uint64(len(payload)) {
-		return nil, 0, nil, false
+		return nil, 0, nil, recCorrupt
 	}
 	ups = make([]stream.Update, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var u, v, zd uint64
 		if u, payload, err = wire.Uvarint(payload); err != nil {
-			return nil, 0, nil, false
+			return nil, 0, nil, recCorrupt
 		}
 		if v, payload, err = wire.Uvarint(payload); err != nil {
-			return nil, 0, nil, false
+			return nil, 0, nil, recCorrupt
 		}
 		if zd, payload, err = wire.Uvarint(payload); err != nil {
-			return nil, 0, nil, false
+			return nil, 0, nil, recCorrupt
 		}
 		ups = append(ups, stream.Update{U: int(u), V: int(v), Delta: wire.Unzigzag(zd)})
 	}
 	if len(payload) != 0 {
-		return nil, 0, nil, false
+		return nil, 0, nil, recCorrupt
 	}
-	return ups, int(pos), body[n:], true
+	return ups, int(pos), body[n:], recOK
 }
 
 // replayLog walks the framed records, returning all updates up to the
-// first torn/corrupt record (tolerated as end-of-log), the position the
-// valid prefix replays to, and the byte length of that prefix.
-func (w *WAL) replayLog() (all []stream.Update, endPos, validLen int) {
+// first undecodable record, the position the valid prefix replays to, the
+// byte length of that prefix, and whether the stop was mid-log corruption
+// (bit-rot) rather than a tolerated torn tail.
+func (w *WAL) replayLog() (all []stream.Update, endPos, validLen int, corrupt bool) {
 	endPos = w.snapPos
 	data := w.log
 	for len(data) > 0 {
-		ups, pos, rest, ok := decodeBatch(data)
-		if !ok {
-			break
+		ups, pos, rest, status := decodeBatch(data)
+		if status != recOK {
+			return all, endPos, validLen, status == recCorrupt
 		}
 		all = append(all, ups...)
 		endPos = pos
 		validLen = len(w.log) - len(rest)
 		data = rest
 	}
-	return all, endPos, validLen
+	return all, endPos, validLen, false
 }
 
 // Snapshot captures the sketch's current compact payload (sealed in a
@@ -207,7 +234,12 @@ func (w *WAL) InstallSnapshot(sealed []byte, pos int) error {
 // length. The rewritten record keeps the original end position, so re-feed
 // contracts survive compaction exactly.
 func (w *WAL) Compact() {
-	ups, endPos, _ := w.replayLog()
+	ups, endPos, _, corrupt := w.replayLog()
+	if corrupt {
+		// Rewriting a corrupt log would destroy the evidence the scrubber
+		// needs to quarantine the tenant; leave the bytes for it to find.
+		return
+	}
 	if len(ups) == 0 {
 		return
 	}
@@ -232,13 +264,18 @@ func (w *WAL) Recover(factory Factory) (Sketch, int, error) {
 	if w.snapshot != nil {
 		payload, _, err := wire.Open(w.snapshot)
 		if err != nil {
-			return nil, 0, fmt.Errorf("wal: snapshot envelope: %w", err)
+			// The envelope was valid when the snapshot was taken/installed,
+			// so a failure here is rot in the mirrored bytes themselves.
+			return nil, 0, fmt.Errorf("wal: snapshot envelope: %v: %w", err, ErrWALCorrupt)
 		}
 		if err := sk.MergeBytes(payload); err != nil {
 			return nil, 0, fmt.Errorf("wal: snapshot restore: %w", err)
 		}
 	}
-	ups, endPos, validLen := w.replayLog()
+	ups, endPos, validLen, corrupt := w.replayLog()
+	if corrupt {
+		return nil, 0, fmt.Errorf("wal: log replay at position %d: %w", endPos, ErrWALCorrupt)
+	}
 	if len(ups) > 0 {
 		sk.UpdateBatch(ups)
 	}

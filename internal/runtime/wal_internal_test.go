@@ -15,8 +15,8 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ups, pos, rest, ok := decodeBatch(data)
-		if !ok {
+		ups, pos, rest, status := decodeBatch(data)
+		if status != recOK {
 			return
 		}
 		if pos < 0 {

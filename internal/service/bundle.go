@@ -8,6 +8,7 @@
 package service
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -53,6 +54,14 @@ type Bundle struct {
 	// the log doubles, keeping it O(live edges), not O(stream length).
 	spLog     []stream.Update
 	coalesced int // prefix length known coalesced
+
+	// Digest cache: one manifest leaf per bank plus a dirty flag, so epoch
+	// publication recomputes only the banks a batch touched. Sketch banks
+	// use the conservative BatchMaxLevel bound (an update at level l dirties
+	// levels 0..l); log chunks are dirtied exactly by edge-index keying.
+	// Lazily allocated on first Manifest call.
+	dig      []wire.BankRef
+	digDirty []bool
 }
 
 // NewBundle creates an empty bundle with the given shape.
@@ -72,6 +81,7 @@ func (b *Bundle) UpdateBatch(ups []stream.Update) {
 	if len(ups) == 0 {
 		return
 	}
+	b.markBatchDirty(ups)
 	b.mc.UpdateBatch(ups)
 	b.sp.UpdateBatch(ups)
 	b.spLog = append(b.spLog, ups...)
@@ -92,7 +102,8 @@ func (b *Bundle) coalesceLog() {
 
 // Clone deep-copies the bundle — the epoch-snapshot primitive. The clone
 // shares nothing mutable with the original, so queries against it never
-// block (or observe) ingest.
+// block (or observe) ingest. The digest cache is carried over (it describes
+// the same state).
 func (b *Bundle) Clone() *Bundle {
 	return &Bundle{
 		cfg:       b.cfg,
@@ -100,6 +111,8 @@ func (b *Bundle) Clone() *Bundle {
 		sp:        b.sp.Clone(),
 		spLog:     append([]stream.Update(nil), b.spLog...),
 		coalesced: b.coalesced,
+		dig:       append([]wire.BankRef(nil), b.dig...),
+		digDirty:  append([]bool(nil), b.digDirty...),
 	}
 }
 
@@ -140,108 +153,514 @@ func (b *Bundle) Footprint() graphsketch.Footprint {
 // evict-coldest run on it).
 func (b *Bundle) ResidentBytes() int64 { return b.Footprint().ResidentBytes }
 
-// MarshalBinaryCompact encodes the bundle: config header, then
-// length-prefixed member payloads, then the coalesced spanner log. The
-// encoding is canonical (members marshal canonically, the log is coalesced
-// and sorted first), which is what makes bit-identity assertions
-// meaningful end to end.
-func (b *Bundle) MarshalBinaryCompact() ([]byte, error) {
-	b.coalesceLog()
-	mcB, err := b.mc.MarshalBinaryCompact()
-	if err != nil {
-		return nil, err
-	}
-	spB, err := b.sp.MarshalBinaryCompact()
-	if err != nil {
-		return nil, err
-	}
-	out := wire.AppendUvarint(nil, uint64(b.cfg.N))
-	out = wire.AppendUvarint(out, uint64(b.cfg.K))
-	out = wire.AppendUvarint(out, math.Float64bits(b.cfg.Eps))
-	out = wire.AppendUvarint(out, uint64(b.cfg.SpannerK))
-	out = wire.AppendUvarint(out, b.cfg.Seed)
-	out = wire.AppendUvarint(out, uint64(len(mcB)))
-	out = append(out, mcB...)
-	out = wire.AppendUvarint(out, uint64(len(spB)))
-	out = append(out, spB...)
-	out = wire.AppendUvarint(out, uint64(len(b.spLog)))
-	for _, u := range b.spLog {
-		out = wire.AppendUvarint(out, uint64(u.U))
-		out = wire.AppendUvarint(out, uint64(u.V))
-		out = wire.AppendUvarint(out, wire.Zigzag(u.Delta))
-	}
-	return out, nil
+// ---------------------------------------------------------------------------
+// Banked payload (v2) and the digest tree
+// ---------------------------------------------------------------------------
+//
+// A bundle's wire state decomposes into an ordered list of BANKS, the unit
+// the digest tree and delta anti-entropy address:
+//
+//	[0, mcBanks)                     min-cut subsampling levels, compact
+//	[mcBanks, mcBanks+spBanks)       sparsifier sampling levels, compact
+//	[mcBanks+spBanks, +logBankCount) spanner-log chunks keyed by
+//	                                 EdgeIndex(u,v,N) % logBankCount
+//
+// Sketch banks are headerless tagged cell states (AppendBank); log chunks
+// are uvarint count + (u, v, zigzag delta) triples over the COALESCED log,
+// so every bank encoding is canonical for its state. The payload is:
+//
+//	config header  5 uvarints (N, K, Eps bits, SpannerK, Seed)
+//	totalBanks     uvarint
+//	presentCount   uvarint
+//	present        presentCount × { id uvarint, len uvarint, bytes }
+//	manifest       GSD1 over ALL totalBanks banks
+//
+// A full payload carries every bank (snapshots, /payload, sync installs); a
+// delta payload carries only the banks a peer asked for, but always the
+// full manifest — the receiver verifies every present bank against its
+// leaf, and every absent bank against its own local bytes, before trusting
+// a bank-granular install.
+
+// ErrDigestMismatch reports state bytes that contradict a digest-tree
+// leaf — silent corruption, never a crash artifact (those are torn tails).
+var ErrDigestMismatch = fmt.Errorf("service: digest mismatch")
+
+// ErrDeltaInsufficient reports a delta payload that cannot reconstruct the
+// sender's state (local divergence outside the carried banks, or the
+// assembled root disagreeing). The remedy is a full-payload pull.
+var ErrDeltaInsufficient = fmt.Errorf("service: delta payload insufficient")
+
+// logBankCount is the spanner-log chunk fan-out. Eight chunks keeps any
+// single log bank's share of the payload small (the delta-repair unit)
+// without fragmenting tiny logs into empty sections.
+const logBankCount = 8
+
+// logChunk keys an update to its log bank by canonical edge index.
+func logChunk(u stream.Update, n int) int {
+	return int(stream.EdgeIndex(u.U, u.V, n) % logBankCount)
 }
 
-// MergeBytes folds an encoded bundle into this one (linear: sketch states
-// add, spanner logs concatenate and re-coalesce). The config header must
-// match exactly; byte-level corruption in the member payloads errors (the
-// members' decoders are hardened). The spanner-log section's vertex range
-// is deliberately trusted here and checked at Spanner() time — see there.
-func (b *Bundle) MergeBytes(data []byte) error {
-	hdr := []uint64{uint64(b.cfg.N), uint64(b.cfg.K), math.Float64bits(b.cfg.Eps), uint64(b.cfg.SpannerK), b.cfg.Seed}
-	for _, want := range hdr {
-		got, rest, err := wire.Uvarint(data)
-		if err != nil {
-			return fmt.Errorf("service: bundle header: %w", err)
+// NumBanks reports the bundle's digest-tree width.
+func (b *Bundle) NumBanks() int {
+	return b.mc.NumBanks() + b.sp.NumBanks() + logBankCount
+}
+
+// markBatchDirty invalidates the digest-cache leaves a batch can touch.
+// No-op until the cache exists (first Manifest call pays full price).
+func (b *Bundle) markBatchDirty(ups []stream.Update) {
+	if b.digDirty == nil {
+		return
+	}
+	mcN, spN := b.mc.NumBanks(), b.sp.NumBanks()
+	for l := b.mc.BatchMaxLevel(ups); l >= 0; l-- {
+		b.digDirty[l] = true
+	}
+	for l := b.sp.BatchMaxLevel(ups); l >= 0; l-- {
+		b.digDirty[mcN+l] = true
+	}
+	for _, u := range ups {
+		b.digDirty[mcN+spN+logChunk(u, b.cfg.N)] = true
+	}
+}
+
+// markAllDirty drops every cached leaf (wholesale state changes: merge,
+// bank install, unmarshal).
+func (b *Bundle) markAllDirty() {
+	for i := range b.digDirty {
+		b.digDirty[i] = true
+	}
+}
+
+// appendBank appends bank id's canonical bytes. The spanner log must
+// already be coalesced when a log bank is encoded.
+func (b *Bundle) appendBank(buf []byte, id int) ([]byte, error) {
+	mcN, spN := b.mc.NumBanks(), b.sp.NumBanks()
+	switch {
+	case id < 0 || id >= mcN+spN+logBankCount:
+		return nil, fmt.Errorf("service: bank %d out of [0,%d): %w", id, b.NumBanks(), graphsketch.ErrBadEncoding)
+	case id < mcN:
+		return b.mc.AppendBank(buf, id)
+	case id < mcN+spN:
+		return b.sp.AppendBank(buf, id-mcN)
+	}
+	chunk := id - mcN - spN
+	count := 0
+	for _, u := range b.spLog {
+		if logChunk(u, b.cfg.N) == chunk {
+			count++
 		}
-		if got != want {
-			return fmt.Errorf("service: bundle config mismatch (%d != %d): %w", got, want, graphsketch.ErrBadEncoding)
+	}
+	buf = wire.AppendUvarint(buf, uint64(count))
+	for _, u := range b.spLog {
+		if logChunk(u, b.cfg.N) == chunk {
+			buf = wire.AppendUvarint(buf, uint64(u.U))
+			buf = wire.AppendUvarint(buf, uint64(u.V))
+			buf = wire.AppendUvarint(buf, wire.Zigzag(u.Delta))
 		}
-		data = rest
 	}
-	mcB, data, err := lengthPrefixed(data)
-	if err != nil {
-		return fmt.Errorf("service: bundle mincut section: %w", err)
-	}
-	spB, data, err := lengthPrefixed(data)
-	if err != nil {
-		return fmt.Errorf("service: bundle sparsifier section: %w", err)
-	}
+	return buf, nil
+}
+
+// decodeLogBank inverts the log-chunk encoding, consuming data fully.
+func decodeLogBank(data []byte) ([]stream.Update, error) {
 	count, data, err := wire.Uvarint(data)
 	if err != nil || count > uint64(len(data)) {
-		return fmt.Errorf("service: bundle spanner log: %w", graphsketch.ErrBadEncoding)
+		return nil, fmt.Errorf("service: log bank: %w", graphsketch.ErrBadEncoding)
 	}
 	ups := make([]stream.Update, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var u, v, zd uint64
 		if u, data, err = wire.Uvarint(data); err != nil {
-			return fmt.Errorf("service: bundle spanner log: %w", err)
+			return nil, fmt.Errorf("service: log bank: %w", err)
 		}
 		if v, data, err = wire.Uvarint(data); err != nil {
-			return fmt.Errorf("service: bundle spanner log: %w", err)
+			return nil, fmt.Errorf("service: log bank: %w", err)
 		}
 		if zd, data, err = wire.Uvarint(data); err != nil {
-			return fmt.Errorf("service: bundle spanner log: %w", err)
+			return nil, fmt.Errorf("service: log bank: %w", err)
 		}
 		ups = append(ups, stream.Update{U: int(u), V: int(v), Delta: wire.Unzigzag(zd)})
 	}
 	if len(data) != 0 {
-		return fmt.Errorf("service: bundle trailing bytes: %w", graphsketch.ErrBadEncoding)
+		return nil, fmt.Errorf("service: log bank trailing bytes: %w", graphsketch.ErrBadEncoding)
 	}
-	// Merge into clones and swap, so a corrupt member payload cannot leave
-	// the bundle half-merged.
-	mc2, sp2 := b.mc.Clone(), b.sp.Clone()
-	if err := mc2.MergeBytes(mcB); err != nil {
-		return err
+	return ups, nil
+}
+
+// refreshDigests brings the digest cache current: coalesce the log (log
+// leaves digest canonical chunk bytes), then re-encode and re-digest every
+// dirty bank. First call builds the cache wholesale.
+func (b *Bundle) refreshDigests() error {
+	b.coalesceLog()
+	if b.dig == nil {
+		b.dig = make([]wire.BankRef, b.NumBanks())
+		b.digDirty = make([]bool, b.NumBanks())
+		b.markAllDirty()
 	}
-	if err := sp2.MergeBytes(spB); err != nil {
-		return err
+	var scratch []byte
+	for id := range b.dig {
+		if !b.digDirty[id] {
+			continue
+		}
+		bankB, err := b.appendBank(scratch[:0], id)
+		if err != nil {
+			return err
+		}
+		scratch = bankB
+		b.dig[id] = wire.BankRef{Len: uint64(len(bankB)), Digest: wire.BankDigest(bankB)}
+		b.digDirty[id] = false
 	}
-	b.mc, b.sp = mc2, sp2
-	b.spLog = append(b.spLog, ups...)
-	b.coalesced = 0
 	return nil
 }
 
-// lengthPrefixed splits one uvarint-length-prefixed section off data.
-func lengthPrefixed(data []byte) (section, rest []byte, err error) {
-	n, rest, err := wire.Uvarint(data)
+// Manifest returns the bundle's current digest tree (a copy; callers may
+// hold it across further updates).
+func (b *Bundle) Manifest() (wire.Manifest, error) {
+	if err := b.refreshDigests(); err != nil {
+		return wire.Manifest{}, err
+	}
+	return wire.Manifest{Banks: append([]wire.BankRef(nil), b.dig...)}, nil
+}
+
+// VerifyDigests is the scrubber's live-state check: re-encode EVERY bank
+// and compare against the cached manifest leaves. A clean (non-dirty) leaf
+// that no longer matches its bank's bytes means the in-memory state or its
+// cache rotted since the last epoch publication — something no update path
+// can cause. Returns ErrDigestMismatch (wrapped) naming the first diverged
+// bank; the cache is left untouched so repair logic can still read the
+// pre-rot manifest.
+func (b *Bundle) VerifyDigests() error {
+	if b.dig == nil {
+		return nil // nothing published yet, nothing to contradict
+	}
+	b.coalesceLog()
+	var scratch []byte
+	for id := range b.dig {
+		if b.digDirty[id] {
+			continue // not yet published; nothing to verify against
+		}
+		bankB, err := b.appendBank(scratch[:0], id)
+		if err != nil {
+			return err
+		}
+		scratch = bankB
+		ref := wire.BankRef{Len: uint64(len(bankB)), Digest: wire.BankDigest(bankB)}
+		if ref != b.dig[id] {
+			return fmt.Errorf("service: bank %d digest mismatch (live %x/%d, manifest %x/%d): %w",
+				id, ref.Digest, ref.Len, b.dig[id].Digest, b.dig[id].Len, ErrDigestMismatch)
+		}
+	}
+	return nil
+}
+
+// appendConfigHeader writes the 5-uvarint config header.
+func (b *Bundle) appendConfigHeader(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, uint64(b.cfg.N))
+	buf = wire.AppendUvarint(buf, uint64(b.cfg.K))
+	buf = wire.AppendUvarint(buf, math.Float64bits(b.cfg.Eps))
+	buf = wire.AppendUvarint(buf, uint64(b.cfg.SpannerK))
+	return wire.AppendUvarint(buf, b.cfg.Seed)
+}
+
+// MarshalBanks encodes a banked payload carrying the requested banks (ids
+// ascending, duplicates ignored) plus the full manifest. nil asks for every
+// bank — the full payload MarshalBinaryCompact returns.
+func (b *Bundle) MarshalBanks(ids []int) ([]byte, error) {
+	if err := b.refreshDigests(); err != nil {
+		return nil, err
+	}
+	total := b.NumBanks()
+	want := make([]bool, total)
+	if ids == nil {
+		for i := range want {
+			want[i] = true
+		}
+	} else {
+		for _, id := range ids {
+			if id < 0 || id >= total {
+				return nil, fmt.Errorf("service: bank %d out of [0,%d): %w", id, total, graphsketch.ErrBadEncoding)
+			}
+			want[id] = true
+		}
+	}
+	present := 0
+	for _, w := range want {
+		if w {
+			present++
+		}
+	}
+	out := b.appendConfigHeader(nil)
+	out = wire.AppendUvarint(out, uint64(total))
+	out = wire.AppendUvarint(out, uint64(present))
+	for id := 0; id < total; id++ {
+		if !want[id] {
+			continue
+		}
+		out = wire.AppendUvarint(out, uint64(id))
+		out = wire.AppendUvarint(out, b.dig[id].Len)
+		var err error
+		if out, err = b.appendBank(out, id); err != nil {
+			return nil, err
+		}
+	}
+	return wire.AppendManifest(out, wire.Manifest{Banks: b.dig}), nil
+}
+
+// MarshalBinaryCompact encodes the full banked payload: config header,
+// every bank, and the digest manifest. The encoding is canonical (sketch
+// banks marshal canonically, the log is coalesced and sorted first), which
+// is what makes bit-identity assertions meaningful end to end.
+func (b *Bundle) MarshalBinaryCompact() ([]byte, error) {
+	return b.MarshalBanks(nil)
+}
+
+// bundlePayload is a decoded banked payload: which banks are present (by
+// id, bytes aliasing the input) and the full manifest, all digest-verified.
+type bundlePayload struct {
+	total   int
+	present map[int][]byte
+	man     wire.Manifest
+}
+
+// decodePayload validates a banked payload against this bundle's config
+// and shape, verifying every present bank's bytes against its manifest
+// leaf. Corruption anywhere — config mismatch, bank out of order, digest
+// mismatch, trailing bytes — errors without touching bundle state.
+func (b *Bundle) decodePayload(data []byte) (*bundlePayload, error) {
+	hdr := []uint64{uint64(b.cfg.N), uint64(b.cfg.K), math.Float64bits(b.cfg.Eps), uint64(b.cfg.SpannerK), b.cfg.Seed}
+	for _, wantV := range hdr {
+		got, rest, err := wire.Uvarint(data)
+		if err != nil {
+			return nil, fmt.Errorf("service: bundle header: %w", err)
+		}
+		if got != wantV {
+			return nil, fmt.Errorf("service: bundle config mismatch (%d != %d): %w", got, wantV, graphsketch.ErrBadEncoding)
+		}
+		data = rest
+	}
+	total, data, err := wire.Uvarint(data)
 	if err != nil {
-		return nil, nil, err
+		return nil, fmt.Errorf("service: bundle bank count: %w", err)
 	}
-	if n > uint64(len(rest)) {
-		return nil, nil, graphsketch.ErrBadEncoding
+	if total != uint64(b.NumBanks()) {
+		return nil, fmt.Errorf("service: bundle has %d banks, want %d: %w", total, b.NumBanks(), graphsketch.ErrBadEncoding)
 	}
-	return rest[:n], rest[n:], nil
+	presentCount, data, err := wire.Uvarint(data)
+	if err != nil || presentCount > total {
+		return nil, fmt.Errorf("service: bundle present count: %w", graphsketch.ErrBadEncoding)
+	}
+	p := &bundlePayload{total: int(total), present: make(map[int][]byte, presentCount)}
+	prev := -1
+	for i := uint64(0); i < presentCount; i++ {
+		id, rest, err := wire.Uvarint(data)
+		if err != nil {
+			return nil, fmt.Errorf("service: bundle bank id: %w", err)
+		}
+		if int64(id) <= int64(prev) || id >= total {
+			return nil, fmt.Errorf("service: bundle bank ids not ascending: %w", graphsketch.ErrBadEncoding)
+		}
+		prev = int(id)
+		n, rest, err := wire.Uvarint(rest)
+		if err != nil || n > uint64(len(rest)) {
+			return nil, fmt.Errorf("service: bundle bank %d length: %w", id, graphsketch.ErrBadEncoding)
+		}
+		p.present[int(id)] = rest[:n]
+		data = rest[n:]
+	}
+	p.man, data, err = wire.DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("service: bundle manifest: %w", err)
+	}
+	if len(p.man.Banks) != p.total {
+		return nil, fmt.Errorf("service: bundle manifest covers %d banks, want %d: %w", len(p.man.Banks), p.total, graphsketch.ErrBadEncoding)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("service: bundle trailing bytes: %w", graphsketch.ErrBadEncoding)
+	}
+	// Every present bank must match its manifest leaf — a flipped bit in
+	// either the bank bytes or the manifest fails here (the manifest's own
+	// root check already vouched for its internal consistency).
+	for id, bankB := range p.present {
+		ref := p.man.Banks[id]
+		if ref.Len != uint64(len(bankB)) || ref.Digest != wire.BankDigest(bankB) {
+			return nil, fmt.Errorf("service: bundle bank %d bytes contradict manifest: %w", id, ErrDigestMismatch)
+		}
+	}
+	return p, nil
+}
+
+// MergeBytes folds an encoded FULL bundle payload into this one (linear:
+// sketch states add, spanner logs concatenate and re-coalesce). The config
+// header must match exactly, every bank must be present and digest-clean.
+// The log banks' vertex range is deliberately trusted here and checked at
+// Spanner() time — see there.
+func (b *Bundle) MergeBytes(data []byte) error {
+	p, err := b.decodePayload(data)
+	if err != nil {
+		return err
+	}
+	if len(p.present) != p.total {
+		return fmt.Errorf("service: merge needs a full payload (%d/%d banks): %w", len(p.present), p.total, graphsketch.ErrBadEncoding)
+	}
+	// Merge into clones and swap, so a corrupt bank payload cannot leave
+	// the bundle half-merged.
+	mcN, spN := b.mc.NumBanks(), b.sp.NumBanks()
+	mc2, sp2 := b.mc.Clone(), b.sp.Clone()
+	var logUps []stream.Update
+	for id := 0; id < p.total; id++ {
+		bankB := p.present[id]
+		switch {
+		case id < mcN:
+			err = mc2.MergeBank(id, bankB)
+		case id < mcN+spN:
+			err = sp2.MergeBank(id-mcN, bankB)
+		default:
+			var ups []stream.Update
+			if ups, err = decodeLogBank(bankB); err == nil {
+				logUps = append(logUps, ups...)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	b.mc, b.sp = mc2, sp2
+	b.spLog = append(b.spLog, logUps...)
+	b.coalesced = 0
+	b.markAllDirty()
+	return nil
+}
+
+// InstallBanks replace-installs a banked payload: present banks overwrite
+// the local ones; absent banks keep their local bytes, which is only sound
+// when those bytes are already identical to the sender's — enforced by
+// requiring every absent bank's CURRENT local leaf to equal the payload
+// manifest's. After installing, the assembled state's recomputed root must
+// equal the payload root, or the install is rolled back (clone-and-swap)
+// with ErrDeltaInsufficient — the caller falls back to a full pull.
+func (b *Bundle) InstallBanks(data []byte) error {
+	p, err := b.decodePayload(data)
+	if err != nil {
+		return err
+	}
+	if err := b.refreshDigests(); err != nil {
+		return err
+	}
+	for id := 0; id < p.total; id++ {
+		if _, ok := p.present[id]; ok {
+			continue
+		}
+		if b.dig[id] != p.man.Banks[id] {
+			return fmt.Errorf("service: bank %d diverges locally but is absent from delta payload: %w", id, ErrDeltaInsufficient)
+		}
+	}
+	// Assemble on a clone: replaced sketch banks decode in place, replaced
+	// log chunks splice into the coalesced log.
+	mcN, spN := b.mc.NumBanks(), b.sp.NumBanks()
+	fresh := b.Clone()
+	logTouched := false
+	for id := 0; id < p.total; id++ {
+		bankB, ok := p.present[id]
+		if !ok {
+			continue
+		}
+		switch {
+		case id < mcN:
+			err = fresh.mc.ReplaceBank(id, bankB)
+		case id < mcN+spN:
+			err = fresh.sp.ReplaceBank(id-mcN, bankB)
+		default:
+			chunk := id - mcN - spN
+			var ups []stream.Update
+			if ups, err = decodeLogBank(bankB); err == nil {
+				kept := fresh.spLog[:0]
+				for _, u := range fresh.spLog {
+					if logChunk(u, b.cfg.N) != chunk {
+						kept = append(kept, u)
+					}
+				}
+				fresh.spLog = append(kept, ups...)
+				logTouched = true
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if logTouched {
+		fresh.coalesced = 0 // re-sort: spliced chunks broke the order
+	}
+	fresh.markAllDirty()
+	if err := fresh.refreshDigests(); err != nil {
+		return err
+	}
+	got := wire.Manifest{Banks: fresh.dig}
+	if got.Root() != p.man.Root() {
+		return fmt.Errorf("service: assembled state root %x != payload root %x: %w", got.Root(), p.man.Root(), ErrDeltaInsufficient)
+	}
+	*b = *fresh
+	return nil
+}
+
+// RecomputeDigests rebuilds every manifest leaf from the live bytes,
+// discarding the cache. The repair path uses it so the local manifest
+// reflects rotted reality before diffing against a peer's — a cached
+// pre-rot leaf would hide exactly the bank that needs pulling.
+func (b *Bundle) RecomputeDigests() error {
+	b.markAllDirty()
+	return b.refreshDigests()
+}
+
+// InjectBankRot deterministically corrupts one bank's live in-memory state
+// WITHOUT touching the digest cache — the chaos hook the scrub tests and
+// the sim's bit-rot matrix use to model silent memory rot. Sketch banks
+// absorb a synthetic nonzero single-edge state (linearity keeps the bytes
+// decodable while guaranteeing the canonical encoding changes); log chunks
+// gain a phantom update keyed to the chunk.
+func (b *Bundle) InjectBankRot(bank int, seed uint64) error {
+	mcN, spN := b.mc.NumBanks(), b.sp.NumBanks()
+	if bank < 0 || bank >= b.NumBanks() {
+		return fmt.Errorf("service: bank %d out of [0,%d): %w", bank, b.NumBanks(), graphsketch.ErrBadEncoding)
+	}
+	if bank >= mcN+spN {
+		chunk := bank - mcN - spN
+		for i := uint64(0); ; i++ {
+			u := stream.Update{U: int((seed + i) % uint64(b.cfg.N)), V: int((seed + i + 1) % uint64(b.cfg.N)), Delta: 1}
+			if u.U != u.V && logChunk(u, b.cfg.N) == chunk {
+				b.spLog = append(b.spLog, u)
+				b.coalesced = 0
+				return nil
+			}
+		}
+	}
+	// Feed synthetic edges into a scratch bundle until the target bank's
+	// state is nonzero (an update only reaches subsampling level l with
+	// probability 2^-l, so high banks need a few tries), then fold exactly
+	// that bank into b.
+	emptyB, err := NewBundle(b.cfg).appendBank(nil, bank)
+	if err != nil {
+		return err
+	}
+	tmp := NewBundle(b.cfg)
+	for i := 0; i < 1<<14; i++ {
+		u := int((seed + uint64(i)) % uint64(b.cfg.N))
+		v := (u + 1 + i%(b.cfg.N-1)) % b.cfg.N
+		if u == v {
+			continue
+		}
+		up := []stream.Update{{U: u, V: v, Delta: 1}}
+		tmp.mc.UpdateBatch(up)
+		tmp.sp.UpdateBatch(up)
+		bankB, err := tmp.appendBank(nil, bank)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(bankB, emptyB) {
+			if bank < mcN {
+				return b.mc.MergeBank(bank, bankB)
+			}
+			return b.sp.MergeBank(bank-mcN, bankB)
+		}
+	}
+	return fmt.Errorf("service: could not synthesize rot for bank %d", bank)
 }

@@ -12,8 +12,12 @@ import (
 	"sync"
 	"time"
 
+	"encoding/base64"
+	"strings"
+
 	"graphsketch/internal/hashing"
 	"graphsketch/internal/stream"
+	"graphsketch/internal/wire"
 )
 
 // Client is the hardened HTTP client for a set of replicated gsketch serve
@@ -397,6 +401,41 @@ func (c *Client) Position(tenant string) (int, error) {
 	return resp.Acked, nil
 }
 
+// PositionInfo is the extended position probe: durable position, epoch,
+// the epoch's digest-tree root and full manifest (when the server
+// advertises one), and whether the tenant is fenced by a scrub failure.
+type PositionInfo struct {
+	Acked       int
+	Epoch       uint64
+	Root        uint64
+	Quarantined bool
+	Manifest    wire.Manifest
+	HasManifest bool
+}
+
+// PositionEx fetches the full position row the delta syncer diffs against:
+// manifest-first anti-entropy compares digest trees before moving any
+// bank bytes.
+func (c *Client) PositionEx(tenant string) (PositionInfo, error) {
+	var resp PositionResponse
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/tenants/%s/position", tenant), nil, &resp); err != nil {
+		return PositionInfo{}, err
+	}
+	pi := PositionInfo{Acked: resp.Acked, Epoch: resp.Epoch, Quarantined: resp.Quarantined}
+	if resp.Root != "" {
+		pi.Root, _ = strconv.ParseUint(resp.Root, 16, 64)
+	}
+	if resp.Manifest != "" {
+		if raw, err := base64.StdEncoding.DecodeString(resp.Manifest); err == nil {
+			if man, rest, derr := wire.DecodeManifest(raw); derr == nil && len(rest) == 0 {
+				pi.Manifest = man
+				pi.HasManifest = true
+			}
+		}
+	}
+	return pi, nil
+}
+
 // Payload fetches the tenant's sealed compact bundle payload.
 func (c *Client) Payload(tenant string) ([]byte, error) {
 	var raw []byte
@@ -421,6 +460,34 @@ func (c *Client) PayloadAt(tenant string) (sealed []byte, pos int, epoch uint64,
 	}
 	epoch, _ = strconv.ParseUint(hdr.Get("X-Gsketch-Epoch"), 10, 64)
 	return raw, pos, epoch, nil
+}
+
+// PayloadBanksAt fetches a bank-granular payload: nil banks means the
+// full payload, a (possibly empty) slice pulls only those bank ids — the
+// delta anti-entropy transfer. Every form carries the full GSD1 manifest,
+// and the response's advertised root rides back for end-to-end
+// verification of the install.
+func (c *Client) PayloadBanksAt(tenant string, banks []int) (sealed []byte, pos int, epoch uint64, root uint64, err error) {
+	path := fmt.Sprintf("/v1/tenants/%s/payload", tenant)
+	if banks != nil {
+		ids := make([]string, len(banks))
+		for i, b := range banks {
+			ids[i] = strconv.Itoa(b)
+		}
+		path += "?banks=" + strings.Join(ids, ",")
+	}
+	var raw []byte
+	hdr, err := c.doH(http.MethodGet, path, nil, &raw)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	pos, err = strconv.Atoi(hdr.Get("X-Gsketch-Pos"))
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("service: payload missing position stamp: %w", err)
+	}
+	epoch, _ = strconv.ParseUint(hdr.Get("X-Gsketch-Epoch"), 10, 64)
+	root, _ = strconv.ParseUint(hdr.Get("X-Gsketch-Root"), 16, 64)
+	return raw, pos, epoch, root, nil
 }
 
 // Sync posts a sealed payload as the tenant's complete state at the

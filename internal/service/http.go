@@ -2,11 +2,14 @@ package service
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"graphsketch"
 	"graphsketch/internal/stream"
@@ -148,23 +151,55 @@ type IngestResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// PositionResponse is the /position row: the durable position plus the
+// integrity advertisement — the last published epoch's digest-manifest
+// root (and the manifest itself, for delta diffing) and the quarantine
+// fence. Served even while quarantined; it is exactly what a repairing
+// peer needs to know.
+type PositionResponse struct {
+	Acked int    `json:"acked"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Root is the epoch manifest's root digest as 16 hex chars (JSON
+	// numbers cannot carry a full uint64 faithfully).
+	Root string `json:"root,omitempty"`
+	// Manifest is the base64 GSD1 encoding of the epoch's digest tree.
+	Manifest    string `json:"manifest,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
 // MetricsResponse is the /metricz row.
 type MetricsResponse struct {
-	IngestBatches  int64    `json:"ingest_batches"`
-	IngestUpdates  int64    `json:"ingest_updates"`
-	IngestRejected int64    `json:"ingest_rejected"`
-	Queries        int64    `json:"queries"`
-	QueryPanics    int64    `json:"query_panics"`
-	QueryTimeouts  int64    `json:"query_timeouts"`
-	Evictions      int64    `json:"evictions"`
-	Recoveries     int64    `json:"recoveries"`
-	SyncRounds     int64    `json:"sync_rounds"`
-	SyncApplied    int64    `json:"sync_applied"`
-	SyncSkipped    int64    `json:"sync_skipped"`
-	SyncFailed     int64    `json:"sync_failed"`
-	Tenants        []string `json:"tenants"`
-	Draining       bool     `json:"draining"`
-	Ready          bool     `json:"ready"`
+	IngestBatches  int64 `json:"ingest_batches"`
+	IngestUpdates  int64 `json:"ingest_updates"`
+	IngestRejected int64 `json:"ingest_rejected"`
+	Queries        int64 `json:"queries"`
+	QueryPanics    int64 `json:"query_panics"`
+	QueryTimeouts  int64 `json:"query_timeouts"`
+	Evictions      int64 `json:"evictions"`
+	Recoveries     int64 `json:"recoveries"`
+	SyncRounds     int64 `json:"sync_rounds"`
+	SyncApplied    int64 `json:"sync_applied"`
+	SyncSkipped    int64 `json:"sync_skipped"`
+	SyncFailed     int64 `json:"sync_failed"`
+	// Integrity block: scrub activity, quarantine lifecycle, and the delta
+	// anti-entropy byte accounting (delta bytes vs what full pulls would
+	// have cost).
+	ScrubRounds        int64            `json:"scrub_rounds"`
+	ScrubFailed        int64            `json:"scrub_failed"`
+	ScrubRepaired      int64            `json:"scrub_repaired"`
+	CorruptSidelined   int64            `json:"corrupt_sidelined"`
+	QuarantineRepairs  int64            `json:"quarantine_repairs"`
+	SyncDigestReject   int64            `json:"sync_digest_reject"`
+	SyncDeltaPulls     int64            `json:"sync_delta_pulls"`
+	SyncDeltaBytes     int64            `json:"sync_delta_bytes"`
+	SyncDeltaFullBytes int64            `json:"sync_delta_full_bytes"`
+	Quarantined        []string         `json:"quarantined,omitempty"`
+	SyncPeers          []PeerSyncStatus `json:"sync_peers,omitempty"`
+	Tenants            []string         `json:"tenants"`
+	Draining           bool             `json:"draining"`
+	Ready              bool             `json:"ready"`
 }
 
 // Handler builds the service's HTTP surface. Every route runs under the
@@ -215,7 +250,13 @@ func (s *Server) httpStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrTenantBudget), errors.Is(err, ErrGlobalBudget):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrKilled):
+	case errors.Is(err, ErrDeltaInsufficient):
+		// The delta payload cannot reconstruct the peer state; the caller
+		// should retry with a full pull.
+		return http.StatusConflict
+	case errors.Is(err, ErrDigestMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrKilled), errors.Is(err, ErrQuarantined):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.QueryTimeouts.Add(1)
@@ -275,8 +316,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // handleSync is the anti-entropy install endpoint: body = sealed bundle
 // payload, pos = the stream position it covers on the sending replica,
-// epoch = its epoch stamp. Deduped by position server-side, so re-sends
-// and reorders are idempotent.
+// epoch = its epoch stamp, root = the sender's advertised manifest root
+// (16 hex chars; installs verify the payload reproduces it). mode=delta
+// installs a bank-granular delta payload; mode=repair installs into a
+// quarantined tenant and lifts the fence on success. Deduped by position
+// server-side, so re-sends and reorders are idempotent.
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -291,7 +335,24 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	var epoch uint64
 	fmt.Sscanf(q.Get("epoch"), "%d", &epoch)
-	acked, err := s.SyncApply(r.Context(), r.PathValue("tenant"), pos, epoch, body)
+	var root uint64
+	if h := q.Get("root"); h != "" {
+		if root, err = strconv.ParseUint(h, 16, 64); err != nil {
+			s.fail(w, fmt.Errorf("bad root=%q: %w", h, graphsketch.ErrBadEncoding))
+			return
+		}
+	}
+	var acked int
+	switch mode := q.Get("mode"); mode {
+	case "", "full":
+		acked, err = s.SyncApply(r.Context(), r.PathValue("tenant"), pos, epoch, root, body)
+	case "delta":
+		acked, err = s.SyncApplyDelta(r.Context(), r.PathValue("tenant"), pos, epoch, root, body)
+	case "repair":
+		acked, err = s.RepairApply(r.Context(), r.PathValue("tenant"), pos, epoch, root, body)
+	default:
+		err = fmt.Errorf("unknown sync mode %q: %w", mode, graphsketch.ErrBadEncoding)
+	}
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -322,8 +383,27 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, IngestResponse{Acked: pos})
 }
 
+// handlePayload serves the tenant's sealed banked payload. With no banks
+// parameter it carries every bank; ?banks=3,7,12 (possibly empty) carries
+// only those — the delta anti-entropy pull. The manifest root rides in
+// X-Gsketch-Root so the receiver can verify before decoding anything.
 func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
-	sealed, pos, epoch, err := s.Payload(r.Context(), r.PathValue("tenant"))
+	var banks []int
+	if q := r.URL.Query(); q.Has("banks") {
+		banks = []int{}
+		for _, f := range strings.Split(q.Get("banks"), ",") {
+			if f == "" {
+				continue
+			}
+			id, err := strconv.Atoi(f)
+			if err != nil {
+				s.fail(w, fmt.Errorf("bad banks=%q: %w", q.Get("banks"), graphsketch.ErrBadEncoding))
+				return
+			}
+			banks = append(banks, id)
+		}
+	}
+	sealed, pos, epoch, root, err := s.PayloadBanks(r.Context(), r.PathValue("tenant"), banks)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -331,6 +411,7 @@ func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Gsketch-Pos", fmt.Sprint(pos))
 	w.Header().Set("X-Gsketch-Epoch", fmt.Sprint(epoch))
+	w.Header().Set("X-Gsketch-Root", fmt.Sprintf("%016x", root))
 	w.Write(sealed)
 }
 
@@ -340,11 +421,19 @@ func (s *Server) handlePosition(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	var epoch uint64
+	resp := PositionResponse{Acked: t.Acked()}
 	if ep := t.Snapshot(); ep != nil {
-		epoch = ep.Seq
+		resp.Epoch = ep.Seq
+		if len(ep.Manifest.Banks) > 0 {
+			resp.Root = fmt.Sprintf("%016x", ep.Manifest.Root())
+			resp.Manifest = base64.StdEncoding.EncodeToString(wire.EncodeManifest(ep.Manifest))
+		}
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{Acked: t.Acked(), Epoch: epoch})
+	if t.Quarantined() {
+		resp.Quarantined = true
+		resp.Reason = t.QuarantineReason()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleQuery serves the four read operations against the tenant's
@@ -355,6 +444,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t, err := s.Tenant(r.PathValue("tenant"), false)
 	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if t.Quarantined() {
+		// Corrupt sketch banks fold silently into every linear query answer;
+		// a fenced tenant serves no query results at all.
+		s.fail(w, fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason()))
 		return
 	}
 	ep := t.Snapshot()
@@ -444,20 +539,31 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MetricsResponse{
-		IngestBatches:  s.met.IngestBatches.Load(),
-		IngestUpdates:  s.met.IngestUpdates.Load(),
-		IngestRejected: s.met.IngestRejected.Load(),
-		Queries:        s.met.Queries.Load(),
-		QueryPanics:    s.met.QueryPanics.Load(),
-		QueryTimeouts:  s.met.QueryTimeouts.Load(),
-		Evictions:      s.met.Evictions.Load(),
-		Recoveries:     s.met.Recoveries.Load(),
-		SyncRounds:     s.met.SyncRounds.Load(),
-		SyncApplied:    s.met.SyncApplied.Load(),
-		SyncSkipped:    s.met.SyncSkipped.Load(),
-		SyncFailed:     s.met.SyncFailed.Load(),
-		Tenants:        s.TenantNames(),
-		Draining:       s.Draining(),
-		Ready:          s.Ready(),
+		IngestBatches:      s.met.IngestBatches.Load(),
+		IngestUpdates:      s.met.IngestUpdates.Load(),
+		IngestRejected:     s.met.IngestRejected.Load(),
+		Queries:            s.met.Queries.Load(),
+		QueryPanics:        s.met.QueryPanics.Load(),
+		QueryTimeouts:      s.met.QueryTimeouts.Load(),
+		Evictions:          s.met.Evictions.Load(),
+		Recoveries:         s.met.Recoveries.Load(),
+		SyncRounds:         s.met.SyncRounds.Load(),
+		SyncApplied:        s.met.SyncApplied.Load(),
+		SyncSkipped:        s.met.SyncSkipped.Load(),
+		SyncFailed:         s.met.SyncFailed.Load(),
+		ScrubRounds:        s.met.ScrubRounds.Load(),
+		ScrubFailed:        s.met.ScrubFailed.Load(),
+		ScrubRepaired:      s.met.ScrubRepaired.Load(),
+		CorruptSidelined:   s.met.CorruptSidelined.Load(),
+		QuarantineRepairs:  s.met.QuarantineRepairs.Load(),
+		SyncDigestReject:   s.met.SyncDigestReject.Load(),
+		SyncDeltaPulls:     s.met.SyncDeltaPulls.Load(),
+		SyncDeltaBytes:     s.met.SyncDeltaBytes.Load(),
+		SyncDeltaFullBytes: s.met.SyncDeltaFullBytes.Load(),
+		Quarantined:        s.QuarantinedTenants(),
+		SyncPeers:          s.peerSyncStatus(),
+		Tenants:            s.TenantNames(),
+		Draining:           s.Draining(),
+		Ready:              s.Ready(),
 	})
 }

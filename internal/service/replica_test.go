@@ -178,11 +178,11 @@ func TestReplicaLagReported(t *testing.T) {
 	y := NewSyncer(follower.srv, SyncConfig{Peers: []string{primary.hs.URL}, Timeout: time.Minute, JitterSeed: 7})
 
 	// Hand-run the probe half: peer position lands in the mirrors.
-	peerPos, _, err := y.probe(y.pullers[0], "acme")
+	pi, err := y.peers[0].client.PositionEx("acme")
 	if err != nil {
 		t.Fatal(err)
 	}
-	lt.replPeerPos.Store(int64(peerPos))
+	lt.replPeerPos.Store(int64(pi.Acked))
 	fp, err := follower.c.Footprint("acme")
 	if err != nil {
 		t.Fatal(err)

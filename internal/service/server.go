@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,12 @@ var (
 	ErrTenantBudget     = errors.New("service: tenant memory budget exceeded")
 	ErrGlobalBudget     = errors.New("service: global memory budget exceeded")
 	ErrPositionConflict = errors.New("service: position conflict")
+	// ErrQuarantined fences a tenant whose integrity scrub failed: reads and
+	// writes 503 until a peer repair restores verified state. /position
+	// still answers (repair needs the position, and a quarantined node must
+	// say where it stopped), but nothing computed FROM the suspect state is
+	// ever served.
+	ErrQuarantined = errors.New("service: tenant quarantined by integrity scrub")
 )
 
 // Metrics are the server's monotone counters, all atomics so the HTTP
@@ -95,6 +102,23 @@ type Metrics struct {
 	SyncApplied atomic.Int64
 	SyncSkipped atomic.Int64
 	SyncFailed  atomic.Int64
+	// Integrity counters: scrub passes over tenants, scrub verdicts that
+	// quarantined a tenant, local scrub repairs (disk rewrite / mirror
+	// recovery / epoch republish), WAL directories sidelined as corrupt at
+	// open, and peer repairs that lifted a quarantine.
+	ScrubRounds       atomic.Int64
+	ScrubFailed       atomic.Int64
+	ScrubRepaired     atomic.Int64
+	CorruptSidelined  atomic.Int64
+	QuarantineRepairs atomic.Int64
+	// Delta anti-entropy counters: installs rejected because the payload
+	// manifest contradicted the peer-advertised root, bank-granular delta
+	// pulls applied, the wire bytes those deltas cost, and the bytes the
+	// equivalent full pulls would have cost (the savings denominator).
+	SyncDigestReject   atomic.Int64
+	SyncDeltaPulls     atomic.Int64
+	SyncDeltaBytes     atomic.Int64
+	SyncDeltaFullBytes atomic.Int64
 }
 
 // Epoch is one published point-in-time snapshot: a bundle clone frozen at
@@ -108,6 +132,10 @@ type Epoch struct {
 	Bundle *Bundle
 	Pos    int
 	Seq    uint64
+	// Manifest is the bundle's digest tree at publication — the epoch's
+	// integrity commitment. /position advertises its root, the scrubber
+	// re-verifies state against it, and delta sync diffs against it.
+	Manifest wire.Manifest
 
 	mu sync.Mutex
 	// spanRes memoizes the epoch's spanner build: the epoch is frozen, so
@@ -184,7 +212,35 @@ type tenant struct {
 	replBytesPending atomic.Int64
 	syncEpoch        atomic.Uint64
 
+	// Quarantine fence, set by the integrity scrubber (or a corrupt-at-open
+	// sideline) and cleared only by a verified repair. While set, reads and
+	// mutations 503 and the writer neither snapshots nor publishes — the
+	// suspect state must not spread to disk, epochs, or peers.
+	quarantined atomic.Bool
+	quarReason  atomic.Value // string
+
 	stopOnce sync.Once
+}
+
+// Quarantined reports whether the tenant is fenced by an integrity failure.
+func (t *tenant) Quarantined() bool { return t.quarantined.Load() }
+
+// QuarantineReason returns the fencing cause ("" when healthy).
+func (t *tenant) QuarantineReason() string {
+	if r, ok := t.quarReason.Load().(string); ok {
+		return r
+	}
+	return ""
+}
+
+func (t *tenant) setQuarantine(reason string) {
+	t.quarReason.Store(reason)
+	t.quarantined.Store(true)
+}
+
+func (t *tenant) clearQuarantine() {
+	t.quarantined.Store(false)
+	t.quarReason.Store("")
 }
 
 type op struct {
@@ -214,6 +270,10 @@ type Server struct {
 	killed   chan struct{}
 	killOnce sync.Once
 	clock    atomic.Int64
+
+	// syncStatus holds the syncer's per-peer backoff snapshot provider
+	// (func() []PeerSyncStatus) for /metricz.
+	syncStatus atomic.Value
 }
 
 // NewServer creates a server rooted at cfg.Dir (created if missing).
@@ -244,7 +304,7 @@ func (s *Server) tenantDir(name string) string { return filepath.Join(s.cfg.Dir,
 // creating it fresh when create is set. A tenant evicted to disk is
 // transparently reloaded — eviction is a memory decision, not data loss.
 func (s *Server) Tenant(name string, create bool) (*tenant, error) {
-	if !tenantNameRe.MatchString(name) {
+	if !tenantNameRe.MatchString(name) || strings.HasSuffix(name, corruptSuffix) {
 		return nil, fmt.Errorf("%w: %q", ErrBadTenantName, name)
 	}
 	s.mu.Lock()
@@ -278,14 +338,32 @@ func (s *Server) Tenant(name string, create bool) (*tenant, error) {
 	if !onDisk && !create {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
 	}
-	wal, err := runtime.OpenDiskWAL(s.tenantDir(name), s.cfg.Bundle.N, runtime.DiskConfig{Policy: s.cfg.Fsync, Every: s.cfg.FsyncEvery})
+	diskCfg := runtime.DiskConfig{Policy: s.cfg.Fsync, Every: s.cfg.FsyncEvery}
+	sidelined := ""
+	wal, err := runtime.OpenDiskWAL(s.tenantDir(name), s.cfg.Bundle.N, diskCfg)
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, runtime.ErrWALCorrupt) {
+			return nil, err
+		}
+		if wal, err = s.sidelineCorrupt(name, diskCfg, err); err != nil {
+			return nil, err
+		}
+		sidelined = "wal corrupt at open"
 	}
 	sk, pos, err := wal.Recover(func() runtime.Sketch { return NewBundle(s.cfg.Bundle) })
 	if err != nil {
 		wal.Close()
-		return nil, err
+		if !errors.Is(err, runtime.ErrWALCorrupt) {
+			return nil, err
+		}
+		if wal, err = s.sidelineCorrupt(name, diskCfg, err); err != nil {
+			return nil, err
+		}
+		sidelined = "wal corrupt at recovery"
+		if sk, pos, err = wal.Recover(func() runtime.Sketch { return NewBundle(s.cfg.Bundle) }); err != nil {
+			wal.Close()
+			return nil, err
+		}
 	}
 	if onDisk {
 		s.met.Recoveries.Add(1)
@@ -301,10 +379,37 @@ func (s *Server) Tenant(name string, create bool) (*tenant, error) {
 	t.acked.Store(int64(pos))
 	t.resident.Store(live.ResidentBytes())
 	t.touched.Store(s.clock.Add(1))
-	t.snap.Store(&Epoch{Bundle: live.Clone(), Pos: pos, Seq: 1})
+	man, _ := live.Manifest()
+	t.snap.Store(&Epoch{Bundle: live.Clone(), Pos: pos, Seq: 1, Manifest: man})
+	if sidelined != "" {
+		t.setQuarantine(sidelined)
+	}
 	s.tenants[name] = t
 	go t.run(wal, live)
 	return t, nil
+}
+
+// corruptSuffix marks a sidelined (corrupt) WAL directory. Tenant names
+// may not end with it, so a sidelined directory can never collide with —
+// or be preloaded as — a live tenant.
+const corruptSuffix = ".corrupt"
+
+// sidelineCorrupt preserves a WAL directory that failed integrity at open
+// by renaming it to <dir>.corrupt (replacing any previous sideline), then
+// opens a fresh empty WAL in its place. The tenant comes up quarantined at
+// position 0: it serves nothing until the syncer repairs it from a peer,
+// and the rotted evidence stays on disk for forensics.
+func (s *Server) sidelineCorrupt(name string, diskCfg runtime.DiskConfig, cause error) (*runtime.DiskWAL, error) {
+	dir := s.tenantDir(name)
+	side := dir + corruptSuffix
+	if err := os.RemoveAll(side); err != nil {
+		return nil, fmt.Errorf("sideline %q: %w (corrupt wal: %v)", name, err, cause)
+	}
+	if err := os.Rename(dir, side); err != nil {
+		return nil, fmt.Errorf("sideline %q: %w (corrupt wal: %v)", name, err, cause)
+	}
+	s.met.CorruptSidelined.Add(1)
+	return runtime.OpenDiskWAL(dir, s.cfg.Bundle.N, diskCfg)
 }
 
 // Preload opens every tenant directory found under the data root, running
@@ -318,7 +423,7 @@ func (s *Server) Preload() error {
 		return err
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasSuffix(e.Name(), corruptSuffix) {
 			continue
 		}
 		if _, statErr := os.Stat(runtime.LogPath(s.tenantDir(e.Name()))); statErr != nil {
@@ -366,7 +471,7 @@ func (t *tenant) run(wal *runtime.DiskWAL, live *Bundle) {
 				case o := <-t.queue:
 					t.apply(o, wal, live, &sinceSnap, &sincePub)
 				default:
-					if sinceSnap > 0 {
+					if sinceSnap > 0 && !t.quarantined.Load() {
 						wal.Snapshot(live)
 					}
 					wal.Close()
@@ -418,14 +523,21 @@ func (t *tenant) finish(wal *runtime.DiskWAL, live *Bundle) {
 	t.resident.Store(live.ResidentBytes())
 }
 
-// publish installs a fresh epoch clone for queries.
+// publish installs a fresh epoch clone for queries, stamped with the
+// live state's digest manifest (incremental: only banks dirtied since the
+// last publish re-digest). Suppressed while quarantined — a fenced state
+// must not become a served epoch.
 func (t *tenant) publish(wal *runtime.DiskWAL, live *Bundle) {
+	if t.quarantined.Load() {
+		return
+	}
 	prev := t.snap.Load()
 	var seq uint64 = 1
 	if prev != nil {
 		seq = prev.Seq + 1
 	}
-	t.snap.Store(&Epoch{Bundle: live.Clone(), Pos: wal.DurableUpdates(), Seq: seq})
+	man, _ := live.Manifest()
+	t.snap.Store(&Epoch{Bundle: live.Clone(), Pos: wal.DurableUpdates(), Seq: seq, Manifest: man})
 }
 
 // submit enqueues an op and waits for the writer's reply, honoring the
@@ -468,6 +580,10 @@ func (s *Server) Ingest(ctx context.Context, tenantName string, expectAt int, up
 		s.met.IngestRejected.Add(1)
 		return 0, err
 	}
+	if t.Quarantined() {
+		s.met.IngestRejected.Add(1)
+		return t.Acked(), fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason())
+	}
 	if err := s.admit(t); err != nil {
 		s.met.IngestRejected.Add(1)
 		return 0, err
@@ -490,6 +606,9 @@ func (s *Server) Merge(ctx context.Context, tenantName string, sealed []byte) (i
 	if err != nil {
 		return 0, err
 	}
+	if t.Quarantined() {
+		return t.Acked(), fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason())
+	}
 	if err := s.admit(t); err != nil {
 		return 0, err
 	}
@@ -506,17 +625,35 @@ func (s *Server) Merge(ctx context.Context, tenantName string, sealed []byte) (i
 // current position (serialized with ingest, so no torn reads), stamped
 // with the tenant's current epoch sequence.
 func (s *Server) Payload(ctx context.Context, tenantName string) ([]byte, int, uint64, error) {
+	sealed, pos, epoch, _, err := s.PayloadBanks(ctx, tenantName, nil)
+	return sealed, pos, epoch, err
+}
+
+// PayloadBanks captures a sealed banked payload carrying only the
+// requested banks (nil = all) plus the full digest manifest, with the
+// manifest root returned for the transport header. The delta anti-entropy
+// read side: a peer that knows which banks diverged pulls just those. A
+// quarantined tenant serves nothing — its bytes are the suspect ones.
+func (s *Server) PayloadBanks(ctx context.Context, tenantName string, banks []int) ([]byte, int, uint64, uint64, error) {
 	t, err := s.Tenant(tenantName, false)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
+	}
+	if t.Quarantined() {
+		return nil, 0, 0, 0, fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason())
 	}
 	var sealed []byte
-	var epoch uint64
+	var epoch, root uint64
 	pos, err := t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
-		b, err := live.MarshalBinaryCompact()
+		b, err := live.MarshalBanks(banks)
 		if err != nil {
 			return err
 		}
+		man, err := live.Manifest()
+		if err != nil {
+			return err
+		}
+		root = man.Root()
 		sealed = wire.Seal(b)
 		if ep := t.snap.Load(); ep != nil {
 			epoch = ep.Seq
@@ -524,9 +661,86 @@ func (s *Server) Payload(ctx context.Context, tenantName string) ([]byte, int, u
 		return nil
 	}})
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
-	return sealed, pos, epoch, nil
+	return sealed, pos, epoch, root, nil
+}
+
+// ManifestNow returns the tenant's live digest manifest at its exact
+// current durable position (serialized with ingest). The delta syncer
+// diffs this against a peer's advertised manifest to pick the banks to
+// pull. Served even while quarantined: the repair path needs to know what
+// the local (possibly rotted) bytes look like — pass recompute=true there
+// so every leaf is rebuilt from the actual bytes instead of trusting the
+// (pre-rot) incremental cache.
+func (s *Server) ManifestNow(ctx context.Context, tenantName string, recompute bool) (wire.Manifest, int, error) {
+	t, err := s.Tenant(tenantName, false)
+	if err != nil {
+		return wire.Manifest{}, 0, err
+	}
+	var man wire.Manifest
+	pos, err := t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		if recompute {
+			if err := live.RecomputeDigests(); err != nil {
+				return err
+			}
+		}
+		var err error
+		man, err = live.Manifest()
+		return err
+	}})
+	return man, pos, err
+}
+
+// InjectBankRot corrupts one bank of the tenant's live in-memory state
+// without updating its digest cache — the chaos hook integrity tests and
+// the sim's bit-rot matrix use. Serialized with ingest like any mutation.
+func (s *Server) InjectBankRot(ctx context.Context, tenantName string, bank int, seed uint64) error {
+	t, err := s.Tenant(tenantName, false)
+	if err != nil {
+		return err
+	}
+	_, err = t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		return live.InjectBankRot(bank, seed)
+	}})
+	return err
+}
+
+// TenantQuarantined reports a tenant's fence state and reason without
+// loading it if it is not resident (unknown tenants report healthy).
+func (s *Server) TenantQuarantined(name string) (bool, string) {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	s.mu.Unlock()
+	if !ok {
+		return false, ""
+	}
+	return t.Quarantined(), t.QuarantineReason()
+}
+
+// QuarantinedTenants lists the currently fenced tenants.
+func (s *Server) QuarantinedTenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for name, t := range s.tenants {
+		if t.Quarantined() {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// SetSyncStatus registers the syncer's per-peer backoff snapshot provider,
+// surfaced through /metricz. The server itself never calls the syncer —
+// this is observability plumbing only.
+func (s *Server) SetSyncStatus(fn func() []PeerSyncStatus) { s.syncStatus.Store(fn) }
+
+func (s *Server) peerSyncStatus() []PeerSyncStatus {
+	if fn, ok := s.syncStatus.Load().(func() []PeerSyncStatus); ok && fn != nil {
+		return fn()
+	}
+	return nil
 }
 
 // SyncApply installs a sealed bundle payload pulled from a replica peer as
@@ -540,7 +754,7 @@ func (s *Server) Payload(ctx context.Context, tenantName string) ([]byte, int, u
 // replica's exact prefix state, so the position-addressed ingest protocol
 // keeps working across installs: a client whose expected position no
 // longer matches gets the authoritative one back via 409 and re-feeds.
-func (s *Server) SyncApply(ctx context.Context, tenantName string, pos int, epoch uint64, sealed []byte) (int, error) {
+func (s *Server) SyncApply(ctx context.Context, tenantName string, pos int, epoch uint64, root uint64, sealed []byte) (int, error) {
 	if s.draining.Load() {
 		return 0, ErrDraining
 	}
@@ -553,6 +767,11 @@ func (s *Server) SyncApply(ctx context.Context, tenantName string, pos int, epoc
 	if err != nil {
 		return 0, err
 	}
+	if t.Quarantined() {
+		// A fenced tenant only accepts installs through RepairApply — the
+		// path that re-verifies everything and lifts the fence.
+		return t.Acked(), fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason())
+	}
 	if err := s.admit(t); err != nil {
 		return 0, err
 	}
@@ -561,9 +780,8 @@ func (s *Server) SyncApply(ctx context.Context, tenantName string, pos int, epoc
 			s.met.SyncSkipped.Add(1)
 			return nil
 		}
-		fresh := NewBundle(s.cfg.Bundle)
-		if err := fresh.MergeBytes(payload); err != nil {
-			s.met.SyncFailed.Add(1)
+		fresh, err := s.verifiedState(payload, root)
+		if err != nil {
 			return err
 		}
 		if err := w.InstallSnapshot(sealed, pos); err != nil {
@@ -580,12 +798,207 @@ func (s *Server) SyncApply(ctx context.Context, tenantName string, pos int, epoc
 	}})
 }
 
+// verifiedState reconstructs a full payload into a factory-fresh bundle
+// and checks its manifest root against the peer-advertised one (0 = peer
+// did not advertise; skip). A mismatch means the bytes that arrived are
+// not the bytes the peer committed to — in-flight corruption the envelope
+// CRC missed, or a lying peer — and must never be installed.
+func (s *Server) verifiedState(payload []byte, root uint64) (*Bundle, error) {
+	fresh := NewBundle(s.cfg.Bundle)
+	if err := fresh.MergeBytes(payload); err != nil {
+		if errors.Is(err, ErrDigestMismatch) {
+			// A bank's bytes contradict the payload's own manifest: the
+			// corruption happened after the peer sealed it.
+			s.met.SyncDigestReject.Add(1)
+		}
+		s.met.SyncFailed.Add(1)
+		return nil, err
+	}
+	man, err := fresh.Manifest()
+	if err != nil {
+		s.met.SyncFailed.Add(1)
+		return nil, err
+	}
+	if root != 0 && man.Root() != root {
+		s.met.SyncDigestReject.Add(1)
+		s.met.SyncFailed.Add(1)
+		return nil, fmt.Errorf("service: payload root %016x != advertised %016x: %w", man.Root(), root, ErrDigestMismatch)
+	}
+	return fresh, nil
+}
+
+// SyncApplyDelta installs a bank-granular delta payload pulled from a peer
+// at stream position pos: present banks replace local ones, absent banks
+// are kept only when their local bytes already match the peer's manifest,
+// and the assembled state must recompute to the advertised root. Any
+// insufficiency (local divergence outside the carried banks, root
+// mismatch) errors with ErrDeltaInsufficient and changes nothing — the
+// syncer falls back to a full pull. A successful install snapshots the
+// assembled state so durability never lags the delta.
+func (s *Server) SyncApplyDelta(ctx context.Context, tenantName string, pos int, epoch uint64, root uint64, sealed []byte) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	payload, _, err := wire.Open(sealed)
+	if err != nil {
+		s.met.SyncFailed.Add(1)
+		return 0, err
+	}
+	t, err := s.Tenant(tenantName, true)
+	if err != nil {
+		return 0, err
+	}
+	if t.Quarantined() {
+		return t.Acked(), fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason())
+	}
+	if err := s.admit(t); err != nil {
+		return 0, err
+	}
+	return t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		if pos <= w.DurableUpdates() {
+			s.met.SyncSkipped.Add(1)
+			return nil
+		}
+		if err := live.InstallBanks(payload); err != nil {
+			s.met.SyncFailed.Add(1)
+			return err
+		}
+		man, err := live.Manifest()
+		if err != nil {
+			return err
+		}
+		if root != 0 && man.Root() != root {
+			// InstallBanks already verified the assembled root against the
+			// payload manifest, so reaching here means the payload's own
+			// manifest contradicts the peer's advertisement.
+			s.met.SyncDigestReject.Add(1)
+			s.met.SyncFailed.Add(1)
+			return fmt.Errorf("service: delta root %016x != advertised %016x: %w", man.Root(), root, ErrDigestMismatch)
+		}
+		full, err := live.MarshalBinaryCompact()
+		if err != nil {
+			return err
+		}
+		sealedFull := wire.Seal(full)
+		if err := w.InstallSnapshot(sealedFull, pos); err != nil {
+			s.met.SyncFailed.Add(1)
+			return err
+		}
+		t.syncEpoch.Store(epoch)
+		t.replBytesPending.Store(0)
+		t.replEpochsBehind.Store(0)
+		t.publish(w, live)
+		s.met.SyncApplied.Add(1)
+		s.met.SyncDeltaPulls.Add(1)
+		s.met.SyncDeltaBytes.Add(int64(len(sealed)))
+		s.met.SyncDeltaFullBytes.Add(int64(len(sealedFull)))
+		return nil
+	}})
+}
+
+// RepairApply installs a peer's payload into a QUARANTINED tenant and, on
+// success, lifts the fence: the payload (full or delta) is reconstructed
+// and verified against the advertised root, made durable, and republished.
+// The position may move backward or stay equal — a quarantined tenant's
+// local position vouches for corrupt bytes, so the peer's verified state
+// wins regardless. On a healthy tenant this delegates to the normal
+// position-deduped SyncApply.
+func (s *Server) RepairApply(ctx context.Context, tenantName string, pos int, epoch uint64, root uint64, sealed []byte) (int, error) {
+	if s.draining.Load() {
+		return 0, ErrDraining
+	}
+	t, err := s.Tenant(tenantName, true)
+	if err != nil {
+		return 0, err
+	}
+	if !t.Quarantined() {
+		return s.SyncApply(ctx, tenantName, pos, epoch, root, sealed)
+	}
+	payload, _, err := wire.Open(sealed)
+	if err != nil {
+		s.met.SyncFailed.Add(1)
+		return 0, err
+	}
+	return t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
+		var fresh *Bundle
+		if fullPayload(payload) {
+			if fresh, err = s.verifiedState(payload, root); err != nil {
+				return err
+			}
+		} else {
+			// Delta repair: graft the peer's diverged banks onto the local
+			// (partly rotted) state. RecomputeDigests first so the absent-bank
+			// check compares the peer manifest against the bytes as they
+			// actually are, not a stale pre-rot cache.
+			fresh = live.Clone()
+			if err := fresh.RecomputeDigests(); err != nil {
+				return err
+			}
+			if err := fresh.InstallBanks(payload); err != nil {
+				s.met.SyncFailed.Add(1)
+				return err
+			}
+			man, err := fresh.Manifest()
+			if err != nil {
+				return err
+			}
+			if root != 0 && man.Root() != root {
+				s.met.SyncDigestReject.Add(1)
+				s.met.SyncFailed.Add(1)
+				return fmt.Errorf("service: repair root %016x != advertised %016x: %w", man.Root(), root, ErrDigestMismatch)
+			}
+			s.met.SyncDeltaPulls.Add(1)
+			s.met.SyncDeltaBytes.Add(int64(len(sealed)))
+		}
+		full, err := fresh.MarshalBinaryCompact()
+		if err != nil {
+			return err
+		}
+		if err := w.InstallSnapshot(wire.Seal(full), pos); err != nil {
+			s.met.SyncFailed.Add(1)
+			return err
+		}
+		*live = *fresh
+		t.syncEpoch.Store(epoch)
+		t.replBytesPending.Store(0)
+		t.replEpochsBehind.Store(0)
+		t.clearQuarantine()
+		t.publish(w, live)
+		s.met.SyncApplied.Add(1)
+		s.met.QuarantineRepairs.Add(1)
+		return nil
+	}})
+}
+
+// fullPayload reports whether a banked payload carries every bank (without
+// decoding the banks themselves): header config is 5 uvarints, then
+// totalBanks and presentCount.
+func fullPayload(payload []byte) bool {
+	data := payload
+	for i := 0; i < 5; i++ {
+		var err error
+		if _, data, err = wire.Uvarint(data); err != nil {
+			return false
+		}
+	}
+	total, data, err := wire.Uvarint(data)
+	if err != nil {
+		return false
+	}
+	present, _, err := wire.Uvarint(data)
+	return err == nil && present == total
+}
+
 // Flush forces a WAL snapshot for a tenant (exposed for the drain path and
 // operational tooling).
 func (s *Server) Flush(ctx context.Context, tenantName string) (int, error) {
 	t, err := s.Tenant(tenantName, false)
 	if err != nil {
 		return 0, err
+	}
+	if t.Quarantined() {
+		// Flushing would snapshot suspect bytes over the durable state.
+		return t.Acked(), fmt.Errorf("%w: %s", ErrQuarantined, t.QuarantineReason())
 	}
 	return t.submit(ctx, op{reply: make(chan opResult, 1), fn: func(w *runtime.DiskWAL, live *Bundle) error {
 		t.publish(w, live)

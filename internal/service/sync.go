@@ -2,8 +2,11 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
+
+	"graphsketch/internal/hashing"
 )
 
 // SyncConfig parameterizes a replica's anti-entropy syncer.
@@ -16,8 +19,13 @@ type SyncConfig struct {
 	// the next round rather than inside one, so a partitioned peer costs
 	// one timeout per round, not a retry storm.
 	Timeout time.Duration
-	// JitterSeed seeds the pull clients' backoff jitter (tests pin it).
+	// JitterSeed seeds the pull clients' backoff jitter and the per-peer
+	// round backoff (tests pin it).
 	JitterSeed uint64
+	// NoDelta disables bank-granular delta pulls; every convergence is a
+	// full payload pull (the pre-digest-tree behavior, kept as an escape
+	// hatch and a baseline for the sim's byte accounting).
+	NoDelta bool
 }
 
 func (c SyncConfig) withDefaults() SyncConfig {
@@ -30,30 +38,55 @@ func (c SyncConfig) withDefaults() SyncConfig {
 	return c
 }
 
+// maxBackoffShift caps the per-peer round backoff at 2^6 = 64 rounds.
+const maxBackoffShift = 6
+
+// peerState is one peer's client plus its round-granular backoff ledger: a
+// peer that failed its last round is skipped for exponentially many rounds
+// (with seeded jitter) instead of eating a timeout every round. Guarded by
+// the syncer mutex; /metricz snapshots it via PeerSyncStatus.
+type peerState struct {
+	client *Client
+	base   string
+
+	failures  int   // consecutive failed rounds
+	nextRound int64 // first round eligible again
+	skipped   int64 // rounds suppressed by backoff (monotone)
+}
+
+// PeerSyncStatus is one peer's backoff snapshot, surfaced in /metricz.
+type PeerSyncStatus struct {
+	Peer              string `json:"peer"`
+	Failures          int    `json:"failures"`
+	NextEligibleRound int64  `json:"next_eligible_round"`
+	SkippedRounds     int64  `json:"skipped_rounds"`
+}
+
 // Syncer is the anti-entropy loop that makes a serve instance a replica:
-// every round it probes each peer for the tenants it serves and their
-// durable positions, and wherever a peer is ahead it pulls the peer's
-// epoch-stamped compact payload and installs it locally through
-// Server.SyncApply.
+// every round it probes each eligible peer for the tenants it serves,
+// their durable positions, and their digest-manifest roots, and wherever a
+// peer is ahead it converges — by pulling only the diverged banks when the
+// manifests mostly agree (delta anti-entropy), or the full epoch-stamped
+// payload otherwise — and installing through Server.SyncApplyDelta /
+// SyncApply. Tenants quarantined by the integrity scrubber are repaired
+// from the first healthy peer through Server.RepairApply.
 //
 // The protocol needs nothing beyond pull + position dedup because the
 // payloads are linear-sketch states: a payload at position P is the
 // complete, canonical state of the stream prefix [0,P), so installing the
 // highest-position payload converges a follower in one round no matter
 // how many pulls it missed — there is no log shipping to catch up on and
-// no ordering to reconstruct. Duplicated, reordered, and raced pulls are
-// all deduped by the install's position check, which is what makes the
-// loop safe to run blindly from every node at once: whoever is behind
-// converges toward whoever is ahead, and the position-addressed ingest
-// protocol keeps the (single) writing client exactly-once across the
-// resulting role changes.
+// no ordering to reconstruct. The digest tree strengthens that: every
+// install re-verifies the bytes against the root the peer advertised, and
+// a delta install additionally proves the assembled state reproduces that
+// root before anything is swapped in.
 type Syncer struct {
 	srv *Server
 	cfg SyncConfig
-	// pullers are per-peer clients. Deliberately single-endpoint: a pull
-	// must answer about THIS peer or fail — failing over to another peer
-	// would report a different replica's position under the wrong label.
-	pullers []*Client
+
+	mu    sync.Mutex
+	round int64
+	peers []*peerState
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -62,27 +95,50 @@ type Syncer struct {
 
 // SyncRound reports one anti-entropy round's work, for tests and rows.
 type SyncRound struct {
-	Probed  int   // tenant/peer position probes answered
-	Pulled  int   // payloads fetched because a peer was ahead
-	Applied int   // installs that advanced local state
-	Skipped int   // installs deduped by position
-	Failed  int   // probes or pulls that errored (partitioned peer, etc.)
-	Bytes   int64 // sealed payload bytes transferred
+	Probed   int   // tenant/peer position probes answered
+	Pulled   int   // payloads fetched because a peer was ahead
+	Applied  int   // installs that advanced local state
+	Skipped  int   // installs deduped by position
+	Failed   int   // probes or pulls that errored (partitioned peer, etc.)
+	Repaired int   // quarantined tenants restored from a peer this round
+	Deltas   int   // convergences satisfied by bank-granular delta pulls
+	Bytes    int64 // sealed payload bytes transferred
 }
 
-// NewSyncer builds a syncer for srv against cfg.Peers.
+// NewSyncer builds a syncer for srv against cfg.Peers and registers its
+// backoff snapshot with the server's /metricz.
 func NewSyncer(srv *Server, cfg SyncConfig) *Syncer {
 	cfg = cfg.withDefaults()
 	y := &Syncer{srv: srv, cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
 	for _, p := range cfg.Peers {
-		y.pullers = append(y.pullers, &Client{
-			Base:       p,
-			Timeout:    cfg.Timeout,
-			Attempts:   1, // retries are the next round's job
-			JitterSeed: cfg.JitterSeed,
+		y.peers = append(y.peers, &peerState{
+			base: p,
+			client: &Client{
+				Base:       p,
+				Timeout:    cfg.Timeout,
+				Attempts:   1, // retries are the next round's job
+				JitterSeed: cfg.JitterSeed,
+			},
 		})
 	}
+	srv.SetSyncStatus(y.PeerStatus)
 	return y
+}
+
+// PeerStatus snapshots every peer's backoff state for /metricz.
+func (y *Syncer) PeerStatus() []PeerSyncStatus {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	out := make([]PeerSyncStatus, 0, len(y.peers))
+	for _, ps := range y.peers {
+		out = append(out, PeerSyncStatus{
+			Peer:              ps.base,
+			Failures:          ps.failures,
+			NextEligibleRound: ps.nextRound,
+			SkippedRounds:     ps.skipped,
+		})
+	}
+	return out
 }
 
 // Run loops anti-entropy rounds every cfg.Every until Stop (or the server
@@ -109,28 +165,79 @@ func (y *Syncer) Stop() {
 	<-y.done
 }
 
-// RunOnce performs one anti-entropy round: probe every peer, pull where
-// behind, install locally. Exported so tests and harnesses can drive
-// convergence deterministically without timers.
+// RunOnce performs one anti-entropy round: probe every backoff-eligible
+// peer, converge where behind, repair what is quarantined. Exported so
+// tests and harnesses drive convergence deterministically without timers.
 func (y *Syncer) RunOnce(ctx context.Context) SyncRound {
 	var round SyncRound
 	y.srv.met.SyncRounds.Add(1)
-	for _, peer := range y.pullers {
-		for _, name := range y.peerTenants(peer) {
-			y.syncTenant(ctx, peer, name, &round)
+	y.mu.Lock()
+	y.round++
+	r := y.round
+	y.mu.Unlock()
+	for i, ps := range y.peers {
+		y.mu.Lock()
+		eligible := r >= ps.nextRound
+		if !eligible {
+			ps.skipped++
 		}
+		y.mu.Unlock()
+		if !eligible {
+			continue
+		}
+		peerFailed := false
+		names, ok := y.peerTenants(ps.client)
+		if !ok {
+			peerFailed = true
+		}
+		for _, name := range names {
+			if !y.syncTenant(ctx, ps.client, name, &round) {
+				peerFailed = true
+			}
+		}
+		y.noteOutcome(ps, i, r, peerFailed)
 	}
 	return round
 }
 
-// peerTenants returns the union of the peer's loaded tenants and our own:
-// a tenant the peer has never heard of is probed anyway (the probe loads
-// it from the peer's disk if it exists there), and a tenant only the peer
-// knows must be adopted locally.
-func (y *Syncer) peerTenants(peer *Client) []string {
+// noteOutcome updates one peer's backoff ledger after its round: a failure
+// doubles the skip window (capped at 2^maxBackoffShift rounds) with a
+// seeded jitter of up to half the window, a success clears it.
+func (y *Syncer) noteOutcome(ps *peerState, peerIdx int, round int64, failed bool) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	if !failed {
+		ps.failures = 0
+		ps.nextRound = 0
+		return
+	}
+	ps.failures++
+	shift := ps.failures
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	delay := int64(1) << shift
+	seed := y.cfg.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	// Deterministic per (seed, peer, failure count): replicas with different
+	// seeds desynchronize their retry storms, tests with pinned seeds pin
+	// the exact schedule.
+	jitter := int64(hashing.Mix64(seed^uint64(peerIdx)*0x9E3779B97F4A7C15+uint64(ps.failures)) % uint64(delay/2+1))
+	ps.nextRound = round + delay + jitter
+}
+
+// peerTenants returns the union of the peer's loaded tenants and our own
+// (ok=false when the peer's tenant listing was unreachable): a tenant the
+// peer has never heard of is probed anyway (the probe loads it from the
+// peer's disk if it exists there), and a tenant only the peer knows must
+// be adopted locally.
+func (y *Syncer) peerTenants(peer *Client) ([]string, bool) {
 	seen := map[string]bool{}
 	var names []string
-	if met, err := peer.Metrics(); err == nil {
+	met, err := peer.Metrics()
+	if err == nil {
 		for _, n := range met.Tenants {
 			if !seen[n] {
 				seen[n] = true
@@ -144,17 +251,19 @@ func (y *Syncer) peerTenants(peer *Client) []string {
 			names = append(names, n)
 		}
 	}
-	return names
+	return names, err == nil
 }
 
 // syncTenant probes one (peer, tenant) pair and converges on it if the
-// peer is ahead.
-func (y *Syncer) syncTenant(ctx context.Context, peer *Client, name string, round *SyncRound) {
-	peerPos, peerEpoch, err := y.probe(peer, name)
+// peer is ahead, repairing it instead if it is locally quarantined.
+// Returns false when the peer itself misbehaved (transport failures feed
+// the backoff ledger; local apply errors do not).
+func (y *Syncer) syncTenant(ctx context.Context, peer *Client, name string, round *SyncRound) bool {
+	pi, err := peer.PositionEx(name)
 	if err != nil {
 		round.Failed++
 		y.srv.met.SyncFailed.Add(1)
-		return
+		return false
 	}
 	round.Probed++
 
@@ -164,25 +273,63 @@ func (y *Syncer) syncTenant(ctx context.Context, peer *Client, name string, roun
 		t = lt
 		localPos = t.Acked()
 	}
+	if t != nil && t.Quarantined() {
+		if pi.Quarantined {
+			return true // both sides fenced: no healthy state to repair from
+		}
+		return y.repairTenant(ctx, peer, name, pi, round)
+	}
+	if pi.Quarantined {
+		return true // peer is fenced; it serves no payloads until repaired
+	}
 	// Refresh the lag mirrors on every probe, not just on pulls, so a
 	// follower that is merely behind (not pulling yet) still reports it.
 	if t != nil {
-		t.replPeerPos.Store(int64(peerPos))
-		behindEpochs := int64(peerEpoch) - int64(t.syncEpoch.Load())
-		if behindEpochs < 0 || peerPos <= localPos {
+		t.replPeerPos.Store(int64(pi.Acked))
+		behindEpochs := int64(pi.Epoch) - int64(t.syncEpoch.Load())
+		if behindEpochs < 0 || pi.Acked <= localPos {
 			behindEpochs = 0
 		}
 		t.replEpochsBehind.Store(behindEpochs)
 	}
-	if peerPos <= localPos {
-		return // we are the one ahead (or equal): nothing to converge
+	if pi.Acked <= localPos {
+		return true // we are the one ahead (or equal): nothing to converge
 	}
 
-	sealed, pos, epoch, err := peer.PayloadAt(name)
+	// Delta attempt: when both sides have digest manifests of the same
+	// width, pull only the diverged banks. Any insufficiency (races with
+	// local ingest, manifest staleness) falls back to the full pull below.
+	if !y.cfg.NoDelta && t != nil && pi.HasManifest {
+		if localMan, _, merr := y.srv.ManifestNow(ctx, name, false); merr == nil &&
+			len(localMan.Banks) == len(pi.Manifest.Banks) {
+			diverged := localMan.Diff(pi.Manifest)
+			if len(diverged) < len(localMan.Banks) {
+				sealed, pos, epoch, root, perr := peer.PayloadBanksAt(name, diverged)
+				if perr != nil {
+					round.Failed++
+					y.srv.met.SyncFailed.Add(1)
+					return false
+				}
+				round.Pulled++
+				round.Bytes += int64(len(sealed))
+				if _, aerr := y.srv.SyncApplyDelta(ctx, name, pos, epoch, root, sealed); aerr == nil {
+					round.Applied++
+					round.Deltas++
+					return true
+				} else if !errors.Is(aerr, ErrDeltaInsufficient) && !errors.Is(aerr, ErrDigestMismatch) {
+					round.Failed++
+					return true // local apply problem, not the peer's fault
+				}
+				// Insufficient or contradicted delta: full pull decides.
+			}
+		}
+	}
+
+	sealed, pos, epoch, root, err := peer.PayloadBanksAt(name, nil)
 	if err != nil {
 		round.Failed++
 		y.srv.met.SyncFailed.Add(1)
-		return
+		return false
 	}
 	round.Pulled++
 	round.Bytes += int64(len(sealed))
@@ -190,22 +337,65 @@ func (y *Syncer) syncTenant(ctx context.Context, peer *Client, name string, roun
 		t.replBytesPending.Store(int64(len(sealed)))
 	}
 	before := y.srv.met.SyncApplied.Load()
-	if _, err := y.srv.SyncApply(ctx, name, pos, epoch, sealed); err != nil {
+	if _, err := y.srv.SyncApply(ctx, name, pos, epoch, root, sealed); err != nil {
 		round.Failed++
-		return
+		return true
 	}
 	if y.srv.met.SyncApplied.Load() > before {
 		round.Applied++
 	} else {
 		round.Skipped++
 	}
+	return true
 }
 
-// probe asks the peer for a tenant's durable position and epoch.
-func (y *Syncer) probe(peer *Client, name string) (pos int, epoch uint64, err error) {
-	var resp IngestResponse
-	if err := peer.do("GET", "/v1/tenants/"+name+"/position", nil, &resp); err != nil {
-		return 0, 0, err
+// repairTenant restores a locally-quarantined tenant from a healthy peer:
+// recompute the local manifest from the rotted bytes, diff it against the
+// peer's, pull just the diverged banks, and install through RepairApply —
+// which re-verifies everything against the peer's root before lifting the
+// fence. Any delta failure retries with the full payload; byte-identity
+// with the peer is the postcondition either way.
+func (y *Syncer) repairTenant(ctx context.Context, peer *Client, name string, pi PositionInfo, round *SyncRound) bool {
+	var banks []int
+	useDelta := false
+	if !y.cfg.NoDelta && pi.HasManifest {
+		if localMan, _, merr := y.srv.ManifestNow(ctx, name, true); merr == nil &&
+			len(localMan.Banks) == len(pi.Manifest.Banks) {
+			banks = localMan.Diff(pi.Manifest)
+			useDelta = len(banks) < len(localMan.Banks)
+		}
 	}
-	return resp.Acked, resp.Epoch, nil
+	if useDelta {
+		sealed, pos, epoch, root, err := peer.PayloadBanksAt(name, banks)
+		if err != nil {
+			round.Failed++
+			y.srv.met.SyncFailed.Add(1)
+			return false
+		}
+		round.Pulled++
+		round.Bytes += int64(len(sealed))
+		if _, aerr := y.srv.RepairApply(ctx, name, pos, epoch, root, sealed); aerr == nil {
+			round.Applied++
+			round.Repaired++
+			round.Deltas++
+			return true
+		}
+		// Delta could not prove byte-identity; fall through to the full pull.
+	}
+	sealed, pos, epoch, root, err := peer.PayloadBanksAt(name, nil)
+	if err != nil {
+		round.Failed++
+		y.srv.met.SyncFailed.Add(1)
+		return false
+	}
+	round.Pulled++
+	round.Bytes += int64(len(sealed))
+	if _, aerr := y.srv.RepairApply(ctx, name, pos, epoch, root, sealed); aerr != nil {
+		round.Failed++
+		y.srv.met.SyncFailed.Add(1)
+		return true
+	}
+	round.Applied++
+	round.Repaired++
+	return true
 }

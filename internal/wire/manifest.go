@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+)
+
+// Digest manifest (GSD1): the canonical digest tree carried by payloads,
+// snapshots, and /position responses so replicas can compare state at bank
+// granularity without shipping the banks themselves.
+//
+// A bundle's wire state decomposes into an ordered list of banks (sketch
+// levels, log chunks — the producer defines the split; the manifest only
+// requires it be canonical and stable). Each leaf digests one bank's
+// compact tagged bytes; the root digests the concatenated leaf records, a
+// flat two-level Merkle tree — deep trees buy nothing at ~30 banks, while
+// the flat root still commits to every leaf's (length, digest) pair and to
+// the bank count and order.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "GSD1"
+//	version byte     1
+//	count   uvarint  number of banks
+//	leaf    count ×  { length uvarint, digest u64 }
+//	root    u64
+//
+// Digests are CRC64/ECMA. CRC64 is not collision-resistant against an
+// adversary, but the threat model here is bit-rot and software bugs, not
+// forgery — transport authenticity is out of scope (same stance as the
+// GSE1 CRC32C envelope), and CRC64's burst-error detection over multi-MiB
+// banks is what the scrubber needs.
+
+// manifestMagic brands digest manifests so foreign bytes fail fast.
+var manifestMagic = [4]byte{'G', 'S', 'D', '1'}
+
+// ManifestVersion is the current digest-manifest layout version.
+const ManifestVersion byte = 1
+
+// maxManifestBanks bounds the bank count any decode will materialize. Real
+// bundles have tens of banks (sketch levels + log chunks); a corrupt count
+// must not drive a giant allocation before the length check would catch it.
+const maxManifestBanks = 1 << 16
+
+// digestTable is the ECMA polynomial table shared by all bank digests.
+var digestTable = crc64.MakeTable(crc64.ECMA)
+
+// BankDigest returns the canonical digest of one bank's wire bytes.
+func BankDigest(data []byte) uint64 { return crc64.Checksum(data, digestTable) }
+
+// BankRef is one manifest leaf: a bank's wire-byte length and digest.
+type BankRef struct {
+	Len    uint64
+	Digest uint64
+}
+
+// Manifest is a bundle's digest tree: one leaf per bank, in bank order.
+type Manifest struct {
+	Banks []BankRef
+}
+
+// Root folds the leaves into the manifest's root digest. The fold runs over
+// each leaf's fixed-width (length, digest) record, so the root commits to
+// the bank count, order, lengths, and digests — any single-bank divergence
+// changes the root.
+func (m Manifest) Root() uint64 {
+	var rec [16]byte
+	h := crc64.New(digestTable)
+	for _, b := range m.Banks {
+		binary.LittleEndian.PutUint64(rec[0:8], b.Len)
+		binary.LittleEndian.PutUint64(rec[8:16], b.Digest)
+		h.Write(rec[:])
+	}
+	return h.Sum64()
+}
+
+// Equal reports whether two manifests describe bit-identical state.
+func (m Manifest) Equal(o Manifest) bool {
+	if len(m.Banks) != len(o.Banks) {
+		return false
+	}
+	for i, b := range m.Banks {
+		if b != o.Banks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the indices of banks that differ between the local manifest
+// m and the remote manifest o (missing on either side counts as differing).
+// The indices are relative to o — the banks a replica holding m must pull
+// to converge on o.
+func (m Manifest) Diff(o Manifest) []int {
+	var ids []int
+	for i, b := range o.Banks {
+		if i >= len(m.Banks) || m.Banks[i] != b {
+			ids = append(ids, i)
+		}
+	}
+	// Extra local banks (len(m) > len(o)) have no remote index to pull; the
+	// count mismatch already fails the root check, forcing a full install.
+	return ids
+}
+
+// AppendManifest appends m's GSD1 encoding to buf.
+func AppendManifest(buf []byte, m Manifest) []byte {
+	buf = append(buf, manifestMagic[:]...)
+	buf = append(buf, ManifestVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Banks)))
+	for _, b := range m.Banks {
+		buf = binary.AppendUvarint(buf, b.Len)
+		buf = binary.LittleEndian.AppendUint64(buf, b.Digest)
+	}
+	return binary.LittleEndian.AppendUint64(buf, m.Root())
+}
+
+// EncodeManifest returns m's GSD1 encoding.
+func EncodeManifest(m Manifest) []byte {
+	return AppendManifest(make([]byte, 0, 16+18*len(m.Banks)), m)
+}
+
+// DecodeManifest decodes one GSD1 manifest off the front of data and
+// returns it plus the remaining bytes. Truncation, unknown magic/version,
+// an absurd bank count, a count the remaining bytes cannot possibly hold,
+// or a stored root that does not match the recomputed leaf fold all return
+// ErrBadEncoding — the root check means a manifest that decodes at all is
+// internally consistent.
+func DecodeManifest(data []byte) (Manifest, []byte, error) {
+	if len(data) < 5 || [4]byte(data[:4]) != manifestMagic || data[4] != ManifestVersion {
+		return Manifest{}, nil, ErrBadEncoding
+	}
+	rest := data[5:]
+	count, rest, err := Uvarint(rest)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	// Each leaf is at least 9 bytes (1-byte length varint + 8-byte digest),
+	// so the remaining length bounds the count before any allocation.
+	if count > maxManifestBanks || count > uint64(len(rest))/9 {
+		return Manifest{}, nil, ErrBadEncoding
+	}
+	m := Manifest{Banks: make([]BankRef, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		var b BankRef
+		if b.Len, rest, err = Uvarint(rest); err != nil {
+			return Manifest{}, nil, err
+		}
+		if len(rest) < 8 {
+			return Manifest{}, nil, ErrBadEncoding
+		}
+		b.Digest = binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		m.Banks = append(m.Banks, b)
+	}
+	if len(rest) < 8 {
+		return Manifest{}, nil, ErrBadEncoding
+	}
+	root := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	if root != m.Root() {
+		return Manifest{}, nil, ErrBadEncoding
+	}
+	return m, rest, nil
+}
